@@ -1,0 +1,92 @@
+// Ablation: the cost-based pushdown advisor (the automation §5.1 leaves as
+// future work, driven by the §7.4 memory-intensity idea). For Q9 and Q6 at
+// several memory-pool clock ratios we compare four policies: push nothing,
+// the paper's hand-picked set (§5.1), the advisor's choice, and push
+// everything. The advisor should track the best policy without profiling
+// more than one baseline run.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "db/advisor.h"
+
+using namespace teleport;  // NOLINT
+
+namespace {
+
+struct Case {
+  const char* label;
+  const char* query;
+  db::QueryResult (*fn)(ddc::ExecutionContext&, const db::TpchDatabase&,
+                        const db::QueryOptions&);
+};
+
+Nanos RunWith(const Case& c, double clock_ratio,
+              const std::set<std::string>* push_ops, bool push_all,
+              int64_t expect_checksum) {
+  bench::DeployOptions dopts;
+  dopts.memory_pool_clock_ratio = clock_ratio;
+  auto dep = bench::MakeDb(ddc::Platform::kBaseDdc, 6.0, dopts);
+  db::QueryOptions qopts;
+  if (push_ops != nullptr || push_all) {
+    qopts.runtime = dep.runtime.get();
+    qopts.push_all = push_all;
+    if (push_ops) qopts.push_ops = *push_ops;
+  }
+  const db::QueryResult r = c.fn(*dep.ctx, *dep.database, qopts);
+  TELEPORT_CHECK(r.checksum == expect_checksum) << c.label;
+  return r.total_ns;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Ablation: cost-based pushdown advisor",
+                     "SIGMOD'22 TELEPORT, S5.1/S7.4 (automated operator "
+                     "placement)");
+
+  const Case cases[] = {
+      {"Q9", "q9", &db::RunQ9},
+      {"Q6", "q6", &db::RunQ6},
+  };
+  const double ratios[] = {1.0, 0.5, 0.25};
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    // One profiling run on the base DDC feeds the advisor.
+    auto profile_dep = bench::MakeDb(ddc::Platform::kBaseDdc, 6.0);
+    const db::QueryResult profile =
+        c.fn(*profile_dep.ctx, *profile_dep.database, {});
+
+    std::printf("%s:\n", c.label);
+    for (const double ratio : ratios) {
+      db::AdvisorParams ap;
+      ap.memory_pool_clock_ratio = ratio;
+      const db::PushdownPlan plan = db::AdvisePushdown(profile, ap);
+
+      const auto paper_set = db::DefaultTeleportOps(c.query);
+      const Nanos none = RunWith(c, ratio, nullptr, false, profile.checksum);
+      const Nanos paper =
+          RunWith(c, ratio, &paper_set, false, profile.checksum);
+      const Nanos advisor =
+          RunWith(c, ratio, &plan.push_ops, false, profile.checksum);
+      const Nanos all = RunWith(c, ratio, nullptr, true, profile.checksum);
+
+      const Nanos best = std::min(std::min(none, paper), std::min(advisor, all));
+      std::printf("  clock %4.0f%%: none %8.1fms  paper-set %8.1fms  "
+                  "advisor %8.1fms (%zu ops)  all %8.1fms\n",
+                  ratio * 100, ToMillis(none), ToMillis(paper),
+                  ToMillis(advisor), plan.push_ops.size(), ToMillis(all));
+      // The advisor must be within 25% of the best policy at every ratio
+      // and always at least as good as pushing nothing.
+      ok = ok && advisor <= none &&
+           static_cast<double>(advisor) <= 1.25 * static_cast<double>(best);
+    }
+    std::printf("\n");
+  }
+  std::printf("shape (advisor tracks the best policy across clock ratios): "
+              "%s\n",
+              ok ? "holds" : "DEVIATES");
+  bench::PrintFooter();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Ablation: OS-level prefetching vs compute pushdown. §2.2 argues that
+// "OS-level optimizations in existing DDC platforms such as caching and
+// prefetching ... on their own, are insufficient". This bench enables a
+// LegoOS-style sequential prefetcher in the compute-pool cache at depths
+// 0 / 4 / 16 and compares against TELEPORT: prefetching recovers much of
+// the loss of the sequential-scan query (Q6) but little of the
+// random-access join query (Q9), and TELEPORT beats every prefetch depth.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace teleport;  // NOLINT
+
+namespace {
+
+struct Case {
+  const char* label;
+  const char* query;
+  db::QueryResult (*fn)(ddc::ExecutionContext&, const db::TpchDatabase&,
+                        const db::QueryOptions&);
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Ablation: sequential prefetching vs pushdown",
+                     "SIGMOD'22 TELEPORT, S2.2 claim (prefetching is "
+                     "insufficient)");
+
+  constexpr double kSf = 6.0;
+  const Case cases[] = {
+      {"Q6 (sequential scans)", "q6", &db::RunQ6},
+      {"Q9 (join-heavy)", "q9", &db::RunQ9},
+  };
+  const int depths[] = {0, 4, 16};
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    auto local = bench::MakeDb(ddc::Platform::kLocal, kSf);
+    const db::QueryResult r_local = c.fn(*local.ctx, *local.database, {});
+
+    std::printf("%s (local %.1f ms)\n", c.label, ToMillis(r_local.total_ns));
+    Nanos base_no_prefetch = 0;
+    Nanos best_prefetch = 0;
+    for (const int depth : depths) {
+      bench::DeployOptions opts;
+      opts.prefetch_pages = depth;
+      auto base = bench::MakeDb(ddc::Platform::kBaseDdc, kSf, opts);
+      const db::QueryResult r = c.fn(*base.ctx, *base.database, {});
+      ok = ok && r.checksum == r_local.checksum;
+      if (depth == 0) base_no_prefetch = r.total_ns;
+      best_prefetch = r.total_ns;
+      std::printf("  base DDC, prefetch depth %-3d %10.1f ms  (%.1fx local, "
+                  "%.2fx vs no prefetch)\n",
+                  depth, ToMillis(r.total_ns),
+                  static_cast<double>(r.total_ns) /
+                      static_cast<double>(r_local.total_ns),
+                  static_cast<double>(base_no_prefetch) /
+                      static_cast<double>(r.total_ns));
+    }
+
+    auto tele = bench::MakeDb(ddc::Platform::kBaseDdc, kSf);
+    db::QueryOptions qopts;
+    qopts.runtime = tele.runtime.get();
+    qopts.push_ops = db::DefaultTeleportOps(c.query);
+    const db::QueryResult r_tele = c.fn(*tele.ctx, *tele.database, qopts);
+    ok = ok && r_tele.checksum == r_local.checksum;
+    std::printf("  TELEPORT (no prefetch)       %10.1f ms  (%.1fx local)\n",
+                ToMillis(r_tele.total_ns),
+                static_cast<double>(r_tele.total_ns) /
+                    static_cast<double>(r_local.total_ns));
+    // The claim: even the deepest prefetcher leaves TELEPORT ahead.
+    ok = ok && r_tele.total_ns < best_prefetch;
+    std::printf("\n");
+  }
+  std::printf("shape (prefetching helps but pushdown still wins): %s\n",
+              ok ? "holds" : "DEVIATES");
+  bench::PrintFooter();
+  return ok ? 0 : 1;
+}

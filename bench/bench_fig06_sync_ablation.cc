@@ -1,0 +1,66 @@
+// Figure 6: ablation of TELEPORT's data-synchronization approaches on the
+// S4 microbenchmark (a compute-intensive thread + a memory-intensive
+// thread over a large region). Paper: vs the base DDC, migrating the whole
+// process gives 2.9x, pushing only the memory-intensive thread with eager
+// eviction 3.8x, and the default on-demand coherence 11x.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/micro.h"
+
+using namespace teleport;  // NOLINT
+using bench::MicroConfig;
+using bench::MicroResult;
+using bench::MicroScenario;
+
+int main() {
+  bench::PrintBanner("Figure 6: data-sync ablation on the two-thread "
+                     "microbenchmark",
+                     "SIGMOD'22 TELEPORT, Fig 6 (S4)");
+
+  MicroConfig cfg;
+  cfg.region_bytes = 256 << 20;  // the paper's 50 GB region, scaled
+  cfg.cache_bytes = 16 << 20;    // the 1 GB cache, scaled ~the same ratio
+  cfg.accesses = 40'000;
+  cfg.write_fraction = 0.3;      // some probes write (hash-table updates)
+
+  const struct {
+    MicroScenario scenario;
+    double paper_speedup;  // over base DDC (0 = baseline row)
+  } rows[] = {
+      {MicroScenario::kLocal, 0},
+      {MicroScenario::kBaseDdc, 0},
+      {MicroScenario::kPushFullProcess, 2.9},
+      {MicroScenario::kPushPerThread, 3.8},
+      {MicroScenario::kPushCoherence, 11.0},
+  };
+
+  Nanos base_time = 0;
+  double speedups[3] = {0, 0, 0};
+  int si = 0;
+  std::printf("%-24s %12s %10s %10s\n", "configuration", "time (ms)",
+              "speedup", "paper");
+  for (const auto& row : rows) {
+    const MicroResult r = RunMicro(cfg, row.scenario);
+    if (row.scenario == MicroScenario::kBaseDdc) base_time = r.time_ns;
+    double speedup = 0;
+    if (base_time > 0 && row.paper_speedup > 0) {
+      speedup = static_cast<double>(base_time) /
+                static_cast<double>(r.time_ns);
+      speedups[si++] = speedup;
+    }
+    std::printf("%-24s %12.1f %9.1fx %9.1fx\n",
+                std::string(MicroScenarioToString(row.scenario)).c_str(),
+                ToMillis(r.time_ns), speedup, row.paper_speedup);
+  }
+
+  // Shape: full-process < per-thread < on-demand coherence, all > 1.
+  const bool shape = speedups[0] > 1.0 && speedups[1] > speedups[0] &&
+                     speedups[2] > speedups[1];
+  std::printf("\nshape (coherence > per-thread > full-process > baseline): "
+              "%s\n",
+              shape ? "holds" : "DEVIATES");
+  bench::PrintFooter();
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Figure 11: the flexibility of TELEPORT — the operators pushed down in
+// each system and how little code each took. The paper reports, for every
+// operator, the lines changed in the host system and the size of the
+// pushed function. We print the paper's numbers next to this repo's
+// equivalents: pushdown here is the same "selective wrapping of existing
+// function calls" (one runtime.Call around an operator kernel), and the
+// pushed code is the kernel itself.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace teleport;  // NOLINT
+
+namespace {
+
+struct InventoryRow {
+  const char* system;
+  const char* op;
+  const char* functionality;
+  int paper_change;
+  int paper_pushed;
+  const char* repo_kernel;  // the function that executes in the pool here
+};
+
+constexpr InventoryRow kRows[] = {
+    {"MonetDB (400K LoC)", "Projection",
+     "get a subset of columns from records", 117, 51,
+     "db::ProjectGather"},
+    {"", "Aggregation", "apply an aggregate function over tuples", 214, 60,
+     "db::AggrSum / db::GroupSumDense"},
+    {"", "Selection", "select tuples with filters to a temp table", 302, 58,
+     "db::SelectCompare / db::SelectStrContains"},
+    {"", "HashJoin", "scan outer, probe hash index, emit results", 75, 42,
+     "db::HashBuild + db::HashProbe"},
+    {"PowerGraph (150K LoC)", "Finalize",
+     "partition and shuffle graph among workers", 77, 52,
+     "graph::RunGas finalize phase"},
+    {"", "Scatter", "exchange and combine messages between vertices", 82, 39,
+     "graph::RunGas scatter phase"},
+    {"", "Gather", "aggregate messages, apply a user function", 82, 39,
+     "graph::RunGas gather phase"},
+    {"Phoenix (2K LoC)", "MapShuffle",
+     "shuffle map key-values to reduce buffers", 173, 28,
+     "mr::RunPipeline map-shuffle phase"},
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Figure 11: pushdown inventory and code-change sizes",
+                     "SIGMOD'22 TELEPORT, Fig 11 (table)");
+
+  std::printf("%-22s %-12s %-44s %7s %7s\n", "system", "operator",
+              "functionality", "change", "pushed");
+  for (const InventoryRow& r : kRows) {
+    std::printf("%-22s %-12s %-44s %7d %7d\n", r.system, r.op,
+                r.functionality, r.paper_change, r.paper_pushed);
+    std::printf("%-22s %-12s -> this repo: wrapped kernel %s\n", "", "",
+                r.repo_kernel);
+  }
+  std::printf(
+      "\nIn this reproduction every pushdown is literally one wrapper:\n"
+      "  runtime->Call(ctx, [&](ExecutionContext& mem) { kernel(mem, ...); "
+      "})\n"
+      "(see db/query.cc PlanExecutor::Run, graph/engine.cc "
+      "PhaseRunner::Run,\n"
+      "mr/engine.cc MrRunner::Run) — 3-6 lines per operator, matching the\n"
+      "paper's claim that changes are negligible relative to each system.\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 16: pushdown performance under different memory-pool computation
+// power. Q9 with the memory pool's CPU clock throttled from 0.4 GHz to
+// 2.5 GHz (compute pool: 2.1 GHz). Paper: speedup over the base DDC grows
+// from 17x at 0.4 GHz and levels off at 29x above 1.7 GHz — modest
+// memory-pool CPUs suffice.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace teleport;  // NOLINT
+
+int main() {
+  bench::PrintBanner("Figure 16: memory-pool clock speed vs Q9 speedup",
+                     "SIGMOD'22 TELEPORT, Fig 16");
+
+  constexpr double kSf = 2.0;
+  auto base = bench::MakeDb(ddc::Platform::kBaseDdc, kSf);
+  const db::QueryResult r_base = db::RunQ9(*base.ctx, *base.database, {});
+
+  const double kComputeGhz = 2.1;
+  const double clocks_ghz[] = {0.4, 0.8, 1.2, 1.7, 2.1, 2.5};
+  std::printf("%-10s %14s %12s\n", "clock", "TELEPORT (ms)", "speedup");
+  std::vector<double> speedups;
+  bool ok = true;
+  for (const double ghz : clocks_ghz) {
+    bench::DeployOptions opts;
+    opts.memory_pool_clock_ratio = ghz / kComputeGhz;
+    auto tele = bench::MakeDb(ddc::Platform::kBaseDdc, kSf, opts);
+    db::QueryOptions qopts;
+    qopts.runtime = tele.runtime.get();
+    qopts.push_ops = db::DefaultTeleportOps("q9");
+    const db::QueryResult r = db::RunQ9(*tele.ctx, *tele.database, qopts);
+    ok = ok && r.checksum == r_base.checksum;
+    const double speedup = static_cast<double>(r_base.total_ns) /
+                           static_cast<double>(r.total_ns);
+    speedups.push_back(speedup);
+    std::printf("%7.1fGHz %14.1f %11.1fx\n", ghz, ToMillis(r.total_ns),
+                speedup);
+  }
+
+  // Shape: monotone non-decreasing, still a clear win at the slowest
+  // clock, and diminishing returns at the top (plateau).
+  bool monotone = true;
+  for (size_t i = 1; i < speedups.size(); ++i) {
+    monotone = monotone && speedups[i] >= speedups[i - 1] * 0.98;
+  }
+  const double tail_gain = speedups.back() / speedups[speedups.size() - 3];
+  const bool plateau = tail_gain < 1.25;
+  std::printf("\n");
+  bench::PrintComparison("speedup at lowest clock (0.4 GHz)", 17.0,
+                         speedups.front());
+  bench::PrintComparison("speedup at plateau", 29.0, speedups.back());
+  std::printf("\nshape (win even at 0.4 GHz; rising then plateauing): %s; "
+              "checksums %s\n",
+              monotone && plateau && speedups.front() > 1.5 ? "holds"
+                                                            : "DEVIATES",
+              ok ? "match" : "MISMATCH");
+  bench::PrintFooter();
+  return monotone && plateau && speedups.front() > 1.5 && ok ? 0 : 1;
+}

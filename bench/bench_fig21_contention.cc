@@ -1,0 +1,78 @@
+// Figure 21: application performance as the contention rate between the
+// compute-pool thread and the pushed thread grows from 0.0001% to 1%.
+// Paper: local and base DDC are flat (their contention is NUMA-local);
+// TELEPORT's default protocol degrades noticeably from ~0.1% (2.1s ->
+// 2.3s -> 3.7s); the Weak Ordering relaxation stays flat.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/micro.h"
+
+using namespace teleport;  // NOLINT
+using bench::MicroConfig;
+using bench::MicroResult;
+using bench::MicroScenario;
+
+int main() {
+  bench::PrintBanner("Figure 21: performance under read-write contention",
+                     "SIGMOD'22 TELEPORT, Fig 21 (S7.6)");
+
+  const double rates[] = {0.000001, 0.00001, 0.0001, 0.001, 0.01};
+  const MicroScenario scenarios[] = {
+      MicroScenario::kLocal, MicroScenario::kBaseDdc,
+      MicroScenario::kPushCoherence, MicroScenario::kPushWeakOrdering};
+
+  std::printf("%-12s", "rate");
+  for (const auto s : scenarios) {
+    std::printf(" %21s", std::string(MicroScenarioToString(s)).c_str());
+  }
+  std::printf("\n");
+
+  double default_low = 0, default_high = 0;
+  double relaxed_low = 0, relaxed_high = 0;
+  double base_low = 0, base_high = 0;
+  for (const double rate : rates) {
+    MicroConfig cfg;
+    cfg.region_bytes = 64 << 20;
+    cfg.cache_bytes = 2 << 20;
+    cfg.accesses = 150'000;
+    cfg.contention_rate = rate;
+    std::printf("%10.4f%%", rate * 100);
+    for (const auto s : scenarios) {
+      const MicroResult r = RunMicro(cfg, s);
+      std::printf(" %19.1fms", ToMillis(r.time_ns));
+      if (s == MicroScenario::kPushCoherence) {
+        if (rate == rates[0]) default_low = ToMillis(r.time_ns);
+        if (rate == rates[4]) default_high = ToMillis(r.time_ns);
+      }
+      if (s == MicroScenario::kPushWeakOrdering) {
+        if (rate == rates[0]) relaxed_low = ToMillis(r.time_ns);
+        if (rate == rates[4]) relaxed_high = ToMillis(r.time_ns);
+      }
+      if (s == MicroScenario::kBaseDdc) {
+        if (rate == rates[0]) base_low = ToMillis(r.time_ns);
+        if (rate == rates[4]) base_high = ToMillis(r.time_ns);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n");
+  bench::PrintComparison("default protocol: 1%% vs lowest rate",
+                         3.7 / 2.1, default_high / default_low);
+  bench::PrintComparison("relaxed protocol: 1%% vs lowest rate", 1.0,
+                         relaxed_high / relaxed_low);
+  // Shape: the default protocol degrades with contention; the relaxation
+  // and the base DDC stay (nearly) flat. (Our degradation factor is milder
+  // than the paper's 1.8x: the simulated coherence fault costs ~4us vs the
+  // ~16us effective ping-pong cost on their testbed; see EXPERIMENTS.md.)
+  const bool shape = default_high > default_low * 1.1 &&
+                     relaxed_high < relaxed_low * 1.1 &&
+                     base_high < base_low * 1.1;
+  std::printf("\nshape (default degrades past ~0.1%%; relaxed & baselines "
+              "flat): %s\n",
+              shape ? "holds" : "DEVIATES");
+  bench::PrintFooter();
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark micro-kernels for the simulator itself: host-side
+// throughput of the access path, the coherence fault path, RLE encoding,
+// and the interleaver. These guard the *simulator's* performance (how much
+// real time a simulated access costs), which bounds how large a scaled
+// experiment can be.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rle.h"
+#include "common/rng.h"
+#include "ddc/memory_system.h"
+#include "sim/interleaver.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+ddc::DdcConfig DdcCfg(uint64_t cache_pages) {
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kBaseDdc;
+  c.compute_cache_bytes = cache_pages * kPage;
+  c.memory_pool_bytes = 1u << 30;
+  return c;
+}
+
+void BM_SequentialLoads(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->Load<int64_t>(a + off));
+    off = (off + 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialLoads);
+
+void BM_RandomLoads(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctx->Load<int64_t>(a + rng.Uniform((64 << 20) / 8) * 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomLoads);
+
+void BM_LocalPlatformLoads(benchmark::State& state) {
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kLocal;
+  ddc::MemorySystem ms(c, sim::CostParams::Default(), 64 << 20);
+  const ddc::VAddr a = ms.space().Alloc(32 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->Load<int64_t>(a + off));
+    off = (off + 8) % (32 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalPlatformLoads);
+
+void BM_CoherenceFaultRoundTrip(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 64 << 20);
+  const ddc::VAddr a = ms.space().Alloc(1024 * kPage, "d");
+  ms.SeedData();
+  auto cc = ms.CreateContext(ddc::Pool::kCompute);
+  for (uint64_t p = 0; p < 1024; ++p) cc->Store<int64_t>(a + p * kPage, 1);
+  ms.BeginPushdownSession(ddc::CoherenceMode::kMesi);
+  auto mc = ms.CreateContext(ddc::Pool::kMemory);
+  uint64_t p = 0;
+  for (auto _ : state) {
+    // Ping-pong ownership of a page between the pools.
+    mc->Store<int64_t>(a + p * kPage, 2);
+    cc->Store<int64_t>(a + p * kPage, 3);
+    p = (p + 1) % 1024;
+  }
+  ms.EndPushdownSession();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CoherenceFaultRoundTrip);
+
+void BM_RleEncodeResidentList(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  std::vector<PageEntry> pages;
+  Rng rng(7);
+  uint64_t p = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    p += rng.Bernoulli(0.9) ? 1 : 5;  // mostly contiguous
+    pages.push_back({p, rng.Bernoulli(0.3)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RleEncode(pages));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RleEncodeResidentList)->Arg(1024)->Arg(65536);
+
+void BM_InterleaverStep(benchmark::State& state) {
+  class Spin : public sim::Task {
+   public:
+    Nanos clock() const override { return clock_; }
+    bool done() const override { return false; }
+    void Step() override { clock_ += 10; }
+
+   private:
+    Nanos clock_ = 0;
+  };
+  Spin tasks[8];
+  sim::Interleaver il;
+  for (auto& t : tasks) il.Add(&t);
+  Nanos deadline = 0;
+  for (auto _ : state) {
+    deadline += 1000;
+    il.RunUntil(deadline);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 8);
+}
+BENCHMARK(BM_InterleaverStep);
+
+void BM_PushdownCallOverhead(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(256), sim::CostParams::Default(), 16 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 * kPage, "d");
+  ms.SeedData();
+  tp::PushdownRuntime runtime(&ms);
+  auto caller = ms.CreateContext(ddc::Pool::kCompute);
+  for (auto _ : state) {
+    const Status st = runtime.Call(*caller, [&](ddc::ExecutionContext& mc) {
+      benchmark::DoNotOptimize(mc.Load<int64_t>(a));
+      return Status::OK();
+    });
+    if (!st.ok()) state.SkipWithError("pushdown failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushdownCallOverhead);
+
+}  // namespace
+}  // namespace teleport
+
+BENCHMARK_MAIN();

@@ -1,0 +1,217 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace teleport::bench {
+
+namespace {
+
+ddc::DdcConfig BaseConfig(ddc::Platform platform, uint64_t working_set,
+                          const DeployOptions& opts) {
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  dc.compute_cache_bytes = std::max<uint64_t>(
+      16 * 4096, static_cast<uint64_t>(opts.cache_fraction *
+                                       static_cast<double>(working_set)));
+  dc.memory_pool_bytes =
+      opts.pool_bytes_override != 0
+          ? opts.pool_bytes_override
+          : static_cast<uint64_t>(opts.pool_multiple *
+                                  static_cast<double>(working_set));
+  dc.memory_pool_clock_ratio = opts.memory_pool_clock_ratio;
+  dc.memory_pool_cores = opts.memory_pool_cores;
+  dc.prefetch_pages = opts.prefetch_pages;
+  return dc;
+}
+
+}  // namespace
+
+DbDeployment MakeDb(ddc::Platform platform, double scale_factor,
+                    const DeployOptions& opts) {
+  DbDeployment d;
+  db::TpchConfig cfg;
+  cfg.scale_factor = scale_factor;
+  const uint64_t bytes = db::EstimateTpchBytes(cfg);
+  // Queries allocate sizable intermediates (selection vectors, hash
+  // tables); give the address space ample headroom.
+  d.ms = std::make_unique<ddc::MemorySystem>(
+      BaseConfig(platform, bytes, opts), sim::CostParams::Default(),
+      bytes * 12);
+  d.database = db::GenerateTpch(d.ms.get(), cfg);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(
+        d.ms.get(), opts.memory_pool_cores);
+  }
+  return d;
+}
+
+GraphDeployment MakeGraph(ddc::Platform platform, uint64_t vertices,
+                          uint64_t degree, const DeployOptions& opts) {
+  GraphDeployment d;
+  graph::GraphConfig gc;
+  gc.vertices = vertices;
+  gc.avg_degree = degree;
+  const uint64_t bytes = graph::EstimateGraphBytes(gc);
+  d.ms = std::make_unique<ddc::MemorySystem>(
+      BaseConfig(platform, bytes, opts), sim::CostParams::Default(),
+      bytes * 6);
+  d.graph = graph::GenerateGraph(d.ms.get(), gc);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(
+        d.ms.get(), opts.memory_pool_cores);
+  }
+  return d;
+}
+
+MrDeployment MakeMr(ddc::Platform platform, uint64_t corpus_bytes,
+                    const DeployOptions& opts) {
+  MrDeployment d;
+  mr::TextConfig tc;
+  tc.bytes = corpus_bytes;
+  // The MapReduce working set is dominated by the shuffle / reduce
+  // buffers, several times the input volume; size the cache off that.
+  d.ms = std::make_unique<ddc::MemorySystem>(
+      BaseConfig(platform, corpus_bytes * 8, opts), sim::CostParams::Default(),
+      corpus_bytes * 40);
+  d.corpus = mr::GenerateText(d.ms.get(), tc);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(
+        d.ms.get(), opts.memory_pool_cores);
+  }
+  return d;
+}
+
+std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
+  std::vector<WorkloadTimes> out;
+
+  // --- MonetDB-like DBMS: Q9, Q3, Q6 -------------------------------------
+  struct DbCase {
+    const char* label;
+    const char* query;
+    db::QueryResult (*fn)(ddc::ExecutionContext&, const db::TpchDatabase&,
+                          const db::QueryOptions&);
+  };
+  const DbCase db_cases[] = {
+      {"Q9", "q9", &db::RunQ9},
+      {"Q3", "q3", &db::RunQ3},
+      {"Q6", "q6", &db::RunQ6},
+  };
+  for (const DbCase& c : db_cases) {
+    WorkloadTimes w;
+    w.name = c.label;
+    auto local = MakeDb(ddc::Platform::kLocal, config.db_scale_factor,
+                        config.deploy);
+    const db::QueryResult rl = c.fn(*local.ctx, *local.database, {});
+    w.local_ns = rl.total_ns;
+    auto base = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
+                       config.deploy);
+    const db::QueryResult rd = c.fn(*base.ctx, *base.database, {});
+    w.ddc_ns = rd.total_ns;
+    w.checksums_match = rl.checksum == rd.checksum;
+    if (config.run_teleport) {
+      auto tele = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
+                         config.deploy);
+      db::QueryOptions opts;
+      opts.runtime = tele.runtime.get();
+      opts.push_ops = db::DefaultTeleportOps(c.query);
+      const db::QueryResult rt = c.fn(*tele.ctx, *tele.database, opts);
+      w.teleport_ns = rt.total_ns;
+      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
+    }
+    out.push_back(w);
+  }
+
+  // --- PowerGraph-like engine: SSSP, RE, CC --------------------------------
+  struct GraphCase {
+    const char* label;
+    graph::GasResult (*fn)(ddc::ExecutionContext&, const graph::Graph&,
+                           const graph::GasOptions&);
+  };
+  const GraphCase graph_cases[] = {
+      {"SSSP", &graph::RunSssp},
+      {"RE", &graph::RunReachability},
+      {"CC", &graph::RunConnectedComponents},
+  };
+  for (const GraphCase& c : graph_cases) {
+    WorkloadTimes w;
+    w.name = c.label;
+    auto local = MakeGraph(ddc::Platform::kLocal, config.graph_vertices,
+                           config.graph_degree, config.deploy);
+    const graph::GasResult rl = c.fn(*local.ctx, local.graph, {});
+    w.local_ns = rl.total_ns;
+    auto base = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
+                          config.graph_degree, config.deploy);
+    const graph::GasResult rd = c.fn(*base.ctx, base.graph, {});
+    w.ddc_ns = rd.total_ns;
+    w.checksums_match = rl.checksum == rd.checksum;
+    if (config.run_teleport) {
+      auto tele = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
+                            config.graph_degree, config.deploy);
+      graph::GasOptions opts;
+      opts.runtime = tele.runtime.get();
+      opts.push_phases = graph::DefaultTeleportPhases();
+      const graph::GasResult rt = c.fn(*tele.ctx, tele.graph, opts);
+      w.teleport_ns = rt.total_ns;
+      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
+    }
+    out.push_back(w);
+  }
+
+  // --- Phoenix-like MapReduce: WC, Grep ------------------------------------
+  struct MrCase {
+    const char* label;
+    bool grep;
+  };
+  const MrCase mr_cases[] = {{"WC", false}, {"Grep", true}};
+  for (const MrCase& c : mr_cases) {
+    WorkloadTimes w;
+    w.name = c.label;
+    auto run = [&](MrDeployment& d, const mr::MrOptions& opts) {
+      return c.grep ? RunGrep(*d.ctx, d.corpus, "wab", opts)
+                    : RunWordCount(*d.ctx, d.corpus, opts);
+    };
+    auto local = MakeMr(ddc::Platform::kLocal, config.mr_bytes, config.deploy);
+    const mr::MrResult rl = run(local, {});
+    w.local_ns = rl.total_ns;
+    auto base = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
+                       config.deploy);
+    const mr::MrResult rd = run(base, {});
+    w.ddc_ns = rd.total_ns;
+    w.checksums_match = rl.checksum == rd.checksum;
+    if (config.run_teleport) {
+      auto tele = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
+                         config.deploy);
+      mr::MrOptions opts;
+      opts.runtime = tele.runtime.get();
+      opts.push_phases = mr::DefaultTeleportPhases(c.grep);
+      const mr::MrResult rt = run(tele, opts);
+      w.teleport_ns = rt.total_ns;
+      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
+    }
+    out.push_back(w);
+  }
+
+  return out;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintFooter() {
+  std::printf("--------------------------------------------------------------\n\n");
+}
+
+void PrintComparison(const std::string& label, double paper, double measured,
+                     const std::string& unit) {
+  std::printf("  %-34s paper %7.1f%s   measured %7.1f%s\n", label.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+}  // namespace teleport::bench

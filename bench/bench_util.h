@@ -1,0 +1,94 @@
+#ifndef TELEPORT_BENCH_BENCH_UTIL_H_
+#define TELEPORT_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "graph/engine.h"
+#include "mr/engine.h"
+#include "teleport/pushdown.h"
+
+namespace teleport::bench {
+
+/// A complete DBMS deployment on one simulated platform.
+struct DbDeployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<db::TpchDatabase> database;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;  // DDC platforms only
+};
+
+/// Deployment knobs shared by every figure: the paper's testbed uses a
+/// compute-local cache that is ~2% of the working set (1 GB vs 50 GB),
+/// a memory pool with ample capacity, and (by default) one memory-pool
+/// core at the compute pool's clock (§7.1).
+struct DeployOptions {
+  double cache_fraction = 0.02;
+  double pool_multiple = 8.0;  ///< memory pool = multiple x working set
+  uint64_t pool_bytes_override = 0;
+  double memory_pool_clock_ratio = 1.0;
+  int memory_pool_cores = 1;
+  /// Sequential prefetch depth of the compute cache (0 = off).
+  int prefetch_pages = 0;
+};
+
+DbDeployment MakeDb(ddc::Platform platform, double scale_factor,
+                    const DeployOptions& opts = {});
+
+struct GraphDeployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  graph::Graph graph;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+GraphDeployment MakeGraph(ddc::Platform platform, uint64_t vertices,
+                          uint64_t degree, const DeployOptions& opts = {});
+
+struct MrDeployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  mr::TextCorpus corpus;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+MrDeployment MakeMr(ddc::Platform platform, uint64_t corpus_bytes,
+                    const DeployOptions& opts = {});
+
+/// Scale knobs for the eight-workload suite (Figs 3 and 13).
+struct SuiteConfig {
+  double db_scale_factor = 6.0;
+  uint64_t graph_vertices = 50'000;
+  uint64_t graph_degree = 12;
+  uint64_t mr_bytes = 4 << 20;
+  DeployOptions deploy;
+  bool run_teleport = true;
+};
+
+/// One workload measured on up to three platforms. teleport_ns is 0 when
+/// the TELEPORT leg was skipped.
+struct WorkloadTimes {
+  std::string name;
+  Nanos local_ns = 0;
+  Nanos ddc_ns = 0;
+  Nanos teleport_ns = 0;
+  bool checksums_match = true;
+};
+
+/// Runs Q9/Q3/Q6, SSSP/RE/CC, WC/Grep on fresh deployments per platform —
+/// the Figure 3 and Figure 13 measurement loop.
+std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config);
+
+/// Formatting helpers so every bench binary reports the same way.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+void PrintFooter();
+
+/// "paper X vs measured Y" line for EXPERIMENTS.md-ready output.
+void PrintComparison(const std::string& label, double paper, double measured,
+                     const std::string& unit = "x");
+
+}  // namespace teleport::bench
+
+#endif  // TELEPORT_BENCH_BENCH_UTIL_H_

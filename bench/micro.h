@@ -1,0 +1,71 @@
+#ifndef TELEPORT_BENCH_MICRO_H_
+#define TELEPORT_BENCH_MICRO_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace teleport::bench {
+
+/// The §4 microbenchmark application: a compute-intensive thread (arithmetic
+/// expression evaluation) running concurrently with a memory-intensive
+/// thread (random probes over a large region), optionally contending on a
+/// small set of shared pages. Drives Figs 6, 7, 21 and 22.
+struct MicroConfig {
+  /// The memory-intensive thread's probe region (paper: 50 GB, scaled).
+  uint64_t region_bytes = 64 << 20;
+  /// Compute-local cache (paper: 1 GB, scaled to the same ~2% ratio).
+  uint64_t cache_bytes = 1 << 20;
+  /// Random accesses issued by the memory-intensive thread.
+  uint64_t accesses = 200'000;
+  /// Arithmetic ops of the compute-intensive thread; 0 = auto-size so both
+  /// threads take the same time locally (as in Fig 6: "each thread
+  /// finishes in 1s").
+  uint64_t compute_ops = 0;
+  /// Fraction of the memory thread's probes that write.
+  double write_fraction = 0.0;
+  /// Probability per operation unit that a thread writes a shared page
+  /// (Fig 21's contention rate; both threads request write permissions).
+  double contention_rate = 0.0;
+  uint64_t shared_pages = 16;
+  /// Fig 7: the threads write *disjoint halves* of the shared pages —
+  /// false sharing at page granularity.
+  bool false_sharing = false;
+  /// §4.2 reader-writer contention: the compute thread READS the shared
+  /// pages while the pushed thread writes them. The PSO relaxation keeps
+  /// the reader's copy mapped read-only instead of invalidating it.
+  bool reader_writer = false;
+  /// Operations per interleaver step (concurrency granularity).
+  int batch = 64;
+  uint64_t seed = 42;
+};
+
+/// Execution strategies compared across the microbenchmark figures.
+enum class MicroScenario {
+  kLocal,                   ///< monolithic Linux
+  kBaseDdc,                 ///< unmodified on the disaggregated OS
+  kPushFullProcess,         ///< Fig 6: migrate the whole process
+  kPushPerThread,           ///< Fig 6: push the memory thread, evict its
+                            ///  memory eagerly, no online coherence
+  kPushCoherence,           ///< default on-demand MESI-style coherence
+  kPushPso,                 ///< §4.2 PSO relaxation
+  kPushWeakOrdering,        ///< §4.2 Weak Ordering relaxation
+  kPushNoCoherenceSyncmem,  ///< coherence off + manual syncmem (Fig 7)
+};
+
+std::string_view MicroScenarioToString(MicroScenario s);
+
+struct MicroResult {
+  Nanos time_ns = 0;               ///< parallel-region wall time
+  uint64_t coherence_messages = 0;
+  uint64_t net_messages = 0;
+  uint64_t remote_bytes = 0;
+};
+
+/// Runs the microbenchmark under one scenario. Deterministic in cfg.seed.
+MicroResult RunMicro(const MicroConfig& cfg, MicroScenario scenario);
+
+}  // namespace teleport::bench
+
+#endif  // TELEPORT_BENCH_MICRO_H_

@@ -1,0 +1,104 @@
+// Analytics on a disaggregated DBMS: runs TPC-H-like queries on the three
+// deployments the paper compares (monolithic Linux, base DDC, TELEPORT) and
+// prints per-operator profiles -- the §5.1 workflow of deciding what to
+// push down.
+
+#include <cstdio>
+#include <memory>
+
+#include "db/query.h"
+
+using namespace teleport;  // NOLINT: example brevity
+using db::QueryOptions;
+using db::QueryResult;
+
+namespace {
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<db::TpchDatabase> database;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Deployment Deploy(ddc::Platform platform) {
+  Deployment d;
+  db::TpchConfig cfg;
+  cfg.scale_factor = 2.0;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  const uint64_t bytes = db::EstimateTpchBytes(cfg);
+  dc.compute_cache_bytes = bytes / 20;  // 5% of the working set
+  dc.memory_pool_bytes = bytes * 8;
+  d.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             bytes * 8);
+  d.database = db::GenerateTpch(d.ms.get(), cfg);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  }
+  return d;
+}
+
+void PrintProfile(const char* label, const QueryResult& r) {
+  std::printf("%-22s total %8.2f ms  checksum %lld\n", label,
+              ToMillis(r.total_ns), static_cast<long long>(r.checksum));
+  for (const auto& op : r.ops) {
+    std::printf("    %-20s %8.2f ms  %8.2f MiB remote  %9llu rows%s\n",
+                op.name.c_str(), ToMillis(op.time_ns),
+                static_cast<double>(op.remote_bytes) / (1 << 20),
+                static_cast<unsigned long long>(op.rows_out),
+                op.pushed ? "  [pushed]" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating TPC-H-like data (scale 2.0)...\n\n");
+
+  // Monolithic server: the reference.
+  auto local = Deploy(ddc::Platform::kLocal);
+  const QueryResult q6_local = db::RunQ6(*local.ctx, *local.database, {});
+  PrintProfile("Q6 / Linux", q6_local);
+
+  // Unmodified execution on the disaggregated OS.
+  auto base = Deploy(ddc::Platform::kBaseDdc);
+  const QueryResult q6_ddc = db::RunQ6(*base.ctx, *base.database, {});
+  PrintProfile("Q6 / base DDC", q6_ddc);
+
+  // TELEPORT: push the bandwidth-intensive operators (§5.1).
+  auto tele = Deploy(ddc::Platform::kBaseDdc);
+  QueryOptions opts;
+  opts.runtime = tele.runtime.get();
+  opts.push_ops = db::DefaultTeleportOps("q6");
+  const QueryResult q6_tele = db::RunQ6(*tele.ctx, *tele.database, opts);
+  PrintProfile("Q6 / TELEPORT", q6_tele);
+
+  if (q6_local.checksum != q6_ddc.checksum ||
+      q6_local.checksum != q6_tele.checksum) {
+    std::fprintf(stderr, "checksum mismatch across deployments!\n");
+    return 1;
+  }
+  std::printf(
+      "\ncost of scaling: base DDC %.1fx, TELEPORT %.1fx  (speedup %.1fx)\n",
+      static_cast<double>(q6_ddc.total_ns) /
+          static_cast<double>(q6_local.total_ns),
+      static_cast<double>(q6_tele.total_ns) /
+          static_cast<double>(q6_local.total_ns),
+      static_cast<double>(q6_ddc.total_ns) /
+          static_cast<double>(q6_tele.total_ns));
+
+  // The same comparison for the join-heavy Q9, reusing fresh deployments.
+  std::printf("\n");
+  auto local9 = Deploy(ddc::Platform::kLocal);
+  const QueryResult q9_local = db::RunQ9(*local9.ctx, *local9.database, {});
+  auto tele9 = Deploy(ddc::Platform::kBaseDdc);
+  QueryOptions opts9;
+  opts9.runtime = tele9.runtime.get();
+  opts9.push_ops = db::DefaultTeleportOps("q9");
+  const QueryResult q9_tele = db::RunQ9(*tele9.ctx, *tele9.database, opts9);
+  PrintProfile("Q9 / Linux", q9_local);
+  PrintProfile("Q9 / TELEPORT", q9_tele);
+  return q9_local.checksum == q9_tele.checksum ? 0 : 1;
+}

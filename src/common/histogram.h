@@ -1,0 +1,49 @@
+#ifndef TELEPORT_COMMON_HISTOGRAM_H_
+#define TELEPORT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace teleport {
+
+/// Log-bucketed histogram for latency-like quantities (nanoseconds, bytes).
+/// Bucket i covers [2^i, 2^(i+1)); percentiles interpolate linearly inside a
+/// bucket. Mirrors the RocksDB statistics histogram in spirit.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (negative samples are clamped to 0).
+  void Add(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Returns the value at percentile p in [0, 100].
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t v);
+
+  uint64_t buckets_[kNumBuckets];
+  uint64_t count_;
+  int64_t sum_;
+  int64_t min_;
+  int64_t max_;
+};
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_HISTOGRAM_H_

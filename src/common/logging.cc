@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+namespace teleport {
+
+namespace {
+LogLevel g_log_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level),
+      fatal_(fatal),
+      enabled_(fatal || level >= g_log_level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace teleport

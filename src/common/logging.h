@@ -1,0 +1,65 @@
+#ifndef TELEPORT_COMMON_LOGGING_H_
+#define TELEPORT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace teleport {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level below which log statements are dropped.
+/// Defaults to kWarning so tests and benches stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define TELEPORT_LOG(level)                                              \
+  ::teleport::internal_logging::LogMessage(::teleport::LogLevel::level, \
+                                           __FILE__, __LINE__)
+
+/// Unconditional invariant check; aborts with a message on failure. Used for
+/// programming errors (not recoverable conditions, which return Status).
+#define TELEPORT_CHECK(cond)                                                  \
+  if (!(cond))                                                                \
+  ::teleport::internal_logging::LogMessage(::teleport::LogLevel::kError,      \
+                                           __FILE__, __LINE__, /*fatal=*/true) \
+      << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define TELEPORT_DCHECK(cond) \
+  if (false) TELEPORT_CHECK(cond)
+#else
+#define TELEPORT_DCHECK(cond) TELEPORT_CHECK(cond)
+#endif
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+#ifndef TELEPORT_COMMON_RESULT_H_
+#define TELEPORT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace teleport {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error (there would be no value), asserted in debug builds.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error status; OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the held value. Must hold a value.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating any error; otherwise binds
+/// the value to `lhs`.
+#define TELEPORT_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  TELEPORT_ASSIGN_OR_RETURN_IMPL_(                \
+      TELEPORT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define TELEPORT_CONCAT_INNER_(a, b) a##b
+#define TELEPORT_CONCAT_(a, b) TELEPORT_CONCAT_INNER_(a, b)
+#define TELEPORT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_RESULT_H_

@@ -1,0 +1,40 @@
+#include "common/rle.h"
+
+#include "common/logging.h"
+
+namespace teleport {
+
+std::vector<PageRun> RleEncode(const std::vector<PageEntry>& pages) {
+  std::vector<PageRun> runs;
+  for (const PageEntry& e : pages) {
+    if (!runs.empty()) {
+      PageRun& last = runs.back();
+      TELEPORT_DCHECK(e.page >= last.start + last.count)
+          << "page list must be sorted and duplicate-free";
+      if (e.page == last.start + last.count && e.writable == last.writable) {
+        ++last.count;
+        continue;
+      }
+    }
+    runs.push_back(PageRun{e.page, 1, e.writable});
+  }
+  return runs;
+}
+
+std::vector<PageEntry> RleDecode(const std::vector<PageRun>& runs) {
+  std::vector<PageEntry> pages;
+  for (const PageRun& r : runs) {
+    for (uint64_t i = 0; i < r.count; ++i) {
+      pages.push_back(PageEntry{r.start + i, r.writable});
+    }
+  }
+  return pages;
+}
+
+uint64_t RawSizeBytes(size_t num_pages) { return 9u * num_pages; }
+
+uint64_t RleSizeBytes(const std::vector<PageRun>& runs) {
+  return 13u * runs.size();
+}
+
+}  // namespace teleport

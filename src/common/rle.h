@@ -1,0 +1,45 @@
+#ifndef TELEPORT_COMMON_RLE_H_
+#define TELEPORT_COMMON_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace teleport {
+
+/// One page resident in the compute-pool cache together with its write
+/// permission, as shipped at the start of a pushdown call (§6: the resident
+/// list is run-length encoded, giving ~20x smaller messages).
+struct PageEntry {
+  uint64_t page = 0;
+  bool writable = false;
+
+  friend bool operator==(const PageEntry&, const PageEntry&) = default;
+};
+
+/// A maximal run of consecutive pages sharing the same write permission.
+struct PageRun {
+  uint64_t start = 0;
+  uint64_t count = 0;
+  bool writable = false;
+
+  friend bool operator==(const PageRun&, const PageRun&) = default;
+};
+
+/// Run-length encodes a page list. `pages` must be sorted by page number and
+/// duplicate-free; this is asserted in debug builds.
+std::vector<PageRun> RleEncode(const std::vector<PageEntry>& pages);
+
+/// Expands runs back to the page list (inverse of RleEncode).
+std::vector<PageEntry> RleDecode(const std::vector<PageRun>& runs);
+
+/// Wire size of the raw (unencoded) list: 9 bytes per entry.
+uint64_t RawSizeBytes(size_t num_pages);
+
+/// Wire size of the encoded list: 13 bytes per run (u64 start, u32 count,
+/// u8 permission).
+uint64_t RleSizeBytes(const std::vector<PageRun>& runs);
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_RLE_H_

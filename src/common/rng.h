@@ -1,0 +1,102 @@
+#ifndef TELEPORT_COMMON_RNG_H_
+#define TELEPORT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace teleport {
+
+/// Deterministic xoshiro256** PRNG. Every workload generator in the repo is
+/// seeded explicitly so all benchmark inputs and results are reproducible
+/// bit-for-bit across runs and machines.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    TELEPORT_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // the tiny modulo bias is irrelevant for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    TELEPORT_DCHECK(hi >= lo);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf(n, theta) distribution over [0, n). Used by the
+/// MapReduce text generator (word frequencies) and graph degree skew.
+///
+/// Precomputes the harmonic normalization once; Sample() is O(1) via the
+/// rejection-inversion-free approximation of Gray et al. (the standard YCSB
+/// generator).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Returns a value in [0, n), skewed toward small values.
+  uint64_t Sample(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef TELEPORT_COMMON_UNITS_H_
+#define TELEPORT_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace teleport {
+
+/// Byte-size and time-unit constants used throughout the cost model.
+/// Virtual time is kept in nanoseconds (int64_t), sizes in bytes (uint64_t).
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Virtual time in nanoseconds.
+using Nanos = int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+/// Converts virtual nanoseconds to floating-point seconds (for reporting).
+inline constexpr double ToSeconds(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+/// Converts virtual nanoseconds to floating-point milliseconds.
+inline constexpr double ToMillis(Nanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace teleport
+
+#endif  // TELEPORT_COMMON_UNITS_H_

@@ -1,0 +1,36 @@
+#include "db/advisor.h"
+
+namespace teleport::db {
+
+PushdownPlan AdvisePushdown(const QueryResult& base_profile,
+                            const AdvisorParams& params) {
+  PushdownPlan plan;
+  const sim::CostParams& cost = params.cost;
+
+  // Effective cost of one remote page movement on the profiled platform:
+  // fault round trip with a page payload, handler included.
+  const Nanos per_page_ns = cost.net_latency_ns +
+                            cost.fault_handler_ns +
+                            cost.NetPageTransfer();
+
+  for (const OperatorProfile& op : base_profile.ops) {
+    OperatorAdvice a;
+    a.name = op.name;
+    // Pushdown removes (almost) all of the operator's page movement: its
+    // inputs are pool-resident and its outputs stay in the pool.
+    a.est_remote_saving_ns =
+        static_cast<Nanos>(op.remote_pages) * per_page_ns;
+    // ...at the price of running the operator's CPU work on the pool's
+    // cores.
+    const double ratio = params.memory_pool_clock_ratio;
+    const double penalty_factor = ratio >= 1.0 ? 0.0 : (1.0 / ratio - 1.0);
+    a.est_cpu_penalty_ns = static_cast<Nanos>(
+        static_cast<double>(cost.Cpu(op.cpu_ops)) * penalty_factor);
+    a.push = a.NetBenefit(params.per_call_overhead_ns) > 0;
+    if (a.push) plan.push_ops.insert(a.name);
+    plan.advice.push_back(std::move(a));
+  }
+  return plan;
+}
+
+}  // namespace teleport::db

@@ -1,0 +1,54 @@
+#ifndef TELEPORT_DB_ADVISOR_H_
+#define TELEPORT_DB_ADVISOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "sim/cost_model.h"
+
+namespace teleport::db {
+
+/// Cost-based pushdown advisor — the automation §5.1 sketches as future
+/// work ("cost-based approaches can automate the decision-making") and
+/// §7.4 motivates with the memory-intensity metric.
+///
+/// Given a profiling run of a query on the base DDC, the advisor estimates,
+/// per operator, the remote-access time pushdown would save against the
+/// CPU penalty of the memory pool's (possibly throttled) cores plus the
+/// fixed per-call overhead, and recommends the profitable subset.
+struct AdvisorParams {
+  /// Clock ratio of the memory-pool cores (the §7.3 knob).
+  double memory_pool_clock_ratio = 1.0;
+  /// The deployment's timing constants.
+  sim::CostParams cost = sim::CostParams::Default();
+  /// Fixed per-call overhead estimate: context attach, request/response
+  /// transfers, and resident-list processing.
+  Nanos per_call_overhead_ns = 120'000;
+};
+
+/// Per-operator verdict with the model's estimates (for explainability).
+struct OperatorAdvice {
+  std::string name;
+  Nanos est_remote_saving_ns = 0;  ///< fault time removed by pushdown
+  Nanos est_cpu_penalty_ns = 0;    ///< extra CPU time on slower cores
+  bool push = false;
+
+  Nanos NetBenefit(Nanos overhead) const {
+    return est_remote_saving_ns - est_cpu_penalty_ns - overhead;
+  }
+};
+
+struct PushdownPlan {
+  std::set<std::string> push_ops;
+  std::vector<OperatorAdvice> advice;  ///< plan order, one per operator
+};
+
+/// Builds a pushdown plan from a base-DDC profiling run.
+PushdownPlan AdvisePushdown(const QueryResult& base_profile,
+                            const AdvisorParams& params);
+
+}  // namespace teleport::db
+
+#endif  // TELEPORT_DB_ADVISOR_H_

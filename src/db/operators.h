@@ -1,0 +1,150 @@
+#ifndef TELEPORT_DB_OPERATORS_H_
+#define TELEPORT_DB_OPERATORS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "db/column.h"
+#include "ddc/memory_system.h"
+
+namespace teleport::db {
+
+/// A candidate list (MonetDB-style): row ids, ascending, in DDC space.
+/// Operators that take an optional SelVector scan the whole column when it
+/// is absent.
+struct SelVector {
+  ddc::VAddr addr = 0;
+  uint64_t count = 0;
+};
+
+/// Comparison flavor for SelectCompare.
+enum class CmpOp { kLess, kGreater, kRange /* lo <= v <= hi */, kEqual };
+
+/// Selection: scans `col` (restricted to `cand` when present), applies the
+/// predicate, and materializes matching row ids to a temporary in DDC
+/// space — the MonetDB selection pattern of §2.3/Fig 4.
+SelVector SelectCompare(ddc::ExecutionContext& ctx, const Column& col,
+                        CmpOp op, int64_t lo, int64_t hi,
+                        const SelVector* cand, const std::string& out_name);
+
+/// Selection over a string column: substring containment (LIKE '%needle%').
+SelVector SelectStrContains(ddc::ExecutionContext& ctx,
+                            const StringColumn& col, std::string_view needle,
+                            const SelVector* cand,
+                            const std::string& out_name);
+
+/// Projection: gathers col[sel[i]] into a dense temporary value array.
+/// Returns its address; length is sel.count.
+ddc::VAddr ProjectGather(ddc::ExecutionContext& ctx, const Column& col,
+                         const SelVector& sel, const std::string& out_name);
+
+/// Aggregation: sum of a dense value array.
+int64_t AggrSum(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                ddc::VAddr values, uint64_t count);
+
+/// Aggregation directly over a column restricted by a candidate list.
+int64_t AggrSumColumn(ddc::ExecutionContext& ctx, const Column& col,
+                      const SelVector* cand);
+
+/// Expression: out[i] = a[i] * b[i] / div (elementwise over dense arrays).
+ddc::VAddr ExprMulScaled(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                         ddc::VAddr a, ddc::VAddr b, uint64_t count,
+                         int64_t div, const std::string& out_name);
+
+/// Expression: revenue[i] = price[i] * (100 - discount[i]) / 100.
+ddc::VAddr ExprRevenue(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                       ddc::VAddr price, ddc::VAddr discount, uint64_t count,
+                       const std::string& out_name);
+
+/// Expression: amount[i] = price[i]*(100-disc[i])/100 - cost[i]*qty[i]
+/// (the Q9 profit expression).
+ddc::VAddr ExprAmount(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                      ddc::VAddr price, ddc::VAddr discount, ddc::VAddr cost,
+                      ddc::VAddr quantity, uint64_t count,
+                      const std::string& out_name);
+
+/// Open-addressing hash table over unique int64 keys, stored in DDC space.
+/// Slot layout: {key, row}; empty slots hold kEmptyKey.
+struct HashTable {
+  ddc::VAddr addr = 0;
+  uint64_t slots = 0;
+  static constexpr int64_t kEmptyKey = INT64_MIN;
+};
+
+/// Build side of a hash join: inserts (key[row], row) for each candidate
+/// row (all rows when `cand` is null). Keys must be unique.
+HashTable HashBuild(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                    const Column& keys, const SelVector* cand,
+                    const std::string& out_name);
+
+/// Same, but with composite keys key = hi[row] * shift + lo[row]
+/// (the partsupp (partkey, suppkey) join).
+HashTable HashBuildComposite(ddc::ExecutionContext& ctx,
+                             ddc::MemorySystem& ms, const Column& hi,
+                             const Column& lo, int64_t shift,
+                             const SelVector* cand,
+                             const std::string& out_name);
+
+/// Matched row pairs of a join, parallel arrays in DDC space.
+struct JoinResult {
+  ddc::VAddr probe_rows = 0;
+  ddc::VAddr build_rows = 0;
+  uint64_t count = 0;
+};
+
+/// Probe side of a hash join: for each candidate probe row, looks the key
+/// up and emits (probe_row, build_row) on a match. §2.2's random-access
+/// pattern: every probe is a potential cache miss in a DDC.
+JoinResult HashProbe(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                     const Column& probe_keys, const SelVector* cand,
+                     const HashTable& ht, const std::string& out_name);
+
+/// Composite-key probe matching HashBuildComposite.
+JoinResult HashProbeComposite(ddc::ExecutionContext& ctx,
+                              ddc::MemorySystem& ms, const Column& hi,
+                              const Column& lo, int64_t shift,
+                              const SelVector* cand, const HashTable& ht,
+                              const std::string& out_name);
+
+/// Merge join of a dense sorted dimension key (o_orderkey = 0..N-1) with a
+/// non-decreasing foreign-key sequence fk[sel[i]] (lineitem is physically
+/// ordered by l_orderkey). Emits, per candidate row, the matching dimension
+/// row id. Both sides stream sequentially — the access pattern that makes
+/// merge join cheap even in a DDC (Fig 10).
+ddc::VAddr MergeJoinDense(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                          const Column& fk, const SelVector& sel,
+                          uint64_t dim_rows, const std::string& out_name);
+
+/// Grouped sum with a small dense key domain: groups[key[i]] += value[i].
+/// Returns the dense group array address (domain int64 slots).
+ddc::VAddr GroupSumDense(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                         ddc::VAddr keys, ddc::VAddr values, uint64_t count,
+                         uint64_t domain, const std::string& out_name);
+
+/// Grouped sum via open addressing for large sparse key domains (Q3's
+/// GROUP BY l_orderkey). Returns the slot array {key, sum} and its size;
+/// also reports the number of distinct groups.
+struct GroupHashResult {
+  ddc::VAddr addr = 0;
+  uint64_t slots = 0;
+  uint64_t groups = 0;
+};
+GroupHashResult GroupSumHash(ddc::ExecutionContext& ctx,
+                             ddc::MemorySystem& ms, ddc::VAddr keys,
+                             ddc::VAddr values, uint64_t count,
+                             const std::string& out_name);
+
+/// Order-preserving checksum of (key, sum) pairs in a dense group array —
+/// used to compare query results across platforms bit-for-bit.
+int64_t ChecksumDenseGroups(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                            ddc::VAddr groups, uint64_t domain);
+
+/// Checksum of a hash-group result (order independent: sums over slots).
+int64_t ChecksumHashGroups(ddc::ExecutionContext& ctx, ddc::MemorySystem& ms,
+                           const GroupHashResult& g);
+
+}  // namespace teleport::db
+
+#endif  // TELEPORT_DB_OPERATORS_H_

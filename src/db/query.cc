@@ -1,0 +1,459 @@
+#include "db/query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace teleport::db {
+
+namespace {
+
+/// Runs a plan operator either inline or as a pushdown call, recording an
+/// OperatorProfile from the caller's clock/metrics deltas. The body runs
+/// against whichever context the placement dictates, so the same kernel
+/// code serves both paths — the paper's "selective wrapping of existing
+/// function calls" (§1).
+class PlanExecutor {
+ public:
+  PlanExecutor(ddc::ExecutionContext& ctx, const QueryOptions& opts)
+      : ctx_(ctx), opts_(opts), start_ns_(ctx.now()) {}
+
+  template <typename Fn>
+  void Run(const std::string& name, OpKind kind, Fn&& body) {
+    OperatorProfile prof;
+    prof.name = name;
+    prof.kind = kind;
+    const Nanos t0 = ctx_.now();
+    const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();
+    const uint64_t cpu0 = ctx_.metrics().cpu_ops;
+    const uint64_t pg0 =
+        ctx_.metrics().cache_misses + ctx_.metrics().dirty_writebacks;
+    if (opts_.ShouldPush(name)) {
+      prof.pushed = true;
+      const Status st = opts_.runtime->Call(
+          ctx_,
+          [&](ddc::ExecutionContext& mem_ctx) {
+            body(mem_ctx);
+            return Status::OK();
+          },
+          opts_.flags);
+      TELEPORT_CHECK(st.ok()) << "pushdown of operator '" << name
+                              << "' failed: " << st;
+    } else {
+      body(ctx_);
+    }
+    prof.time_ns = ctx_.now() - t0;
+    prof.remote_bytes = ctx_.metrics().RemoteMemoryBytes() - rm0;
+    prof.cpu_ops = ctx_.metrics().cpu_ops - cpu0;
+    prof.remote_pages = ctx_.metrics().cache_misses +
+                        ctx_.metrics().dirty_writebacks - pg0;
+    result_.ops.push_back(std::move(prof));
+  }
+
+  void SetRowsOut(uint64_t rows) { result_.ops.back().rows_out = rows; }
+
+  QueryResult Finish(int64_t checksum) {
+    result_.checksum = checksum;
+    result_.total_ns = ctx_.now() - start_ns_;
+    return std::move(result_);
+  }
+
+ private:
+  ddc::ExecutionContext& ctx_;
+  const QueryOptions& opts_;
+  Nanos start_ns_;
+  QueryResult result_;
+};
+
+}  // namespace
+
+std::string_view OpKindToString(OpKind k) {
+  switch (k) {
+    case OpKind::kSelection:
+      return "Selection";
+    case OpKind::kProjection:
+      return "Projection";
+    case OpKind::kAggregation:
+      return "Aggregation";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kMergeJoin:
+      return "MergeJoin";
+    case OpKind::kExpression:
+      return "Expression";
+    case OpKind::kGroupBy:
+      return "GroupBy";
+  }
+  return "Unknown";
+}
+
+const OperatorProfile& QueryResult::Op(std::string_view name) const {
+  for (const OperatorProfile& p : ops) {
+    if (p.name == name) return p;
+  }
+  TELEPORT_CHECK(false) << "no operator named '" << name << "'";
+  __builtin_unreachable();
+}
+
+QueryResult RunQFilter(ddc::ExecutionContext& ctx, const TpchDatabase& db,
+                       const QueryOptions& opts, int64_t date_bound) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  PlanExecutor ex(ctx, opts);
+
+  SelVector sel;
+  ex.Run("Selection", OpKind::kSelection, [&](ddc::ExecutionContext& c) {
+    sel = SelectCompare(c, db.lineitem.Col("l_shipdate"), CmpOp::kLess,
+                        date_bound, 0, nullptr, "qf.sel");
+  });
+  ex.SetRowsOut(sel.count);
+
+  ddc::VAddr quantities = 0;
+  ex.Run("Projection", OpKind::kProjection, [&](ddc::ExecutionContext& c) {
+    quantities = ProjectGather(c, db.lineitem.Col("l_quantity"), sel,
+                               "qf.quantity");
+  });
+  ex.SetRowsOut(sel.count);
+
+  int64_t sum = 0;
+  ex.Run("Aggregation", OpKind::kAggregation, [&](ddc::ExecutionContext& c) {
+    sum = AggrSum(c, ms, quantities, sel.count);
+  });
+  ex.SetRowsOut(1);
+
+  return ex.Finish(sum);
+}
+
+QueryResult RunQ1(ddc::ExecutionContext& ctx, const TpchDatabase& db,
+                  const QueryOptions& opts) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  PlanExecutor ex(ctx, opts);
+  const int64_t d = kDateDomainDays - 90;  // shipdate <= domain - 90 days
+
+  SelVector sel;
+  ex.Run("Selection", OpKind::kSelection, [&](ddc::ExecutionContext& c) {
+    sel = SelectCompare(c, db.lineitem.Col("l_shipdate"), CmpOp::kLess, d, 0,
+                        nullptr, "q1.sel");
+  });
+  ex.SetRowsOut(sel.count);
+
+  ddc::VAddr qty = 0, price = 0, disc = 0, flag = 0;
+  ex.Run("Projection", OpKind::kProjection, [&](ddc::ExecutionContext& c) {
+    qty = ProjectGather(c, db.lineitem.Col("l_quantity"), sel, "q1.qty");
+    price = ProjectGather(c, db.lineitem.Col("l_extendedprice"), sel,
+                          "q1.price");
+    disc = ProjectGather(c, db.lineitem.Col("l_discount"), sel, "q1.disc");
+    flag = ProjectGather(c, db.lineitem.Col("l_returnflag"), sel, "q1.flag");
+  });
+  ex.SetRowsOut(sel.count);
+
+  ddc::VAddr revenue = 0, ones = 0;
+  ex.Run("Expression", OpKind::kExpression, [&](ddc::ExecutionContext& c) {
+    revenue = ExprRevenue(c, ms, price, disc, sel.count, "q1.revenue");
+    ones = ms.space().Alloc(std::max<uint64_t>(8, sel.count * 8), "q1.ones");
+    for (uint64_t i = 0; i < sel.count; ++i) {
+      c.Store<int64_t>(ones + i * 8, 1);
+      c.ChargeCpu(1);
+    }
+  });
+  ex.SetRowsOut(sel.count);
+
+  constexpr uint64_t kFlags = 3;
+  int64_t checksum = 0;
+  ex.Run("Aggregation(group)", OpKind::kGroupBy,
+         [&](ddc::ExecutionContext& c) {
+           const ddc::VAddr sum_qty =
+               GroupSumDense(c, ms, flag, qty, sel.count, kFlags, "q1.g_qty");
+           const ddc::VAddr sum_rev = GroupSumDense(
+               c, ms, flag, revenue, sel.count, kFlags, "q1.g_rev");
+           const ddc::VAddr counts = GroupSumDense(
+               c, ms, flag, ones, sel.count, kFlags, "q1.g_cnt");
+           checksum = ChecksumDenseGroups(c, ms, sum_qty, kFlags) +
+                      ChecksumDenseGroups(c, ms, sum_rev, kFlags) +
+                      ChecksumDenseGroups(c, ms, counts, kFlags);
+         });
+  ex.SetRowsOut(kFlags);
+
+  return ex.Finish(checksum);
+}
+
+QueryResult RunQ6(ddc::ExecutionContext& ctx, const TpchDatabase& db,
+                  const QueryOptions& opts) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  PlanExecutor ex(ctx, opts);
+  const int64_t d1 = 2 * kDaysPerYear;  // one TPC-H year
+
+  SelVector sel_date;
+  ex.Run("Selection(shipdate)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_date = SelectCompare(c, db.lineitem.Col("l_shipdate"),
+                                    CmpOp::kRange, d1, d1 + kDaysPerYear - 1,
+                                    nullptr, "q6.sel_date");
+         });
+  ex.SetRowsOut(sel_date.count);
+
+  SelVector sel_disc;
+  ex.Run("Selection(discount)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_disc = SelectCompare(c, db.lineitem.Col("l_discount"),
+                                    CmpOp::kRange, 5, 7, &sel_date,
+                                    "q6.sel_disc");
+         });
+  ex.SetRowsOut(sel_disc.count);
+
+  SelVector sel_qty;
+  ex.Run("Selection(quantity)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_qty = SelectCompare(c, db.lineitem.Col("l_quantity"),
+                                   CmpOp::kLess, 24, 0, &sel_disc,
+                                   "q6.sel_qty");
+         });
+  ex.SetRowsOut(sel_qty.count);
+
+  ddc::VAddr price = 0, disc = 0;
+  ex.Run("Projection", OpKind::kProjection, [&](ddc::ExecutionContext& c) {
+    price = ProjectGather(c, db.lineitem.Col("l_extendedprice"), sel_qty,
+                          "q6.price");
+    disc = ProjectGather(c, db.lineitem.Col("l_discount"), sel_qty,
+                         "q6.disc");
+  });
+  ex.SetRowsOut(sel_qty.count);
+
+  ddc::VAddr revenue = 0;
+  ex.Run("Expression", OpKind::kExpression, [&](ddc::ExecutionContext& c) {
+    revenue = ExprMulScaled(c, ms, price, disc, sel_qty.count, 100,
+                            "q6.revenue");
+  });
+  ex.SetRowsOut(sel_qty.count);
+
+  int64_t sum = 0;
+  ex.Run("Aggregation", OpKind::kAggregation, [&](ddc::ExecutionContext& c) {
+    sum = AggrSum(c, ms, revenue, sel_qty.count);
+  });
+  ex.SetRowsOut(1);
+
+  return ex.Finish(sum);
+}
+
+QueryResult RunQ3(ddc::ExecutionContext& ctx, const TpchDatabase& db,
+                  const QueryOptions& opts) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  PlanExecutor ex(ctx, opts);
+  const int64_t d = kDateDomainDays / 2;  // the Q3 pivot date
+
+  SelVector sel_cust;
+  ex.Run("Selection(customer)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_cust = SelectCompare(c, db.customer.Col("c_mktsegment"),
+                                    CmpOp::kEqual, kSegmentBuilding, 0,
+                                    nullptr, "q3.sel_cust");
+         });
+  ex.SetRowsOut(sel_cust.count);
+
+  SelVector sel_ord;
+  ex.Run("Selection(orderdate)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_ord = SelectCompare(c, db.orders.Col("o_orderdate"),
+                                   CmpOp::kLess, d, 0, nullptr, "q3.sel_ord");
+         });
+  ex.SetRowsOut(sel_ord.count);
+
+  JoinResult j_cust;
+  ex.Run("HashJoin(customer)", OpKind::kHashJoin,
+         [&](ddc::ExecutionContext& c) {
+           const HashTable ht = HashBuild(c, ms, db.customer.Col("c_custkey"),
+                                          &sel_cust, "q3.ht_cust");
+           j_cust = HashProbe(c, ms, db.orders.Col("o_custkey"), &sel_ord, ht,
+                              "q3.j_cust");
+         });
+  ex.SetRowsOut(j_cust.count);
+
+  SelVector sel_line;
+  ex.Run("Selection(shipdate)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_line = SelectCompare(c, db.lineitem.Col("l_shipdate"),
+                                    CmpOp::kGreater, d, 0, nullptr,
+                                    "q3.sel_line");
+         });
+  ex.SetRowsOut(sel_line.count);
+
+  JoinResult j_ord;
+  ex.Run("HashJoin(orders)", OpKind::kHashJoin,
+         [&](ddc::ExecutionContext& c) {
+           const SelVector matched{j_cust.probe_rows, j_cust.count};
+           const HashTable ht = HashBuild(c, ms, db.orders.Col("o_orderkey"),
+                                          &matched, "q3.ht_ord");
+           j_ord = HashProbe(c, ms, db.lineitem.Col("l_orderkey"), &sel_line,
+                             ht, "q3.j_ord");
+         });
+  ex.SetRowsOut(j_ord.count);
+
+  const SelVector line_rows{j_ord.probe_rows, j_ord.count};
+  ddc::VAddr price = 0, disc = 0, okeys = 0;
+  ex.Run("Projection", OpKind::kProjection, [&](ddc::ExecutionContext& c) {
+    price = ProjectGather(c, db.lineitem.Col("l_extendedprice"), line_rows,
+                          "q3.price");
+    disc = ProjectGather(c, db.lineitem.Col("l_discount"), line_rows,
+                         "q3.disc");
+    okeys = ProjectGather(c, db.lineitem.Col("l_orderkey"), line_rows,
+                          "q3.okeys");
+  });
+  ex.SetRowsOut(j_ord.count);
+
+  ddc::VAddr revenue = 0;
+  ex.Run("Expression", OpKind::kExpression, [&](ddc::ExecutionContext& c) {
+    revenue = ExprRevenue(c, ms, price, disc, j_ord.count, "q3.revenue");
+  });
+  ex.SetRowsOut(j_ord.count);
+
+  GroupHashResult groups;
+  int64_t checksum = 0;
+  ex.Run("GroupBy", OpKind::kGroupBy, [&](ddc::ExecutionContext& c) {
+    groups = GroupSumHash(c, ms, okeys, revenue, j_ord.count, "q3.groups");
+    checksum = ChecksumHashGroups(c, ms, groups);
+  });
+  ex.SetRowsOut(groups.groups);
+
+  return ex.Finish(checksum);
+}
+
+QueryResult RunQ9(ddc::ExecutionContext& ctx, const TpchDatabase& db,
+                  const QueryOptions& opts) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  PlanExecutor ex(ctx, opts);
+  constexpr int64_t kCompositeShift = 1 << 20;
+
+  SelVector sel_part;
+  ex.Run("Selection(p_name)", OpKind::kSelection,
+         [&](ddc::ExecutionContext& c) {
+           sel_part = SelectStrContains(c, db.part.StrCol("p_name"), "green",
+                                        nullptr, "q9.sel_part");
+         });
+  ex.SetRowsOut(sel_part.count);
+
+  JoinResult j_part;
+  ex.Run("HashJoin(part)", OpKind::kHashJoin, [&](ddc::ExecutionContext& c) {
+    const HashTable ht = HashBuild(c, ms, db.part.Col("p_partkey"), &sel_part,
+                                   "q9.ht_part");
+    j_part = HashProbe(c, ms, db.lineitem.Col("l_partkey"), nullptr, ht,
+                       "q9.j_part");
+  });
+  ex.SetRowsOut(j_part.count);
+
+  const SelVector line1{j_part.probe_rows, j_part.count};
+  JoinResult j_ps;
+  ex.Run("HashJoin(partsupp)", OpKind::kHashJoin,
+         [&](ddc::ExecutionContext& c) {
+           const HashTable ht = HashBuildComposite(
+               c, ms, db.partsupp.Col("ps_partkey"),
+               db.partsupp.Col("ps_suppkey"), kCompositeShift, nullptr,
+               "q9.ht_ps");
+           j_ps = HashProbeComposite(c, ms, db.lineitem.Col("l_partkey"),
+                                     db.lineitem.Col("l_suppkey"),
+                                     kCompositeShift, &line1, ht, "q9.j_ps");
+         });
+  ex.SetRowsOut(j_ps.count);
+
+  const SelVector line2{j_ps.probe_rows, j_ps.count};
+  JoinResult j_supp;
+  ex.Run("HashJoin(supplier)", OpKind::kHashJoin,
+         [&](ddc::ExecutionContext& c) {
+           const HashTable ht = HashBuild(c, ms, db.supplier.Col("s_suppkey"),
+                                          nullptr, "q9.ht_supp");
+           j_supp = HashProbe(c, ms, db.lineitem.Col("l_suppkey"), &line2, ht,
+                              "q9.j_supp");
+         });
+  ex.SetRowsOut(j_supp.count);
+
+  ddc::VAddr order_rows = 0;
+  ex.Run("MergeJoin(orders)", OpKind::kMergeJoin,
+         [&](ddc::ExecutionContext& c) {
+           order_rows = MergeJoinDense(c, ms, db.lineitem.Col("l_orderkey"),
+                                       line2, db.orders.rows, "q9.orows");
+         });
+  ex.SetRowsOut(j_ps.count);
+
+  const uint64_t n = j_ps.count;
+  ddc::VAddr price = 0, disc = 0, qty = 0, cost = 0, nation = 0, odate = 0;
+  ex.Run("Projection", OpKind::kProjection, [&](ddc::ExecutionContext& c) {
+    price = ProjectGather(c, db.lineitem.Col("l_extendedprice"), line2,
+                          "q9.price");
+    disc = ProjectGather(c, db.lineitem.Col("l_discount"), line2, "q9.disc");
+    qty = ProjectGather(c, db.lineitem.Col("l_quantity"), line2, "q9.qty");
+    const SelVector ps_rows{j_ps.build_rows, j_ps.count};
+    cost = ProjectGather(c, db.partsupp.Col("ps_supplycost"), ps_rows,
+                         "q9.cost");
+    const SelVector supp_rows{j_supp.build_rows, j_supp.count};
+    nation = ProjectGather(c, db.supplier.Col("s_nationkey"), supp_rows,
+                           "q9.nation");
+    const SelVector o_rows{order_rows, n};
+    odate = ProjectGather(c, db.orders.Col("o_orderdate"), o_rows,
+                          "q9.odate");
+  });
+  ex.SetRowsOut(n);
+
+  ddc::VAddr amount = 0, gkeys = 0;
+  ex.Run("Expression", OpKind::kExpression, [&](ddc::ExecutionContext& c) {
+    amount = ExprAmount(c, ms, price, disc, cost, qty, n, "q9.amount");
+    // Group key: nation * 8 + year(o_orderdate); 25 nations x 8 years.
+    gkeys = ms.space().Alloc(std::max<uint64_t>(8, n * 8), "q9.gkeys");
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t nat = c.Load<int64_t>(nation + i * 8);
+      const int64_t year = c.Load<int64_t>(odate + i * 8) / kDaysPerYear;
+      c.Store<int64_t>(gkeys + i * 8, nat * 8 + year);
+      c.ChargeCpu(14);  // division by days-per-year dominates
+    }
+  });
+  ex.SetRowsOut(n);
+
+  constexpr uint64_t kDomain = 25 * 8;
+  ddc::VAddr groups = 0;
+  int64_t checksum = 0;
+  ex.Run("Aggregation(group)", OpKind::kGroupBy,
+         [&](ddc::ExecutionContext& c) {
+           groups = GroupSumDense(c, ms, gkeys, amount, n, kDomain,
+                                  "q9.groups");
+           checksum = ChecksumDenseGroups(c, ms, groups, kDomain);
+         });
+  ex.SetRowsOut(kDomain);
+
+  return ex.Finish(checksum);
+}
+
+std::set<std::string> DefaultTeleportOps(std::string_view query) {
+  // The bandwidth-intensive operators §5.1/§7.1 pushes for each query.
+  if (query == "qfilter") {
+    return {"Selection", "Projection"};
+  }
+  if (query == "q1") {
+    return {"Selection", "Projection"};
+  }
+  if (query == "q6") {
+    return {"Selection(shipdate)", "Selection(discount)",
+            "Selection(quantity)", "Projection"};
+  }
+  if (query == "q3") {
+    return {"Selection(shipdate)", "HashJoin(orders)", "Projection"};
+  }
+  if (query == "q9") {
+    return {"Selection(p_name)", "HashJoin(part)", "HashJoin(partsupp)",
+            "HashJoin(supplier)", "Projection"};
+  }
+  TELEPORT_CHECK(false) << "unknown query '" << query << "'";
+  __builtin_unreachable();
+}
+
+std::vector<std::string> RankByMemoryIntensity(const QueryResult& profile) {
+  std::vector<const OperatorProfile*> ops;
+  ops.reserve(profile.ops.size());
+  for (const OperatorProfile& p : profile.ops) ops.push_back(&p);
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const OperatorProfile* a, const OperatorProfile* b) {
+                     return a->MemoryIntensity() > b->MemoryIntensity();
+                   });
+  std::vector<std::string> names;
+  names.reserve(ops.size());
+  for (const OperatorProfile* p : ops) names.push_back(p->name);
+  return names;
+}
+
+}  // namespace teleport::db

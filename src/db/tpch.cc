@@ -1,0 +1,165 @@
+#include "db/tpch.h"
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+
+namespace teleport::db {
+
+namespace {
+
+/// Word list for p_name; "green" appears in roughly 1/17 of part names
+/// (TPC-H's '%green%' predicate selects ~5% of parts).
+constexpr std::array<std::string_view, 17> kNameWords = {
+    "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+    "black",  "blanched", "blue",      "green",  "coral",  "cornflower",
+    "cream",  "cyan",     "dark",      "dodger", "drab"};
+
+constexpr std::array<std::string_view, 25> kNationNames = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",       "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",        "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",       "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",        "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+
+}  // namespace
+
+uint64_t EstimateTpchBytes(const TpchConfig& c) {
+  const uint64_t i64 = sizeof(int64_t);
+  uint64_t b = 0;
+  b += c.LineitemRows() * 8 * i64;
+  b += c.OrdersRows() * 4 * i64;
+  b += c.CustomerRows() * 2 * i64;
+  b += c.PartRows() * (1 * i64 + 32);
+  b += c.SupplierRows() * 2 * i64;
+  b += c.PartSuppRows() * 3 * i64;
+  b += TpchConfig::kNationRows * (1 * i64 + 16);
+  return b;
+}
+
+std::unique_ptr<TpchDatabase> GenerateTpch(ddc::MemorySystem* ms,
+                                           const TpchConfig& config) {
+  auto db = std::make_unique<TpchDatabase>();
+  db->config = config;
+  Rng rng(config.seed);
+
+  // --- nation -------------------------------------------------------------
+  db->nation.name = "nation";
+  db->nation.rows = TpchConfig::kNationRows;
+  auto& n_nationkey = db->nation.AddColumn(ms, "n_nationkey");
+  auto& n_name = db->nation.AddStringColumn(ms, "n_name", 16);
+  for (uint64_t i = 0; i < db->nation.rows; ++i) {
+    n_nationkey.raw()[i] = static_cast<int64_t>(i);
+    n_name.RawSet(i, kNationNames[i]);
+  }
+
+  // --- supplier -------------------------------------------------------------
+  db->supplier.name = "supplier";
+  db->supplier.rows = config.SupplierRows();
+  auto& s_suppkey = db->supplier.AddColumn(ms, "s_suppkey");
+  auto& s_nationkey = db->supplier.AddColumn(ms, "s_nationkey");
+  for (uint64_t i = 0; i < db->supplier.rows; ++i) {
+    s_suppkey.raw()[i] = static_cast<int64_t>(i);
+    s_nationkey.raw()[i] = static_cast<int64_t>(rng.Uniform(25));
+  }
+
+  // --- part -----------------------------------------------------------------
+  db->part.name = "part";
+  db->part.rows = config.PartRows();
+  auto& p_partkey = db->part.AddColumn(ms, "p_partkey");
+  auto& p_name = db->part.AddStringColumn(ms, "p_name", 32);
+  for (uint64_t i = 0; i < db->part.rows; ++i) {
+    p_partkey.raw()[i] = static_cast<int64_t>(i);
+    std::string name;
+    for (int w = 0; w < 3; ++w) {
+      if (w) name += ' ';
+      name += kNameWords[rng.Uniform(kNameWords.size())];
+    }
+    p_name.RawSet(i, name);
+  }
+
+  // --- partsupp ---------------------------------------------------------------
+  // Four suppliers per part, deterministic assignment like TPC-H's
+  // (partkey + i*step) % suppliers formula.
+  db->partsupp.name = "partsupp";
+  db->partsupp.rows = config.PartSuppRows();
+  auto& ps_partkey = db->partsupp.AddColumn(ms, "ps_partkey");
+  auto& ps_suppkey = db->partsupp.AddColumn(ms, "ps_suppkey");
+  auto& ps_supplycost = db->partsupp.AddColumn(ms, "ps_supplycost");
+  const uint64_t suppliers = db->supplier.rows;
+  for (uint64_t i = 0; i < db->partsupp.rows; ++i) {
+    const uint64_t pk = i / 4;
+    const uint64_t which = i % 4;
+    ps_partkey.raw()[i] = static_cast<int64_t>(pk);
+    ps_suppkey.raw()[i] =
+        static_cast<int64_t>((pk + which * (suppliers / 4 + 1)) % suppliers);
+    ps_supplycost.raw()[i] = static_cast<int64_t>(100 + rng.Uniform(99900));
+  }
+
+  // --- customer ----------------------------------------------------------------
+  db->customer.name = "customer";
+  db->customer.rows = config.CustomerRows();
+  auto& c_custkey = db->customer.AddColumn(ms, "c_custkey");
+  auto& c_mktsegment = db->customer.AddColumn(ms, "c_mktsegment");
+  for (uint64_t i = 0; i < db->customer.rows; ++i) {
+    c_custkey.raw()[i] = static_cast<int64_t>(i);
+    c_mktsegment.raw()[i] = static_cast<int64_t>(rng.Uniform(kNumSegments));
+  }
+
+  // --- orders ---------------------------------------------------------------
+  db->orders.name = "orders";
+  db->orders.rows = config.OrdersRows();
+  auto& o_orderkey = db->orders.AddColumn(ms, "o_orderkey");
+  auto& o_custkey = db->orders.AddColumn(ms, "o_custkey");
+  auto& o_orderdate = db->orders.AddColumn(ms, "o_orderdate");
+  auto& o_shippriority = db->orders.AddColumn(ms, "o_shippriority");
+  for (uint64_t i = 0; i < db->orders.rows; ++i) {
+    o_orderkey.raw()[i] = static_cast<int64_t>(i);  // dense, sorted
+    o_custkey.raw()[i] = static_cast<int64_t>(rng.Uniform(db->customer.rows));
+    // Leave >= 151 days of headroom so every l_shipdate fits the domain.
+    o_orderdate.raw()[i] =
+        static_cast<int64_t>(rng.Uniform(kDateDomainDays - 151));
+    o_shippriority.raw()[i] = 0;
+  }
+
+  // --- lineitem -------------------------------------------------------------
+  // Lines are generated order by order, so l_orderkey is sorted — the
+  // physical order TPC-H dbgen produces, required by the Q9 merge join.
+  db->lineitem.name = "lineitem";
+  db->lineitem.rows = config.LineitemRows();
+  auto& l_orderkey = db->lineitem.AddColumn(ms, "l_orderkey");
+  auto& l_partkey = db->lineitem.AddColumn(ms, "l_partkey");
+  auto& l_suppkey = db->lineitem.AddColumn(ms, "l_suppkey");
+  auto& l_quantity = db->lineitem.AddColumn(ms, "l_quantity");
+  auto& l_extendedprice = db->lineitem.AddColumn(ms, "l_extendedprice");
+  auto& l_discount = db->lineitem.AddColumn(ms, "l_discount");
+  auto& l_shipdate = db->lineitem.AddColumn(ms, "l_shipdate");
+  auto& l_returnflag = db->lineitem.AddColumn(ms, "l_returnflag");
+  const uint64_t lines = db->lineitem.rows;
+  const uint64_t orders = db->orders.rows;
+  for (uint64_t i = 0; i < lines; ++i) {
+    // Spread lines evenly over orders (average 4 per order), keeping the
+    // orderkey sequence non-decreasing.
+    const uint64_t ok = i * orders / lines;
+    l_orderkey.raw()[i] = static_cast<int64_t>(ok);
+    const uint64_t pk = rng.Uniform(db->part.rows);
+    l_partkey.raw()[i] = static_cast<int64_t>(pk);
+    // Pick one of the part's four suppliers so the partsupp join matches.
+    const uint64_t which = rng.Uniform(4);
+    l_suppkey.raw()[i] =
+        static_cast<int64_t>((pk + which * (suppliers / 4 + 1)) % suppliers);
+    l_quantity.raw()[i] = static_cast<int64_t>(1 + rng.Uniform(50));
+    l_extendedprice.raw()[i] = static_cast<int64_t>(90000 + rng.Uniform(9000000));
+    l_discount.raw()[i] = static_cast<int64_t>(rng.Uniform(11));
+    l_shipdate.raw()[i] =
+        o_orderdate.raw()[ok] + static_cast<int64_t>(1 + rng.Uniform(150));
+    l_returnflag.raw()[i] = static_cast<int64_t>(rng.Uniform(3));
+  }
+
+  ms->SeedData();
+  return db;
+}
+
+}  // namespace teleport::db

@@ -1,0 +1,90 @@
+#ifndef TELEPORT_DB_TPCH_H_
+#define TELEPORT_DB_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "db/column.h"
+#include "ddc/memory_system.h"
+
+namespace teleport::db {
+
+/// Scale configuration for the synthetic TPC-H-like dataset.
+///
+/// The paper runs TPC-H at scale factors 50 and 200 on a testbed with a
+/// 128 GB memory pool; we scale row counts down (default 1% of the official
+/// rows per SF) so benches run in seconds, and size the compute cache as
+/// the same *fraction* of the working set the paper uses — the quantity the
+/// shapes actually depend on.
+struct TpchConfig {
+  double scale_factor = 1.0;
+  /// Lineitem rows per unit scale factor (official TPC-H: 6,000,000).
+  uint64_t lineitem_per_sf = 60'000;
+  uint64_t seed = 2022;
+
+  uint64_t LineitemRows() const {
+    return static_cast<uint64_t>(scale_factor *
+                                 static_cast<double>(lineitem_per_sf));
+  }
+  uint64_t OrdersRows() const { return LineitemRows() / 4; }
+  uint64_t CustomerRows() const { return OrdersRows() / 10; }
+  uint64_t PartRows() const { return LineitemRows() / 30; }
+  uint64_t SupplierRows() const { return PartRows() / 20 + 25; }
+  uint64_t PartSuppRows() const { return PartRows() * 4; }
+  static constexpr uint64_t kNationRows = 25;
+};
+
+/// Date encoding: days since 1992-01-01; the order-date domain spans 7
+/// years as in TPC-H.
+inline constexpr int64_t kDateDomainDays = 2557;
+inline constexpr int64_t kDaysPerYear = 365;
+
+/// Market segments (c_mktsegment dictionary codes).
+inline constexpr int64_t kSegmentBuilding = 0;
+inline constexpr int64_t kNumSegments = 5;
+
+/// The synthetic TPC-H-like database. Tables carry exactly the columns the
+/// reproduced queries (Q_filter, Q1, Q3, Q6, Q9) touch:
+///
+///   lineitem(l_orderkey*, l_partkey, l_suppkey, l_quantity,
+///            l_extendedprice, l_discount, l_shipdate, l_returnflag)
+///   orders(o_orderkey*, o_custkey, o_orderdate, o_shippriority)
+///   customer(c_custkey*, c_mktsegment)
+///   part(p_partkey*, p_name[str])
+///   supplier(s_suppkey*, s_nationkey)
+///   partsupp(ps_partkey, ps_suppkey, ps_supplycost)
+///   nation(n_nationkey*, n_name[str])
+///
+/// Starred keys are dense and sorted (lineitem is ordered by l_orderkey,
+/// matching TPC-H physical order — this is what makes the Q9 order/lineitem
+/// merge join valid). Prices are in cents; discounts in percent (0..10).
+struct TpchDatabase {
+  TpchConfig config;
+  Table lineitem;
+  Table orders;
+  Table customer;
+  Table part;
+  Table supplier;
+  Table partsupp;
+  Table nation;
+
+  /// Sum of all column bytes (the query working set upper bound).
+  uint64_t TotalBytes() const {
+    return lineitem.TotalBytes() + orders.TotalBytes() +
+           customer.TotalBytes() + part.TotalBytes() + supplier.TotalBytes() +
+           partsupp.TotalBytes() + nation.TotalBytes();
+  }
+};
+
+/// Generates the dataset into `ms`'s address space (untimed), then stages it
+/// with SeedData(). Deterministic in `config.seed`.
+std::unique_ptr<TpchDatabase> GenerateTpch(ddc::MemorySystem* ms,
+                                           const TpchConfig& config);
+
+/// Bytes the generator will allocate for `config` — callers size the
+/// MemorySystem's address-space capacity with headroom for temporaries.
+uint64_t EstimateTpchBytes(const TpchConfig& config);
+
+}  // namespace teleport::db
+
+#endif  // TELEPORT_DB_TPCH_H_

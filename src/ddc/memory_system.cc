@@ -1,0 +1,720 @@
+#include "ddc/memory_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace teleport::ddc {
+
+std::string_view CoherenceModeToString(CoherenceMode m) {
+  switch (m) {
+    case CoherenceMode::kMesi:
+      return "MESI";
+    case CoherenceMode::kPso:
+      return "PSO";
+    case CoherenceMode::kWeakOrdering:
+      return "WeakOrdering";
+    case CoherenceMode::kNone:
+      return "None";
+  }
+  return "Unknown";
+}
+
+// --- LruList ---------------------------------------------------------------
+
+void MemorySystem::LruList::EnsureSize(size_t n) {
+  if (prev_.size() < n) {
+    prev_.resize(n, kNil);
+    next_.resize(n, kNil);
+    in_list_.resize(n, false);
+  }
+}
+
+void MemorySystem::LruList::PushFront(PageId p) {
+  EnsureSize(p + 1);
+  TELEPORT_DCHECK(!in_list_[p]);
+  prev_[p] = kNil;
+  next_[p] = head_;
+  if (head_ != kNil) prev_[head_] = static_cast<uint32_t>(p);
+  head_ = static_cast<uint32_t>(p);
+  if (tail_ == kNil) tail_ = static_cast<uint32_t>(p);
+  in_list_[p] = true;
+  ++size_;
+}
+
+void MemorySystem::LruList::Remove(PageId p) {
+  TELEPORT_DCHECK(Contains(p));
+  const uint32_t pr = prev_[p];
+  const uint32_t nx = next_[p];
+  if (pr != kNil) next_[pr] = nx; else head_ = nx;
+  if (nx != kNil) prev_[nx] = pr; else tail_ = pr;
+  prev_[p] = next_[p] = kNil;
+  in_list_[p] = false;
+  --size_;
+}
+
+// --- MemorySystem ------------------------------------------------------------
+
+MemorySystem::MemorySystem(const DdcConfig& config,
+                           const sim::CostParams& params,
+                           uint64_t address_space_capacity)
+    : config_(config),
+      params_(params),
+      space_(address_space_capacity, params.page_size),
+      fabric_(params),
+      cache_capacity_pages_(
+          std::max<uint64_t>(1, config.compute_cache_bytes / params.page_size)),
+      pool_capacity_pages_(
+          std::max<uint64_t>(1, config.memory_pool_bytes / params.page_size)) {}
+
+MemorySystem::PageState& MemorySystem::PS(PageId p) {
+  EnsurePageTables();
+  TELEPORT_DCHECK(p < pages_.size()) << "access beyond allocated pages";
+  return pages_[p];
+}
+
+const MemorySystem::PageState& MemorySystem::PS(PageId p) const {
+  TELEPORT_DCHECK(p < pages_.size());
+  return pages_[p];
+}
+
+void MemorySystem::EnsurePageTables() {
+  const uint64_t n = space_.num_pages();
+  if (pages_.size() < n) {
+    pages_.resize(n);
+    cache_lru_.EnsureSize(n);
+    pool_lru_.EnsureSize(n);
+  }
+}
+
+void MemorySystem::SeedData() {
+  EnsurePageTables();
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    if (s.compute_perm != Perm::kNone || s.in_memory_pool || s.on_storage) {
+      continue;  // already placed somewhere
+    }
+    switch (config_.platform) {
+      case Platform::kLocal:
+        break;  // no placement bookkeeping needed
+      case Platform::kLinuxSsd:
+        // Local DRAM first; overflow lives on the SSD (swapped out).
+        if (cache_used_ < cache_capacity_pages_) {
+          s.compute_perm = Perm::kWrite;
+          cache_lru_.PushFront(p);
+          ++cache_used_;
+        } else {
+          s.on_storage = true;
+        }
+        break;
+      case Platform::kBaseDdc:
+        // Data is staged in the memory pool; the compute cache starts cold.
+        if (pool_used_ < pool_capacity_pages_) {
+          s.in_memory_pool = true;
+          pool_lru_.PushFront(p);
+          ++pool_used_;
+        } else {
+          s.on_storage = true;
+        }
+        break;
+    }
+  }
+}
+
+void MemorySystem::ChargeDram(ExecutionContext& ctx, PageId page,
+                              uint64_t len) {
+  const Nanos byte_cost = static_cast<Nanos>(
+      static_cast<double>(len) * params_.dram_seq_ns_per_byte);
+  // Within a tracked stream's current page: prefetched, cheap.
+  for (PageId& s : ctx.streams_) {
+    if (page == s) {
+      ctx.clock_.Advance(params_.dram_seq_access_ns + byte_cost);
+      return;
+    }
+  }
+  // Advancing a stream to its next page: one row-miss / TLB fill.
+  for (PageId& s : ctx.streams_) {
+    if (s != ~PageId{0} && page == s + 1) {
+      s = page;
+      ctx.clock_.Advance(params_.dram_random_access_ns + byte_cost);
+      return;
+    }
+  }
+  // Genuinely random access: row miss, and it claims a stream slot.
+  ctx.streams_[ctx.stream_clock_] = page;
+  ctx.stream_clock_ = (ctx.stream_clock_ + 1) % ExecutionContext::kStreams;
+  ctx.clock_.Advance(params_.dram_random_access_ns + byte_cost);
+}
+
+void MemorySystem::LocalTouch(ExecutionContext& ctx, PageId page, uint64_t len,
+                              bool write) {
+  (void)write;
+  PS(page);  // ensure tables sized (keeps introspection uniform)
+  ChargeDram(ctx, page, len);
+}
+
+void MemorySystem::LinuxSsdTouch(ExecutionContext& ctx, PageId page,
+                                 uint64_t len, bool write) {
+  PageState& s = PS(page);
+  if (s.compute_perm == Perm::kNone) {
+    // Major or minor fault.
+    ++ctx.metrics_.cache_misses;
+    if (s.on_storage) {
+      const bool seq = page == ctx.last_fault_page_ + 1;
+      ctx.clock_.Advance(seq ? params_.ssd_seq_page_ns
+                             : params_.ssd_random_page_ns);
+      ++ctx.metrics_.storage_reads;
+    } else {
+      ctx.clock_.Advance(params_.minor_fault_ns);
+    }
+    ctx.last_fault_page_ = page;
+    CacheInsert(ctx, page, write ? Perm::kWrite : Perm::kRead, write);
+  } else {
+    ++ctx.metrics_.cache_hits;
+    TouchCachePage(page);
+    if (write && s.compute_perm != Perm::kWrite) {
+      s.compute_perm = Perm::kWrite;
+      ctx.clock_.Advance(params_.perm_upgrade_ns);
+    }
+    if (write) s.compute_dirty = true;
+  }
+  ChargeDram(ctx, page, len);
+}
+
+Nanos MemorySystem::EnsureInMemoryPoolCost(ExecutionContext& ctx,
+                                           PageId page) {
+  PageState& s = PS(page);
+  if (s.in_memory_pool) {
+    pool_lru_.MoveToFront(page);
+    return 0;
+  }
+  Nanos cost = 0;
+  if (s.on_storage) {
+    const bool seq = page == ctx.last_fault_page_ + 1;
+    cost += seq ? params_.ssd_seq_page_ns : params_.ssd_random_page_ns;
+    ctx.last_fault_page_ = page;
+    ++ctx.metrics_.storage_reads;
+  } else {
+    cost += params_.minor_fault_ns;  // zero-fill allocation in the pool
+  }
+  if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+  s.in_memory_pool = true;
+  pool_lru_.PushFront(page);
+  ++pool_used_;
+  return cost;
+}
+
+void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx) {
+  const PageId victim = pool_lru_.Back();
+  TELEPORT_DCHECK(victim != kNil) << "memory pool empty but full";
+  PageState& v = pages_[victim];
+  pool_lru_.Remove(victim);
+  --pool_used_;
+  v.in_memory_pool = false;
+  if (v.mem_dirty || !v.on_storage) {
+    ctx.clock_.Advance(params_.ssd_write_page_ns);
+    ++ctx.metrics_.storage_writes;
+    v.on_storage = true;
+    v.mem_dirty = false;
+  }
+}
+
+void MemorySystem::TouchCachePage(PageId page) {
+  switch (config_.cache_policy) {
+    case CachePolicy::kLru:
+      cache_lru_.MoveToFront(page);
+      break;
+    case CachePolicy::kFifo:
+      break;  // insertion order only
+    case CachePolicy::kClock:
+      pages_[page].ref_bit = true;
+      break;
+  }
+}
+
+void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
+  PageId victim = cache_lru_.Back();
+  if (config_.cache_policy == CachePolicy::kClock) {
+    // Second chance: a referenced page at the hand is spared once.
+    while (victim != kNil && pages_[victim].ref_bit) {
+      pages_[victim].ref_bit = false;
+      cache_lru_.MoveToFront(victim);
+      victim = cache_lru_.Back();
+    }
+  }
+  TELEPORT_DCHECK(victim != kNil) << "compute cache empty but full";
+  PageState& v = pages_[victim];
+  cache_lru_.Remove(victim);
+  --cache_used_;
+  const Perm old_perm = v.compute_perm;
+  v.compute_perm = Perm::kNone;
+  ++ctx.metrics_.cache_evictions;
+  if (!v.compute_dirty) return;
+  v.compute_dirty = false;
+  ++ctx.metrics_.dirty_writebacks;
+  if (config_.platform == Platform::kLinuxSsd) {
+    ctx.clock_.Advance(params_.ssd_write_page_ns);
+    ++ctx.metrics_.storage_writes;
+    v.on_storage = true;
+    return;
+  }
+  // DDC: write the page back to the memory pool over the fabric.
+  (void)old_perm;
+  const Nanos delivered =
+      fabric_.SendToMemory(ctx.now(), params_.page_size + 64);
+  ctx.clock_.AdvanceTo(delivered);
+  ++ctx.metrics_.net_messages;
+  ctx.metrics_.net_bytes += params_.page_size + 64;
+  ctx.metrics_.bytes_to_memory_pool += params_.page_size;
+  // The pool materializes the page (no storage read: data came from compute).
+  if (!v.in_memory_pool) {
+    if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+    v.in_memory_pool = true;
+    pool_lru_.PushFront(victim);
+    ++pool_used_;
+  } else {
+    pool_lru_.MoveToFront(victim);
+  }
+  v.mem_dirty = true;
+}
+
+void MemorySystem::CacheInsert(ExecutionContext& ctx, PageId page, Perm perm,
+                               bool dirty) {
+  PageState& s = PS(page);
+  TELEPORT_DCHECK(s.compute_perm == Perm::kNone);
+  if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+  s.compute_perm = perm;
+  s.compute_dirty = dirty;
+  s.ref_bit = false;
+  cache_lru_.PushFront(page);
+  ++cache_used_;
+}
+
+void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
+                                uint64_t len, bool write) {
+  PageState& s = PS(page);
+  const bool sufficient =
+      s.compute_perm == Perm::kWrite ||
+      (!write && s.compute_perm == Perm::kRead);
+  if (sufficient) {
+    ++ctx.metrics_.cache_hits;
+    TouchCachePage(page);
+  } else if (pushdown_active_ && coherence_mode_ != CoherenceMode::kNone) {
+    CoherenceComputeFault(ctx, page, write);
+  } else if (s.compute_perm != Perm::kNone) {
+    // Local R->W upgrade; the cached copy is the only one being written.
+    ++ctx.metrics_.cache_hits;
+    TouchCachePage(page);
+    s.compute_perm = Perm::kWrite;
+    ctx.clock_.Advance(params_.perm_upgrade_ns);
+  } else {
+    // Full miss: fault to the memory pool.
+    ++ctx.metrics_.cache_misses;
+    const bool has_remote_data = s.in_memory_pool || s.on_storage;
+    const bool sequential_fault =
+        ctx.last_fault_page_ != ~PageId{0} &&
+        page == ctx.last_fault_page_ + 1;
+    Nanos handler = params_.fault_handler_ns;
+    uint64_t resp_bytes = 64;
+    if (has_remote_data) {
+      handler += EnsureInMemoryPoolCost(ctx, page);
+      resp_bytes += params_.page_size;
+    }
+    // Sequential prefetch (LegoOS-style, off by default): a fault that
+    // extends the previous fault's stream pulls the next pages in the
+    // same reply. Disabled during pushdown sessions (the temporary
+    // context owns the coherence state then).
+    std::vector<PageId> prefetch;
+    if (config_.prefetch_pages > 0 && sequential_fault && has_remote_data &&
+        !pushdown_active_) {
+      for (int i = 1; i <= config_.prefetch_pages; ++i) {
+        const PageId next = page + static_cast<PageId>(i);
+        if (next >= space_.num_pages()) break;
+        PageState& ns = pages_[next];
+        if (ns.compute_perm != Perm::kNone) break;
+        if (!ns.in_memory_pool && !ns.on_storage) break;
+        handler += EnsureInMemoryPoolCost(ctx, next);
+        resp_bytes += params_.page_size;
+        prefetch.push_back(next);
+      }
+    }
+    // First touch of an anonymous page still round-trips to the pool: the
+    // disaggregated OS forwards all new allocations through the memory
+    // pool's controller (§3), but no page payload moves.
+    const Nanos done =
+        fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler);
+    ctx.clock_.AdvanceTo(done);
+    ctx.metrics_.net_messages += 2;
+    ctx.metrics_.net_bytes += 64 + resp_bytes;
+    if (has_remote_data) {
+      ctx.metrics_.bytes_from_memory_pool +=
+          params_.page_size * (1 + prefetch.size());
+    }
+    ctx.last_fault_page_ = page + static_cast<PageId>(prefetch.size());
+    for (const PageId p : prefetch) {
+      CacheInsert(ctx, p, Perm::kRead, /*dirty=*/false);
+      ++ctx.metrics_.prefetched_pages;
+    }
+    CacheInsert(ctx, page, write ? Perm::kWrite : Perm::kRead, write);
+  }
+  if (write) s.compute_dirty = true;
+  ChargeDram(ctx, page, len);
+}
+
+void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
+                               uint64_t len, bool write) {
+  TELEPORT_DCHECK(config_.platform == Platform::kBaseDdc)
+      << "memory-pool contexts only exist on DDC platforms";
+  PageState& s = PS(page);
+  if (pushdown_active_ && coherence_mode_ != CoherenceMode::kNone) {
+    const bool sufficient =
+        s.temp_perm == Perm::kWrite || (!write && s.temp_perm == Perm::kRead);
+    if (!sufficient) CoherenceMemoryFault(ctx, page, write);
+  }
+  if (!s.in_memory_pool) {
+    // True page fault: to storage (or zero-fill), no compute communication.
+    const Nanos cost = EnsureInMemoryPoolCost(ctx, page);
+    ctx.clock_.Advance(cost);
+    ++ctx.metrics_.memory_pool_faults;
+  } else {
+    ++ctx.metrics_.memory_pool_hits;
+    pool_lru_.MoveToFront(page);
+  }
+  if (write) {
+    s.mem_dirty = true;
+    if (pushdown_active_) s.temp_touched = true;
+  }
+  ChargeDram(ctx, page, len);
+}
+
+void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
+                                         bool write) {
+  PageState& s = PS(page);
+  const Nanos start = ctx.now();
+
+  // Weak Ordering: contended permission changes are silent; only data
+  // movement (page absent from the cache) costs anything.
+  if (coherence_mode_ == CoherenceMode::kWeakOrdering &&
+      s.compute_perm != Perm::kNone) {
+    s.compute_perm = Perm::kWrite;
+    ctx.clock_.Advance(params_.perm_upgrade_ns);
+    return;
+  }
+
+  // §4.1 concurrent-fault tiebreak: if the memory side has an upgrade
+  // request in flight for this page, the compute pool loses, satisfies the
+  // memory pool, and retries after a backoff.
+  if (write && start < s.mem_upgrade_inflight_until) {
+    ctx.clock_.AdvanceTo(s.mem_upgrade_inflight_until +
+                         config_.tiebreak_backoff_ns);
+  }
+
+  const bool need_data = s.compute_perm == Perm::kNone;
+  Nanos handler = params_.fault_handler_ns + params_.coherence_overhead_ns;
+  uint64_t resp_bytes = 64;
+  if (need_data) {
+    handler += EnsureInMemoryPoolCost(ctx, page);
+    resp_bytes += params_.page_size;
+  }
+
+  // Memory-side handler: Invalidate(t_pte, write) per Fig 8/9.
+  if (coherence_mode_ != CoherenceMode::kWeakOrdering) {
+    if (write) {
+      if (s.temp_perm != Perm::kNone) {
+        if (coherence_mode_ == CoherenceMode::kPso) {
+          s.temp_perm = Perm::kRead;
+          ++ctx.metrics_.coherence_downgrades;
+        } else {
+          s.temp_perm = Perm::kNone;
+          ++ctx.metrics_.coherence_invalidations;
+        }
+      }
+    } else if (s.temp_perm == Perm::kWrite) {
+      s.temp_perm = Perm::kRead;
+      ++ctx.metrics_.coherence_downgrades;
+    }
+  }
+
+  const Nanos done =
+      fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler);
+  ctx.clock_.AdvanceTo(done);
+  ctx.coherence_ns_ += ctx.now() - start;
+  ctx.metrics_.coherence_messages += 2;
+  ctx.metrics_.net_messages += 2;
+  ctx.metrics_.net_bytes += 64 + resp_bytes;
+
+  if (need_data) {
+    ++ctx.metrics_.cache_misses;
+    if (s.in_memory_pool || s.on_storage) {
+      ctx.metrics_.bytes_from_memory_pool += params_.page_size;
+    }
+    CacheInsert(ctx, page, write ? Perm::kWrite : Perm::kRead, write);
+  } else {
+    s.compute_perm = write ? Perm::kWrite : Perm::kRead;
+  }
+}
+
+void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
+                                        bool write) {
+  PageState& s = PS(page);
+  const Perm wanted = write ? Perm::kWrite : Perm::kRead;
+
+  // Weak Ordering: no invalidation traffic; both sides may hold writable
+  // copies. Data movement still happens through the regular fault path.
+  if (coherence_mode_ == CoherenceMode::kWeakOrdering) {
+    s.temp_perm = wanted;
+    return;
+  }
+
+  if (s.compute_perm == Perm::kNone) {
+    // 'True' page fault (Fig 9 line 14): the page is not cached in the
+    // compute pool; MemoryTouch will fetch it from storage if necessary.
+    s.temp_perm = wanted;
+    return;
+  }
+
+  // The compute pool caches the page: issue a coherence request to it.
+  const Nanos start = ctx.now();
+  const bool page_back = s.compute_dirty;  // fresher data lives in the cache
+  Nanos handler = params_.coherence_overhead_ns + params_.perm_upgrade_ns;
+  uint64_t resp_bytes = 64 + (page_back ? params_.page_size : 0);
+
+  if (write) {
+    // ComputeOnPageRequest (Fig 9 lines 18-25): evict (default) or
+    // downgrade (PSO) the compute copy.
+    if (coherence_mode_ == CoherenceMode::kPso) {
+      s.compute_perm = Perm::kRead;
+      ++ctx.metrics_.coherence_downgrades;
+    } else {
+      cache_lru_.Remove(page);
+      --cache_used_;
+      s.compute_perm = Perm::kNone;
+      ++ctx.metrics_.coherence_invalidations;
+      ++ctx.metrics_.cache_evictions;
+    }
+  } else if (s.compute_perm == Perm::kWrite) {
+    s.compute_perm = Perm::kRead;
+    ++ctx.metrics_.coherence_downgrades;
+  }
+  if (page_back) {
+    s.compute_dirty = false;
+    s.mem_dirty = true;
+    ++ctx.metrics_.coherence_page_returns;
+    ctx.metrics_.bytes_to_memory_pool += params_.page_size;
+  }
+
+  const Nanos done =
+      fabric_.RoundTripFromMemory(ctx.now(), 64, resp_bytes, handler);
+  if (write) {
+    // Record the §4.1 in-flight window so a racing compute-side write
+    // fault loses the tiebreak.
+    s.mem_upgrade_inflight_until = done;
+  }
+  ctx.clock_.AdvanceTo(done);
+  ctx.coherence_ns_ += ctx.now() - start;
+  ctx.metrics_.coherence_messages += 2;
+  ctx.metrics_.net_messages += 2;
+  ctx.metrics_.net_bytes += 64 + resp_bytes;
+
+  s.temp_perm = wanted;
+}
+
+std::vector<PageEntry> MemorySystem::ResidentPages() const {
+  std::vector<PageEntry> out;
+  out.reserve(cache_used_);
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    const PageState& s = pages_[p];
+    if (s.compute_perm != Perm::kNone) {
+      out.push_back(PageEntry{p, s.compute_perm == Perm::kWrite});
+    }
+  }
+  return out;  // sorted by construction
+}
+
+uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode) {
+  EnsurePageTables();
+  if (pushdown_active_) {
+    // Concurrent request from another thread of the same process: shares
+    // the existing temporary context and page table (§3.2).
+    TELEPORT_CHECK(mode == coherence_mode_)
+        << "concurrent pushdown sessions must agree on coherence mode";
+    ++session_refcount_;
+    return pages_.size();
+  }
+  pushdown_active_ = true;
+  session_refcount_ = 1;
+  coherence_mode_ = mode;
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    s.temp_touched = false;
+    s.mem_upgrade_inflight_until = 0;
+    if (mode == CoherenceMode::kNone) {
+      s.temp_perm = Perm::kWrite;  // unrestricted; user syncs manually
+      continue;
+    }
+    // Fig 8: clone of the full table, minus compute-writable pages, with
+    // compute-read-only pages mapped read-only.
+    switch (s.compute_perm) {
+      case Perm::kWrite:
+        s.temp_perm = Perm::kNone;
+        break;
+      case Perm::kRead:
+        s.temp_perm = Perm::kRead;
+        break;
+      case Perm::kNone:
+        s.temp_perm = Perm::kWrite;
+        break;
+    }
+  }
+  return pages_.size();
+}
+
+void MemorySystem::EndPushdownSession() {
+  TELEPORT_CHECK(pushdown_active_);
+  if (--session_refcount_ > 0) return;
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    // Dirty bits of the temporary context merge into the full table with no
+    // external communication (§4.1); temp writes already marked mem_dirty.
+    s.temp_perm = Perm::kNone;
+    s.temp_touched = false;
+    s.mem_upgrade_inflight_until = 0;
+  }
+  pushdown_active_ = false;
+}
+
+void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
+  TELEPORT_DCHECK(len > 0);
+  EnsurePageTables();
+  const uint64_t page_size = params_.page_size;
+  const PageId first = addr / page_size;
+  const PageId last = (addr + len - 1) / page_size;
+  uint64_t flushed = 0;
+  for (PageId p = first; p <= last && p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    if (s.compute_perm == Perm::kNone || !s.compute_dirty) continue;
+    s.compute_dirty = false;
+    s.compute_perm = Perm::kRead;
+    // The pool now holds fresh data; a temporary context may map it R.
+    if (pushdown_active_ && coherence_mode_ != CoherenceMode::kNone &&
+        s.temp_perm == Perm::kNone) {
+      s.temp_perm = Perm::kRead;
+    }
+    if (!s.in_memory_pool) {
+      if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+      s.in_memory_pool = true;
+      pool_lru_.PushFront(p);
+      ++pool_used_;
+    }
+    s.mem_dirty = true;
+    ++flushed;
+  }
+  if (flushed == 0) return;
+  const uint64_t bytes = flushed * page_size;
+  const Nanos delivered = fabric_.SendToMemory(ctx.now(), bytes + 64);
+  ctx.clock_.AdvanceTo(delivered + params_.fault_handler_ns);
+  ctx.metrics_.net_messages += 1;
+  ctx.metrics_.net_bytes += bytes + 64;
+  ctx.metrics_.bytes_to_memory_pool += bytes;
+  ctx.metrics_.syncmem_pages += flushed;
+}
+
+uint64_t MemorySystem::FlushAllCache(ExecutionContext& ctx, bool drop) {
+  return FlushRange(ctx, 0, space_.used_bytes(), drop);
+}
+
+uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
+                                  uint64_t len, bool drop) {
+  EnsurePageTables();
+  if (len == 0) return 0;
+  const PageId first = addr / params_.page_size;
+  const PageId last =
+      std::min<PageId>((addr + len - 1) / params_.page_size,
+                       pages_.empty() ? 0 : pages_.size() - 1);
+  uint64_t moved = 0;
+  uint64_t transferred = 0;
+  flushed_pages_.clear();
+  for (PageId p = first; p <= last && p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    if (s.compute_perm == Perm::kNone) continue;
+    ++moved;
+    flushed_pages_.push_back(p);
+    if (s.compute_dirty) {
+      // Dirty pages are written back over the fabric.
+      ++transferred;
+      s.compute_dirty = false;
+      if (!s.in_memory_pool) {
+        if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+        s.in_memory_pool = true;
+        pool_lru_.PushFront(p);
+        ++pool_used_;
+      }
+      s.mem_dirty = true;
+    } else {
+      // Clean pages move no data but still go through the page-by-page
+      // eviction path (unmap + TLB shootdown per page).
+      ctx.clock_.Advance(params_.eager_sync_per_page_ns / 2);
+    }
+    if (drop) {
+      cache_lru_.Remove(p);
+      --cache_used_;
+      s.compute_perm = Perm::kNone;
+    }
+  }
+  if (moved == 0) return 0;
+  const uint64_t bytes = transferred * params_.page_size;
+  const Nanos cost =
+      params_.net_latency_ns +
+      static_cast<Nanos>(static_cast<double>(bytes) / params_.net_bytes_per_ns) +
+      static_cast<Nanos>(transferred) * params_.eager_sync_per_page_ns;
+  ctx.clock_.Advance(cost);
+  ctx.metrics_.net_messages += transferred + 1;
+  ctx.metrics_.net_bytes += bytes + 64;
+  ctx.metrics_.bytes_to_memory_pool += bytes;
+  return moved;
+}
+
+void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
+  if (pages == 0) return;
+  // Repopulate the pages flushed by the last FlushAllCache(drop=true).
+  uint64_t refetched = 0;
+  for (PageId p : flushed_pages_) {
+    if (refetched >= pages) break;
+    PageState& s = PS(p);
+    if (s.compute_perm != Perm::kNone) continue;
+    if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+    s.compute_perm = Perm::kRead;
+    s.compute_dirty = false;
+    cache_lru_.PushFront(p);
+    ++cache_used_;
+    ++refetched;
+  }
+  const uint64_t bytes = refetched * params_.page_size;
+  const Nanos cost =
+      params_.net_latency_ns +
+      static_cast<Nanos>(static_cast<double>(bytes) / params_.net_bytes_per_ns) +
+      static_cast<Nanos>(refetched) * params_.eager_sync_per_page_ns;
+  ctx.clock_.Advance(cost);
+  ctx.metrics_.net_messages += refetched;
+  ctx.metrics_.net_bytes += bytes;
+  ctx.metrics_.bytes_from_memory_pool += bytes;
+}
+
+uint64_t MemorySystem::CheckSwmrInvariant() const {
+  uint64_t checked = 0;
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    const PageState& s = pages_[p];
+    const bool compute_w = s.compute_perm == Perm::kWrite;
+    const bool temp_w = s.temp_perm == Perm::kWrite;
+    TELEPORT_CHECK(!(compute_w && s.temp_perm != Perm::kNone))
+        << "SWMR violated: compute W + temp " << static_cast<int>(s.temp_perm)
+        << " on page " << p;
+    TELEPORT_CHECK(!(temp_w && s.compute_perm != Perm::kNone))
+        << "SWMR violated: temp W + compute "
+        << static_cast<int>(s.compute_perm) << " on page " << p;
+    ++checked;
+  }
+  return checked;
+}
+
+}  // namespace teleport::ddc

@@ -1,0 +1,356 @@
+#ifndef TELEPORT_DDC_MEMORY_SYSTEM_H_
+#define TELEPORT_DDC_MEMORY_SYSTEM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rle.h"
+#include "common/units.h"
+#include "ddc/address_space.h"
+#include "ddc/types.h"
+#include "net/fabric.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+
+namespace teleport::ddc {
+
+class MemorySystem;
+
+/// A simulated thread of execution placed in one resource pool.
+///
+/// Owns a virtual clock and a metrics sink. All data accesses and CPU work of
+/// application code are charged through this object; the actual data lives in
+/// the MemorySystem's AddressSpace (real host memory), so application code
+/// computes real results while time is simulated.
+class ExecutionContext {
+ public:
+  ExecutionContext(MemorySystem* ms, Pool pool) : ms_(ms), pool_(pool) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  Pool pool() const { return pool_; }
+  MemorySystem& memory_system() { return *ms_; }
+
+  sim::VirtualClock& clock() { return clock_; }
+  Nanos now() const { return clock_.now(); }
+
+  sim::Metrics& metrics() { return metrics_; }
+  const sim::Metrics& metrics() const { return metrics_; }
+
+  /// Reads a POD value at `addr`, charging the access.
+  template <typename T>
+  T Load(VAddr addr) {
+    const void* p = AccessImpl(addr, sizeof(T), /*write=*/false);
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+  }
+
+  /// Writes a POD value at `addr`, charging the access.
+  template <typename T>
+  void Store(VAddr addr, const T& v) {
+    void* p = AccessImpl(addr, sizeof(T), /*write=*/true);
+    std::memcpy(p, &v, sizeof(T));
+  }
+
+  /// Charges a read of [addr, addr+len) and returns a host pointer to it.
+  const void* ReadRange(VAddr addr, uint64_t len) {
+    return AccessImpl(addr, len, /*write=*/false);
+  }
+
+  /// Charges a write of [addr, addr+len) and returns a host pointer to it.
+  void* WriteRange(VAddr addr, uint64_t len) {
+    return AccessImpl(addr, len, /*write=*/true);
+  }
+
+  /// Charges `ops` simple CPU operations at this pool's clock speed.
+  void ChargeCpu(uint64_t ops);
+
+  /// Advances this context's clock without touching memory (think of it as
+  /// a stall or sleep).
+  void AdvanceTime(Nanos delta) { clock_.Advance(delta); }
+
+  /// Time spent in coherence traffic (online synchronization) so far;
+  /// used for the Fig 19/20 pushdown breakdown.
+  Nanos coherence_ns() const { return coherence_ns_; }
+
+ private:
+  friend class MemorySystem;
+
+  void* AccessImpl(VAddr addr, uint64_t len, bool write);
+
+  MemorySystem* ms_;
+  Pool pool_;
+  sim::VirtualClock clock_;
+  sim::Metrics metrics_;
+  /// Recently touched pages, one per hardware-tracked stream: an access to
+  /// a tracked page (or its successor) is stream-like and cheap, anything
+  /// else pays the DRAM row-miss cost. Modeling several streams matters
+  /// because columnar operators interleave a handful of sequential arrays
+  /// (input column, candidate list, output), which real prefetchers and
+  /// TLBs handle concurrently.
+  static constexpr int kStreams = 8;
+  PageId streams_[kStreams] = {~PageId{0}, ~PageId{0}, ~PageId{0},
+                               ~PageId{0}, ~PageId{0}, ~PageId{0},
+                               ~PageId{0}, ~PageId{0}};
+  int stream_clock_ = 0;
+  /// Previously faulted page (per backend), for SSD readahead modeling.
+  PageId last_fault_page_ = ~PageId{0};
+  Nanos coherence_ns_ = 0;
+};
+
+/// Coherence behavior of a pushdown session (§4.1 default and §4.2
+/// relaxations, selected with the pushdown `flags` argument).
+enum class CoherenceMode : uint8_t {
+  kMesi,          ///< default write-invalidate protocol (SWMR invariant)
+  kPso,           ///< write requests downgrade the other side to read-only
+  kWeakOrdering,  ///< no invalidation traffic on contended writes
+  kNone,          ///< coherence off; user synchronizes with syncmem
+};
+
+std::string_view CoherenceModeToString(CoherenceMode m);
+
+/// Simulates the memory hierarchy of one deployment: the compute-local page
+/// cache, the memory pool with its full page table, and the storage pool,
+/// connected by the fabric. Implements the page-fault paths of a
+/// disaggregated OS and, during a pushdown session, the two-sided coherence
+/// protocol of §4.
+///
+/// All state transitions charge virtual time to the accessing context and
+/// bump its metrics; the backing data itself lives in `space()`.
+class MemorySystem {
+ public:
+  MemorySystem(const DdcConfig& config, const sim::CostParams& params,
+               uint64_t address_space_capacity);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  AddressSpace& space() { return space_; }
+  const DdcConfig& config() const { return config_; }
+  const sim::CostParams& params() const { return params_; }
+  net::Fabric& fabric() { return fabric_; }
+
+  /// Creates a context placed in `pool`. Memory-pool contexts are only
+  /// meaningful on the kBaseDdc platform.
+  std::unique_ptr<ExecutionContext> CreateContext(Pool pool) {
+    return std::make_unique<ExecutionContext>(this, pool);
+  }
+
+  /// Marks all currently allocated pages as resident in their platform's
+  /// backing store (memory pool for DDC — spilling past its capacity to
+  /// storage — or local DRAM/SSD for monolithic platforms) with a cold
+  /// compute cache. Charges no time; used to stage workload data the way
+  /// the paper stages database/graph state before measuring queries.
+  void SeedData();
+
+  // --- Pushdown session hooks (driven by teleport::PushdownRuntime) -------
+
+  /// Builds the resident-page list sent at the start of pushdown (§4.1),
+  /// sorted by page id with write permissions.
+  std::vector<PageEntry> ResidentPages() const;
+
+  /// Runs the Fig-8 temporary-context page-table preparation and activates
+  /// the coherence protocol in the given mode. Returns the number of PTEs
+  /// processed (the size of the cloned full page table).
+  ///
+  /// Sessions are reference-counted: concurrent pushdown requests from the
+  /// same process share one temporary context and page table (§3.2); nested
+  /// Begin calls must use the same mode and only the first initializes the
+  /// table.
+  uint64_t BeginPushdownSession(CoherenceMode mode);
+
+  /// Merges temporary-context dirty bits back into the full page table and
+  /// deactivates coherence once the last concurrent session ends. No fabric
+  /// traffic (per §4.1).
+  void EndPushdownSession();
+
+  bool pushdown_active() const { return pushdown_active_; }
+  CoherenceMode coherence_mode() const { return coherence_mode_; }
+
+  /// The syncmem syscall (§4.2): synchronously flushes dirty compute-cached
+  /// pages overlapping [addr, addr+len) back to the memory pool. Pages stay
+  /// cached read-only clean.
+  void Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len);
+
+  /// Flushes every resident compute page to the memory pool as one streamed
+  /// transfer; optionally drops the cache. This is the eager-synchronization
+  /// strawman of Fig 20 and the "migrate the whole process" baseline of
+  /// Fig 6. Returns the number of pages moved.
+  uint64_t FlushAllCache(ExecutionContext& ctx, bool drop);
+
+  /// Like FlushAllCache but restricted to pages overlapping
+  /// [addr, addr+len): the Fig 6 "per thread" variant that only evicts the
+  /// pushed thread's memory. Returns the number of pages moved.
+  uint64_t FlushRange(ExecutionContext& ctx, VAddr addr, uint64_t len,
+                      bool drop);
+
+  /// Streams `pages` pages from the memory pool into the compute cache
+  /// (the post-pushdown refetch of the eager strawman).
+  void BulkRefetch(ExecutionContext& ctx, uint64_t pages);
+
+  // --- Introspection (tests, benches) -------------------------------------
+
+  uint64_t cache_pages_used() const { return cache_used_; }
+  uint64_t cache_capacity_pages() const { return cache_capacity_pages_; }
+  uint64_t memory_pool_pages_used() const { return pool_used_; }
+  Perm compute_perm(PageId p) const { return PS(p).compute_perm; }
+  Perm temp_perm(PageId p) const { return PS(p).temp_perm; }
+  bool in_memory_pool(PageId p) const { return PS(p).in_memory_pool; }
+  bool on_storage(PageId p) const { return PS(p).on_storage; }
+  bool compute_dirty(PageId p) const { return PS(p).compute_dirty; }
+
+  /// Verifies the Single-Writer-Multiple-Reader invariant for every page
+  /// (§4.1 correctness argument). Aborts on violation; returns the number
+  /// of pages checked. Only meaningful while a kMesi session is active.
+  uint64_t CheckSwmrInvariant() const;
+
+ private:
+  friend class ExecutionContext;
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct PageState {
+    Perm compute_perm = Perm::kNone;
+    Perm temp_perm = Perm::kNone;
+    bool compute_dirty = false;
+    bool temp_touched = false;
+    bool in_memory_pool = false;
+    bool mem_dirty = false;   ///< pool copy dirty w.r.t. storage
+    bool on_storage = false;  ///< page has a copy in the storage pool
+    bool ref_bit = false;     ///< CLOCK second-chance reference bit
+    /// End of the §4.1 in-flight window of a memory-side upgrade request;
+    /// compute-side write faults inside the window lose the tiebreak.
+    Nanos mem_upgrade_inflight_until = 0;
+  };
+
+  /// Intrusive-by-index LRU list over page ids.
+  class LruList {
+   public:
+    void EnsureSize(size_t n);
+    bool Contains(PageId p) const {
+      return p < in_list_.size() && in_list_[p];
+    }
+    void PushFront(PageId p);
+    void Remove(PageId p);
+    void MoveToFront(PageId p) {
+      Remove(p);
+      PushFront(p);
+    }
+    /// Least-recently-used element; kNil if empty.
+    PageId Back() const { return tail_; }
+    size_t size() const { return size_; }
+
+   private:
+    std::vector<uint32_t> prev_, next_;
+    std::vector<bool> in_list_;
+    uint32_t head_ = kNil, tail_ = kNil;
+    size_t size_ = 0;
+  };
+
+  PageState& PS(PageId p);
+  const PageState& PS(PageId p) const;
+
+  void EnsurePageTables();
+
+  /// Charges the DRAM portion of a hit (sequential vs random split).
+  void ChargeDram(ExecutionContext& ctx, PageId page, uint64_t len);
+
+  // Fault paths.
+  void ComputeTouch(ExecutionContext& ctx, PageId page, uint64_t len,
+                    bool write);
+  void MemoryTouch(ExecutionContext& ctx, PageId page, uint64_t len,
+                   bool write);
+  void LocalTouch(ExecutionContext& ctx, PageId page, uint64_t len,
+                  bool write);
+  void LinuxSsdTouch(ExecutionContext& ctx, PageId page, uint64_t len,
+                     bool write);
+
+  /// Brings `page` into the memory pool (recursive fault to storage if
+  /// needed). Returns the pool-side cost so callers can fold it into a
+  /// fault handler's service time; storage metrics are charged to `ctx`.
+  Nanos EnsureInMemoryPoolCost(ExecutionContext& ctx, PageId page);
+
+  /// Inserts a page into the compute cache, evicting if full.
+  void CacheInsert(ExecutionContext& ctx, PageId page, Perm perm, bool dirty);
+  /// Applies the configured replacement policy's hit bookkeeping.
+  void TouchCachePage(PageId page);
+  void EvictOneCachePage(ExecutionContext& ctx);
+  void EvictOnePoolPage(ExecutionContext& ctx);
+
+  /// §4.1 coherence: compute side faults during a pushdown session.
+  void CoherenceComputeFault(ExecutionContext& ctx, PageId page, bool write);
+  /// §4.1 coherence: temporary-context faults during a pushdown session.
+  void CoherenceMemoryFault(ExecutionContext& ctx, PageId page, bool write);
+
+  DdcConfig config_;
+  sim::CostParams params_;
+  AddressSpace space_;
+  net::Fabric fabric_;
+
+  std::vector<PageState> pages_;
+  LruList cache_lru_;
+  LruList pool_lru_;
+  uint64_t cache_capacity_pages_;
+  uint64_t pool_capacity_pages_;
+  uint64_t cache_used_ = 0;
+  uint64_t pool_used_ = 0;
+
+  bool pushdown_active_ = false;
+  int session_refcount_ = 0;
+  CoherenceMode coherence_mode_ = CoherenceMode::kMesi;
+  /// Pages moved out by the last FlushAllCache(drop=true); consumed by
+  /// BulkRefetch to restore the cache in the eager strawman.
+  std::vector<PageId> flushed_pages_;
+};
+
+inline void* ExecutionContext::AccessImpl(VAddr addr, uint64_t len,
+                                          bool write) {
+  const uint64_t page_size = ms_->space().page_size();
+  PageId page = addr / page_size;
+  const PageId last = (addr + len - 1) / page_size;
+  uint64_t remaining = len;
+  VAddr cursor = addr;
+  for (; page <= last; ++page) {
+    const uint64_t in_page =
+        std::min<uint64_t>(remaining, page_size - (cursor % page_size));
+    switch (pool_) {
+      case Pool::kCompute:
+        switch (ms_->config().platform) {
+          case Platform::kLocal:
+            ms_->LocalTouch(*this, page, in_page, write);
+            break;
+          case Platform::kLinuxSsd:
+            ms_->LinuxSsdTouch(*this, page, in_page, write);
+            break;
+          case Platform::kBaseDdc:
+            ms_->ComputeTouch(*this, page, in_page, write);
+            break;
+        }
+        break;
+      case Pool::kMemory:
+        ms_->MemoryTouch(*this, page, in_page, write);
+        break;
+    }
+    cursor += in_page;
+    remaining -= in_page;
+  }
+  return ms_->space().HostPtr(addr, len);
+}
+
+inline void ExecutionContext::ChargeCpu(uint64_t ops) {
+  const double ratio = pool_ == Pool::kMemory
+                           ? ms_->config().memory_pool_clock_ratio
+                           : 1.0;
+  clock_.Advance(ms_->params().Cpu(ops, ratio));
+  metrics_.cpu_ops += ops;
+}
+
+}  // namespace teleport::ddc
+
+#endif  // TELEPORT_DDC_MEMORY_SYSTEM_H_

@@ -1,0 +1,60 @@
+#ifndef TELEPORT_DIST_COST_MODEL_H_
+#define TELEPORT_DIST_COST_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+#include "sim/cost_model.h"
+
+namespace teleport::dist {
+
+/// Workload profile extracted from a measured single-server run: the input
+/// to the distributed cost-of-scaling model used for Fig 1b's reference
+/// bars (SparkSQL / Vertica on monolithic servers).
+///
+/// Substitution note (DESIGN.md): the paper measures real SparkSQL and
+/// Vertica deployments; we model them analytically from first principles
+/// (partitioned compute + shuffle over the same fabric + framework
+/// overheads), with engine constants calibrated so the TPC-H average lands
+/// near the paper's reported 1.2x / 2.3x.
+struct WorkloadProfile {
+  Nanos local_time_ns = 0;      ///< single high-end server execution time
+  uint64_t bytes_scanned = 0;   ///< base-table volume read
+  uint64_t bytes_shuffled = 0;  ///< operator-boundary intermediate volume
+  int num_stages = 3;           ///< pipeline barriers in the plan
+};
+
+/// Engine archetypes for the model.
+enum class DistEngine {
+  /// Coarse-grained batch engine (SparkSQL-like): pipelined whole-stage
+  /// execution, moderate shuffle amplification, per-stage scheduling.
+  kSparkLike,
+  /// Exchange-heavy MPP engine (Vertica-like): repartitioning joins
+  /// amplify shuffle volume, finer-grained exchanges.
+  kVerticaLike,
+};
+
+std::string_view DistEngineToString(DistEngine e);
+
+struct DistConfig {
+  /// Shared-nothing workers whose aggregate resources equal the single
+  /// server (the Fig 1b framing: "same resources but all in one box").
+  int workers = 8;
+  sim::CostParams net = sim::CostParams::Default();
+};
+
+/// Estimated wall time of the workload on the cluster: partitioned compute
+/// (same aggregate CPU, so the compute term equals the local time plus an
+/// engine inefficiency factor), all-to-all shuffles of the intermediate
+/// volume across the bisection, serialization, and per-stage barriers.
+Nanos EstimateDistributedTime(const WorkloadProfile& w, DistEngine engine,
+                              const DistConfig& config);
+
+/// Cost of scaling: distributed time / local time (>= 1 in practice).
+double CostOfScaling(const WorkloadProfile& w, DistEngine engine,
+                     const DistConfig& config);
+
+}  // namespace teleport::dist
+
+#endif  // TELEPORT_DIST_COST_MODEL_H_

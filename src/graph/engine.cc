@@ -1,0 +1,399 @@
+#include "graph/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace teleport::graph {
+
+namespace {
+
+constexpr int64_t kInf = int64_t{1} << 50;
+
+/// Aggregates phase bodies into per-phase profiles, routing each invocation
+/// through the pushdown syscall when the options say so.
+class PhaseRunner {
+ public:
+  PhaseRunner(ddc::ExecutionContext& ctx, const GasOptions& opts)
+      : ctx_(ctx), opts_(opts), start_ns_(ctx.now()) {
+    for (Phase p : {Phase::kFinalize, Phase::kGather, Phase::kApply,
+                    Phase::kScatter}) {
+      PhaseProfile prof;
+      prof.phase = p;
+      prof.pushed = opts.ShouldPush(p);
+      profiles_.push_back(prof);
+    }
+  }
+
+  template <typename Fn>
+  void Run(Phase phase, Fn&& body) {
+    PhaseProfile& prof = profiles_[static_cast<size_t>(phase)];
+    const Nanos t0 = ctx_.now();
+    const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();
+    if (opts_.ShouldPush(phase)) {
+      const Status st = opts_.runtime->Call(
+          ctx_,
+          [&](ddc::ExecutionContext& mem_ctx) {
+            body(mem_ctx);
+            return Status::OK();
+          },
+          opts_.flags);
+      TELEPORT_CHECK(st.ok()) << "pushdown of phase "
+                              << PhaseToString(phase) << " failed: " << st;
+    } else {
+      body(ctx_);
+    }
+    prof.time_ns += ctx_.now() - t0;
+    prof.remote_bytes += ctx_.metrics().RemoteMemoryBytes() - rm0;
+    ++prof.invocations;
+  }
+
+  GasResult Finish(ddc::VAddr values, int64_t checksum, int iterations) {
+    GasResult r;
+    r.values = values;
+    r.checksum = checksum;
+    r.iterations = iterations;
+    r.total_ns = ctx_.now() - start_ns_;
+    r.phases = std::move(profiles_);
+    return r;
+  }
+
+ private:
+  ddc::ExecutionContext& ctx_;
+  const GasOptions& opts_;
+  Nanos start_ns_;
+  std::vector<PhaseProfile> profiles_;
+};
+
+}  // namespace
+
+std::string_view PhaseToString(Phase p) {
+  switch (p) {
+    case Phase::kFinalize:
+      return "Finalize";
+    case Phase::kGather:
+      return "Gather";
+    case Phase::kApply:
+      return "Apply";
+    case Phase::kScatter:
+      return "Scatter";
+  }
+  return "Unknown";
+}
+
+const PhaseProfile& GasResult::Profile(Phase p) const {
+  for (const PhaseProfile& prof : phases) {
+    if (prof.phase == p) return prof;
+  }
+  TELEPORT_CHECK(false) << "missing phase profile";
+  __builtin_unreachable();
+}
+
+GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
+                 const VertexProgram& program, const GasOptions& opts) {
+  ddc::MemorySystem& ms = ctx.memory_system();
+  const uint64_t v_count = g.vertices;
+  const uint64_t e_count = g.edges;
+  const int workers = std::max(1, opts.workers);
+
+  // Engine state in DDC space.
+  const ddc::VAddr values = ms.space().Alloc(v_count * 8, "gas.values");
+  const ddc::VAddr msgs = ms.space().Alloc(v_count * 8, "gas.msgs");
+  const ddc::VAddr frontier = ms.space().Alloc(v_count * 8, "gas.frontier");
+  const ddc::VAddr frontier_msgs =
+      ms.space().Alloc(v_count * 8, "gas.frontier_msgs");
+  // Finalize output: worker-partitioned edge arrays.
+  const ddc::VAddr f_start = ms.space().Alloc(v_count * 8, "gas.f_start");
+  const ddc::VAddr f_deg = ms.space().Alloc(v_count * 8, "gas.f_deg");
+  const ddc::VAddr f_targets = ms.space().Alloc(e_count * 8, "gas.f_targets");
+  const ddc::VAddr f_weights = ms.space().Alloc(e_count * 8, "gas.f_weights");
+
+  PhaseRunner runner(ctx, opts);
+  const int64_t identity = program.IdentityMessage();
+
+  // --- Finalize: initialize state, partition vertices round-robin over
+  // workers, and shuffle edges into per-worker regions (§5.2).
+  runner.Run(Phase::kFinalize, [&](ddc::ExecutionContext& c) {
+    // Per-worker edge counts (first pass over the CSR).
+    std::vector<uint64_t> worker_edges(static_cast<size_t>(workers), 0);
+    for (uint64_t v = 0; v < v_count; ++v) {
+      const int64_t begin = c.Load<int64_t>(g.offsets + v * 8);
+      const int64_t end = c.Load<int64_t>(g.offsets + (v + 1) * 8);
+      worker_edges[v % static_cast<uint64_t>(workers)] +=
+          static_cast<uint64_t>(end - begin);
+      c.ChargeCpu(2);
+    }
+    std::vector<uint64_t> cursor(static_cast<size_t>(workers), 0);
+    uint64_t base = 0;
+    for (int w = 0; w < workers; ++w) {
+      cursor[static_cast<size_t>(w)] = base;
+      base += worker_edges[static_cast<size_t>(w)];
+    }
+    // Second pass: copy each vertex's edges into its worker's region and
+    // initialize vertex state.
+    for (uint64_t v = 0; v < v_count; ++v) {
+      c.Store<int64_t>(values + v * 8, program.InitValue(v));
+      c.Store<int64_t>(msgs + v * 8, identity);
+      const int64_t begin = c.Load<int64_t>(g.offsets + v * 8);
+      const int64_t end = c.Load<int64_t>(g.offsets + (v + 1) * 8);
+      uint64_t& cur = cursor[v % static_cast<uint64_t>(workers)];
+      c.Store<int64_t>(f_start + v * 8, static_cast<int64_t>(cur));
+      c.Store<int64_t>(f_deg + v * 8, end - begin);
+      for (int64_t e = begin; e < end; ++e) {
+        const int64_t t = c.Load<int64_t>(g.targets + e * 8);
+        const int64_t w = c.Load<int64_t>(g.weights + e * 8);
+        c.Store<int64_t>(f_targets + cur * 8, t);
+        c.Store<int64_t>(f_weights + cur * 8, w);
+        ++cur;
+        c.ChargeCpu(2);
+      }
+      c.ChargeCpu(4);
+    }
+  });
+
+  // Initial frontier.
+  uint64_t frontier_count = 0;
+  {
+    auto& c = ctx;  // initial activation is bookkeeping, not a GAS phase
+    for (uint64_t v = 0; v < v_count; ++v) {
+      if (program.InitiallyActive(v)) {
+        c.Store<int64_t>(frontier + frontier_count * 8,
+                         static_cast<int64_t>(v));
+        ++frontier_count;
+      }
+      c.ChargeCpu(1);
+    }
+  }
+
+  int iterations = 0;
+  while (frontier_count > 0 && iterations < opts.max_iterations) {
+    ++iterations;
+
+    // --- Scatter: active vertices push messages along their (shuffled)
+    // out-edges; random writes into msgs[] are the expensive part (§5.2).
+    runner.Run(Phase::kScatter, [&](ddc::ExecutionContext& c) {
+      for (uint64_t i = 0; i < frontier_count; ++i) {
+        const int64_t v = c.Load<int64_t>(frontier + i * 8);
+        const int64_t value = c.Load<int64_t>(values + v * 8);
+        const int64_t start = c.Load<int64_t>(f_start + v * 8);
+        const int64_t deg = c.Load<int64_t>(f_deg + v * 8);
+        for (int64_t e = start; e < start + deg; ++e) {
+          const int64_t t = c.Load<int64_t>(f_targets + e * 8);
+          const int64_t w = c.Load<int64_t>(f_weights + e * 8);
+          const int64_t m = program.ScatterMessage(value, w, deg);
+          const ddc::VAddr slot = msgs + static_cast<uint64_t>(t) * 8;
+          c.Store<int64_t>(slot, program.Combine(c.Load<int64_t>(slot), m));
+          c.ChargeCpu(6);
+        }
+        c.ChargeCpu(4);
+      }
+    });
+
+    // --- Gather: collect combined messages into the dense frontier-message
+    // list and reset the message array.
+    uint64_t gathered = 0;
+    runner.Run(Phase::kGather, [&](ddc::ExecutionContext& c) {
+      for (uint64_t v = 0; v < v_count; ++v) {
+        const int64_t m = c.Load<int64_t>(msgs + v * 8);
+        c.ChargeCpu(2);
+        if (m != identity) {
+          c.Store<int64_t>(frontier + gathered * 8, static_cast<int64_t>(v));
+          c.Store<int64_t>(frontier_msgs + gathered * 8, m);
+          c.Store<int64_t>(msgs + v * 8, identity);
+          ++gathered;
+        }
+      }
+    });
+
+    // --- Apply: run the vertex update; activated vertices form the next
+    // scatter frontier (compacted in place).
+    uint64_t activated = 0;
+    runner.Run(Phase::kApply, [&](ddc::ExecutionContext& c) {
+      for (uint64_t i = 0; i < gathered; ++i) {
+        const int64_t v = c.Load<int64_t>(frontier + i * 8);
+        const int64_t m = c.Load<int64_t>(frontier_msgs + i * 8);
+        const int64_t old = c.Load<int64_t>(values + v * 8);
+        int64_t updated = old;
+        const bool act = program.Apply(old, m, &updated);
+        c.ChargeCpu(4);
+        if (updated != old) c.Store<int64_t>(values + v * 8, updated);
+        if (act) {
+          c.Store<int64_t>(frontier + activated * 8, v);
+          ++activated;
+        }
+      }
+    });
+    frontier_count = activated;
+
+    if (program.AlwaysActive()) {
+      // Fixed-round programs re-activate every vertex.
+      frontier_count = v_count;
+      for (uint64_t v = 0; v < v_count; ++v) {
+        ctx.Store<int64_t>(frontier + v * 8, static_cast<int64_t>(v));
+      }
+    }
+  }
+
+  // Result digest (order-sensitive in vertex id).
+  int64_t checksum = 0;
+  for (uint64_t v = 0; v < v_count; ++v) {
+    const int64_t value = ctx.Load<int64_t>(values + v * 8);
+    checksum += static_cast<int64_t>(v % 97 + 1) * (value + 13);
+    ctx.ChargeCpu(2);
+  }
+
+  return runner.Finish(values, checksum, iterations);
+}
+
+namespace {
+
+class SsspProgram : public VertexProgram {
+ public:
+  int64_t InitValue(uint64_t v) const override { return v == 0 ? 0 : kInf; }
+  int64_t IdentityMessage() const override { return kInf; }
+  int64_t Combine(int64_t a, int64_t b) const override {
+    return std::min(a, b);
+  }
+  bool Apply(int64_t old_value, int64_t msg,
+             int64_t* new_value) const override {
+    if (msg < old_value) {
+      *new_value = msg;
+      return true;
+    }
+    return false;
+  }
+  int64_t ScatterMessage(int64_t value, int64_t weight,
+                         int64_t) const override {
+    return value + weight;
+  }
+  bool InitiallyActive(uint64_t v) const override { return v == 0; }
+};
+
+class ReachProgram : public VertexProgram {
+ public:
+  int64_t InitValue(uint64_t v) const override { return v == 0 ? 1 : 0; }
+  int64_t IdentityMessage() const override { return 0; }
+  int64_t Combine(int64_t a, int64_t b) const override {
+    return std::max(a, b);
+  }
+  bool Apply(int64_t old_value, int64_t msg,
+             int64_t* new_value) const override {
+    if (msg > old_value) {
+      *new_value = msg;
+      return true;
+    }
+    return false;
+  }
+  int64_t ScatterMessage(int64_t, int64_t, int64_t) const override {
+    return 1;
+  }
+  bool InitiallyActive(uint64_t v) const override { return v == 0; }
+};
+
+class CcProgram : public VertexProgram {
+ public:
+  int64_t InitValue(uint64_t v) const override {
+    return static_cast<int64_t>(v);
+  }
+  int64_t IdentityMessage() const override { return kInf; }
+  int64_t Combine(int64_t a, int64_t b) const override {
+    return std::min(a, b);
+  }
+  bool Apply(int64_t old_value, int64_t msg,
+             int64_t* new_value) const override {
+    if (msg < old_value) {
+      *new_value = msg;
+      return true;
+    }
+    return false;
+  }
+  int64_t ScatterMessage(int64_t value, int64_t, int64_t) const override {
+    return value;
+  }
+  bool InitiallyActive(uint64_t) const override { return true; }
+};
+
+class WidestPathProgram : public VertexProgram {
+ public:
+  int64_t InitValue(uint64_t v) const override { return v == 0 ? kInf : 0; }
+  int64_t IdentityMessage() const override { return 0; }
+  int64_t Combine(int64_t a, int64_t b) const override {
+    return std::max(a, b);
+  }
+  bool Apply(int64_t old_value, int64_t msg,
+             int64_t* new_value) const override {
+    if (msg > old_value) {
+      *new_value = msg;
+      return true;
+    }
+    return false;
+  }
+  int64_t ScatterMessage(int64_t value, int64_t weight,
+                         int64_t) const override {
+    return std::min(value, weight);
+  }
+  bool InitiallyActive(uint64_t v) const override { return v == 0; }
+};
+
+class PageRankProgram : public VertexProgram {
+ public:
+  static constexpr int64_t kScale = 1'000'000;
+
+  explicit PageRankProgram(uint64_t vertices) : vertices_(vertices) {}
+
+  int64_t InitValue(uint64_t) const override {
+    return kScale / static_cast<int64_t>(vertices_);
+  }
+  int64_t IdentityMessage() const override { return 0; }
+  int64_t Combine(int64_t a, int64_t b) const override { return a + b; }
+  bool Apply(int64_t, int64_t msg, int64_t* new_value) const override {
+    *new_value =
+        (kScale * 15) / (100 * static_cast<int64_t>(vertices_)) +
+        (85 * msg) / 100;
+    return true;
+  }
+  int64_t ScatterMessage(int64_t value, int64_t,
+                         int64_t out_degree) const override {
+    return out_degree == 0 ? 0 : value / out_degree;
+  }
+  bool InitiallyActive(uint64_t) const override { return true; }
+  bool AlwaysActive() const override { return true; }
+
+ private:
+  uint64_t vertices_;
+};
+
+}  // namespace
+
+GasResult RunSssp(ddc::ExecutionContext& ctx, const Graph& g,
+                  const GasOptions& opts) {
+  return RunGas(ctx, g, SsspProgram(), opts);
+}
+
+GasResult RunReachability(ddc::ExecutionContext& ctx, const Graph& g,
+                          const GasOptions& opts) {
+  return RunGas(ctx, g, ReachProgram(), opts);
+}
+
+GasResult RunConnectedComponents(ddc::ExecutionContext& ctx, const Graph& g,
+                                 const GasOptions& opts) {
+  return RunGas(ctx, g, CcProgram(), opts);
+}
+
+GasResult RunPageRank(ddc::ExecutionContext& ctx, const Graph& g,
+                      const GasOptions& opts, int iterations) {
+  GasOptions fixed = opts;
+  fixed.max_iterations = iterations;
+  return RunGas(ctx, g, PageRankProgram(g.vertices), fixed);
+}
+
+GasResult RunWidestPath(ddc::ExecutionContext& ctx, const Graph& g,
+                        const GasOptions& opts) {
+  return RunGas(ctx, g, WidestPathProgram(), opts);
+}
+
+std::set<Phase> DefaultTeleportPhases() {
+  return {Phase::kFinalize, Phase::kGather, Phase::kScatter};
+}
+
+}  // namespace teleport::graph

@@ -1,0 +1,54 @@
+#ifndef TELEPORT_GRAPH_GRAPH_H_
+#define TELEPORT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+
+#include "ddc/memory_system.h"
+
+namespace teleport::graph {
+
+/// Configuration of the synthetic power-law graph. Substitutes for the
+/// paper's real-world social-network input [52]: what the GAS engine's cost
+/// shape depends on is the skewed degree distribution and random neighbor
+/// access, both preserved by preferential attachment.
+struct GraphConfig {
+  uint64_t vertices = 100'000;
+  uint64_t avg_degree = 10;
+  uint64_t seed = 7;
+  /// Edge weights drawn uniformly from [1, max_weight]; 1 = unweighted.
+  int64_t max_weight = 100;
+};
+
+/// A directed graph in CSR form, stored in the simulated address space.
+/// offsets has V+1 entries; targets/weights have E entries each (int64).
+struct Graph {
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  ddc::VAddr offsets = 0;
+  ddc::VAddr targets = 0;
+  ddc::VAddr weights = 0;
+
+  /// Timed CSR accessors.
+  int64_t OutDegree(ddc::ExecutionContext& ctx, uint64_t v) const {
+    const int64_t begin = ctx.Load<int64_t>(offsets + v * 8);
+    const int64_t end = ctx.Load<int64_t>(offsets + (v + 1) * 8);
+    return end - begin;
+  }
+
+  uint64_t TotalBytes() const { return (vertices + 1 + 2 * edges) * 8; }
+};
+
+/// Generates a power-law graph with preferential attachment (each new
+/// vertex links to `avg_degree` endpoints biased toward earlier, by then
+/// better-connected vertices) and seeds it into the platform's backing
+/// store. Deterministic in config.seed. The graph is connected from vertex
+/// 0 (every vertex has an incoming path from lower ids via a guaranteed
+/// chain edge), which keeps SSSP/CC/Reachability workloads non-trivial.
+Graph GenerateGraph(ddc::MemorySystem* ms, const GraphConfig& config);
+
+/// Bytes GenerateGraph will allocate — for sizing the address space.
+uint64_t EstimateGraphBytes(const GraphConfig& config);
+
+}  // namespace teleport::graph
+
+#endif  // TELEPORT_GRAPH_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "mr/text.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace teleport::mr {
+
+namespace {
+
+std::string SpellWord(uint64_t id) {
+  std::string w = "w";
+  do {
+    w += static_cast<char>('a' + id % 26);
+    id /= 26;
+  } while (id > 0);
+  return w;
+}
+
+}  // namespace
+
+TextCorpus GenerateText(ddc::MemorySystem* ms, const TextConfig& config) {
+  Rng rng(config.seed);
+  ZipfGenerator zipf(config.vocabulary, config.zipf_theta);
+
+  TextCorpus corpus;
+  corpus.addr = ms->space().Alloc(config.bytes, "text.corpus");
+  corpus.bytes = config.bytes;
+  char* out = static_cast<char*>(ms->space().HostPtr(corpus.addr,
+                                                     config.bytes));
+  uint64_t pos = 0;
+  uint64_t words_on_line = 0;
+  while (pos < config.bytes) {
+    const std::string w = SpellWord(zipf.Sample(rng));
+    if (pos + w.size() + 1 >= config.bytes) {
+      // Pad the tail with spaces (tokenizers skip them).
+      while (pos < config.bytes) out[pos++] = ' ';
+      break;
+    }
+    for (char ch : w) out[pos++] = ch;
+    ++corpus.words;
+    ++words_on_line;
+    if (words_on_line >= config.words_per_line &&
+        rng.Bernoulli(2.0 / static_cast<double>(config.words_per_line))) {
+      out[pos++] = '\n';
+      ++corpus.lines;
+      words_on_line = 0;
+    } else {
+      out[pos++] = ' ';
+    }
+  }
+  ms->SeedData();
+  return corpus;
+}
+
+}  // namespace teleport::mr

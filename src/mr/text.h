@@ -1,0 +1,40 @@
+#ifndef TELEPORT_MR_TEXT_H_
+#define TELEPORT_MR_TEXT_H_
+
+#include <cstdint>
+
+#include "ddc/memory_system.h"
+
+namespace teleport::mr {
+
+/// Configuration of the synthetic text corpus. Substitutes for the paper's
+/// 15M-comment Reddit NLP dataset: what WordCount/Grep cost shapes depend
+/// on is total volume and a Zipfian word-frequency distribution, both
+/// preserved here.
+struct TextConfig {
+  uint64_t bytes = 8 << 20;
+  uint64_t vocabulary = 20'000;
+  double zipf_theta = 0.8;
+  /// Average words per line ('\n'-terminated).
+  uint64_t words_per_line = 12;
+  uint64_t seed = 17;
+};
+
+/// A corpus of lowercase words separated by single spaces and newlines,
+/// in DDC space.
+struct TextCorpus {
+  ddc::VAddr addr = 0;
+  uint64_t bytes = 0;
+  uint64_t lines = 0;
+  uint64_t words = 0;
+};
+
+/// Generates the corpus (untimed) and seeds it into the platform's backing
+/// store. Deterministic in config.seed. Word i is spelled as base-26
+/// letters of i prefixed with 'w', so frequent (low-id) words are short —
+/// like natural text.
+TextCorpus GenerateText(ddc::MemorySystem* ms, const TextConfig& config);
+
+}  // namespace teleport::mr
+
+#endif  // TELEPORT_MR_TEXT_H_

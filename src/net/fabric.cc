@@ -1,0 +1,76 @@
+#include "net/fabric.h"
+
+namespace teleport::net {
+
+std::string_view MessageKindToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPushdownRequest:
+      return "PushdownRequest";
+    case MessageKind::kPushdownResponse:
+      return "PushdownResponse";
+    case MessageKind::kPageFaultRequest:
+      return "PageFaultRequest";
+    case MessageKind::kPageFaultReply:
+      return "PageFaultReply";
+    case MessageKind::kCoherenceRequest:
+      return "CoherenceRequest";
+    case MessageKind::kCoherenceReply:
+      return "CoherenceReply";
+    case MessageKind::kPageReturn:
+      return "PageReturn";
+    case MessageKind::kSyncmem:
+      return "Syncmem";
+    case MessageKind::kTryCancel:
+      return "TryCancel";
+    case MessageKind::kHeartbeat:
+      return "Heartbeat";
+  }
+  return "Unknown";
+}
+
+Nanos Channel::Send(Nanos now, uint64_t bytes, const sim::CostParams& params) {
+  Nanos delivery = now + params.NetTransfer(bytes);
+  // Reliable FIFO: a message never overtakes one sent earlier on the
+  // virtual timeline. (Simulated threads may issue sends out of host-call
+  // order; a message sent at an earlier virtual time is logically first
+  // and is not clamped by later ones.)
+  if (now >= last_send_ && delivery < last_delivery_) {
+    delivery = last_delivery_;
+  }
+  if (now > last_send_) last_send_ = now;
+  if (delivery > last_delivery_) last_delivery_ = delivery;
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  return delivery;
+}
+
+void Channel::Reset() {
+  messages_sent_ = 0;
+  bytes_sent_ = 0;
+  last_send_ = 0;
+  last_delivery_ = 0;
+}
+
+Nanos Fabric::RoundTripFromCompute(Nanos now, uint64_t req_bytes,
+                                   uint64_t resp_bytes, Nanos handler_ns) {
+  const Nanos arrive = compute_to_memory_.Send(now, req_bytes, params_);
+  const Nanos reply_sent = arrive + handler_ns;
+  return memory_to_compute_.Send(reply_sent, resp_bytes, params_);
+}
+
+Nanos Fabric::RoundTripFromMemory(Nanos now, uint64_t req_bytes,
+                                  uint64_t resp_bytes, Nanos handler_ns) {
+  const Nanos arrive = memory_to_compute_.Send(now, req_bytes, params_);
+  const Nanos reply_sent = arrive + handler_ns;
+  return compute_to_memory_.Send(reply_sent, resp_bytes, params_);
+}
+
+void Fabric::Reset() {
+  compute_to_memory_.Reset();
+  memory_to_compute_.Reset();
+  reachable_ = true;
+  fail_from_ = -1;
+  fail_until_ = -1;
+}
+
+}  // namespace teleport::net

@@ -1,0 +1,125 @@
+#ifndef TELEPORT_NET_FABRIC_H_
+#define TELEPORT_NET_FABRIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "sim/cost_model.h"
+
+namespace teleport::net {
+
+/// Kinds of messages exchanged between the compute pool and the memory-pool
+/// controller. Mirrors the RPC vocabulary of §3.2 and §4.1.
+enum class MessageKind {
+  kPushdownRequest,
+  kPushdownResponse,
+  kPageFaultRequest,   ///< compute -> memory: fetch page / permissions
+  kPageFaultReply,     ///< memory -> compute: page data / grant
+  kCoherenceRequest,   ///< either direction: invalidate / downgrade
+  kCoherenceReply,
+  kPageReturn,         ///< dirty page flushed back on request
+  kSyncmem,
+  kTryCancel,
+  kHeartbeat,
+};
+
+std::string_view MessageKindToString(MessageKind kind);
+
+/// One direction of the simulated RDMA link. Reliable and FIFO: delivery
+/// times are monotone in send order, which §4.1's concurrent-fault argument
+/// depends on ("enforced using reliable RDMA connections").
+class Channel {
+ public:
+  /// Sends `bytes` at virtual time `now`; returns the delivery time at the
+  /// receiver (latency + serialization, no earlier than any previous
+  /// delivery on this channel).
+  Nanos Send(Nanos now, uint64_t bytes, const sim::CostParams& params);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  Nanos last_delivery() const { return last_delivery_; }
+
+  void Reset();
+
+ private:
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  Nanos last_send_ = 0;
+  Nanos last_delivery_ = 0;
+};
+
+/// The point-to-point fabric between the compute pool and the memory-pool
+/// controller: one reliable-FIFO channel per direction plus a reachability
+/// flag driven by the heartbeat thread (§3.2, failure handling).
+class Fabric {
+ public:
+  explicit Fabric(const sim::CostParams& params) : params_(params) {}
+
+  /// Synchronous round trip from the compute side: request of `req_bytes`,
+  /// reply of `resp_bytes`, plus remote handler time. Returns the completion
+  /// time as observed by the caller who started at `now`.
+  Nanos RoundTripFromCompute(Nanos now, uint64_t req_bytes,
+                             uint64_t resp_bytes, Nanos handler_ns);
+
+  /// Same, initiated from the memory side.
+  Nanos RoundTripFromMemory(Nanos now, uint64_t req_bytes,
+                            uint64_t resp_bytes, Nanos handler_ns);
+
+  /// One-way message compute -> memory; returns delivery time.
+  Nanos SendToMemory(Nanos now, uint64_t bytes) {
+    return compute_to_memory_.Send(now, bytes, params_);
+  }
+
+  /// One-way message memory -> compute; returns delivery time.
+  Nanos SendToCompute(Nanos now, uint64_t bytes) {
+    return memory_to_compute_.Send(now, bytes, params_);
+  }
+
+  const sim::CostParams& params() const { return params_; }
+
+  /// Simulates a network / memory-node hardware failure: subsequent
+  /// pushdown attempts observe an unreachable pool. (The real system
+  /// triggers a kernel panic, §3.2; we surface Status::Unavailable.)
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+  bool reachable() const { return reachable_; }
+
+  /// Failure injection: the pool becomes unreachable on the virtual
+  /// timeline at `from` (forever if `until` <= `from`). Heartbeats and
+  /// pushdowns evaluate reachability at their own send time.
+  void InjectFailureWindow(Nanos from, Nanos until = 0) {
+    fail_from_ = from;
+    fail_until_ = until;
+  }
+  bool ReachableAt(Nanos now) const {
+    if (!reachable_) return false;
+    if (fail_from_ < 0) return true;
+    if (now < fail_from_) return true;
+    return fail_until_ > fail_from_ && now >= fail_until_;
+  }
+
+  uint64_t total_messages() const {
+    return compute_to_memory_.messages_sent() +
+           memory_to_compute_.messages_sent();
+  }
+  uint64_t total_bytes() const {
+    return compute_to_memory_.bytes_sent() + memory_to_compute_.bytes_sent();
+  }
+
+  const Channel& compute_to_memory() const { return compute_to_memory_; }
+  const Channel& memory_to_compute() const { return memory_to_compute_; }
+
+  void Reset();
+
+ private:
+  sim::CostParams params_;
+  Channel compute_to_memory_;
+  Channel memory_to_compute_;
+  bool reachable_ = true;
+  Nanos fail_from_ = -1;
+  Nanos fail_until_ = -1;
+};
+
+}  // namespace teleport::net
+
+#endif  // TELEPORT_NET_FABRIC_H_

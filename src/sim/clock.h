@@ -1,0 +1,39 @@
+#ifndef TELEPORT_SIM_CLOCK_H_
+#define TELEPORT_SIM_CLOCK_H_
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace teleport::sim {
+
+/// Per-actor virtual clock. All simulated time in the repo flows through
+/// explicit Advance() calls, so runs are deterministic and independent of
+/// the host machine.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(Nanos start) : now_(start) {}
+
+  Nanos now() const { return now_; }
+
+  /// Moves time forward by `delta` (must be non-negative).
+  void Advance(Nanos delta) {
+    TELEPORT_DCHECK(delta >= 0);
+    now_ += delta;
+  }
+
+  /// Jumps to `t` if it is in the future; no-op otherwise. Used when an
+  /// actor blocks on a resource that frees up at time t.
+  void AdvanceTo(Nanos t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset(Nanos t = 0) { now_ = t; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace teleport::sim
+
+#endif  // TELEPORT_SIM_CLOCK_H_

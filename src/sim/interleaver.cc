@@ -1,0 +1,32 @@
+#include "sim/interleaver.h"
+
+#include <limits>
+
+namespace teleport::sim {
+
+namespace {
+constexpr Nanos kForever = std::numeric_limits<Nanos>::max();
+}  // namespace
+
+Nanos Interleaver::Run() { return RunUntil(kForever); }
+
+Nanos Interleaver::RunUntil(Nanos deadline) {
+  Nanos max_clock = 0;
+  while (true) {
+    Task* next = nullptr;
+    for (Task* t : tasks_) {
+      if (t->done()) continue;
+      if (t->clock() >= deadline) continue;
+      if (next == nullptr || t->clock() < next->clock()) next = t;
+    }
+    if (next == nullptr) break;
+    next->Step();
+    if (next->clock() > max_clock) max_clock = next->clock();
+  }
+  for (Task* t : tasks_) {
+    if (t->clock() > max_clock) max_clock = t->clock();
+  }
+  return max_clock;
+}
+
+}  // namespace teleport::sim

@@ -1,0 +1,29 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace teleport::sim {
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "cache: hits=" << cache_hits << " misses=" << cache_misses
+     << " evictions=" << cache_evictions << " writebacks=" << dirty_writebacks
+     << "\n";
+  os << "net: messages=" << net_messages << " bytes=" << net_bytes
+     << " from_mem=" << bytes_from_memory_pool
+     << " to_mem=" << bytes_to_memory_pool << "\n";
+  os << "memory pool: hits=" << memory_pool_hits
+     << " faults=" << memory_pool_faults << "\n";
+  os << "storage: reads=" << storage_reads << " writes=" << storage_writes
+     << "\n";
+  os << "coherence: messages=" << coherence_messages
+     << " invalidations=" << coherence_invalidations
+     << " downgrades=" << coherence_downgrades
+     << " page_returns=" << coherence_page_returns << "\n";
+  os << "teleport: pushdowns=" << pushdown_calls
+     << " syncmem_pages=" << syncmem_pages << "\n";
+  os << "cpu: ops=" << cpu_ops;
+  return os.str();
+}
+
+}  // namespace teleport::sim

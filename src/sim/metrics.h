@@ -1,0 +1,110 @@
+#ifndef TELEPORT_SIM_METRICS_H_
+#define TELEPORT_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace teleport::sim {
+
+/// Event counters accumulated by the DDC simulator. A context owns one
+/// Metrics; scopes (e.g. one relational operator) can snapshot-and-diff to
+/// attribute traffic to a region of execution (Fig 10's "remote memory
+/// accesses" column).
+struct Metrics {
+  // Compute-pool cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;            ///< page faults to the memory pool
+  uint64_t cache_evictions = 0;
+  uint64_t dirty_writebacks = 0;        ///< evicted dirty pages sent back
+  uint64_t prefetched_pages = 0;        ///< pages pulled by the prefetcher
+
+  // Fabric traffic.
+  uint64_t net_messages = 0;
+  uint64_t net_bytes = 0;
+  uint64_t bytes_from_memory_pool = 0;  ///< page data pulled to compute
+  uint64_t bytes_to_memory_pool = 0;    ///< page data pushed back
+
+  // Memory pool.
+  uint64_t memory_pool_hits = 0;
+  uint64_t memory_pool_faults = 0;      ///< recursive faults to storage
+
+  // Storage pool.
+  uint64_t storage_reads = 0;
+  uint64_t storage_writes = 0;
+
+  // Coherence protocol (§4).
+  uint64_t coherence_messages = 0;
+  uint64_t coherence_invalidations = 0;
+  uint64_t coherence_downgrades = 0;
+  uint64_t coherence_page_returns = 0;  ///< dirty pages flushed by requests
+
+  // TELEPORT runtime.
+  uint64_t pushdown_calls = 0;
+  uint64_t syncmem_pages = 0;
+
+  // CPU accounting.
+  uint64_t cpu_ops = 0;
+
+  /// Element-wise accumulation.
+  void Add(const Metrics& o) {
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    dirty_writebacks += o.dirty_writebacks;
+    prefetched_pages += o.prefetched_pages;
+    net_messages += o.net_messages;
+    net_bytes += o.net_bytes;
+    bytes_from_memory_pool += o.bytes_from_memory_pool;
+    bytes_to_memory_pool += o.bytes_to_memory_pool;
+    memory_pool_hits += o.memory_pool_hits;
+    memory_pool_faults += o.memory_pool_faults;
+    storage_reads += o.storage_reads;
+    storage_writes += o.storage_writes;
+    coherence_messages += o.coherence_messages;
+    coherence_invalidations += o.coherence_invalidations;
+    coherence_downgrades += o.coherence_downgrades;
+    coherence_page_returns += o.coherence_page_returns;
+    pushdown_calls += o.pushdown_calls;
+    syncmem_pages += o.syncmem_pages;
+    cpu_ops += o.cpu_ops;
+  }
+
+  /// Element-wise difference (this - o); used for scoped attribution.
+  Metrics Diff(const Metrics& o) const {
+    Metrics d = *this;
+    d.cache_hits -= o.cache_hits;
+    d.cache_misses -= o.cache_misses;
+    d.cache_evictions -= o.cache_evictions;
+    d.dirty_writebacks -= o.dirty_writebacks;
+    d.prefetched_pages -= o.prefetched_pages;
+    d.net_messages -= o.net_messages;
+    d.net_bytes -= o.net_bytes;
+    d.bytes_from_memory_pool -= o.bytes_from_memory_pool;
+    d.bytes_to_memory_pool -= o.bytes_to_memory_pool;
+    d.memory_pool_hits -= o.memory_pool_hits;
+    d.memory_pool_faults -= o.memory_pool_faults;
+    d.storage_reads -= o.storage_reads;
+    d.storage_writes -= o.storage_writes;
+    d.coherence_messages -= o.coherence_messages;
+    d.coherence_invalidations -= o.coherence_invalidations;
+    d.coherence_downgrades -= o.coherence_downgrades;
+    d.coherence_page_returns -= o.coherence_page_returns;
+    d.pushdown_calls -= o.pushdown_calls;
+    d.syncmem_pages -= o.syncmem_pages;
+    d.cpu_ops -= o.cpu_ops;
+    return d;
+  }
+
+  /// Total bytes moved between the compute and memory pools ("remote memory
+  /// accesses" in the paper's figures).
+  uint64_t RemoteMemoryBytes() const {
+    return bytes_from_memory_pool + bytes_to_memory_pool;
+  }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace teleport::sim
+
+#endif  // TELEPORT_SIM_METRICS_H_

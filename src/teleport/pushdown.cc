@@ -1,0 +1,261 @@
+#include "teleport/pushdown.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rle.h"
+
+namespace teleport::tp {
+
+std::string_view SyncStrategyToString(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kOnDemand:
+      return "OnDemand";
+    case SyncStrategy::kEager:
+      return "Eager";
+    case SyncStrategy::kEagerRange:
+      return "EagerRange";
+  }
+  return "Unknown";
+}
+
+void PushdownBreakdown::Add(const PushdownBreakdown& o) {
+  pre_sync_ns += o.pre_sync_ns;
+  request_transfer_ns += o.request_transfer_ns;
+  queue_wait_ns += o.queue_wait_ns;
+  context_setup_ns += o.context_setup_ns;
+  function_exec_ns += o.function_exec_ns;
+  online_sync_ns += o.online_sync_ns;
+  response_transfer_ns += o.response_transfer_ns;
+  post_sync_ns += o.post_sync_ns;
+}
+
+std::string PushdownBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "pre_sync=" << ToMillis(pre_sync_ns)
+     << "ms request=" << ToMillis(request_transfer_ns)
+     << "ms queue=" << ToMillis(queue_wait_ns)
+     << "ms setup=" << ToMillis(context_setup_ns)
+     << "ms exec=" << ToMillis(function_exec_ns)
+     << "ms online_sync=" << ToMillis(online_sync_ns)
+     << "ms response=" << ToMillis(response_transfer_ns)
+     << "ms post_sync=" << ToMillis(post_sync_ns) << "ms";
+  return os.str();
+}
+
+PushdownRuntime::PushdownRuntime(ddc::MemorySystem* ms, int num_instances)
+    : ms_(ms) {
+  TELEPORT_CHECK(num_instances >= 1);
+  TELEPORT_CHECK(ms_->config().platform == ddc::Platform::kBaseDdc)
+      << "TELEPORT runs on disaggregated platforms only";
+  instance_free_.assign(static_cast<size_t>(num_instances), 0);
+}
+
+Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
+  const auto& params = ms_->params();
+  if (panicked_ || !ms_->fabric().ReachableAt(ctx.now())) {
+    // The real system triggers a kernel panic: main memory is lost (§3.2).
+    panicked_ = true;
+    ctx.AdvanceTime(params.net_latency_ns * 2);
+    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+  }
+  const Nanos done = ms_->fabric().RoundTripFromCompute(
+      ctx.now(), 64, 64, params.fault_handler_ns);
+  ctx.clock().AdvanceTo(done);
+  ctx.metrics().net_messages += 2;
+  ctx.metrics().net_bytes += 128;
+  return Status::OK();
+}
+
+Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
+                                 void* arg, const PushdownFlags& flags) {
+  TELEPORT_CHECK(caller.pool() == ddc::Pool::kCompute)
+      << "pushdown must be called from the compute pool";
+  const auto& params = ms_->params();
+  PushdownBreakdown bd;
+
+  if (panicked_ || !ms_->fabric().ReachableAt(caller.now())) {
+    panicked_ = true;
+    caller.AdvanceTime(params.net_latency_ns * 2);
+    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+  }
+
+  const Nanos t0 = caller.now();
+
+  // (1) Pre-pushdown synchronization.
+  uint64_t req_bytes = 128 + flags.arg_bytes;
+  uint64_t eager_flushed = 0;
+  uint64_t resident_count = 0;
+  ddc::CoherenceMode session_mode = flags.coherence;
+  switch (flags.sync) {
+    case SyncStrategy::kOnDemand: {
+      // Build and RLE-compress the resident page list (§4.1, §6).
+      const std::vector<PageEntry> resident = ms_->ResidentPages();
+      resident_count = resident.size();
+      caller.AdvanceTime(static_cast<Nanos>(resident.size()) *
+                         params.resident_scan_ns);
+      const std::vector<PageRun> runs = RleEncode(resident);
+      const uint64_t raw = RawSizeBytes(resident.size());
+      const uint64_t rle = RleSizeBytes(runs);
+      last_page_list_compression_ =
+          rle == 0 ? 1.0 : static_cast<double>(raw) / static_cast<double>(rle);
+      req_bytes += rle;
+      break;
+    }
+    case SyncStrategy::kEager:
+      eager_flushed = ms_->FlushAllCache(caller, /*drop=*/true);
+      session_mode = ddc::CoherenceMode::kNone;  // everything already synced
+      break;
+    case SyncStrategy::kEagerRange:
+      TELEPORT_CHECK(flags.sync_len > 0)
+          << "kEagerRange requires sync_addr/sync_len";
+      ms_->FlushRange(caller, flags.sync_addr, flags.sync_len, /*drop=*/true);
+      session_mode = ddc::CoherenceMode::kNone;
+      break;
+  }
+  bd.pre_sync_ns = caller.now() - t0;
+
+  // (2) Request transfer over the fabric (single RDMA message, §6).
+  const Nanos send_time = caller.now();
+  const Nanos arrive = ms_->fabric().SendToMemory(send_time, req_bytes);
+  caller.metrics().net_messages += 1;
+  caller.metrics().net_bytes += req_bytes;
+  bd.request_transfer_ns = arrive - send_time;
+
+  // Queue for a free memory-pool instance (FIFO workqueue, §3.2).
+  auto slot = std::min_element(instance_free_.begin(), instance_free_.end());
+  const Nanos start = std::max(arrive, *slot);
+
+  // Timeout / try_cancel (§3.2): cancellation succeeds only if the request
+  // has not started executing when the cancel arrives.
+  if (flags.timeout_ns > 0) {
+    const Nanos cancel_sent = t0 + flags.timeout_ns;
+    const Nanos cancel_arrives = cancel_sent + params.NetTransfer(64);
+    if (start > cancel_arrives) {
+      const Nanos done = ms_->fabric().RoundTripFromCompute(
+          cancel_sent, 64, 64, params.fault_handler_ns);
+      caller.clock().AdvanceTo(done);
+      caller.metrics().net_messages += 2;
+      caller.metrics().net_bytes += 128;
+      ++cancelled_calls_;
+      return Status::TimedOut("pushdown cancelled before execution");
+    }
+    // Already running (or about to): the memory pool declines to cancel and
+    // the application waits for completion.
+  }
+  bd.queue_wait_ns = start - arrive;
+
+  // (3) Temporary user context setup (vfork-like attach, Fig 8). The table
+  // clone is lazy/COW; the real per-entry work is checking and invalidating
+  // the PTEs named in the resident list (§7.5: setup time grows with the
+  // compute cache size), so cost scales with resident pages. Eager modes
+  // flushed the cache first and pay only the fixed attach cost.
+  const uint64_t npte = ms_->BeginPushdownSession(session_mode);
+  (void)npte;
+  const Nanos setup_ns =
+      params.context_fixed_ns +
+      static_cast<Nanos>(resident_count) * params.pte_clone_ns;
+  bd.context_setup_ns = setup_ns;
+
+  // (4) Function execution in the memory pool.
+  auto mem_ctx = ms_->CreateContext(ddc::Pool::kMemory);
+  mem_ctx->clock().Reset(start + setup_ns);
+  Status st = fn(*mem_ctx, arg);
+  const Nanos fn_total = mem_ctx->now() - (start + setup_ns);
+  bd.online_sync_ns = mem_ctx->coherence_ns();
+  bd.function_exec_ns = fn_total - bd.online_sync_ns;
+  if (fn_total > kill_timeout_ns_ && st.ok()) {
+    st = Status::Fault(
+        "pushed function exceeded the kill timeout; aborted to unblock the "
+        "workqueue (§3.2)");
+  }
+  caller.metrics().Add(mem_ctx->metrics());
+  caller.metrics().pushdown_calls += 1;
+  ms_->EndPushdownSession();
+
+  // (5) Response transfer; the instance is recycled.
+  const Nanos resp_sent = mem_ctx->now() + params.context_fixed_ns / 4;
+  *slot = resp_sent;
+  const uint64_t resp_bytes = 128 + flags.result_bytes;
+  const Nanos resp_arrive = ms_->fabric().SendToCompute(resp_sent, resp_bytes);
+  caller.metrics().net_messages += 1;
+  caller.metrics().net_bytes += resp_bytes;
+  caller.clock().AdvanceTo(resp_arrive);
+  // Includes the instance-recycle interval so the per-call breakdown sums
+  // exactly to the caller's observed elapsed time.
+  bd.response_transfer_ns = resp_arrive - mem_ctx->now();
+
+  // (6) Post-pushdown synchronization.
+  const Nanos post0 = caller.now();
+  if (flags.sync == SyncStrategy::kEager) {
+    ms_->BulkRefetch(caller, eager_flushed);
+  }
+  // On-demand: dirty bits merged locally in the pool; compute re-faults
+  // lazily (no work here, §4.1).
+  bd.post_sync_ns = caller.now() - post0;
+
+  last_breakdown_ = bd;
+  total_breakdown_.Add(bd);
+  call_latency_.Add(bd.Total());
+  online_sync_latency_.Add(bd.online_sync_ns);
+  ++completed_calls_;
+  return st;
+}
+
+Nanos InstancePoolMakespan(int n_requests, Nanos busy_ns, Nanos stall_ns,
+                           int instances, int cores,
+                           const sim::CostParams& params) {
+  TELEPORT_CHECK(n_requests > 0 && instances > 0 && cores > 0);
+  // Each request alternates `kSegments` busy/stall segment pairs; instances
+  // compete for cores on busy segments (greedy earliest-core assignment,
+  // FIFO request order). Oversubscription charges a context switch per
+  // busy-segment dispatch.
+  constexpr int kSegments = 10;
+  const Nanos busy_seg = busy_ns / kSegments;
+  const Nanos stall_seg = stall_ns / kSegments;
+  const bool oversubscribed = instances > cores;
+
+  std::vector<Nanos> core_free(static_cast<size_t>(cores), 0);
+  std::vector<int> core_last(static_cast<size_t>(cores), -1);
+  std::vector<Nanos> instance_time(static_cast<size_t>(instances), 0);
+  Nanos makespan = 0;
+  int next_request = 0;
+  // Instances pull requests FIFO; process instance with the earliest clock.
+  std::vector<int> remaining(static_cast<size_t>(instances), 0);
+  while (true) {
+    // Pick the instance that is free earliest.
+    int inst = -1;
+    for (int i = 0; i < instances; ++i) {
+      if (remaining[i] == 0) {
+        if (next_request < n_requests) {
+          remaining[i] = kSegments;
+          ++next_request;
+        } else {
+          continue;
+        }
+      }
+      if (inst == -1 || instance_time[i] < instance_time[inst]) inst = i;
+    }
+    if (inst == -1) break;
+    // Run one busy segment on the earliest-free core, then stall.
+    auto core = std::min_element(core_free.begin(), core_free.end());
+    const auto core_idx = static_cast<size_t>(core - core_free.begin());
+    Nanos begin = std::max(instance_time[inst], *core);
+    // A context switch is charged only when an oversubscribed core picks
+    // up a different instance than it last ran.
+    if (oversubscribed && core_last[core_idx] != inst) {
+      begin += params.context_switch_ns;
+    }
+    core_last[core_idx] = inst;
+    const Nanos busy_end = begin + busy_seg;
+    *core = busy_end;
+    instance_time[inst] = busy_end + stall_seg;
+    if (instance_time[inst] > makespan) makespan = instance_time[inst];
+    --remaining[inst];
+  }
+  return makespan;
+}
+
+}  // namespace teleport::tp

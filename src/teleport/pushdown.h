@@ -1,0 +1,204 @@
+#ifndef TELEPORT_TELEPORT_PUSHDOWN_H_
+#define TELEPORT_TELEPORT_PUSHDOWN_H_
+
+#include <exception>
+#include <type_traits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "ddc/memory_system.h"
+
+namespace teleport::tp {
+
+/// Synchronization strategy applied around a pushdown call (§4, Fig 20,
+/// Fig 6 ablation).
+enum class SyncStrategy : uint8_t {
+  /// Default: no pages move up front; the MESI-inspired on-demand protocol
+  /// keeps the pools coherent during execution (§4.1).
+  kOnDemand,
+  /// Strawman: flush the entire compute cache before execution and refetch
+  /// it afterwards (Fig 20 "eager sync").
+  kEager,
+  /// Flush and evict only the pages of a caller-specified range before
+  /// execution, with no online coherence (Fig 6 "per thread"). Requires
+  /// `sync_addr`/`sync_len` in the flags.
+  kEagerRange,
+};
+
+std::string_view SyncStrategyToString(SyncStrategy s);
+
+/// The `flags` argument of the pushdown syscall (§3.1).
+struct PushdownFlags {
+  SyncStrategy sync = SyncStrategy::kOnDemand;
+
+  /// Coherence protocol variant for the session (§4.2 relaxations).
+  ddc::CoherenceMode coherence = ddc::CoherenceMode::kMesi;
+
+  /// 0 = block until completion (default). Otherwise, if the request has
+  /// not started executing after `timeout_ns`, a try_cancel is issued; a
+  /// successful cancel surfaces Status::TimedOut and leaves the caller free
+  /// to run the function locally (§3.2).
+  Nanos timeout_ns = 0;
+
+  /// Range for SyncStrategy::kEagerRange.
+  ddc::VAddr sync_addr = 0;
+  uint64_t sync_len = 0;
+
+  /// Approximate serialized size of fn's argument vector (shipped inside
+  /// the request message).
+  uint64_t arg_bytes = 64;
+
+  /// Approximate serialized size of fn's return payload.
+  uint64_t result_bytes = 64;
+};
+
+/// Wall-clock breakdown of one pushdown call, matching the six components
+/// of Fig 19 (function execution and online synchronization are split out
+/// as in Fig 20).
+struct PushdownBreakdown {
+  Nanos pre_sync_ns = 0;           ///< (1) pre-pushdown synchronization
+  Nanos request_transfer_ns = 0;   ///< (2) request over RDMA
+  Nanos queue_wait_ns = 0;         ///<     waiting for a free instance
+  Nanos context_setup_ns = 0;      ///< (3) temporary user context setup
+  Nanos function_exec_ns = 0;      ///< (4a) user function execution
+  Nanos online_sync_ns = 0;        ///< (4b) coherence during execution
+  Nanos response_transfer_ns = 0;  ///< (5) response over RDMA
+  Nanos post_sync_ns = 0;          ///< (6) post-pushdown synchronization
+
+  Nanos Total() const {
+    return pre_sync_ns + request_transfer_ns + queue_wait_ns +
+           context_setup_ns + function_exec_ns + online_sync_ns +
+           response_transfer_ns + post_sync_ns;
+  }
+
+  void Add(const PushdownBreakdown& o);
+  std::string ToString() const;
+};
+
+/// Signature of a pushed-down function: executes inside a memory-pool
+/// context with an opaque argument pointer, mirroring the
+/// `pushdown(fn, arg, flags)` syscall of §3.1. The argument may contain
+/// pointers into the shared virtual address space.
+using PushdownFn = Status (*)(ddc::ExecutionContext&, void* arg);
+
+/// The TELEPORT runtime: the user-level analog of the compute- and
+/// memory-pool kernel instances of §3.2 and §6.
+///
+/// One runtime serves one MemorySystem (one process address space). It owns
+/// the pool of memory-side instances: concurrent pushdown requests from
+/// multiple application threads are queued FIFO and served by
+/// `num_instances` temporary user contexts (§3.2 "handling concurrent
+/// pushdown requests").
+class PushdownRuntime {
+ public:
+  /// `num_instances` is the number of parallel user contexts in the memory
+  /// pool (Fig 17); 1 serializes concurrent requests.
+  explicit PushdownRuntime(ddc::MemorySystem* ms, int num_instances = 1);
+
+  PushdownRuntime(const PushdownRuntime&) = delete;
+  PushdownRuntime& operator=(const PushdownRuntime&) = delete;
+
+  /// The pushdown syscall. Blocks the caller (its virtual clock advances to
+  /// the completion time); other simulated threads may run concurrently.
+  ///
+  /// Returns fn's status on success; TimedOut if a timeout was set and the
+  /// request was cancelled before starting; Unavailable if the memory pool
+  /// is unreachable (heartbeat failure — the real system panics, §3.2);
+  /// Fault if the function overran the runtime's kill timeout.
+  Status Pushdown(ddc::ExecutionContext& caller, PushdownFn fn, void* arg,
+                  const PushdownFlags& flags = {});
+
+  /// Convenience wrapper for invocables. C++ exceptions thrown by `fn` in
+  /// the memory pool are caught by the stub, transported, and rethrown at
+  /// the caller (§3.2 exception handling).
+  template <typename F>
+  Status Call(ddc::ExecutionContext& caller, F&& fn,
+              const PushdownFlags& flags = {}) {
+    using Fn = std::remove_reference_t<F>;
+    struct Shim {
+      Fn* fn;
+      std::exception_ptr eptr;
+    } shim{&fn, nullptr};
+    PushdownFn tramp = [](ddc::ExecutionContext& mem_ctx,
+                          void* arg) -> Status {
+      Shim* s = static_cast<Shim*>(arg);
+      try {
+        return (*s->fn)(mem_ctx);
+      } catch (...) {
+        s->eptr = std::current_exception();
+        return Status::Fault("C++ exception escaped pushed function");
+      }
+    };
+    Status st = Pushdown(caller, tramp, &shim, flags);
+    if (shim.eptr) std::rethrow_exception(shim.eptr);
+    return st;
+  }
+
+  /// The syncmem syscall (§4.2): manually flush dirty pages of a range.
+  void Syncmem(ddc::ExecutionContext& ctx, ddc::VAddr addr, uint64_t len) {
+    ms_->Syncmem(ctx, addr, len);
+  }
+
+  /// Background heartbeat check (§3.2): cheap probe of the memory pool.
+  Status CheckHeartbeat(ddc::ExecutionContext& ctx);
+
+  /// Kills pushed functions whose simulated execution exceeds this bound
+  /// (§3.2 "buggy code ... killed by TELEPORT"). Default: 10 virtual
+  /// minutes.
+  void set_kill_timeout(Nanos ns) { kill_timeout_ns_ = ns; }
+
+  int num_instances() const { return static_cast<int>(instance_free_.size()); }
+
+  /// Breakdown of the most recent completed call.
+  const PushdownBreakdown& last_breakdown() const { return last_breakdown_; }
+  /// Distribution of completed calls' end-to-end virtual latencies.
+  const Histogram& call_latency() const { return call_latency_; }
+  /// Distribution of the online-coherence component per call.
+  const Histogram& online_sync_latency() const { return online_sync_latency_; }
+  /// Sum of breakdowns across all completed calls.
+  const PushdownBreakdown& total_breakdown() const {
+    return total_breakdown_;
+  }
+  uint64_t completed_calls() const { return completed_calls_; }
+  uint64_t cancelled_calls() const { return cancelled_calls_; }
+
+  /// True once a heartbeat or pushdown has observed the memory pool
+  /// unreachable. The real system panics at that point (§3.2: main memory
+  /// is lost); here the runtime latches into a failed state and every
+  /// subsequent call returns Unavailable immediately.
+  bool panicked() const { return panicked_; }
+  /// RLE compression ratio of the last resident-page list (§6 reports ~20x).
+  double last_page_list_compression() const {
+    return last_page_list_compression_;
+  }
+
+ private:
+  ddc::MemorySystem* ms_;
+  std::vector<Nanos> instance_free_;  ///< next-free time per instance
+  Nanos kill_timeout_ns_ = 600 * kSecond;
+  PushdownBreakdown last_breakdown_;
+  PushdownBreakdown total_breakdown_;
+  Histogram call_latency_;
+  Histogram online_sync_latency_;
+  uint64_t completed_calls_ = 0;
+  uint64_t cancelled_calls_ = 0;
+  bool panicked_ = false;
+  double last_page_list_compression_ = 1.0;
+};
+
+/// Analytic makespan model for `n` identical pushdown requests served by
+/// `instances` user contexts on `cores` memory-pool cores (Fig 17). Each
+/// request consists of `busy_ns` of core time and `stall_ns` of off-core
+/// waiting (coherence round trips, storage faults). Context switching adds
+/// overhead once instances exceed cores.
+Nanos InstancePoolMakespan(int n_requests, Nanos busy_ns, Nanos stall_ns,
+                           int instances, int cores,
+                           const sim::CostParams& params);
+
+}  // namespace teleport::tp
+
+#endif  // TELEPORT_TELEPORT_PUSHDOWN_H_

@@ -1,0 +1,112 @@
+#include "bench/micro.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport::bench {
+namespace {
+
+MicroConfig TinyConfig() {
+  MicroConfig cfg;
+  cfg.region_bytes = 8 << 20;
+  cfg.cache_bytes = 512 << 10;
+  cfg.accesses = 5'000;
+  cfg.write_fraction = 0.3;
+  return cfg;
+}
+
+TEST(MicroTest, Deterministic) {
+  const MicroConfig cfg = TinyConfig();
+  const MicroResult a = RunMicro(cfg, MicroScenario::kPushCoherence);
+  const MicroResult b = RunMicro(cfg, MicroScenario::kPushCoherence);
+  EXPECT_EQ(a.time_ns, b.time_ns);
+  EXPECT_EQ(a.coherence_messages, b.coherence_messages);
+}
+
+TEST(MicroTest, LocalIsFastestBaseDdcSlowest) {
+  const MicroConfig cfg = TinyConfig();
+  const MicroResult local = RunMicro(cfg, MicroScenario::kLocal);
+  const MicroResult base = RunMicro(cfg, MicroScenario::kBaseDdc);
+  const MicroResult coherent = RunMicro(cfg, MicroScenario::kPushCoherence);
+  EXPECT_LT(local.time_ns, coherent.time_ns);
+  EXPECT_LT(coherent.time_ns, base.time_ns);
+}
+
+TEST(MicroTest, Fig6OrderingOnTinyConfig) {
+  MicroConfig cfg = TinyConfig();
+  cfg.region_bytes = 32 << 20;
+  cfg.cache_bytes = 2 << 20;
+  const Nanos full =
+      RunMicro(cfg, MicroScenario::kPushFullProcess).time_ns;
+  const Nanos per_thread =
+      RunMicro(cfg, MicroScenario::kPushPerThread).time_ns;
+  const Nanos coherent =
+      RunMicro(cfg, MicroScenario::kPushCoherence).time_ns;
+  EXPECT_LT(coherent, per_thread);
+  EXPECT_LT(per_thread, full);
+}
+
+TEST(MicroTest, ContentionGeneratesMessagesOnlyUnderDefaultProtocol) {
+  MicroConfig cfg = TinyConfig();
+  cfg.contention_rate = 0.02;
+  const MicroResult def = RunMicro(cfg, MicroScenario::kPushCoherence);
+  const MicroResult wo = RunMicro(cfg, MicroScenario::kPushWeakOrdering);
+  EXPECT_GT(def.coherence_messages, 20u);
+  EXPECT_EQ(wo.coherence_messages, 0u);
+}
+
+TEST(MicroTest, MoreContentionMoreMessages) {
+  MicroConfig low = TinyConfig();
+  low.contention_rate = 0.001;
+  MicroConfig high = TinyConfig();
+  high.contention_rate = 0.05;
+  EXPECT_LT(RunMicro(low, MicroScenario::kPushCoherence).coherence_messages,
+            RunMicro(high, MicroScenario::kPushCoherence).coherence_messages);
+}
+
+TEST(MicroTest, LocalPlatformHasNoNetworkTraffic) {
+  const MicroResult r = RunMicro(TinyConfig(), MicroScenario::kLocal);
+  EXPECT_EQ(r.net_messages, 0u);
+  EXPECT_EQ(r.remote_bytes, 0u);
+}
+
+TEST(MicroTest, FalseSharingPingPongsOnlyWithCoherence) {
+  MicroConfig cfg = TinyConfig();
+  cfg.false_sharing = true;
+  cfg.contention_rate = 0.02;
+  const MicroResult coherent = RunMicro(cfg, MicroScenario::kPushCoherence);
+  const MicroResult manual =
+      RunMicro(cfg, MicroScenario::kPushNoCoherenceSyncmem);
+  EXPECT_GT(coherent.coherence_messages, 10 * (manual.coherence_messages + 1));
+  EXPECT_LE(manual.time_ns, coherent.time_ns);
+}
+
+TEST(MicroTest, PsoEliminatesReaderWriterPingPong) {
+  MicroConfig cfg = TinyConfig();
+  cfg.contention_rate = 0.02;
+  cfg.reader_writer = true;  // compute reads, pushed thread writes
+  // Subtract the contention-free floor (region-page coherence) so the
+  // comparison isolates the contention-attributable traffic.
+  MicroConfig quiet = cfg;
+  quiet.contention_rate = 0;
+  const uint64_t mesi_floor =
+      RunMicro(quiet, MicroScenario::kPushCoherence).coherence_messages;
+  const uint64_t pso_floor =
+      RunMicro(quiet, MicroScenario::kPushPso).coherence_messages;
+  const MicroResult mesi = RunMicro(cfg, MicroScenario::kPushCoherence);
+  const MicroResult pso = RunMicro(cfg, MicroScenario::kPushPso);
+  const uint64_t mesi_contention = mesi.coherence_messages - mesi_floor;
+  const uint64_t pso_contention = pso.coherence_messages - pso_floor;
+  EXPECT_LT(pso_contention, mesi_contention / 2 + 8);
+  EXPECT_LE(pso.time_ns, mesi.time_ns);
+}
+
+TEST(MicroTest, ScenarioNamesAreStable) {
+  EXPECT_EQ(MicroScenarioToString(MicroScenario::kLocal), "Local");
+  EXPECT_EQ(MicroScenarioToString(MicroScenario::kPushCoherence),
+            "TELEPORT(coherence)");
+  EXPECT_EQ(MicroScenarioToString(MicroScenario::kPushWeakOrdering),
+            "TELEPORT(relaxed)");
+}
+
+}  // namespace
+}  // namespace teleport::bench

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(HistogramTest, PercentilesAreOrdered) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Add(i % 1000);
+  const double p10 = h.Percentile(10);
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, PercentileWithinBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(512);  // all in bucket [512,1024)
+  EXPECT_GE(h.Percentile(50), 512.0);
+  EXPECT_LE(h.Percentile(50), 1024.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+  EXPECT_EQ(a.max(), 30);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(7);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teleport

@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, BelowThresholdEmitsNothing) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  TELEPORT_LOG(kInfo) << "should be dropped";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingTest, AtThresholdEmits) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  TELEPORT_LOG(kInfo) << "visible message " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible message 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TELEPORT_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  TELEPORT_CHECK(1 + 1 == 2) << "never printed";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH({ TELEPORT_DCHECK(false) << "debug only"; }, "Check failed");
+}
+#else
+TEST(LoggingTest, DcheckCompiledOutInRelease) {
+  TELEPORT_DCHECK(false) << "no effect in NDEBUG builds";
+}
+#endif
+
+}  // namespace
+}  // namespace teleport

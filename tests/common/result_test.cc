@@ -1,0 +1,59 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace teleport {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("no such page");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto make = []() -> Result<int> { return Status::Internal("boom"); };
+  auto use = [&]() -> Status {
+    TELEPORT_ASSIGN_OR_RETURN(int v, make());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_EQ(use().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto make = []() -> Result<int> { return 9; };
+  int out = 0;
+  auto use = [&]() -> Status {
+    TELEPORT_ASSIGN_OR_RETURN(out, make());
+    return Status::OK();
+  };
+  EXPECT_TRUE(use().ok());
+  EXPECT_EQ(out, 9);
+}
+
+}  // namespace
+}  // namespace teleport

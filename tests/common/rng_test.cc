@@ -1,0 +1,102 @@
+#include "common/rng.h"
+
+#include <array>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace teleport {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(23);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 1000u);
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  Rng rng(29);
+  ZipfGenerator zipf(10000, 0.99);
+  int head = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) < 100) ++head;  // top 1% of the key space
+  }
+  // Under Zipf(0.99) the top 1% of keys draw far more than 1% of samples.
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(ZipfTest, LowerThetaIsLessSkewed) {
+  Rng rng1(31), rng2(31);
+  ZipfGenerator mild(10000, 0.2), strong(10000, 0.99);
+  int mild_head = 0, strong_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Sample(rng1) < 100) ++mild_head;
+    if (strong.Sample(rng2) < 100) ++strong_head;
+  }
+  EXPECT_LT(mild_head, strong_head);
+}
+
+}  // namespace
+}  // namespace teleport

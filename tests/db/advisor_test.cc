@@ -1,0 +1,146 @@
+#include "db/advisor.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace teleport::db {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<TpchDatabase> db;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Deployment MakeDdc(double sf = 1.0) {
+  Deployment d;
+  TpchConfig cfg;
+  cfg.scale_factor = sf;
+  ddc::DdcConfig dc;
+  dc.platform = ddc::Platform::kBaseDdc;
+  const uint64_t bytes = EstimateTpchBytes(cfg);
+  dc.compute_cache_bytes = std::max<uint64_t>(16 * 4096, bytes / 50);
+  dc.memory_pool_bytes = bytes * 8;
+  d.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             bytes * 12);
+  d.db = GenerateTpch(d.ms.get(), cfg);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  return d;
+}
+
+TEST(AdvisorTest, ProfilesCarryCpuAndPageCounters) {
+  auto d = MakeDdc();
+  const QueryResult r = RunQ6(*d.ctx, *d.db, QueryOptions{});
+  for (const OperatorProfile& op : r.ops) {
+    EXPECT_GT(op.cpu_ops, 0u) << op.name;
+  }
+  // At least the scan operators move pages.
+  EXPECT_GT(r.Op("Selection(shipdate)").remote_pages, 0u);
+}
+
+TEST(AdvisorTest, RecommendsMemoryBoundOperators) {
+  auto d = MakeDdc();
+  const QueryResult profile = RunQ9(*d.ctx, *d.db, QueryOptions{});
+  const PushdownPlan plan = AdvisePushdown(profile, AdvisorParams{});
+  // On the base DDC every heavy Q9 operator is remote-bound; the advisor
+  // must pick up the big movers.
+  EXPECT_GE(plan.push_ops.size(), 3u);
+  EXPECT_TRUE(plan.push_ops.count("HashJoin(part)") ||
+              plan.push_ops.count("HashJoin(partsupp)") ||
+              plan.push_ops.count("Projection"));
+  EXPECT_EQ(plan.advice.size(), profile.ops.size());
+}
+
+TEST(AdvisorTest, ThrottledCoresShrinkTheSet) {
+  auto d = MakeDdc();
+  const QueryResult profile = RunQ9(*d.ctx, *d.db, QueryOptions{});
+  AdvisorParams full;
+  AdvisorParams throttled;
+  throttled.memory_pool_clock_ratio = 0.1;  // very weak pool cores
+  const size_t n_full = AdvisePushdown(profile, full).push_ops.size();
+  const size_t n_throttled =
+      AdvisePushdown(profile, throttled).push_ops.size();
+  EXPECT_LE(n_throttled, n_full);
+}
+
+TEST(AdvisorTest, HighOverheadSuppressesSmallOperators) {
+  auto d = MakeDdc();
+  const QueryResult profile = RunQFilter(*d.ctx, *d.db, QueryOptions{});
+  AdvisorParams expensive;
+  expensive.per_call_overhead_ns = 1'000 * kMillisecond;
+  const PushdownPlan plan = AdvisePushdown(profile, expensive);
+  EXPECT_TRUE(plan.push_ops.empty());
+  for (const OperatorAdvice& a : plan.advice) EXPECT_FALSE(a.push);
+}
+
+TEST(AdvisorTest, AdviceEstimatesAreInternallyConsistent) {
+  auto d = MakeDdc();
+  const QueryResult profile = RunQ6(*d.ctx, *d.db, QueryOptions{});
+  AdvisorParams params;
+  params.memory_pool_clock_ratio = 0.5;
+  const PushdownPlan plan = AdvisePushdown(profile, params);
+  for (const OperatorAdvice& a : plan.advice) {
+    EXPECT_GE(a.est_remote_saving_ns, 0);
+    EXPECT_GE(a.est_cpu_penalty_ns, 0);
+    EXPECT_EQ(a.push, a.NetBenefit(params.per_call_overhead_ns) > 0);
+  }
+}
+
+TEST(AdvisorTest, AdvisedPlanExecutesCorrectlyAndHelps) {
+  // End to end: profile, advise, execute the advised plan, compare.
+  auto profile_dep = MakeDdc(2.0);
+  const QueryResult profile = RunQ6(*profile_dep.ctx, *profile_dep.db, {});
+  const PushdownPlan plan = AdvisePushdown(profile, AdvisorParams{});
+  ASSERT_FALSE(plan.push_ops.empty());
+
+  auto run_dep = MakeDdc(2.0);
+  QueryOptions opts;
+  opts.runtime = run_dep.runtime.get();
+  opts.push_ops = plan.push_ops;
+  const QueryResult advised = RunQ6(*run_dep.ctx, *run_dep.db, opts);
+  EXPECT_EQ(advised.checksum, profile.checksum);
+  EXPECT_LT(advised.total_ns, profile.total_ns);
+}
+
+TEST(Q1Test, ChecksumMatchesAcrossPlatformsAndPushdown) {
+  // Local reference.
+  TpchConfig cfg;
+  cfg.scale_factor = 1.0;
+  ddc::DdcConfig lc;
+  lc.platform = ddc::Platform::kLocal;
+  ddc::MemorySystem lms(lc, sim::CostParams::Default(),
+                        EstimateTpchBytes(cfg) * 12);
+  auto ldb = GenerateTpch(&lms, cfg);
+  auto lctx = lms.CreateContext(ddc::Pool::kCompute);
+  const QueryResult r_local = RunQ1(*lctx, *ldb, QueryOptions{});
+  ASSERT_EQ(r_local.ops.size(), 4u);
+  EXPECT_NE(r_local.checksum, 0);
+
+  auto tele = MakeDdc();
+  QueryOptions opts;
+  opts.runtime = tele.runtime.get();
+  opts.push_ops = DefaultTeleportOps("q1");
+  const QueryResult r_tele = RunQ1(*tele.ctx, *tele.db, opts);
+  EXPECT_EQ(r_local.checksum, r_tele.checksum);
+}
+
+TEST(Q1Test, GroupCountsSumToSelection) {
+  TpchConfig cfg;
+  cfg.scale_factor = 1.0;
+  ddc::DdcConfig lc;
+  lc.platform = ddc::Platform::kLocal;
+  ddc::MemorySystem lms(lc, sim::CostParams::Default(),
+                        EstimateTpchBytes(cfg) * 12);
+  auto ldb = GenerateTpch(&lms, cfg);
+  auto lctx = lms.CreateContext(ddc::Pool::kCompute);
+  const QueryResult r = RunQ1(*lctx, *ldb, QueryOptions{});
+  // Wide selection: shipdate < domain-90 keeps the large majority of rows.
+  EXPECT_GT(r.Op("Selection").rows_out, ldb->lineitem.rows / 2);
+  EXPECT_EQ(r.Op("Aggregation(group)").rows_out, 3u);
+}
+
+}  // namespace
+}  // namespace teleport::db

@@ -1,0 +1,169 @@
+// Parameterized query sweeps: every query must produce identical results
+// across platforms, pushdown configurations, scales and cache sizes, and
+// its plan-level invariants (row counts, operator structure) must hold.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "db/query.h"
+
+namespace teleport::db {
+namespace {
+
+using QueryFn = QueryResult (*)(ddc::ExecutionContext&, const TpchDatabase&,
+                                const QueryOptions&);
+
+QueryResult RunQFilterDefault(ddc::ExecutionContext& ctx,
+                              const TpchDatabase& db,
+                              const QueryOptions& opts) {
+  return RunQFilter(ctx, db, opts);
+}
+
+struct NamedQuery {
+  const char* name;
+  QueryFn fn;
+};
+
+const NamedQuery kAll[] = {
+    {"qfilter", &RunQFilterDefault}, {"q1", &RunQ1}, {"q3", &RunQ3},
+    {"q6", &RunQ6},                  {"q9", &RunQ9},
+};
+
+struct Env {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<TpchDatabase> db;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Env MakeEnv(ddc::Platform platform, double sf, double cache_fraction) {
+  Env e;
+  TpchConfig cfg;
+  cfg.scale_factor = sf;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  const uint64_t bytes = EstimateTpchBytes(cfg);
+  dc.compute_cache_bytes = std::max<uint64_t>(
+      16 * 4096,
+      static_cast<uint64_t>(cache_fraction * static_cast<double>(bytes)));
+  dc.memory_pool_bytes = bytes * 8;
+  e.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             bytes * 12);
+  e.db = GenerateTpch(e.ms.get(), cfg);
+  e.ctx = e.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    e.runtime = std::make_unique<tp::PushdownRuntime>(e.ms.get());
+  }
+  return e;
+}
+
+using SweepParam = std::tuple<int /*query idx*/, double /*sf*/,
+                              double /*cache fraction*/>;
+
+class QuerySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(QuerySweepTest, ChecksumInvariantAcrossDeployments) {
+  const auto [qi, sf, cache] = GetParam();
+  const NamedQuery& q = kAll[qi];
+
+  Env local = MakeEnv(ddc::Platform::kLocal, sf, cache);
+  const QueryResult r_local = q.fn(*local.ctx, *local.db, {});
+
+  Env ssd = MakeEnv(ddc::Platform::kLinuxSsd, sf, cache);
+  const QueryResult r_ssd = q.fn(*ssd.ctx, *ssd.db, {});
+
+  Env tele = MakeEnv(ddc::Platform::kBaseDdc, sf, cache);
+  QueryOptions opts;
+  opts.runtime = tele.runtime.get();
+  opts.push_ops = DefaultTeleportOps(q.name);
+  const QueryResult r_tele = q.fn(*tele.ctx, *tele.db, opts);
+
+  EXPECT_EQ(r_local.checksum, r_ssd.checksum) << q.name;
+  EXPECT_EQ(r_local.checksum, r_tele.checksum) << q.name;
+  // Same plan structure everywhere.
+  ASSERT_EQ(r_local.ops.size(), r_tele.ops.size());
+  for (size_t i = 0; i < r_local.ops.size(); ++i) {
+    EXPECT_EQ(r_local.ops[i].rows_out, r_tele.ops[i].rows_out)
+        << q.name << " op " << r_local.ops[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuerySweepTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(0.25, 1.0),
+                       ::testing::Values(0.02, 0.25)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const int qi = std::get<0>(info.param);
+      const double sf = std::get<1>(info.param);
+      const double cache = std::get<2>(info.param);
+      return std::string(kAll[qi].name) + "_sf" +
+             (sf < 0.5 ? "quarter" : "one") + "_cache" +
+             (cache < 0.1 ? "small" : "large");
+    });
+
+TEST(QueryInvariantTest, Q6SelectionChainShrinks) {
+  Env e = MakeEnv(ddc::Platform::kLocal, 1.0, 0.02);
+  const QueryResult r = RunQ6(*e.ctx, *e.db, {});
+  const uint64_t s1 = r.Op("Selection(shipdate)").rows_out;
+  const uint64_t s2 = r.Op("Selection(discount)").rows_out;
+  const uint64_t s3 = r.Op("Selection(quantity)").rows_out;
+  EXPECT_GT(s1, 0u);
+  EXPECT_LE(s2, s1);
+  EXPECT_LE(s3, s2);
+  EXPECT_EQ(r.Op("Expression").rows_out, s3);
+}
+
+TEST(QueryInvariantTest, Q9JoinCardinalityChain) {
+  Env e = MakeEnv(ddc::Platform::kLocal, 1.0, 0.02);
+  const QueryResult r = RunQ9(*e.ctx, *e.db, {});
+  const uint64_t part_matches = r.Op("HashJoin(part)").rows_out;
+  // Every part-filtered lineitem row survives the partsupp and supplier
+  // joins (FK integrity guaranteed by the generator).
+  EXPECT_EQ(r.Op("HashJoin(partsupp)").rows_out, part_matches);
+  EXPECT_EQ(r.Op("HashJoin(supplier)").rows_out, part_matches);
+  EXPECT_EQ(r.Op("MergeJoin(orders)").rows_out, part_matches);
+  // The LIKE selection keeps a modest fraction of parts.
+  const uint64_t green = r.Op("Selection(p_name)").rows_out;
+  EXPECT_GT(green, 0u);
+  EXPECT_LT(green, e.db->part.rows / 2);
+}
+
+TEST(QueryInvariantTest, Q3GroupsBoundedByOrders) {
+  Env e = MakeEnv(ddc::Platform::kLocal, 1.0, 0.02);
+  const QueryResult r = RunQ3(*e.ctx, *e.db, {});
+  EXPECT_LE(r.Op("GroupBy").rows_out, r.Op("HashJoin(customer)").rows_out);
+  EXPECT_GT(r.Op("GroupBy").rows_out, 0u);
+}
+
+TEST(QueryInvariantTest, DeterministicAcrossRepeatedRuns) {
+  Env a = MakeEnv(ddc::Platform::kBaseDdc, 0.5, 0.05);
+  Env b = MakeEnv(ddc::Platform::kBaseDdc, 0.5, 0.05);
+  const QueryResult ra = RunQ9(*a.ctx, *a.db, {});
+  const QueryResult rb = RunQ9(*b.ctx, *b.db, {});
+  EXPECT_EQ(ra.checksum, rb.checksum);
+  EXPECT_EQ(ra.total_ns, rb.total_ns);  // bit-identical virtual time
+  for (size_t i = 0; i < ra.ops.size(); ++i) {
+    EXPECT_EQ(ra.ops[i].time_ns, rb.ops[i].time_ns);
+    EXPECT_EQ(ra.ops[i].remote_bytes, rb.ops[i].remote_bytes);
+  }
+}
+
+TEST(QueryInvariantTest, PushdownNeverChangesRowCounts) {
+  Env base = MakeEnv(ddc::Platform::kBaseDdc, 0.5, 0.02);
+  const QueryResult plain = RunQ3(*base.ctx, *base.db, {});
+  Env tele = MakeEnv(ddc::Platform::kBaseDdc, 0.5, 0.02);
+  QueryOptions opts;
+  opts.runtime = tele.runtime.get();
+  opts.push_all = true;
+  const QueryResult pushed = RunQ3(*tele.ctx, *tele.db, opts);
+  ASSERT_EQ(plain.ops.size(), pushed.ops.size());
+  for (size_t i = 0; i < plain.ops.size(); ++i) {
+    EXPECT_EQ(plain.ops[i].rows_out, pushed.ops[i].rows_out);
+  }
+}
+
+}  // namespace
+}  // namespace teleport::db

@@ -1,0 +1,195 @@
+#include "db/query.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace teleport::db {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<TpchDatabase> db;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Deployment MakeDeployment(ddc::Platform platform, double sf = 0.5,
+                          double cache_fraction = 0.05) {
+  Deployment d;
+  TpchConfig cfg;
+  cfg.scale_factor = sf;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  const uint64_t data_bytes = EstimateTpchBytes(cfg);
+  dc.compute_cache_bytes = std::max<uint64_t>(
+      16 * 4096, static_cast<uint64_t>(cache_fraction *
+                                       static_cast<double>(data_bytes)));
+  dc.memory_pool_bytes = data_bytes * 8;
+  d.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             data_bytes * 8);
+  d.db = GenerateTpch(d.ms.get(), cfg);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  }
+  return d;
+}
+
+using QueryFn = QueryResult (*)(ddc::ExecutionContext&, const TpchDatabase&,
+                                const QueryOptions&);
+
+struct QueryCase {
+  const char* name;
+  QueryFn fn;
+  size_t num_ops;
+};
+
+QueryResult RunQFilterDefault(ddc::ExecutionContext& ctx,
+                              const TpchDatabase& db,
+                              const QueryOptions& opts) {
+  return RunQFilter(ctx, db, opts);
+}
+
+const QueryCase kQueries[] = {
+    {"qfilter", &RunQFilterDefault, 3},
+    {"q1", &RunQ1, 4},
+    {"q6", &RunQ6, 6},
+    {"q3", &RunQ3, 8},
+    {"q9", &RunQ9, 8},
+};
+
+class QueryCorrectnessTest : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(QueryCorrectnessTest, ChecksumIdenticalAcrossPlatformsAndPushdown) {
+  const QueryCase& q = GetParam();
+
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const QueryResult r_local = q.fn(*local.ctx, *local.db, QueryOptions{});
+
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc);
+  const QueryResult r_ddc = q.fn(*ddc.ctx, *ddc.db, QueryOptions{});
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  QueryOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_ops = DefaultTeleportOps(q.name);
+  const QueryResult r_tele = q.fn(*tele.ctx, *tele.db, topts);
+
+  EXPECT_NE(r_local.checksum, 0);
+  EXPECT_EQ(r_local.checksum, r_ddc.checksum) << q.name;
+  EXPECT_EQ(r_local.checksum, r_tele.checksum) << q.name;
+  EXPECT_EQ(r_local.ops.size(), q.num_ops);
+}
+
+TEST_P(QueryCorrectnessTest, PushAllAlsoCorrect) {
+  const QueryCase& q = GetParam();
+  auto local = MakeDeployment(ddc::Platform::kLocal, /*sf=*/0.25);
+  const QueryResult r_local = q.fn(*local.ctx, *local.db, QueryOptions{});
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc, /*sf=*/0.25);
+  QueryOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_all = true;
+  const QueryResult r_tele = q.fn(*tele.ctx, *tele.db, topts);
+  EXPECT_EQ(r_local.checksum, r_tele.checksum) << q.name;
+  for (const OperatorProfile& p : r_tele.ops) EXPECT_TRUE(p.pushed) << p.name;
+}
+
+TEST_P(QueryCorrectnessTest, PlatformOrderingHolds) {
+  // Local < TELEPORT < BaseDDC in execution time (Figs 12/13).
+  const QueryCase& q = GetParam();
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const Nanos t_local = q.fn(*local.ctx, *local.db, QueryOptions{}).total_ns;
+
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc);
+  const Nanos t_ddc = q.fn(*ddc.ctx, *ddc.db, QueryOptions{}).total_ns;
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  QueryOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_ops = DefaultTeleportOps(q.name);
+  const Nanos t_tele = q.fn(*tele.ctx, *tele.db, topts).total_ns;
+
+  EXPECT_LT(t_local, t_tele) << q.name;
+  EXPECT_LT(t_tele, t_ddc) << q.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, QueryCorrectnessTest,
+                         ::testing::ValuesIn(kQueries),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(QueryProfileTest, Q9HasEightNamedOperators) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 0.25);
+  const QueryResult r = RunQ9(*d.ctx, *d.db, QueryOptions{});
+  ASSERT_EQ(r.ops.size(), 8u);
+  EXPECT_EQ(r.ops[0].name, "Selection(p_name)");
+  EXPECT_EQ(r.ops[1].name, "HashJoin(part)");
+  EXPECT_EQ(r.ops[4].name, "MergeJoin(orders)");
+  EXPECT_EQ(r.ops[7].kind, OpKind::kGroupBy);
+  for (const OperatorProfile& p : r.ops) EXPECT_GT(p.time_ns, 0) << p.name;
+}
+
+TEST(QueryProfileTest, RemoteBytesOnlyOnDdc) {
+  auto local = MakeDeployment(ddc::Platform::kLocal, 0.25);
+  const QueryResult r_local = RunQ6(*local.ctx, *local.db, QueryOptions{});
+  for (const OperatorProfile& p : r_local.ops) {
+    EXPECT_EQ(p.remote_bytes, 0u) << p.name;
+  }
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc, 0.25);
+  const QueryResult r_ddc = RunQ6(*ddc.ctx, *ddc.db, QueryOptions{});
+  uint64_t total = 0;
+  for (const OperatorProfile& p : r_ddc.ops) total += p.remote_bytes;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(QueryProfileTest, MemoryIntensityRankingIsStable) {
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc, 0.5);
+  const QueryResult r = RunQ9(*ddc.ctx, *ddc.db, QueryOptions{});
+  const auto ranked = RankByMemoryIntensity(r);
+  ASSERT_EQ(ranked.size(), 8u);
+  // The ranking must be a permutation of the plan's operators with
+  // non-increasing intensity.
+  double prev = 1e300;
+  for (const std::string& name : ranked) {
+    const double mi = r.Op(name).MemoryIntensity();
+    EXPECT_LE(mi, prev + 1e-9);
+    prev = mi;
+  }
+}
+
+TEST(QueryProfileTest, PushdownReducesRemoteTraffic) {
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc);
+  const QueryResult base = RunQ9(*ddc.ctx, *ddc.db, QueryOptions{});
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  QueryOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_ops = DefaultTeleportOps("q9");
+  const QueryResult pushed = RunQ9(*tele.ctx, *tele.db, topts);
+
+  uint64_t base_bytes = 0, pushed_bytes = 0;
+  for (const auto& p : base.ops) base_bytes += p.remote_bytes;
+  for (const auto& p : pushed.ops) pushed_bytes += p.remote_bytes;
+  EXPECT_LT(pushed_bytes, base_bytes / 2);
+}
+
+TEST(QueryProfileTest, QFilterDateBoundControlsSelectivity) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 0.25);
+  const QueryResult narrow = RunQFilter(*d.ctx, *d.db, QueryOptions{}, 100);
+  auto d2 = MakeDeployment(ddc::Platform::kLocal, 0.25);
+  const QueryResult wide =
+      RunQFilter(*d2.ctx, *d2.db, QueryOptions{}, kDateDomainDays);
+  EXPECT_LT(narrow.Op("Selection").rows_out, wide.Op("Selection").rows_out);
+  EXPECT_LT(narrow.checksum, wide.checksum);
+  // The full-domain bound selects every row: checksum = sum of quantities.
+  int64_t all = 0;
+  const int64_t* q = d2.db->lineitem.Col("l_quantity").raw();
+  for (uint64_t i = 0; i < d2.db->lineitem.rows; ++i) all += q[i];
+  EXPECT_EQ(wide.checksum, all);
+}
+
+}  // namespace
+}  // namespace teleport::db

@@ -1,0 +1,132 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+
+namespace teleport::ddc {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+/// Scans `pages` pages sequentially (one int64 per 8 bytes), returning the
+/// context's elapsed virtual time.
+Nanos SequentialScan(MemorySystem& ms, VAddr base, int pages) {
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  int64_t sum = 0;
+  for (uint64_t off = 0; off < static_cast<uint64_t>(pages) * kPage;
+       off += 8) {
+    sum += ctx->Load<int64_t>(base + off);
+  }
+  EXPECT_EQ(sum, 0);  // zero-initialized data
+  return ctx->now();
+}
+
+TEST(PlatformTest, LocalPlatformNeverFaults) {
+  DdcConfig c;
+  c.platform = Platform::kLocal;
+  MemorySystem ms(c, sim::CostParams::Default(), 1 << 22);
+  const VAddr a = ms.space().Alloc(16 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  for (int p = 0; p < 16; ++p) ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_EQ(ctx->metrics().cache_misses, 0u);
+  EXPECT_EQ(ctx->metrics().net_messages, 0u);
+  EXPECT_EQ(ctx->metrics().storage_reads, 0u);
+}
+
+TEST(PlatformTest, LinuxSsdFaultsOnSwappedPages) {
+  DdcConfig c;
+  c.platform = Platform::kLinuxSsd;
+  c.compute_cache_bytes = 4 * kPage;
+  MemorySystem ms(c, sim::CostParams::Default(), 1 << 22);
+  const VAddr a = ms.space().Alloc(16 * kPage, "d");
+  ms.SeedData();  // 4 pages in DRAM, 12 swapped out
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  for (int p = 0; p < 16; ++p) ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_GT(ctx->metrics().storage_reads, 0u);
+  EXPECT_EQ(ctx->metrics().net_messages, 0u);  // no fabric on a single box
+}
+
+TEST(PlatformTest, SsdSequentialReadaheadCheaperThanRandom) {
+  DdcConfig c;
+  c.platform = Platform::kLinuxSsd;
+  c.compute_cache_bytes = 4 * kPage;
+  MemorySystem ms(c, sim::CostParams::Default(), 1 << 24);
+  const VAddr a = ms.space().Alloc(512 * kPage, "d");
+  ms.SeedData();
+  // Sequential pass over swapped pages.
+  auto seq_ctx = ms.CreateContext(Pool::kCompute);
+  for (int p = 100; p < 200; ++p) seq_ctx->Load<int64_t>(a + p * kPage);
+  // Random pass over a disjoint set of swapped pages (stride breaks
+  // readahead).
+  auto rnd_ctx = ms.CreateContext(Pool::kCompute);
+  for (int i = 0; i < 100; ++i) {
+    rnd_ctx->Load<int64_t>(a + ((203 + i * 7) % 512) * kPage);
+  }
+  EXPECT_LT(seq_ctx->now(), rnd_ctx->now());
+}
+
+TEST(PlatformTest, CostOfScalingOrdering) {
+  // The structural result of Figs 1/3/14: for an out-of-core sequential
+  // scan, Local < BaseDDC < LinuxSSD in execution time.
+  const uint64_t data_pages = 256;
+  auto run = [&](Platform platform) {
+    DdcConfig c;
+    c.platform = platform;
+    c.compute_cache_bytes = 16 * kPage;  // ~6% of the working set
+    c.memory_pool_bytes = 1024 * kPage;
+    MemorySystem ms(c, sim::CostParams::Default(), 1 << 24);
+    const VAddr a = ms.space().Alloc(data_pages * kPage, "d");
+    ms.SeedData();
+    return SequentialScan(ms, a, static_cast<int>(data_pages));
+  };
+  const Nanos local = run(Platform::kLocal);
+  const Nanos ddc = run(Platform::kBaseDdc);
+  const Nanos ssd = run(Platform::kLinuxSsd);
+  EXPECT_LT(local, ddc);
+  EXPECT_LT(ddc, ssd);
+  // DDC pays a scaling cost but stays within ~1 order of magnitude of
+  // local for sequential scans (Fig 3's lower end).
+  EXPECT_LT(ddc, 20 * local);
+}
+
+TEST(PlatformTest, RandomAccessAmplifiesDdcOverhead) {
+  // Fig 3's upper end: random probes over a working set much larger than
+  // the cache produce far bigger slowdowns than sequential scans.
+  const uint64_t data_pages = 512;
+  auto run = [&](Platform platform, bool random) {
+    DdcConfig c;
+    c.platform = platform;
+    c.compute_cache_bytes = 16 * kPage;
+    c.memory_pool_bytes = 4096 * kPage;
+    MemorySystem ms(c, sim::CostParams::Default(), 1 << 24);
+    const VAddr a = ms.space().Alloc(data_pages * kPage, "d");
+    ms.SeedData();
+    auto ctx = ms.CreateContext(Pool::kCompute);
+    for (int i = 0; i < 2000; ++i) {
+      const VAddr addr =
+          random ? a + ((static_cast<uint64_t>(i) * 2654435761u) %
+                        (data_pages * kPage / 8)) * 8
+                 : a + static_cast<uint64_t>(i) * 8;  // streaming
+      ctx->Load<int64_t>(addr);
+    }
+    return ctx->now();
+  };
+  const double seq_slowdown =
+      static_cast<double>(run(Platform::kBaseDdc, false)) /
+      static_cast<double>(run(Platform::kLocal, false));
+  const double rnd_slowdown =
+      static_cast<double>(run(Platform::kBaseDdc, true)) /
+      static_cast<double>(run(Platform::kLocal, true));
+  EXPECT_GT(rnd_slowdown, seq_slowdown);
+}
+
+TEST(PlatformTest, PlatformNamesAreStable) {
+  EXPECT_EQ(PlatformToString(Platform::kLocal), "Local");
+  EXPECT_EQ(PlatformToString(Platform::kLinuxSsd), "LinuxSSD");
+  EXPECT_EQ(PlatformToString(Platform::kBaseDdc), "BaseDDC");
+}
+
+}  // namespace
+}  // namespace teleport::ddc

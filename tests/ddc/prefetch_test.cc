@@ -1,0 +1,128 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+
+namespace teleport::ddc {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+MemorySystem MakeSystem(int prefetch, uint64_t cache_pages = 16) {
+  DdcConfig c;
+  c.platform = Platform::kBaseDdc;
+  c.compute_cache_bytes = cache_pages * kPage;
+  c.memory_pool_bytes = 4096 * kPage;
+  c.prefetch_pages = prefetch;
+  return MemorySystem(c, sim::CostParams::Default(), 64 << 20);
+}
+
+TEST(PrefetchTest, SequentialScanPullsAheadPages) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/4);
+  const VAddr a = ms.space().Alloc(64 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  // Two sequential faults establish the stream; subsequent pages arrive
+  // via prefetch.
+  for (int p = 0; p < 16; ++p) ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_GT(ctx->metrics().prefetched_pages, 0u);
+  EXPECT_LT(ctx->metrics().cache_misses, 16u);
+}
+
+TEST(PrefetchTest, RandomAccessPrefetchesNothing) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/4);
+  const VAddr a = ms.space().Alloc(256 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  for (int i = 0; i < 32; ++i) {
+    ctx->Load<int64_t>(a + ((i * 97 + 13) % 256) * kPage);
+  }
+  EXPECT_EQ(ctx->metrics().prefetched_pages, 0u);
+}
+
+TEST(PrefetchTest, DepthZeroDisables) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/0);
+  const VAddr a = ms.space().Alloc(64 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  for (int p = 0; p < 16; ++p) ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_EQ(ctx->metrics().prefetched_pages, 0u);
+  EXPECT_EQ(ctx->metrics().cache_misses, 16u);
+}
+
+TEST(PrefetchTest, SequentialScanFasterWithPrefetch) {
+  auto scan = [](int depth) {
+    MemorySystem ms = MakeSystem(depth);
+    const VAddr a = ms.space().Alloc(512 * kPage, "d");
+    ms.SeedData();
+    auto ctx = ms.CreateContext(Pool::kCompute);
+    for (uint64_t off = 0; off < 512 * kPage; off += 8) {
+      (void)ctx->Load<int64_t>(a + off);
+    }
+    return ctx->now();
+  };
+  const Nanos without = scan(0);
+  const Nanos with = scan(8);
+  EXPECT_LT(with, without);
+}
+
+TEST(PrefetchTest, PrefetchedPagesAreCleanReadOnly) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/4);
+  const VAddr a = ms.space().Alloc(16 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  ctx->Load<int64_t>(a);          // fault page 0
+  ctx->Load<int64_t>(a + kPage);  // sequential fault -> prefetch 2..5
+  EXPECT_EQ(ms.compute_perm(3), Perm::kRead);
+  EXPECT_FALSE(ms.compute_dirty(3));
+  // A later write upgrades locally as usual.
+  ctx->Store<int64_t>(a + 3 * kPage, 9);
+  EXPECT_EQ(ms.compute_perm(3), Perm::kWrite);
+}
+
+TEST(PrefetchTest, DataStillCorrect) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/8);
+  const VAddr a = ms.space().Alloc(64 * kPage, "d");
+  auto* host = static_cast<int64_t*>(ms.space().HostPtr(a, 64 * kPage));
+  for (uint64_t i = 0; i < 64 * kPage / 8; ++i) {
+    host[i] = static_cast<int64_t>(i * 3 + 1);
+  }
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  int64_t sum = 0;
+  for (uint64_t i = 0; i < 64 * kPage / 8; ++i) {
+    sum += ctx->Load<int64_t>(a + i * 8);
+  }
+  int64_t expect = 0;
+  for (uint64_t i = 0; i < 64 * kPage / 8; ++i) {
+    expect += static_cast<int64_t>(i * 3 + 1);
+  }
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(PrefetchTest, DisabledDuringPushdownSessions) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/4);
+  const VAddr a = ms.space().Alloc(64 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  ctx->Load<int64_t>(a);  // establish the fault stream
+  ms.BeginPushdownSession(CoherenceMode::kMesi);
+  ctx->Load<int64_t>(a + kPage);  // sequential, but session active
+  EXPECT_EQ(ctx->metrics().prefetched_pages, 0u);
+  ms.EndPushdownSession();
+}
+
+TEST(PrefetchTest, StopsAtAlreadyCachedPages) {
+  MemorySystem ms = MakeSystem(/*prefetch=*/8);
+  const VAddr a = ms.space().Alloc(16 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(Pool::kCompute);
+  ctx->Load<int64_t>(a + 3 * kPage);  // cache page 3 out of order
+  ctx->Load<int64_t>(a);              // fault page 0 (random)
+  ctx->Load<int64_t>(a + kPage);      // sequential: prefetch 2, stop at 3
+  EXPECT_EQ(ctx->metrics().prefetched_pages, 1u);
+}
+
+}  // namespace
+}  // namespace teleport::ddc

@@ -1,0 +1,69 @@
+#include "dist/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport::dist {
+namespace {
+
+WorkloadProfile TpchLikeProfile() {
+  WorkloadProfile w;
+  w.local_time_ns = 20 * kSecond;  // a heavy analytic query
+  w.bytes_scanned = 40ull << 30;   // 40 GB scanned
+  w.bytes_shuffled = 4ull << 30;   // 10% of scan volume crosses operators
+  w.num_stages = 4;
+  return w;
+}
+
+TEST(DistModelTest, CostOfScalingAboveOne) {
+  const auto w = TpchLikeProfile();
+  EXPECT_GT(CostOfScaling(w, DistEngine::kSparkLike, DistConfig{}), 1.0);
+  EXPECT_GT(CostOfScaling(w, DistEngine::kVerticaLike, DistConfig{}), 1.0);
+}
+
+TEST(DistModelTest, PaperOrderingSparkBelowVertica) {
+  // Fig 1b: SparkSQL ~1.2x, Vertica ~2.3x.
+  const auto w = TpchLikeProfile();
+  const double spark = CostOfScaling(w, DistEngine::kSparkLike, DistConfig{});
+  const double vertica =
+      CostOfScaling(w, DistEngine::kVerticaLike, DistConfig{});
+  EXPECT_LT(spark, vertica);
+  EXPECT_GT(spark, 1.05);
+  EXPECT_LT(spark, 1.6);
+  EXPECT_GT(vertica, 1.7);
+  EXPECT_LT(vertica, 3.2);
+}
+
+TEST(DistModelTest, MoreShuffleCostsMore) {
+  WorkloadProfile w = TpchLikeProfile();
+  const double base = CostOfScaling(w, DistEngine::kVerticaLike, DistConfig{});
+  w.bytes_shuffled *= 4;
+  EXPECT_GT(CostOfScaling(w, DistEngine::kVerticaLike, DistConfig{}), base);
+}
+
+TEST(DistModelTest, MoreWorkersMoveShuffleFaster) {
+  const auto w = TpchLikeProfile();
+  DistConfig few;
+  few.workers = 2;
+  DistConfig many;
+  many.workers = 16;
+  EXPECT_GT(EstimateDistributedTime(w, DistEngine::kVerticaLike, few),
+            EstimateDistributedTime(w, DistEngine::kVerticaLike, many));
+}
+
+TEST(DistModelTest, BarriersDominateTinyWorkloads) {
+  WorkloadProfile w;
+  w.local_time_ns = 10 * kMillisecond;
+  w.bytes_scanned = 1 << 20;
+  w.bytes_shuffled = 1 << 18;
+  w.num_stages = 4;
+  // Scaling a tiny query out is counterproductive: cost >> 1.
+  EXPECT_GT(CostOfScaling(w, DistEngine::kSparkLike, DistConfig{}), 5.0);
+}
+
+TEST(DistModelTest, EngineNamesStable) {
+  EXPECT_EQ(DistEngineToString(DistEngine::kSparkLike), "SparkSQL-like");
+  EXPECT_EQ(DistEngineToString(DistEngine::kVerticaLike), "Vertica-like");
+}
+
+}  // namespace
+}  // namespace teleport::dist

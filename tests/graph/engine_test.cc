@@ -1,0 +1,201 @@
+#include "graph/engine.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace teleport::graph {
+namespace {
+
+constexpr int64_t kInf = int64_t{1} << 50;
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  Graph graph;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Deployment MakeDeployment(ddc::Platform platform, uint64_t vertices = 4'000,
+                          double cache_fraction = 0.06) {
+  Deployment d;
+  GraphConfig gc;
+  gc.vertices = vertices;
+  gc.avg_degree = 8;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  const uint64_t bytes = EstimateGraphBytes(gc);
+  dc.compute_cache_bytes = std::max<uint64_t>(
+      16 * 4096,
+      static_cast<uint64_t>(cache_fraction * static_cast<double>(bytes)));
+  dc.memory_pool_bytes = bytes * 16;
+  d.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             bytes * 16);
+  d.graph = GenerateGraph(d.ms.get(), gc);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  }
+  return d;
+}
+
+/// Host-side reference structures read straight from the backing store.
+struct HostGraph {
+  const int64_t* off;
+  const int64_t* tgt;
+  const int64_t* wgt;
+  uint64_t v, e;
+};
+
+HostGraph HostView(Deployment& d) {
+  return {static_cast<const int64_t*>(
+              d.ms->space().HostPtr(d.graph.offsets, (d.graph.vertices + 1) * 8)),
+          static_cast<const int64_t*>(
+              d.ms->space().HostPtr(d.graph.targets, d.graph.edges * 8)),
+          static_cast<const int64_t*>(
+              d.ms->space().HostPtr(d.graph.weights, d.graph.edges * 8)),
+          d.graph.vertices, d.graph.edges};
+}
+
+std::vector<int64_t> Dijkstra(const HostGraph& h) {
+  std::vector<int64_t> dist(h.v, kInf);
+  dist[0] = 0;
+  using Item = std::pair<int64_t, uint64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, 0});
+  while (!pq.empty()) {
+    auto [dv, v] = pq.top();
+    pq.pop();
+    if (dv > dist[v]) continue;
+    for (int64_t e = h.off[v]; e < h.off[v + 1]; ++e) {
+      const auto t = static_cast<uint64_t>(h.tgt[e]);
+      const int64_t nd = dv + h.wgt[e];
+      if (nd < dist[t]) {
+        dist[t] = nd;
+        pq.push({nd, t});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> ReadValues(Deployment& d, ddc::VAddr values) {
+  std::vector<int64_t> out(d.graph.vertices);
+  for (uint64_t v = 0; v < d.graph.vertices; ++v) {
+    out[v] = d.ctx->Load<int64_t>(values + v * 8);
+  }
+  return out;
+}
+
+TEST(GasEngineTest, SsspMatchesDijkstra) {
+  auto d = MakeDeployment(ddc::Platform::kLocal);
+  const GasResult r = RunSssp(*d.ctx, d.graph, GasOptions{});
+  const std::vector<int64_t> expect = Dijkstra(HostView(d));
+  EXPECT_EQ(ReadValues(d, r.values), expect);
+  EXPECT_GT(r.iterations, 1);
+}
+
+TEST(GasEngineTest, ReachabilityMatchesBfs) {
+  auto d = MakeDeployment(ddc::Platform::kLocal);
+  const GasResult r = RunReachability(*d.ctx, d.graph, GasOptions{});
+  const std::vector<int64_t> vals = ReadValues(d, r.values);
+  // The generator guarantees full reachability from vertex 0.
+  for (uint64_t v = 0; v < d.graph.vertices; ++v) {
+    ASSERT_EQ(vals[v], 1) << "vertex " << v;
+  }
+}
+
+TEST(GasEngineTest, ConnectedComponentsConvergeToZero) {
+  auto d = MakeDeployment(ddc::Platform::kLocal);
+  const GasResult r = RunConnectedComponents(*d.ctx, d.graph, GasOptions{});
+  const std::vector<int64_t> vals = ReadValues(d, r.values);
+  // Label propagation over a graph connected from 0 via ascending chain
+  // edges converges every label to 0.
+  for (uint64_t v = 0; v < d.graph.vertices; ++v) {
+    ASSERT_EQ(vals[v], 0) << "vertex " << v;
+  }
+}
+
+TEST(GasEngineTest, PageRankMassApproximatelyConserved) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 2'000);
+  const GasResult r = RunPageRank(*d.ctx, d.graph, GasOptions{}, 10);
+  const std::vector<int64_t> vals = ReadValues(d, r.values);
+  int64_t total = 0;
+  for (int64_t v : vals) {
+    ASSERT_GE(v, 0);
+    total += v;
+  }
+  // Fixed-point 1e6 total mass, up to damping leakage via sinks and
+  // integer truncation.
+  EXPECT_GT(total, 300'000);
+  EXPECT_LE(total, 1'100'000);
+  EXPECT_EQ(r.iterations, 10);
+}
+
+TEST(GasEngineTest, ChecksumIdenticalAcrossPlatformsAndPushdown) {
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  auto ddc = MakeDeployment(ddc::Platform::kBaseDdc);
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  GasOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_phases = DefaultTeleportPhases();
+
+  for (auto run : {&RunSssp, &RunReachability, &RunConnectedComponents}) {
+    const GasResult r_local = run(*local.ctx, local.graph, GasOptions{});
+    const GasResult r_ddc = run(*ddc.ctx, ddc.graph, GasOptions{});
+    const GasResult r_tele = run(*tele.ctx, tele.graph, topts);
+    EXPECT_EQ(r_local.checksum, r_ddc.checksum);
+    EXPECT_EQ(r_local.checksum, r_tele.checksum);
+    EXPECT_EQ(r_local.iterations, r_tele.iterations);
+  }
+}
+
+TEST(GasEngineTest, PlatformOrderingHolds) {
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const Nanos t_local = RunSssp(*local.ctx, local.graph, GasOptions{}).total_ns;
+
+  auto base = MakeDeployment(ddc::Platform::kBaseDdc);
+  const Nanos t_ddc = RunSssp(*base.ctx, base.graph, GasOptions{}).total_ns;
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  GasOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_phases = DefaultTeleportPhases();
+  const Nanos t_tele = RunSssp(*tele.ctx, tele.graph, topts).total_ns;
+
+  EXPECT_LT(t_local, t_tele);
+  EXPECT_LT(t_tele, t_ddc);
+}
+
+TEST(GasEngineTest, PhaseProfilesArePopulated) {
+  auto d = MakeDeployment(ddc::Platform::kBaseDdc, 2'000);
+  const GasResult r = RunSssp(*d.ctx, d.graph, GasOptions{});
+  EXPECT_EQ(r.Profile(Phase::kFinalize).invocations, 1u);
+  EXPECT_EQ(r.Profile(Phase::kScatter).invocations,
+            static_cast<uint64_t>(r.iterations));
+  EXPECT_GT(r.Profile(Phase::kFinalize).time_ns, 0);
+  EXPECT_GT(r.Profile(Phase::kScatter).remote_bytes, 0u);
+}
+
+TEST(GasEngineTest, PushedPhasesAreMarked) {
+  auto d = MakeDeployment(ddc::Platform::kBaseDdc, 2'000);
+  GasOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = {Phase::kScatter};
+  const GasResult r = RunSssp(*d.ctx, d.graph, opts);
+  EXPECT_TRUE(r.Profile(Phase::kScatter).pushed);
+  EXPECT_FALSE(r.Profile(Phase::kGather).pushed);
+}
+
+TEST(GasEngineTest, MaxIterationsBoundsWork) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 2'000);
+  GasOptions opts;
+  opts.max_iterations = 2;
+  const GasResult r = RunSssp(*d.ctx, d.graph, opts);
+  EXPECT_EQ(r.iterations, 2);
+}
+
+}  // namespace
+}  // namespace teleport::graph

@@ -1,0 +1,154 @@
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/engine.h"
+
+namespace teleport::graph {
+namespace {
+
+Graph MakeGraph(ddc::MemorySystem* ms, uint64_t vertices = 2'000) {
+  GraphConfig gc;
+  gc.vertices = vertices;
+  gc.avg_degree = 8;
+  return GenerateGraph(ms, gc);
+}
+
+std::unique_ptr<ddc::MemorySystem> LocalSystem() {
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kLocal;
+  return std::make_unique<ddc::MemorySystem>(c, sim::CostParams::Default(),
+                                             64 << 20);
+}
+
+/// Host replica of the engine's fixed-point PageRank, straight off the CSR
+/// arrays — identical integer arithmetic, independent control flow.
+std::vector<int64_t> HostPageRank(ddc::MemorySystem& ms, const Graph& g,
+                                  int iterations) {
+  const auto* off = static_cast<const int64_t*>(
+      ms.space().HostPtr(g.offsets, (g.vertices + 1) * 8));
+  const auto* tgt =
+      static_cast<const int64_t*>(ms.space().HostPtr(g.targets, g.edges * 8));
+  constexpr int64_t kScale = 1'000'000;
+  const auto v_count = static_cast<int64_t>(g.vertices);
+  std::vector<int64_t> rank(g.vertices, kScale / v_count);
+  std::vector<int64_t> msg(g.vertices, 0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(msg.begin(), msg.end(), 0);
+    for (uint64_t v = 0; v < g.vertices; ++v) {
+      const int64_t deg = off[v + 1] - off[v];
+      if (deg == 0) continue;
+      const int64_t share = rank[v] / deg;
+      for (int64_t e = off[v]; e < off[v + 1]; ++e) {
+        msg[static_cast<uint64_t>(tgt[e])] += share;
+      }
+    }
+    for (uint64_t v = 0; v < g.vertices; ++v) {
+      rank[v] = (kScale * 15) / (100 * v_count) + (85 * msg[v]) / 100;
+    }
+  }
+  return rank;
+}
+
+TEST(PageRankTest, MatchesHostReplicaExactly) {
+  auto ms = LocalSystem();
+  const Graph g = MakeGraph(ms.get());
+  auto ctx = ms->CreateContext(ddc::Pool::kCompute);
+  const GasResult r = RunPageRank(*ctx, g, GasOptions{}, 8);
+  const std::vector<int64_t> expect = HostPageRank(*ms, g, 8);
+  for (uint64_t v = 0; v < g.vertices; ++v) {
+    ASSERT_EQ(ctx->Load<int64_t>(r.values + v * 8), expect[v])
+        << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, HighInDegreeVerticesRankHigher) {
+  auto ms = LocalSystem();
+  const Graph g = MakeGraph(ms.get(), 4'000);
+  auto ctx = ms->CreateContext(ddc::Pool::kCompute);
+  const GasResult r = RunPageRank(*ctx, g, GasOptions{}, 10);
+  // Compute in-degrees on the host.
+  const auto* off = static_cast<const int64_t*>(
+      ms->space().HostPtr(g.offsets, (g.vertices + 1) * 8));
+  const auto* tgt = static_cast<const int64_t*>(
+      ms->space().HostPtr(g.targets, g.edges * 8));
+  (void)off;
+  std::vector<uint64_t> indeg(g.vertices, 0);
+  for (uint64_t e = 0; e < g.edges; ++e) ++indeg[(uint64_t)tgt[e]];
+  uint64_t top_v = 0, bot_v = 0;
+  for (uint64_t v = 0; v < g.vertices; ++v) {
+    if (indeg[v] > indeg[top_v]) top_v = v;
+    if (indeg[v] < indeg[bot_v]) bot_v = v;
+  }
+  EXPECT_GT(ctx->Load<int64_t>(r.values + top_v * 8),
+            ctx->Load<int64_t>(r.values + bot_v * 8));
+}
+
+TEST(PageRankTest, MoreIterationsConverge) {
+  auto ms1 = LocalSystem();
+  const Graph g1 = MakeGraph(ms1.get());
+  auto c1 = ms1->CreateContext(ddc::Pool::kCompute);
+  const GasResult r10 = RunPageRank(*c1, g1, GasOptions{}, 10);
+  auto ms2 = LocalSystem();
+  const Graph g2 = MakeGraph(ms2.get());
+  auto c2 = ms2->CreateContext(ddc::Pool::kCompute);
+  const GasResult r11 = RunPageRank(*c2, g2, GasOptions{}, 11);
+  // The per-vertex delta between successive iterations shrinks: compare
+  // total absolute change against an early-iteration pair.
+  auto ms3 = LocalSystem();
+  const Graph g3 = MakeGraph(ms3.get());
+  auto c3 = ms3->CreateContext(ddc::Pool::kCompute);
+  const GasResult r1 = RunPageRank(*c3, g3, GasOptions{}, 1);
+  auto ms4 = LocalSystem();
+  const Graph g4 = MakeGraph(ms4.get());
+  auto c4 = ms4->CreateContext(ddc::Pool::kCompute);
+  const GasResult r2 = RunPageRank(*c4, g4, GasOptions{}, 2);
+  int64_t early_delta = 0, late_delta = 0;
+  for (uint64_t v = 0; v < g1.vertices; ++v) {
+    early_delta += std::abs(c3->Load<int64_t>(r1.values + v * 8) -
+                            c4->Load<int64_t>(r2.values + v * 8));
+    late_delta += std::abs(c1->Load<int64_t>(r10.values + v * 8) -
+                           c2->Load<int64_t>(r11.values + v * 8));
+  }
+  EXPECT_LT(late_delta, early_delta);
+}
+
+/// Property: ANY subset of phases may be Teleported without changing the
+/// result — the engine's pushdown wrapping is semantically transparent.
+class PhaseSubsetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseSubsetTest, AnyPushedSubsetIsTransparent) {
+  const int mask = GetParam();
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kBaseDdc;
+  c.compute_cache_bytes = 64 << 10;
+  c.memory_pool_bytes = 64 << 20;
+  ddc::MemorySystem ms(c, sim::CostParams::Default(), 64 << 20);
+  const Graph g = MakeGraph(&ms);
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  tp::PushdownRuntime runtime(&ms);
+  GasOptions opts;
+  opts.runtime = &runtime;
+  const Phase all[] = {Phase::kFinalize, Phase::kGather, Phase::kApply,
+                       Phase::kScatter};
+  for (int b = 0; b < 4; ++b) {
+    if (mask & (1 << b)) opts.push_phases.insert(all[b]);
+  }
+  const GasResult r = RunSssp(*ctx, g, opts);
+
+  // Reference (no pushdown) on an identical fresh deployment.
+  ddc::MemorySystem ms2(c, sim::CostParams::Default(), 64 << 20);
+  const Graph g2 = MakeGraph(&ms2);
+  auto ctx2 = ms2.CreateContext(ddc::Pool::kCompute);
+  const GasResult ref = RunSssp(*ctx2, g2, GasOptions{});
+  EXPECT_EQ(r.checksum, ref.checksum) << "phase mask " << mask;
+  EXPECT_EQ(r.iterations, ref.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, PhaseSubsetTest,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace teleport::graph

@@ -1,0 +1,113 @@
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/engine.h"
+
+namespace teleport::graph {
+namespace {
+
+constexpr int64_t kInf = int64_t{1} << 50;
+
+std::unique_ptr<ddc::MemorySystem> LocalSystem() {
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kLocal;
+  return std::make_unique<ddc::MemorySystem>(c, sim::CostParams::Default(),
+                                             64 << 20);
+}
+
+/// Host reference: widest path via a max-priority Dijkstra variant.
+std::vector<int64_t> HostWidest(ddc::MemorySystem& ms, const Graph& g) {
+  const auto* off = static_cast<const int64_t*>(
+      ms.space().HostPtr(g.offsets, (g.vertices + 1) * 8));
+  const auto* tgt =
+      static_cast<const int64_t*>(ms.space().HostPtr(g.targets, g.edges * 8));
+  const auto* wgt =
+      static_cast<const int64_t*>(ms.space().HostPtr(g.weights, g.edges * 8));
+  std::vector<int64_t> width(g.vertices, 0);
+  width[0] = kInf;
+  std::priority_queue<std::pair<int64_t, uint64_t>> pq;
+  pq.push({kInf, 0});
+  while (!pq.empty()) {
+    auto [wv, v] = pq.top();
+    pq.pop();
+    if (wv < width[v]) continue;
+    for (int64_t e = off[v]; e < off[v + 1]; ++e) {
+      const auto t = static_cast<uint64_t>(tgt[e]);
+      const int64_t nw = std::min(wv, wgt[e]);
+      if (nw > width[t]) {
+        width[t] = nw;
+        pq.push({nw, t});
+      }
+    }
+  }
+  return width;
+}
+
+TEST(WidestPathTest, MatchesDijkstraVariant) {
+  auto ms = LocalSystem();
+  GraphConfig gc;
+  gc.vertices = 3'000;
+  gc.avg_degree = 8;
+  const Graph g = GenerateGraph(ms.get(), gc);
+  auto ctx = ms->CreateContext(ddc::Pool::kCompute);
+  const GasResult r = RunWidestPath(*ctx, g, GasOptions{});
+  const std::vector<int64_t> expect = HostWidest(*ms, g);
+  for (uint64_t v = 0; v < g.vertices; ++v) {
+    ASSERT_EQ(ctx->Load<int64_t>(r.values + v * 8), expect[v])
+        << "vertex " << v;
+  }
+}
+
+TEST(WidestPathTest, SourceHasInfiniteWidth) {
+  auto ms = LocalSystem();
+  GraphConfig gc;
+  gc.vertices = 500;
+  const Graph g = GenerateGraph(ms.get(), gc);
+  auto ctx = ms->CreateContext(ddc::Pool::kCompute);
+  const GasResult r = RunWidestPath(*ctx, g, GasOptions{});
+  EXPECT_EQ(ctx->Load<int64_t>(r.values), kInf);
+}
+
+TEST(WidestPathTest, WidthsBoundedByMaxWeight) {
+  auto ms = LocalSystem();
+  GraphConfig gc;
+  gc.vertices = 2'000;
+  gc.max_weight = 37;
+  const Graph g = GenerateGraph(ms.get(), gc);
+  auto ctx = ms->CreateContext(ddc::Pool::kCompute);
+  const GasResult r = RunWidestPath(*ctx, g, GasOptions{});
+  for (uint64_t v = 1; v < g.vertices; ++v) {
+    const int64_t w = ctx->Load<int64_t>(r.values + v * 8);
+    ASSERT_GE(w, 1);   // every vertex reachable via the chain edge
+    ASSERT_LE(w, 37);  // no path is wider than the widest edge
+  }
+}
+
+TEST(WidestPathTest, PushdownTransparent) {
+  ddc::DdcConfig c;
+  c.platform = ddc::Platform::kBaseDdc;
+  c.compute_cache_bytes = 64 << 10;
+  c.memory_pool_bytes = 64 << 20;
+  ddc::MemorySystem ms(c, sim::CostParams::Default(), 64 << 20);
+  GraphConfig gc;
+  gc.vertices = 2'000;
+  const Graph g = GenerateGraph(&ms, gc);
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  tp::PushdownRuntime runtime(&ms);
+  GasOptions opts;
+  opts.runtime = &runtime;
+  opts.push_phases = DefaultTeleportPhases();
+  const GasResult pushed = RunWidestPath(*ctx, g, opts);
+
+  auto lms = LocalSystem();
+  const Graph g2 = GenerateGraph(lms.get(), gc);
+  auto lctx = lms->CreateContext(ddc::Pool::kCompute);
+  const GasResult plain = RunWidestPath(*lctx, g2, GasOptions{});
+  EXPECT_EQ(pushed.checksum, plain.checksum);
+}
+
+}  // namespace
+}  // namespace teleport::graph

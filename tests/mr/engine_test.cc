@@ -1,0 +1,225 @@
+#include "mr/engine.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mr/text.h"
+
+namespace teleport::mr {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  TextCorpus corpus;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Deployment MakeDeployment(ddc::Platform platform, uint64_t bytes = 1 << 20,
+                          double cache_fraction = 0.05) {
+  Deployment d;
+  TextConfig tc;
+  tc.bytes = bytes;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  dc.compute_cache_bytes = std::max<uint64_t>(
+      16 * 4096,
+      static_cast<uint64_t>(cache_fraction * static_cast<double>(bytes)));
+  dc.memory_pool_bytes = bytes * 64;
+  d.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             bytes * 64);
+  d.corpus = GenerateText(d.ms.get(), tc);
+  d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  }
+  return d;
+}
+
+std::string HostText(Deployment& d) {
+  const char* p = static_cast<const char*>(
+      d.ms->space().HostPtr(d.corpus.addr, d.corpus.bytes));
+  return std::string(p, d.corpus.bytes);
+}
+
+/// Host reference: word -> count.
+std::unordered_map<std::string, int64_t> ReferenceWordCount(
+    const std::string& text) {
+  std::unordered_map<std::string, int64_t> counts;
+  std::string word;
+  for (char ch : text) {
+    if (ch != ' ' && ch != '\n') {
+      word += ch;
+    } else if (!word.empty()) {
+      ++counts[word];
+      word.clear();
+    }
+  }
+  if (!word.empty()) ++counts[word];
+  return counts;
+}
+
+/// Host reference: matching lines (a trailing unterminated line counts).
+std::vector<std::string> ReferenceGrep(const std::string& text,
+                                       const std::string& pattern) {
+  std::vector<std::string> matches;
+  std::string line;
+  for (char ch : text) {
+    if (ch != '\n') {
+      line += ch;
+      continue;
+    }
+    if (line.find(pattern) != std::string::npos) matches.push_back(line);
+    line.clear();
+  }
+  if (!line.empty() && line.find(pattern) != std::string::npos) {
+    matches.push_back(line);
+  }
+  return matches;
+}
+
+TEST(TextGenTest, CorpusIsWellFormed) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  const std::string text = HostText(d);
+  for (char ch : text) {
+    ASSERT_TRUE((ch >= 'a' && ch <= 'z') || ch == ' ' || ch == '\n' ||
+                ch == 'w')
+        << "unexpected byte " << static_cast<int>(ch);
+  }
+  EXPECT_GT(d.corpus.words, 1000u);
+  EXPECT_GT(d.corpus.lines, 10u);
+}
+
+TEST(TextGenTest, Deterministic) {
+  auto d1 = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  auto d2 = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  EXPECT_EQ(HostText(d1), HostText(d2));
+}
+
+TEST(TextGenTest, ZipfSkewInWordFrequencies) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 19);
+  const auto counts = ReferenceWordCount(HostText(d));
+  int64_t max_count = 0, total = 0;
+  for (const auto& [w, n] : counts) {
+    max_count = std::max(max_count, n);
+    total += n;
+  }
+  // The most frequent word takes far more than a uniform share.
+  EXPECT_GT(max_count * static_cast<int64_t>(counts.size()), 20 * total);
+}
+
+TEST(WordCountTest, MatchesHostReference) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 19);
+  const MrResult r = RunWordCount(*d.ctx, d.corpus, MrOptions{});
+  const auto ref = ReferenceWordCount(HostText(d));
+  int64_t ref_pairs = 0;
+  for (const auto& [w, n] : ref) ref_pairs += n;
+  EXPECT_EQ(r.pairs, static_cast<uint64_t>(ref_pairs));
+  EXPECT_EQ(r.distinct_keys, ref.size());
+}
+
+TEST(WordCountTest, ChunkBoundariesDoNotChangeResult) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  MrOptions one;
+  one.map_tasks = 1;
+  one.reduce_tasks = 1;
+  const MrResult r1 = RunWordCount(*d.ctx, d.corpus, one);
+  auto d2 = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  MrOptions many;
+  many.map_tasks = 13;  // deliberately unaligned
+  many.reduce_tasks = 5;
+  const MrResult r2 = RunWordCount(*d2.ctx, d2.corpus, many);
+  EXPECT_EQ(r1.pairs, r2.pairs);
+  EXPECT_EQ(r1.distinct_keys, r2.distinct_keys);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+}
+
+TEST(WordCountTest, ChecksumIdenticalAcrossPlatformsAndPushdown) {
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const MrResult r_local = RunWordCount(*local.ctx, local.corpus, MrOptions{});
+
+  auto base = MakeDeployment(ddc::Platform::kBaseDdc);
+  const MrResult r_ddc = RunWordCount(*base.ctx, base.corpus, MrOptions{});
+
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  MrOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_phases = DefaultTeleportPhases();
+  const MrResult r_tele = RunWordCount(*tele.ctx, tele.corpus, topts);
+
+  EXPECT_EQ(r_local.checksum, r_ddc.checksum);
+  EXPECT_EQ(r_local.checksum, r_tele.checksum);
+  EXPECT_TRUE(r_tele.Profile(MrPhase::kMapShuffle).pushed);
+  EXPECT_FALSE(r_tele.Profile(MrPhase::kMapCompute).pushed);
+}
+
+TEST(WordCountTest, PlatformOrderingHolds) {
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const Nanos t_local =
+      RunWordCount(*local.ctx, local.corpus, MrOptions{}).total_ns;
+  auto base = MakeDeployment(ddc::Platform::kBaseDdc);
+  const Nanos t_ddc =
+      RunWordCount(*base.ctx, base.corpus, MrOptions{}).total_ns;
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  MrOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_phases = DefaultTeleportPhases();
+  const Nanos t_tele = RunWordCount(*tele.ctx, tele.corpus, topts).total_ns;
+  EXPECT_LT(t_local, t_tele);
+  EXPECT_LT(t_tele, t_ddc);
+}
+
+TEST(WordCountTest, MapShuffleDominatesMapInDdc) {
+  // §5.3: map-shuffle is ~95% of map time in a DDC. Require dominance.
+  auto base = MakeDeployment(ddc::Platform::kBaseDdc, 1 << 20, 0.02);
+  const MrResult r = RunWordCount(*base.ctx, base.corpus, MrOptions{});
+  EXPECT_GT(r.Profile(MrPhase::kMapShuffle).time_ns,
+            r.Profile(MrPhase::kMapCompute).time_ns);
+}
+
+TEST(GrepTest, MatchesHostReference) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 19);
+  const std::string pattern = "wab";
+  const MrResult r = RunGrep(*d.ctx, d.corpus, pattern, MrOptions{});
+  const auto ref = ReferenceGrep(HostText(d), pattern);
+  EXPECT_GT(ref.size(), 0u);
+  EXPECT_EQ(r.pairs, ref.size());
+}
+
+TEST(GrepTest, ChunkBoundariesDoNotChangeResult) {
+  auto d1 = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  MrOptions one;
+  one.map_tasks = 1;
+  const MrResult r1 = RunGrep(*d1.ctx, d1.corpus, "wb", one);
+  auto d2 = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  MrOptions many;
+  many.map_tasks = 11;
+  const MrResult r2 = RunGrep(*d2.ctx, d2.corpus, "wb", many);
+  EXPECT_EQ(r1.pairs, r2.pairs);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+}
+
+TEST(GrepTest, ChecksumIdenticalAcrossPlatformsAndPushdown) {
+  auto local = MakeDeployment(ddc::Platform::kLocal);
+  const MrResult r_local = RunGrep(*local.ctx, local.corpus, "wc", MrOptions{});
+  auto tele = MakeDeployment(ddc::Platform::kBaseDdc);
+  MrOptions topts;
+  topts.runtime = tele.runtime.get();
+  topts.push_phases = DefaultTeleportPhases();
+  const MrResult r_tele = RunGrep(*tele.ctx, tele.corpus, "wc", topts);
+  EXPECT_EQ(r_local.checksum, r_tele.checksum);
+}
+
+TEST(GrepTest, NoMatchesForAbsentPattern) {
+  auto d = MakeDeployment(ddc::Platform::kLocal, 1 << 18);
+  const MrResult r = RunGrep(*d.ctx, d.corpus, "zzzzzzzz", MrOptions{});
+  EXPECT_EQ(r.pairs, 0u);
+  EXPECT_EQ(r.distinct_keys, 0u);
+}
+
+}  // namespace
+}  // namespace teleport::mr

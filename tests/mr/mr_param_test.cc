@@ -1,0 +1,139 @@
+// Parameterized sweeps of the MapReduce engine: task-count combinations,
+// pushdown phase subsets, and reduce-buffer sizing are all semantically
+// transparent.
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "mr/engine.h"
+
+namespace teleport::mr {
+namespace {
+
+struct Env {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  TextCorpus corpus;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+};
+
+Env MakeEnv(ddc::Platform platform = ddc::Platform::kBaseDdc) {
+  Env e;
+  TextConfig tc;
+  tc.bytes = 1 << 18;
+  ddc::DdcConfig dc;
+  dc.platform = platform;
+  dc.compute_cache_bytes = 64 << 10;
+  dc.memory_pool_bytes = 256 << 20;
+  e.ms = std::make_unique<ddc::MemorySystem>(dc, sim::CostParams::Default(),
+                                             128 << 20);
+  e.corpus = GenerateText(e.ms.get(), tc);
+  e.ctx = e.ms->CreateContext(ddc::Pool::kCompute);
+  if (platform == ddc::Platform::kBaseDdc) {
+    e.runtime = std::make_unique<tp::PushdownRuntime>(e.ms.get());
+  }
+  return e;
+}
+
+int64_t ReferenceChecksum() {
+  static const int64_t checksum = [] {
+    Env e = MakeEnv(ddc::Platform::kLocal);
+    MrOptions opts;
+    opts.map_tasks = 1;
+    opts.reduce_tasks = 1;
+    return RunWordCount(*e.ctx, e.corpus, opts).checksum;
+  }();
+  return checksum;
+}
+
+class TaskCountTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TaskCountTest, AnyTaskSplitGivesTheSameAnswer) {
+  const auto [maps, reduces] = GetParam();
+  Env e = MakeEnv(ddc::Platform::kLocal);
+  MrOptions opts;
+  opts.map_tasks = maps;
+  opts.reduce_tasks = reduces;
+  const MrResult r = RunWordCount(*e.ctx, e.corpus, opts);
+  EXPECT_EQ(r.checksum, ReferenceChecksum());
+  EXPECT_EQ(r.Profile(MrPhase::kMapCompute).invocations,
+            static_cast<uint64_t>(maps));
+  EXPECT_EQ(r.Profile(MrPhase::kReduce).invocations,
+            static_cast<uint64_t>(reduces));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, TaskCountTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 3),
+                      std::make_tuple(7, 2), std::make_tuple(8, 8),
+                      std::make_tuple(16, 5), std::make_tuple(3, 16)));
+
+class MrPhaseSubsetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrPhaseSubsetTest, AnyPushedSubsetIsTransparent) {
+  const int mask = GetParam();
+  Env e = MakeEnv();
+  MrOptions opts;
+  opts.runtime = e.runtime.get();
+  const MrPhase all[] = {MrPhase::kMapCompute, MrPhase::kMapShuffle,
+                         MrPhase::kReduce, MrPhase::kMerge};
+  for (int b = 0; b < 4; ++b) {
+    if (mask & (1 << b)) opts.push_phases.insert(all[b]);
+  }
+  const MrResult r = RunWordCount(*e.ctx, e.corpus, opts);
+  EXPECT_EQ(r.checksum, ReferenceChecksum()) << "phase mask " << mask;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, MrPhaseSubsetTest,
+                         ::testing::Range(0, 16));
+
+TEST(MrSizingTest, DistinctHintShrinksBuffersWithoutChangingResults) {
+  Env generous = MakeEnv(ddc::Platform::kLocal);
+  const MrResult base = RunWordCount(*generous.ctx, generous.corpus, {});
+  Env hinted = MakeEnv(ddc::Platform::kLocal);
+  MrOptions opts;
+  opts.distinct_hint = base.distinct_keys + 64;
+  const MrResult r = RunWordCount(*hinted.ctx, hinted.corpus, opts);
+  EXPECT_EQ(r.checksum, base.checksum);
+  EXPECT_EQ(r.distinct_keys, base.distinct_keys);
+  // The hinted run allocated far less buffer space.
+  EXPECT_LT(hinted.ms->space().used_bytes(),
+            generous.ms->space().used_bytes());
+}
+
+TEST(MrSizingDeathTest, UndersizedHintAborts) {
+  Env e = MakeEnv(ddc::Platform::kLocal);
+  MrOptions opts;
+  opts.distinct_hint = 8;  // far below the real vocabulary
+  EXPECT_DEATH((void)RunWordCount(*e.ctx, e.corpus, opts),
+               "reduce buffer overflow");
+}
+
+TEST(MrGrepParamTest, GrepPushedVsUnpushedEquivalence) {
+  Env base = MakeEnv();
+  const MrResult unpushed = RunGrep(*base.ctx, base.corpus, "wb", {});
+  Env tele = MakeEnv();
+  MrOptions opts;
+  opts.runtime = tele.runtime.get();
+  opts.push_phases = DefaultTeleportPhases(/*grep=*/true);
+  const MrResult pushed = RunGrep(*tele.ctx, tele.corpus, "wb", opts);
+  EXPECT_EQ(unpushed.checksum, pushed.checksum);
+  EXPECT_EQ(unpushed.pairs, pushed.pairs);
+  EXPECT_TRUE(pushed.Profile(MrPhase::kMapCompute).pushed);
+}
+
+TEST(MrGrepParamTest, LongerPatternsMatchFewerLines) {
+  Env e = MakeEnv(ddc::Platform::kLocal);
+  const MrResult broad = RunGrep(*e.ctx, e.corpus, "w", {});
+  Env e2 = MakeEnv(ddc::Platform::kLocal);
+  const MrResult narrow = RunGrep(*e2.ctx, e2.corpus, "wabc", {});
+  EXPECT_GE(broad.pairs, narrow.pairs);
+  // Every line contains at least one word, so "w" matches all lines.
+  EXPECT_GE(broad.pairs, e.corpus.lines);
+}
+
+}  // namespace
+}  // namespace teleport::mr

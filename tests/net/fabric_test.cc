@@ -1,0 +1,110 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace teleport::net {
+namespace {
+
+sim::CostParams TestParams() {
+  sim::CostParams p;
+  p.net_latency_ns = 1000;
+  p.net_bytes_per_ns = 1.0;  // 1 byte/ns for easy arithmetic
+  return p;
+}
+
+TEST(ChannelTest, DeliveryIsLatencyPlusSerialization) {
+  Channel ch;
+  const auto p = TestParams();
+  EXPECT_EQ(ch.Send(0, 500, p), 1500);
+  EXPECT_EQ(ch.messages_sent(), 1u);
+  EXPECT_EQ(ch.bytes_sent(), 500u);
+}
+
+TEST(ChannelTest, FifoDeliveryNeverReorders) {
+  // A small message sent after a big one must not arrive earlier (§4.1
+  // relies on FIFO reliable delivery).
+  Channel ch;
+  const auto p = TestParams();
+  const Nanos big = ch.Send(0, 100000, p);    // arrives at 101000
+  const Nanos small = ch.Send(10, 8, p);      // would arrive at 1018
+  EXPECT_GE(small, big);
+}
+
+TEST(ChannelTest, FifoPropertyRandomized) {
+  Channel ch;
+  const auto p = TestParams();
+  Rng rng(42);
+  Nanos now = 0;
+  Nanos prev_delivery = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += static_cast<Nanos>(rng.Uniform(500));
+    const Nanos d = ch.Send(now, rng.Uniform(10000), p);
+    EXPECT_GE(d, prev_delivery);
+    EXPECT_GE(d, now + p.net_latency_ns);
+    prev_delivery = d;
+  }
+}
+
+TEST(ChannelTest, ResetClearsState) {
+  Channel ch;
+  const auto p = TestParams();
+  ch.Send(0, 100, p);
+  ch.Reset();
+  EXPECT_EQ(ch.messages_sent(), 0u);
+  EXPECT_EQ(ch.last_delivery(), 0);
+}
+
+TEST(FabricTest, RoundTripAddsHandlerTime) {
+  Fabric f(TestParams());
+  // req: 0 -> 1064 (64B); handler 936 -> reply sent at 2000; 64B -> 3064.
+  const Nanos done = f.RoundTripFromCompute(0, 64, 64, 936);
+  EXPECT_EQ(done, 3064);
+  EXPECT_EQ(f.total_messages(), 2u);
+  EXPECT_EQ(f.total_bytes(), 128u);
+}
+
+TEST(FabricTest, RoundTripFromMemoryUsesOppositeChannels) {
+  Fabric f(TestParams());
+  f.RoundTripFromMemory(0, 64, 64, 0);
+  EXPECT_EQ(f.memory_to_compute().messages_sent(), 1u);
+  EXPECT_EQ(f.compute_to_memory().messages_sent(), 1u);
+}
+
+TEST(FabricTest, DirectionsAreIndependentChannels) {
+  Fabric f(TestParams());
+  f.SendToMemory(0, 1000000);  // saturate one direction
+  // The reverse direction is unaffected by the forward queue.
+  EXPECT_EQ(f.SendToCompute(0, 8), 1008);
+}
+
+TEST(FabricTest, ReachabilityFlag) {
+  Fabric f(TestParams());
+  EXPECT_TRUE(f.reachable());
+  f.set_reachable(false);
+  EXPECT_FALSE(f.reachable());
+  f.Reset();
+  EXPECT_TRUE(f.reachable());
+}
+
+TEST(FabricTest, MessageKindNamesAreStable) {
+  EXPECT_EQ(MessageKindToString(MessageKind::kPushdownRequest),
+            "PushdownRequest");
+  EXPECT_EQ(MessageKindToString(MessageKind::kCoherenceRequest),
+            "CoherenceRequest");
+  EXPECT_EQ(MessageKindToString(MessageKind::kHeartbeat), "Heartbeat");
+}
+
+TEST(FabricTest, PaperLatencyBandwidth) {
+  // With the paper's constants, a 4 KiB page fetch round trip costs a few
+  // microseconds: 1.2us + ~9ns (64B) + handler + 1.2us + ~585ns (4KiB).
+  Fabric f(sim::CostParams::Default());
+  const Nanos done =
+      f.RoundTripFromCompute(0, 64, 4096 + 64, /*handler_ns=*/900);
+  EXPECT_GT(done, 3'000);
+  EXPECT_LT(done, 5'000);
+}
+
+}  // namespace
+}  // namespace teleport::net

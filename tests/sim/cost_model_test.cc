@@ -1,0 +1,57 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport::sim {
+namespace {
+
+TEST(CostModelTest, DefaultMatchesPaperTestbed) {
+  const CostParams p = CostParams::Default();
+  EXPECT_EQ(p.page_size, 4096u);
+  // 56 Gb/s InfiniBand, 1.2 us latency (§7 experimental setup).
+  EXPECT_EQ(p.net_latency_ns, 1200);
+  EXPECT_DOUBLE_EQ(p.net_bytes_per_ns, 7.0);
+}
+
+TEST(CostModelTest, NetTransferIsLatencyPlusSerialization) {
+  CostParams p;
+  p.net_latency_ns = 1000;
+  p.net_bytes_per_ns = 2.0;
+  EXPECT_EQ(p.NetTransfer(0), 1000);
+  EXPECT_EQ(p.NetTransfer(2000), 2000);
+}
+
+TEST(CostModelTest, PageTransferUsesPageSize) {
+  const CostParams p = CostParams::Default();
+  EXPECT_EQ(p.NetPageTransfer(), p.NetTransfer(p.page_size));
+  // A 4 KiB page at 7 GB/s serializes in ~585 ns on top of 1.2 us latency.
+  EXPECT_GT(p.NetPageTransfer(), 1700);
+  EXPECT_LT(p.NetPageTransfer(), 1900);
+}
+
+TEST(CostModelTest, CpuScalesWithClockRatio) {
+  const CostParams p = CostParams::Default();
+  const Nanos full = p.Cpu(1'000'000, 1.0);
+  const Nanos half = p.Cpu(1'000'000, 0.5);
+  EXPECT_NEAR(static_cast<double>(half), 2.0 * static_cast<double>(full),
+              static_cast<double>(full) * 0.01);
+}
+
+TEST(CostModelTest, RemoteFaultDominatesLocalAccess) {
+  // The structural fact behind the paper's Figs 1/3: a remote page fetch is
+  // more than an order of magnitude costlier than a local DRAM row miss.
+  const CostParams p = CostParams::Default();
+  const Nanos fault = p.NetPageTransfer() + p.fault_handler_ns;
+  EXPECT_GT(fault, 10 * p.dram_random_access_ns);
+}
+
+TEST(CostModelTest, SsdFaultDominatesRemoteMemoryFault) {
+  // Fig 1a/14: paging to remote memory beats paging to NVMe SSD by ~10x.
+  const CostParams p = CostParams::Default();
+  const Nanos remote = 2 * p.net_latency_ns + p.fault_handler_ns +
+                       p.NetPageTransfer();
+  EXPECT_GT(p.ssd_random_page_ns, 5 * remote);
+}
+
+}  // namespace
+}  // namespace teleport::sim

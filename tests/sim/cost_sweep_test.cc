@@ -1,0 +1,86 @@
+// Property tests on the cost model: ordering invariants must survive
+// random perturbations of the parameters, so benches that swap hardware
+// assumptions cannot silently invert the model's structure.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/cost_model.h"
+
+namespace teleport::sim {
+namespace {
+
+CostParams Perturb(Rng& rng) {
+  CostParams p;
+  p.net_latency_ns = rng.UniformRange(300, 5'000);
+  p.net_bytes_per_ns = 1.0 + rng.NextDouble() * 24.0;  // 8..200 Gb/s
+  p.fault_handler_ns = rng.UniformRange(200, 4'000);
+  p.dram_seq_access_ns = rng.UniformRange(1, 6);
+  p.dram_random_access_ns = rng.UniformRange(60, 200);
+  p.cpu_ns_per_op = 0.2 + rng.NextDouble();
+  p.ssd_random_page_ns = rng.UniformRange(40'000, 200'000);
+  p.ssd_seq_page_ns = rng.UniformRange(10'000, 39'000);
+  return p;
+}
+
+class CostSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostSweepTest, TransferMonotoneInBytes) {
+  Rng rng(GetParam());
+  const CostParams p = Perturb(rng);
+  Nanos prev = 0;
+  for (uint64_t bytes = 0; bytes < (1 << 20); bytes += 64 * 1024) {
+    const Nanos t = p.NetTransfer(bytes);
+    EXPECT_GE(t, prev);
+    EXPECT_GE(t, p.net_latency_ns);
+    prev = t;
+  }
+}
+
+TEST_P(CostSweepTest, CpuMonotoneInOpsAndInverseInClock) {
+  Rng rng(GetParam());
+  const CostParams p = Perturb(rng);
+  EXPECT_LE(p.Cpu(100), p.Cpu(1'000));
+  EXPECT_GE(p.Cpu(1'000, 0.5), p.Cpu(1'000, 1.0));
+  EXPECT_LE(p.Cpu(1'000, 2.0), p.Cpu(1'000, 1.0));
+}
+
+TEST_P(CostSweepTest, MemoryHierarchyOrderingPreserved) {
+  Rng rng(GetParam());
+  const CostParams p = Perturb(rng);
+  // DRAM hit < DRAM row miss < remote page fetch < SSD page read: the
+  // structural hierarchy every experiment depends on.
+  const Nanos remote = 2 * p.net_latency_ns + p.fault_handler_ns +
+                       p.NetPageTransfer();
+  EXPECT_LT(p.dram_seq_access_ns, p.dram_random_access_ns);
+  EXPECT_LT(p.dram_random_access_ns, remote);
+  EXPECT_LT(remote, p.ssd_random_page_ns + remote);  // SSD adds on top
+  EXPECT_LT(p.ssd_seq_page_ns, p.ssd_random_page_ns);
+}
+
+TEST_P(CostSweepTest, PageTransferConsistentWithGenericTransfer) {
+  Rng rng(GetParam());
+  const CostParams p = Perturb(rng);
+  EXPECT_EQ(p.NetPageTransfer(), p.NetTransfer(p.page_size));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostSweepTest,
+                         ::testing::Values(1, 7, 42, 1337, 9001, 271828,
+                                           314159, 2022));
+
+TEST(CostDefaultsTest, DefaultsAreSane) {
+  const CostParams p = CostParams::Default();
+  // A remote page fetch must sit an order of magnitude above DRAM and an
+  // order of magnitude below the SSD swap path — the regime of Figs 1/3.
+  const Nanos remote = 2 * p.net_latency_ns + p.fault_handler_ns +
+                       p.NetPageTransfer();
+  EXPECT_GT(remote, 10 * p.dram_random_access_ns);
+  EXPECT_GT(p.ssd_random_page_ns, 10 * remote / 2);
+  // Coherence messages land near the paper's 1.6 us one-way figure.
+  EXPECT_NEAR(static_cast<double>(p.net_latency_ns +
+                                  p.coherence_overhead_ns),
+              1600.0, 400.0);
+}
+
+}  // namespace
+}  // namespace teleport::sim

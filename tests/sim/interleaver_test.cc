@@ -1,0 +1,122 @@
+#include "sim/interleaver.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace teleport::sim {
+namespace {
+
+/// Task advancing its clock by a fixed quantum per step, recording the
+/// global interleaving order into a shared log.
+class TickTask : public Task {
+ public:
+  TickTask(int id, Nanos quantum, int steps, std::vector<int>* log)
+      : id_(id), quantum_(quantum), steps_(steps), log_(log) {}
+
+  Nanos clock() const override { return clock_.now(); }
+  bool done() const override { return steps_ == 0; }
+  void Step() override {
+    log_->push_back(id_);
+    clock_.Advance(quantum_);
+    --steps_;
+  }
+
+ private:
+  int id_;
+  Nanos quantum_;
+  int steps_;
+  std::vector<int>* log_;
+  VirtualClock clock_;
+};
+
+TEST(InterleaverTest, RunsAllTasksToCompletion) {
+  std::vector<int> log;
+  TickTask a(0, 10, 5, &log);
+  TickTask b(1, 10, 5, &log);
+  Interleaver il;
+  il.Add(&a);
+  il.Add(&b);
+  const Nanos end = il.Run();
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.done());
+  EXPECT_EQ(end, 50);
+  EXPECT_EQ(log.size(), 10u);
+}
+
+TEST(InterleaverTest, MinClockTaskGoesFirst) {
+  std::vector<int> log;
+  TickTask fast(0, 1, 10, &log);   // finishes at t=10
+  TickTask slow(1, 100, 2, &log);  // finishes at t=200
+  Interleaver il;
+  il.Add(&slow);
+  il.Add(&fast);
+  il.Run();
+  // After slow's first step (t=100), all 10 fast steps (t<=10) must run
+  // before slow's second.
+  // log: slow(tie: added first), then fast x10, then slow.
+  ASSERT_EQ(log.size(), 12u);
+  EXPECT_EQ(log[0], 1);  // tie at t=0 broken by registration order
+  for (int i = 1; i <= 10; ++i) EXPECT_EQ(log[i], 0);
+  EXPECT_EQ(log[11], 1);
+}
+
+TEST(InterleaverTest, TieBrokenByRegistrationOrder) {
+  std::vector<int> log;
+  TickTask a(0, 10, 3, &log);
+  TickTask b(1, 10, 3, &log);
+  Interleaver il;
+  il.Add(&a);
+  il.Add(&b);
+  il.Run();
+  // Perfectly alternating: a,b,a,b,a,b.
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(InterleaverTest, Deterministic) {
+  auto run = [] {
+    std::vector<int> log;
+    TickTask a(0, 7, 13, &log);
+    TickTask b(1, 11, 9, &log);
+    TickTask c(2, 3, 20, &log);
+    Interleaver il;
+    il.Add(&a);
+    il.Add(&b);
+    il.Add(&c);
+    il.Run();
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(InterleaverTest, RunUntilStopsAtDeadline) {
+  std::vector<int> log;
+  TickTask a(0, 10, 100, &log);
+  Interleaver il;
+  il.Add(&a);
+  il.RunUntil(55);
+  EXPECT_FALSE(a.done());
+  // Steps at t=0..50 executed (6 steps); clock now 60 >= deadline.
+  EXPECT_EQ(log.size(), 6u);
+  EXPECT_GE(a.clock(), 55);
+}
+
+TEST(InterleaverTest, EmptyInterleaverReturnsZero) {
+  Interleaver il;
+  EXPECT_EQ(il.Run(), 0);
+}
+
+TEST(InterleaverTest, ReturnsMaxFinishingClock) {
+  std::vector<int> log;
+  TickTask a(0, 10, 2, &log);   // ends 20
+  TickTask b(1, 50, 3, &log);   // ends 150
+  Interleaver il;
+  il.Add(&a);
+  il.Add(&b);
+  EXPECT_EQ(il.Run(), 150);
+}
+
+}  // namespace
+}  // namespace teleport::sim

@@ -1,0 +1,55 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace teleport::sim {
+namespace {
+
+TEST(MetricsTest, DefaultAllZero) {
+  Metrics m;
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.coherence_messages, 0u);
+  EXPECT_EQ(m.RemoteMemoryBytes(), 0u);
+}
+
+TEST(MetricsTest, AddAccumulatesEveryField) {
+  Metrics a, b;
+  a.cache_hits = 1;
+  a.bytes_from_memory_pool = 100;
+  b.cache_hits = 2;
+  b.bytes_to_memory_pool = 50;
+  b.coherence_messages = 4;
+  b.pushdown_calls = 1;
+  a.Add(b);
+  EXPECT_EQ(a.cache_hits, 3u);
+  EXPECT_EQ(a.bytes_from_memory_pool, 100u);
+  EXPECT_EQ(a.bytes_to_memory_pool, 50u);
+  EXPECT_EQ(a.coherence_messages, 4u);
+  EXPECT_EQ(a.pushdown_calls, 1u);
+  EXPECT_EQ(a.RemoteMemoryBytes(), 150u);
+}
+
+TEST(MetricsTest, DiffInvertsAdd) {
+  Metrics base;
+  base.cache_hits = 5;
+  base.storage_reads = 2;
+  Metrics later = base;
+  later.cache_hits = 9;
+  later.storage_reads = 3;
+  later.cpu_ops = 77;
+  const Metrics d = later.Diff(base);
+  EXPECT_EQ(d.cache_hits, 4u);
+  EXPECT_EQ(d.storage_reads, 1u);
+  EXPECT_EQ(d.cpu_ops, 77u);
+}
+
+TEST(MetricsTest, ToStringContainsSections) {
+  Metrics m;
+  m.coherence_messages = 12;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("coherence"), std::string::npos);
+  EXPECT_NE(s.find("messages=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teleport::sim

@@ -1,0 +1,171 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "teleport/pushdown.h"
+
+namespace teleport::tp {
+namespace {
+
+using ddc::DdcConfig;
+using ddc::ExecutionContext;
+using ddc::MemorySystem;
+using ddc::Platform;
+using ddc::Pool;
+using ddc::VAddr;
+
+constexpr uint64_t kPage = 4096;
+
+DdcConfig Config() {
+  DdcConfig c;
+  c.platform = Platform::kBaseDdc;
+  c.compute_cache_bytes = 16 * kPage;
+  c.memory_pool_bytes = 2048 * kPage;
+  return c;
+}
+
+/// Conservation and attribution properties of the simulator's accounting:
+/// clocks only move forward, bytes match page movements, and the
+/// per-phase pushdown breakdown adds up to the caller's elapsed time.
+class AccountingTest : public ::testing::Test {
+ protected:
+  AccountingTest()
+      : ms_(Config(), sim::CostParams::Default(), 128 << 20), runtime_(&ms_) {}
+
+  VAddr Seeded(uint64_t pages) {
+    const VAddr a = ms_.space().Alloc(pages * kPage, "d");
+    ms_.SeedData();
+    return a;
+  }
+
+  MemorySystem ms_;
+  PushdownRuntime runtime_;
+};
+
+TEST_F(AccountingTest, CleanReadTrafficEqualsMissesTimesPageSize) {
+  const VAddr a = Seeded(64);
+  auto ctx = ms_.CreateContext(Pool::kCompute);
+  for (uint64_t p = 0; p < 64; ++p) (void)ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_EQ(ctx->metrics().bytes_from_memory_pool,
+            ctx->metrics().cache_misses * kPage);
+  EXPECT_EQ(ctx->metrics().bytes_to_memory_pool, 0u);
+}
+
+TEST_F(AccountingTest, WritebackTrafficEqualsDirtyEvictions) {
+  const VAddr a = Seeded(64);
+  auto ctx = ms_.CreateContext(Pool::kCompute);
+  for (uint64_t p = 0; p < 64; ++p) ctx->Store<int64_t>(a + p * kPage, 1);
+  EXPECT_EQ(ctx->metrics().bytes_to_memory_pool,
+            ctx->metrics().dirty_writebacks * kPage);
+}
+
+TEST_F(AccountingTest, BreakdownSumsToCallerElapsedTime) {
+  const VAddr a = Seeded(256);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  // Dirty some cache so pre-phases have work.
+  for (uint64_t p = 0; p < 8; ++p) caller->Store<int64_t>(a + p * kPage, 1);
+  const Nanos before = caller->now();
+  const Status st = runtime_.Call(*caller, [&](ExecutionContext& mc) {
+    for (uint64_t p = 0; p < 256; ++p) (void)mc.Load<int64_t>(a + p * kPage);
+    mc.ChargeCpu(100'000);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  const Nanos elapsed = caller->now() - before;
+  const PushdownBreakdown& bd = runtime_.last_breakdown();
+  // All components are non-negative and their sum equals the caller's
+  // observed elapsed time exactly (virtual time is conserved).
+  EXPECT_GE(bd.pre_sync_ns, 0);
+  EXPECT_GE(bd.queue_wait_ns, 0);
+  EXPECT_EQ(bd.Total(), elapsed);
+}
+
+TEST_F(AccountingTest, TotalBreakdownAccumulates) {
+  const VAddr a = Seeded(16);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  Nanos sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Nanos before = caller->now();
+    ASSERT_TRUE(runtime_
+                    .Call(*caller,
+                          [&](ExecutionContext& mc) {
+                            (void)mc.Load<int64_t>(a);
+                            return Status::OK();
+                          })
+                    .ok());
+    sum += caller->now() - before;
+  }
+  EXPECT_EQ(runtime_.completed_calls(), 3u);
+  EXPECT_EQ(runtime_.total_breakdown().Total(), sum);
+}
+
+TEST_F(AccountingTest, ClocksAreMonotonic) {
+  const VAddr a = Seeded(32);
+  auto ctx = ms_.CreateContext(Pool::kCompute);
+  Nanos prev = 0;
+  for (int i = 0; i < 500; ++i) {
+    (void)ctx->Load<int64_t>(a + (i % 32) * kPage + (i % 100) * 8);
+    ASSERT_GE(ctx->now(), prev);
+    prev = ctx->now();
+  }
+}
+
+TEST_F(AccountingTest, FabricCountsMatchContextTotals) {
+  const VAddr a = Seeded(64);
+  auto ctx = ms_.CreateContext(Pool::kCompute);
+  for (uint64_t p = 0; p < 64; ++p) (void)ctx->Load<int64_t>(a + p * kPage);
+  // One context did everything: its message count equals the fabric's.
+  EXPECT_EQ(ctx->metrics().net_messages, ms_.fabric().total_messages());
+  EXPECT_GE(ms_.fabric().total_bytes(), ctx->metrics().bytes_from_memory_pool);
+}
+
+TEST_F(AccountingTest, PushedWorkMergesIntoCallerMetrics) {
+  const VAddr a = Seeded(128);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  const Status st = runtime_.Call(*caller, [&](ExecutionContext& mc) {
+    for (uint64_t p = 0; p < 128; ++p) (void)mc.Load<int64_t>(a + p * kPage);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  // The memory-side pool hits surfaced in the caller's merged metrics.
+  EXPECT_GE(caller->metrics().memory_pool_hits, 128u);
+  EXPECT_EQ(caller->metrics().pushdown_calls, 1u);
+}
+
+TEST_F(AccountingTest, LatencyHistogramsTrackCalls) {
+  const VAddr a = Seeded(32);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(runtime_
+                    .Call(*caller,
+                          [&](ExecutionContext& mc) {
+                            (void)mc.Load<int64_t>(a + i * kPage);
+                            mc.ChargeCpu(1'000);
+                            return Status::OK();
+                          })
+                    .ok());
+  }
+  EXPECT_EQ(runtime_.call_latency().count(), 5u);
+  EXPECT_GT(runtime_.call_latency().Mean(), 0.0);
+  EXPECT_GE(runtime_.call_latency().max(),
+            runtime_.last_breakdown().Total());
+  EXPECT_EQ(runtime_.online_sync_latency().count(), 5u);
+  // Percentiles bracket the mean.
+  EXPECT_LE(runtime_.call_latency().Percentile(1),
+            runtime_.call_latency().Percentile(99));
+}
+
+TEST_F(AccountingTest, MemoryIntensityZeroOnLocalPlatform) {
+  DdcConfig c;
+  c.platform = Platform::kLocal;
+  MemorySystem lms(c, sim::CostParams::Default(), 16 << 20);
+  const VAddr a = lms.space().Alloc(64 * kPage, "d");
+  lms.SeedData();
+  auto ctx = lms.CreateContext(Pool::kCompute);
+  for (uint64_t p = 0; p < 64; ++p) (void)ctx->Load<int64_t>(a + p * kPage);
+  EXPECT_EQ(ctx->metrics().RemoteMemoryBytes(), 0u);
+  EXPECT_EQ(ctx->metrics().net_messages, 0u);
+}
+
+}  // namespace
+}  // namespace teleport::tp
