@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rle.dir/bench_ablation_rle.cc.o"
+  "CMakeFiles/bench_ablation_rle.dir/bench_ablation_rle.cc.o.d"
+  "bench_ablation_rle"
+  "bench_ablation_rle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

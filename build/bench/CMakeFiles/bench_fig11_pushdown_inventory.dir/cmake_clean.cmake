@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pushdown_inventory.dir/bench_fig11_pushdown_inventory.cc.o"
+  "CMakeFiles/bench_fig11_pushdown_inventory.dir/bench_fig11_pushdown_inventory.cc.o.d"
+  "bench_fig11_pushdown_inventory"
+  "bench_fig11_pushdown_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pushdown_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_qfilter.dir/bench_fig12_qfilter.cc.o"
+  "CMakeFiles/bench_fig12_qfilter.dir/bench_fig12_qfilter.cc.o.d"
+  "bench_fig12_qfilter"
+  "bench_fig12_qfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_qfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_suite.dir/bench_fig13_suite.cc.o"
+  "CMakeFiles/bench_fig13_suite.dir/bench_fig13_suite.cc.o.d"
+  "bench_fig13_suite"
+  "bench_fig13_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

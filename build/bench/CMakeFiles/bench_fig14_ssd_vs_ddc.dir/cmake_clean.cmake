@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ssd_vs_ddc.dir/bench_fig14_ssd_vs_ddc.cc.o"
+  "CMakeFiles/bench_fig14_ssd_vs_ddc.dir/bench_fig14_ssd_vs_ddc.cc.o.d"
+  "bench_fig14_ssd_vs_ddc"
+  "bench_fig14_ssd_vs_ddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ssd_vs_ddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_parallel_contexts.dir/bench_fig17_parallel_contexts.cc.o"
+  "CMakeFiles/bench_fig17_parallel_contexts.dir/bench_fig17_parallel_contexts.cc.o.d"
+  "bench_fig17_parallel_contexts"
+  "bench_fig17_parallel_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_parallel_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

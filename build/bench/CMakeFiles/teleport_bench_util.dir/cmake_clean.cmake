@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/teleport_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/teleport_bench_util.dir/micro.cc.o"
+  "CMakeFiles/teleport_bench_util.dir/micro.cc.o.d"
+  "libteleport_bench_util.a"
+  "libteleport_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

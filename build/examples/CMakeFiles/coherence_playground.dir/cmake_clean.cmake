@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_playground.dir/coherence_playground.cpp.o"
+  "CMakeFiles/coherence_playground.dir/coherence_playground.cpp.o.d"
+  "coherence_playground"
+  "coherence_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_shortest_paths.dir/graph_shortest_paths.cpp.o"
+  "CMakeFiles/graph_shortest_paths.dir/graph_shortest_paths.cpp.o.d"
+  "graph_shortest_paths"
+  "graph_shortest_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_shortest_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

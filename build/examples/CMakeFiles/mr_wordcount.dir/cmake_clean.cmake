@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_wordcount.dir/mr_wordcount.cpp.o"
+  "CMakeFiles/mr_wordcount.dir/mr_wordcount.cpp.o.d"
+  "mr_wordcount"
+  "mr_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

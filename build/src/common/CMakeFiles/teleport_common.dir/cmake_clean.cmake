@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_common.dir/histogram.cc.o"
+  "CMakeFiles/teleport_common.dir/histogram.cc.o.d"
+  "CMakeFiles/teleport_common.dir/logging.cc.o"
+  "CMakeFiles/teleport_common.dir/logging.cc.o.d"
+  "CMakeFiles/teleport_common.dir/rle.cc.o"
+  "CMakeFiles/teleport_common.dir/rle.cc.o.d"
+  "CMakeFiles/teleport_common.dir/rng.cc.o"
+  "CMakeFiles/teleport_common.dir/rng.cc.o.d"
+  "CMakeFiles/teleport_common.dir/status.cc.o"
+  "CMakeFiles/teleport_common.dir/status.cc.o.d"
+  "libteleport_common.a"
+  "libteleport_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_db.dir/advisor.cc.o"
+  "CMakeFiles/teleport_db.dir/advisor.cc.o.d"
+  "CMakeFiles/teleport_db.dir/operators.cc.o"
+  "CMakeFiles/teleport_db.dir/operators.cc.o.d"
+  "CMakeFiles/teleport_db.dir/query.cc.o"
+  "CMakeFiles/teleport_db.dir/query.cc.o.d"
+  "CMakeFiles/teleport_db.dir/tpch.cc.o"
+  "CMakeFiles/teleport_db.dir/tpch.cc.o.d"
+  "libteleport_db.a"
+  "libteleport_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

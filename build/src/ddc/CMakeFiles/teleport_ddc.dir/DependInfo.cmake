@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddc/address_space.cc" "src/ddc/CMakeFiles/teleport_ddc.dir/address_space.cc.o" "gcc" "src/ddc/CMakeFiles/teleport_ddc.dir/address_space.cc.o.d"
+  "/root/repo/src/ddc/memory_system.cc" "src/ddc/CMakeFiles/teleport_ddc.dir/memory_system.cc.o" "gcc" "src/ddc/CMakeFiles/teleport_ddc.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/teleport_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/teleport_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teleport_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_ddc.dir/address_space.cc.o"
+  "CMakeFiles/teleport_ddc.dir/address_space.cc.o.d"
+  "CMakeFiles/teleport_ddc.dir/memory_system.cc.o"
+  "CMakeFiles/teleport_ddc.dir/memory_system.cc.o.d"
+  "libteleport_ddc.a"
+  "libteleport_ddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_ddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

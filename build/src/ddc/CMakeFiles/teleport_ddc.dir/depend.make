@@ -1,0 +1,2 @@
+# Empty dependencies file for teleport_ddc.
+# This may be replaced when dependencies are built.

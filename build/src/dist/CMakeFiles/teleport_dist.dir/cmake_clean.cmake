@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_dist.dir/cost_model.cc.o"
+  "CMakeFiles/teleport_dist.dir/cost_model.cc.o.d"
+  "libteleport_dist.a"
+  "libteleport_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_graph.dir/engine.cc.o"
+  "CMakeFiles/teleport_graph.dir/engine.cc.o.d"
+  "CMakeFiles/teleport_graph.dir/graph.cc.o"
+  "CMakeFiles/teleport_graph.dir/graph.cc.o.d"
+  "libteleport_graph.a"
+  "libteleport_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

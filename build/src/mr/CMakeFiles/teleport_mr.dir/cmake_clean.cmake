@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_mr.dir/engine.cc.o"
+  "CMakeFiles/teleport_mr.dir/engine.cc.o.d"
+  "CMakeFiles/teleport_mr.dir/text.cc.o"
+  "CMakeFiles/teleport_mr.dir/text.cc.o.d"
+  "libteleport_mr.a"
+  "libteleport_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

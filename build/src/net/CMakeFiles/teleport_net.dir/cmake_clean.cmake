@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_net.dir/fabric.cc.o"
+  "CMakeFiles/teleport_net.dir/fabric.cc.o.d"
+  "libteleport_net.a"
+  "libteleport_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libteleport_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_sim.dir/interleaver.cc.o"
+  "CMakeFiles/teleport_sim.dir/interleaver.cc.o.d"
+  "CMakeFiles/teleport_sim.dir/metrics.cc.o"
+  "CMakeFiles/teleport_sim.dir/metrics.cc.o.d"
+  "libteleport_sim.a"
+  "libteleport_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_core.dir/pushdown.cc.o"
+  "CMakeFiles/teleport_core.dir/pushdown.cc.o.d"
+  "libteleport_core.a"
+  "libteleport_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

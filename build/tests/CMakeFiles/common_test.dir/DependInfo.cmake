@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/common_test.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/rle_test.cc" "tests/CMakeFiles/common_test.dir/common/rle_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rle_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/teleport/CMakeFiles/teleport_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddc/CMakeFiles/teleport_ddc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/teleport_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/teleport_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teleport_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/teleport_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/teleport_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/teleport_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/teleport_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/result_test.cc.o"
+  "CMakeFiles/common_test.dir/common/result_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/rle_test.cc.o"
+  "CMakeFiles/common_test.dir/common/rle_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

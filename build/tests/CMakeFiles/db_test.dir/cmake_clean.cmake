@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/advisor_test.cc.o"
+  "CMakeFiles/db_test.dir/db/advisor_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/operators_edge_test.cc.o"
+  "CMakeFiles/db_test.dir/db/operators_edge_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/operators_test.cc.o"
+  "CMakeFiles/db_test.dir/db/operators_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/query_param_test.cc.o"
+  "CMakeFiles/db_test.dir/db/query_param_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/query_test.cc.o"
+  "CMakeFiles/db_test.dir/db/query_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/tpch_test.cc.o"
+  "CMakeFiles/db_test.dir/db/tpch_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

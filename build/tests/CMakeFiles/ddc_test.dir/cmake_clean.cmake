@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_test.dir/ddc/address_space_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/address_space_test.cc.o.d"
+  "CMakeFiles/ddc_test.dir/ddc/cache_policy_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/cache_policy_test.cc.o.d"
+  "CMakeFiles/ddc_test.dir/ddc/lru_property_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/lru_property_test.cc.o.d"
+  "CMakeFiles/ddc_test.dir/ddc/memory_system_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/memory_system_test.cc.o.d"
+  "CMakeFiles/ddc_test.dir/ddc/platform_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/platform_test.cc.o.d"
+  "CMakeFiles/ddc_test.dir/ddc/prefetch_test.cc.o"
+  "CMakeFiles/ddc_test.dir/ddc/prefetch_test.cc.o.d"
+  "ddc_test"
+  "ddc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_test.dir/mr/engine_test.cc.o"
+  "CMakeFiles/mr_test.dir/mr/engine_test.cc.o.d"
+  "CMakeFiles/mr_test.dir/mr/mr_param_test.cc.o"
+  "CMakeFiles/mr_test.dir/mr/mr_param_test.cc.o.d"
+  "mr_test"
+  "mr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

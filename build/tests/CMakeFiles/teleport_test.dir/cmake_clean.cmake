@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleport_test.dir/teleport/accounting_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/accounting_test.cc.o.d"
+  "CMakeFiles/teleport_test.dir/teleport/coherence_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/coherence_test.cc.o.d"
+  "CMakeFiles/teleport_test.dir/teleport/failure_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/failure_test.cc.o.d"
+  "CMakeFiles/teleport_test.dir/teleport/protocol_table_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/protocol_table_test.cc.o.d"
+  "CMakeFiles/teleport_test.dir/teleport/pushdown_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/pushdown_test.cc.o.d"
+  "CMakeFiles/teleport_test.dir/teleport/sync_test.cc.o"
+  "CMakeFiles/teleport_test.dir/teleport/sync_test.cc.o.d"
+  "teleport_test"
+  "teleport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
