@@ -28,6 +28,8 @@ class PlanExecutor {
     const uint64_t cpu0 = ctx_.metrics().cpu_ops;
     const uint64_t pg0 =
         ctx_.metrics().cache_misses + ctx_.metrics().dirty_writebacks;
+    const uint64_t rt0 = ctx_.metrics().retries;
+    const uint64_t fb0 = ctx_.metrics().fallbacks;
     if (opts_.ShouldPush(name)) {
       prof.pushed = true;
       const Status st = opts_.runtime->Call(
@@ -47,6 +49,8 @@ class PlanExecutor {
     prof.cpu_ops = ctx_.metrics().cpu_ops - cpu0;
     prof.remote_pages = ctx_.metrics().cache_misses +
                         ctx_.metrics().dirty_writebacks - pg0;
+    prof.retries = ctx_.metrics().retries - rt0;
+    prof.fallbacks = ctx_.metrics().fallbacks - fb0;
     result_.ops.push_back(std::move(prof));
   }
 

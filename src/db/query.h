@@ -40,6 +40,8 @@ struct OperatorProfile {
   uint64_t cpu_ops = 0;       ///< simple operations charged by the kernel
   uint64_t rows_out = 0;
   bool pushed = false;
+  uint64_t retries = 0;    ///< RPC attempts repeated after injected drops
+  uint64_t fallbacks = 0;  ///< pushdowns re-run locally (§3.2 escape hatch)
 
   /// §7.4 memory intensity: remote traffic per second of execution.
   double MemoryIntensity() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "net/faults.h"
 
 namespace teleport::ddc {
 
@@ -51,6 +52,14 @@ void MemorySystem::LruList::Remove(PageId p) {
   prev_[p] = next_[p] = kNil;
   in_list_[p] = false;
   --size_;
+}
+
+void MemorySystem::LruList::Clear() {
+  std::fill(prev_.begin(), prev_.end(), kNil);
+  std::fill(next_.begin(), next_.end(), kNil);
+  std::fill(in_list_.begin(), in_list_.end(), false);
+  head_ = tail_ = kNil;
+  size_ = 0;
 }
 
 // --- MemorySystem ------------------------------------------------------------
@@ -342,7 +351,9 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     // disaggregated OS forwards all new allocations through the memory
     // pool's controller (§3), but no page payload moves.
     const Nanos done =
-        fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler);
+        fabric_.fault_injector() == nullptr
+            ? fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler)
+            : RetriedPageFaultRpc(ctx, 64, resp_bytes, handler);
     ctx.clock_.AdvanceTo(done);
     ctx.metrics_.net_messages += 2;
     ctx.metrics_.net_bytes += 64 + resp_bytes;
@@ -385,6 +396,40 @@ void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
     if (pushdown_active_) s.temp_touched = true;
   }
   ChargeDram(ctx, page, len);
+}
+
+Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
+                                        uint64_t req_bytes,
+                                        uint64_t resp_bytes,
+                                        Nanos handler_ns) {
+  tp::RetryStats stats;
+  Nanos t = ctx.now();
+  // Each round burns fault_retry_.max_attempts attempts; between rounds the
+  // caller waits out any scheduled outage (the heartbeat thread reports the
+  // heal time, §3.2). Rounds are capped so a pathological schedule cannot
+  // loop forever; after that the reliable transport carries the fault.
+  for (int round = 0; round < 16; ++round) {
+    const tp::RetryOutcome out = tp::RetryRoundTripFromCompute(
+        fabric_, fault_retry_, retry_rng_, t, req_bytes, resp_bytes,
+        handler_ns, net::MessageKind::kPageFaultRequest,
+        net::MessageKind::kPageFaultReply, &stats);
+    if (out.ok) {
+      retry_stats_.Add(stats);
+      ctx.metrics_.retries += stats.retries;
+      ctx.metrics_.fault_events += stats.retries;
+      return out.done;
+    }
+    t = out.gave_up_at;
+    const Nanos heal = fabric_.NextReachableAt(t);
+    if (heal == net::Fabric::kNeverHeals) break;
+    if (heal > t) t = heal;
+  }
+  retry_stats_.Add(stats);
+  ctx.metrics_.retries += stats.retries;
+  ctx.metrics_.fault_events += stats.retries;
+  // Transport floor: ReliableDeliver retransmits below the RPC layer and
+  // cannot lose the message, so the fault always completes.
+  return fabric_.RoundTripFromCompute(t, req_bytes, resp_bytes, handler_ns);
 }
 
 void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
@@ -611,7 +656,8 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
   }
   if (flushed == 0) return;
   const uint64_t bytes = flushed * page_size;
-  const Nanos delivered = fabric_.SendToMemory(ctx.now(), bytes + 64);
+  const Nanos delivered = fabric_.SendToMemory(ctx.now(), bytes + 64,
+                                               net::MessageKind::kSyncmem);
   ctx.clock_.AdvanceTo(delivered + params_.fault_handler_ns);
   ctx.metrics_.net_messages += 1;
   ctx.metrics_.net_bytes += bytes + 64;
@@ -698,6 +744,34 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
   ctx.metrics_.net_messages += refetched;
   ctx.metrics_.net_bytes += bytes;
   ctx.metrics_.bytes_from_memory_pool += bytes;
+}
+
+uint64_t MemorySystem::ApplyPoolRestarts(ExecutionContext& ctx) {
+  const net::FaultInjector* inj = fabric_.fault_injector();
+  if (inj == nullptr) return 0;
+  const int completed = inj->CrashRestartsCompletedBy(ctx.now());
+  if (completed <= pool_restarts_applied_) return 0;
+  pool_restarts_applied_ = completed;
+  EnsurePageTables();
+  // The restarted node comes back with empty DRAM: every pool-resident page
+  // is dropped. Pages whose bytes were flushed to storage are recoverable
+  // (refaulted on demand); unflushed writes since the last Syncmem/writeback
+  // flush are gone and get reported. Compute-cache pages are untouched.
+  uint64_t lost = 0;
+  for (PageId p = 0; p < pages_.size(); ++p) {
+    PageState& s = pages_[p];
+    if (!s.in_memory_pool) continue;
+    s.in_memory_pool = false;
+    if (s.mem_dirty) {
+      s.mem_dirty = false;
+      ++lost;
+    }
+  }
+  pool_lru_.Clear();
+  pool_used_ = 0;
+  lost_pool_writes_ += lost;
+  ctx.metrics_.lost_pool_writes += lost;
+  return lost;
 }
 
 uint64_t MemorySystem::CheckSwmrInvariant() const {

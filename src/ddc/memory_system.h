@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rle.h"
+#include "common/rng.h"
 #include "common/units.h"
 #include "ddc/address_space.h"
 #include "ddc/types.h"
@@ -15,6 +16,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
+#include "teleport/retry.h"
 
 namespace teleport::ddc {
 
@@ -210,6 +212,27 @@ class MemorySystem {
   /// of pages checked. Only meaningful while a kMesi session is active.
   uint64_t CheckSwmrInvariant() const;
 
+  // --- Resilience (§3.2 failure handling) ---------------------------------
+
+  /// Policy for retrying page-fault RPCs when a fault injector is attached
+  /// to the fabric. Without an injector the fault path is untouched.
+  void set_fault_retry_policy(const tp::RetryPolicy& p) { fault_retry_ = p; }
+  const tp::RetryPolicy& fault_retry_policy() const { return fault_retry_; }
+  /// Reseeds the deterministic jitter stream used by fault-path retries.
+  void set_retry_seed(uint64_t seed) { retry_rng_ = Rng(seed); }
+
+  /// Applies any memory-node crash-restart windows that have completed by
+  /// ctx.now(): every pool-resident page is dropped from the restarted
+  /// node; pages whose only fresh copy was the pool (`mem_dirty`, no
+  /// flushed storage copy of those bytes) are counted as lost writes and
+  /// reported via metrics. Compute-cache pages survive — the compute node
+  /// did not crash. Returns the number of lost-write pages found this call.
+  uint64_t ApplyPoolRestarts(ExecutionContext& ctx);
+
+  uint64_t lost_pool_writes() const { return lost_pool_writes_; }
+  int pool_restarts_applied() const { return pool_restarts_applied_; }
+  const tp::RetryStats& fault_retry_stats() const { return retry_stats_; }
+
  private:
   friend class ExecutionContext;
 
@@ -245,6 +268,8 @@ class MemorySystem {
     /// Least-recently-used element; kNil if empty.
     PageId Back() const { return tail_; }
     size_t size() const { return size_; }
+    /// Empties the list in O(capacity) (crash-restart wipes a whole pool).
+    void Clear();
 
    private:
     std::vector<uint32_t> prev_, next_;
@@ -288,6 +313,13 @@ class MemorySystem {
   /// §4.1 coherence: temporary-context faults during a pushdown session.
   void CoherenceMemoryFault(ExecutionContext& ctx, PageId page, bool write);
 
+  /// Page-fault RPC with retry/backoff under an attached fault injector;
+  /// falls through to the reliable transport after enough exhausted rounds
+  /// so forward progress never depends on the injector's schedule. Charges
+  /// retry metrics to `ctx` and returns the completion time.
+  Nanos RetriedPageFaultRpc(ExecutionContext& ctx, uint64_t req_bytes,
+                            uint64_t resp_bytes, Nanos handler_ns);
+
   DdcConfig config_;
   sim::CostParams params_;
   AddressSpace space_;
@@ -304,6 +336,13 @@ class MemorySystem {
   bool pushdown_active_ = false;
   int session_refcount_ = 0;
   CoherenceMode coherence_mode_ = CoherenceMode::kMesi;
+
+  // Resilience state (inert without a fabric fault injector).
+  tp::RetryPolicy fault_retry_;
+  Rng retry_rng_{0x7e1e904u};
+  tp::RetryStats retry_stats_;
+  int pool_restarts_applied_ = 0;
+  uint64_t lost_pool_writes_ = 0;
   /// Pages moved out by the last FlushAllCache(drop=true); consumed by
   /// BulkRefetch to restore the cache in the eager strawman.
   std::vector<PageId> flushed_pages_;

@@ -30,6 +30,8 @@ class PhaseRunner {
     PhaseProfile& prof = profiles_[static_cast<size_t>(phase)];
     const Nanos t0 = ctx_.now();
     const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();
+    const uint64_t rt0 = ctx_.metrics().retries;
+    const uint64_t fb0 = ctx_.metrics().fallbacks;
     if (opts_.ShouldPush(phase)) {
       const Status st = opts_.runtime->Call(
           ctx_,
@@ -45,6 +47,8 @@ class PhaseRunner {
     }
     prof.time_ns += ctx_.now() - t0;
     prof.remote_bytes += ctx_.metrics().RemoteMemoryBytes() - rm0;
+    prof.retries += ctx_.metrics().retries - rt0;
+    prof.fallbacks += ctx_.metrics().fallbacks - fb0;
     ++prof.invocations;
   }
 
@@ -234,15 +238,17 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
     }
   }
 
-  // Result digest (order-sensitive in vertex id).
-  int64_t checksum = 0;
+  // Result digest (order-sensitive in vertex id). Accumulated unsigned:
+  // unreached vertices keep large kInf sentinels whose products wrap, and
+  // the digest is the two's-complement bit pattern, not an arithmetic sum.
+  uint64_t checksum = 0;
   for (uint64_t v = 0; v < v_count; ++v) {
     const int64_t value = ctx.Load<int64_t>(values + v * 8);
-    checksum += static_cast<int64_t>(v % 97 + 1) * (value + 13);
+    checksum += (v % 97 + 1) * (static_cast<uint64_t>(value) + 13);
     ctx.ChargeCpu(2);
   }
 
-  return runner.Finish(values, checksum, iterations);
+  return runner.Finish(values, static_cast<int64_t>(checksum), iterations);
 }
 
 namespace {

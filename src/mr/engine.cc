@@ -89,6 +89,8 @@ class MrRunner {
     MrPhaseProfile& prof = profiles_[static_cast<size_t>(phase)];
     const Nanos t0 = ctx_.now();
     const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();
+    const uint64_t rt0 = ctx_.metrics().retries;
+    const uint64_t fb0 = ctx_.metrics().fallbacks;
     if (opts_.ShouldPush(phase)) {
       const Status st = opts_.runtime->Call(
           ctx_,
@@ -104,6 +106,8 @@ class MrRunner {
     }
     prof.time_ns += ctx_.now() - t0;
     prof.remote_bytes += ctx_.metrics().RemoteMemoryBytes() - rm0;
+    prof.retries += ctx_.metrics().retries - rt0;
+    prof.fallbacks += ctx_.metrics().fallbacks - fb0;
     ++prof.invocations;
   }
 

@@ -1,5 +1,10 @@
 #include "net/fabric.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "net/faults.h"
+
 namespace teleport::net {
 
 std::string_view MessageKindToString(MessageKind kind) {
@@ -51,18 +56,147 @@ void Channel::Reset() {
   last_delivery_ = 0;
 }
 
+Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
+                              MessageKind kind) {
+  if (injector_ == nullptr) {
+    CountDelivered(kind, bytes, 1);
+    return ch.Send(now, bytes, params_);
+  }
+  Nanos t = now;
+  // A scheduled outage holds the message at the NIC until the link heals.
+  // (Injector windows are always finite; a permanent failure is the panic
+  // path, which callers check before sending.)
+  {
+    const Nanos heal = injector_->HealsAt(t);
+    if (heal > t) t = heal;
+  }
+  // Transport-level reliability: each drop is retransmitted one link-RTO
+  // later, so delivery is delayed but never lost (§4.1 "reliable RDMA").
+  // The retransmit count is capped so a drop_p=1.0 schedule cannot spin
+  // forever; past the cap the transport escalates and delivery succeeds.
+  FaultDecision d = injector_->OnSend(kind, t);
+  for (int rexmit = 0; d.dropped && rexmit < 64; ++rexmit) {
+    t += injector_->link_rto_ns();
+    const Nanos heal = injector_->HealsAt(t);
+    if (heal > t) t = heal;
+    d = injector_->OnSend(kind, t);
+  }
+  if (d.dropped) d = FaultDecision{};
+  t += d.extra_delay_ns;
+  CountDelivered(kind, bytes, d.copies);
+  Nanos delivery = ch.Send(t, bytes, params_);
+  for (int c = 1; c < d.copies; ++c) {
+    ch.Send(t, bytes, params_);  // duplicate occupies the wire too
+  }
+  return delivery;
+}
+
+SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
+                               MessageKind kind) {
+  if (injector_ == nullptr) {
+    CountDelivered(kind, bytes, 1);
+    return SendOutcome{true, ch.Send(now, bytes, params_)};
+  }
+  if (!injector_->LinkUpAt(now)) {
+    injector_->CountOutageDrop();
+    return SendOutcome{false, 0};
+  }
+  const FaultDecision d = injector_->OnSend(kind, now);
+  if (d.dropped) return SendOutcome{false, 0};
+  CountDelivered(kind, bytes, d.copies);
+  const Nanos t = now + d.extra_delay_ns;
+  Nanos delivery = ch.Send(t, bytes, params_);
+  for (int c = 1; c < d.copies; ++c) {
+    ch.Send(t, bytes, params_);
+  }
+  return SendOutcome{true, delivery};
+}
+
 Nanos Fabric::RoundTripFromCompute(Nanos now, uint64_t req_bytes,
-                                   uint64_t resp_bytes, Nanos handler_ns) {
-  const Nanos arrive = compute_to_memory_.Send(now, req_bytes, params_);
+                                   uint64_t resp_bytes, Nanos handler_ns,
+                                   MessageKind req_kind,
+                                   MessageKind resp_kind) {
+  const Nanos arrive =
+      ReliableDeliver(compute_to_memory_, now, req_bytes, req_kind);
   const Nanos reply_sent = arrive + handler_ns;
-  return memory_to_compute_.Send(reply_sent, resp_bytes, params_);
+  return ReliableDeliver(memory_to_compute_, reply_sent, resp_bytes,
+                         resp_kind);
 }
 
 Nanos Fabric::RoundTripFromMemory(Nanos now, uint64_t req_bytes,
-                                  uint64_t resp_bytes, Nanos handler_ns) {
-  const Nanos arrive = memory_to_compute_.Send(now, req_bytes, params_);
+                                  uint64_t resp_bytes, Nanos handler_ns,
+                                  MessageKind req_kind,
+                                  MessageKind resp_kind) {
+  const Nanos arrive =
+      ReliableDeliver(memory_to_compute_, now, req_bytes, req_kind);
   const Nanos reply_sent = arrive + handler_ns;
-  return compute_to_memory_.Send(reply_sent, resp_bytes, params_);
+  return ReliableDeliver(compute_to_memory_, reply_sent, resp_bytes,
+                         resp_kind);
+}
+
+RpcOutcome Fabric::TryRoundTripFromCompute(Nanos now, uint64_t req_bytes,
+                                           uint64_t resp_bytes,
+                                           Nanos handler_ns,
+                                           MessageKind req_kind,
+                                           MessageKind resp_kind) {
+  const SendOutcome req =
+      TryDeliver(compute_to_memory_, now, req_bytes, req_kind);
+  if (!req.delivered) return RpcOutcome{false, 0};
+  const Nanos reply_sent = req.deliver_at + handler_ns;
+  const SendOutcome resp =
+      TryDeliver(memory_to_compute_, reply_sent, resp_bytes, resp_kind);
+  if (!resp.delivered) return RpcOutcome{false, 0};
+  return RpcOutcome{true, resp.deliver_at};
+}
+
+bool Fabric::ReachableAt(Nanos now) const {
+  if (!reachable_) return false;
+  if (fail_from_ >= 0 && now >= fail_from_ &&
+      (fail_until_ == kNeverHeals || now < fail_until_)) {
+    return false;
+  }
+  if (injector_ != nullptr && !injector_->LinkUpAt(now)) return false;
+  return true;
+}
+
+Nanos Fabric::NextReachableAt(Nanos now) const {
+  if (!reachable_) return kNeverHeals;
+  Nanos t = now;
+  // Iterate because an injector outage may begin exactly where the injected
+  // failure window ends (and vice versa).
+  for (int iter = 0; iter < 64; ++iter) {
+    if (fail_from_ >= 0 && t >= fail_from_ &&
+        (fail_until_ == kNeverHeals || t < fail_until_)) {
+      if (fail_until_ == kNeverHeals) return kNeverHeals;
+      t = fail_until_;
+      continue;
+    }
+    if (injector_ != nullptr) {
+      const Nanos heal = injector_->HealsAt(t);
+      if (heal > t) {
+        t = heal;
+        continue;
+      }
+    }
+    return t;
+  }
+  return t;
+}
+
+std::string Fabric::KindBreakdownToString() const {
+  std::ostringstream os;
+  os << "fabric{";
+  bool first = true;
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    if (messages_by_kind_[static_cast<size_t>(k)] == 0) continue;
+    if (!first) os << " ";
+    first = false;
+    os << MessageKindToString(static_cast<MessageKind>(k)) << "="
+       << messages_by_kind_[static_cast<size_t>(k)] << "/"
+       << bytes_by_kind_[static_cast<size_t>(k)] << "B";
+  }
+  os << "}";
+  return os.str();
 }
 
 void Fabric::Reset() {
@@ -70,7 +204,10 @@ void Fabric::Reset() {
   memory_to_compute_.Reset();
   reachable_ = true;
   fail_from_ = -1;
-  fail_until_ = -1;
+  fail_until_ = kNeverHeals;
+  messages_by_kind_.fill(0);
+  bytes_by_kind_.fill(0);
+  if (injector_ != nullptr) injector_->Reset();
 }
 
 }  // namespace teleport::net

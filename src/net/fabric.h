@@ -1,9 +1,11 @@
 #ifndef TELEPORT_NET_FABRIC_H_
 #define TELEPORT_NET_FABRIC_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "common/logging.h"
 #include "common/units.h"
 #include "sim/cost_model.h"
 
@@ -24,7 +26,25 @@ enum class MessageKind {
   kHeartbeat,
 };
 
+/// Number of MessageKind values; sizes the per-kind accounting tables.
+inline constexpr int kNumMessageKinds = 10;
+
 std::string_view MessageKindToString(MessageKind kind);
+
+class FaultInjector;
+
+/// Result of a send that may be lost to fault injection: `delivered` is
+/// always true on a fabric without an injector.
+struct SendOutcome {
+  bool delivered = true;
+  Nanos deliver_at = 0;  ///< meaningful only when delivered
+};
+
+/// Result of a fault-aware round trip (TryRoundTripFromCompute).
+struct RpcOutcome {
+  bool ok = true;
+  Nanos done = 0;  ///< completion time at the caller when ok
+};
 
 /// One direction of the simulated RDMA link. Reliable and FIFO: delivery
 /// times are monotone in send order, which §4.1's concurrent-fault argument
@@ -52,29 +72,64 @@ class Channel {
 /// The point-to-point fabric between the compute pool and the memory-pool
 /// controller: one reliable-FIFO channel per direction plus a reachability
 /// flag driven by the heartbeat thread (§3.2, failure handling).
+///
+/// An optional FaultInjector perturbs traffic deterministically: one-way
+/// `Send*` paths stay reliable (a drop is hidden by a transport-level
+/// retransmit, delaying delivery), while the `Try*` paths surface drops to
+/// the caller so the TELEPORT retry/backoff layer can handle them.
 class Fabric {
  public:
+  /// Sentinel for a failure window that never heals (permanent pool loss —
+  /// the §3.2 kernel-panic case).
+  static constexpr Nanos kNeverHeals = -1;
+
   explicit Fabric(const sim::CostParams& params) : params_(params) {}
 
   /// Synchronous round trip from the compute side: request of `req_bytes`,
   /// reply of `resp_bytes`, plus remote handler time. Returns the completion
   /// time as observed by the caller who started at `now`.
-  Nanos RoundTripFromCompute(Nanos now, uint64_t req_bytes,
-                             uint64_t resp_bytes, Nanos handler_ns);
+  Nanos RoundTripFromCompute(
+      Nanos now, uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
+      MessageKind req_kind = MessageKind::kPageFaultRequest,
+      MessageKind resp_kind = MessageKind::kPageFaultReply);
 
   /// Same, initiated from the memory side.
-  Nanos RoundTripFromMemory(Nanos now, uint64_t req_bytes,
-                            uint64_t resp_bytes, Nanos handler_ns);
+  Nanos RoundTripFromMemory(
+      Nanos now, uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
+      MessageKind req_kind = MessageKind::kCoherenceRequest,
+      MessageKind resp_kind = MessageKind::kCoherenceReply);
 
-  /// One-way message compute -> memory; returns delivery time.
-  Nanos SendToMemory(Nanos now, uint64_t bytes) {
-    return compute_to_memory_.Send(now, bytes, params_);
+  /// One-way message compute -> memory; returns delivery time. Reliable:
+  /// injected drops delay delivery (transport retransmit) instead of losing
+  /// the message.
+  Nanos SendToMemory(Nanos now, uint64_t bytes,
+                     MessageKind kind = MessageKind::kPageReturn) {
+    return ReliableDeliver(compute_to_memory_, now, bytes, kind);
   }
 
   /// One-way message memory -> compute; returns delivery time.
-  Nanos SendToCompute(Nanos now, uint64_t bytes) {
-    return memory_to_compute_.Send(now, bytes, params_);
+  Nanos SendToCompute(Nanos now, uint64_t bytes,
+                      MessageKind kind = MessageKind::kPageFaultReply) {
+    return ReliableDeliver(memory_to_compute_, now, bytes, kind);
   }
+
+  /// Fault-visible sends: a drop (probabilistic, or a scheduled outage
+  /// covering `now`) is surfaced to the caller, who is expected to apply a
+  /// RetryPolicy. Without an injector these behave exactly like Send*.
+  SendOutcome TrySendToMemory(Nanos now, uint64_t bytes, MessageKind kind) {
+    return TryDeliver(compute_to_memory_, now, bytes, kind);
+  }
+  SendOutcome TrySendToCompute(Nanos now, uint64_t bytes, MessageKind kind) {
+    return TryDeliver(memory_to_compute_, now, bytes, kind);
+  }
+
+  /// Fault-visible round trip from the compute side: fails when either the
+  /// request or the reply is dropped (the caller cannot distinguish the two
+  /// — it just never hears back before its retransmission timeout).
+  RpcOutcome TryRoundTripFromCompute(Nanos now, uint64_t req_bytes,
+                                     uint64_t resp_bytes, Nanos handler_ns,
+                                     MessageKind req_kind,
+                                     MessageKind resp_kind);
 
   const sim::CostParams& params() const { return params_; }
 
@@ -85,18 +140,44 @@ class Fabric {
   bool reachable() const { return reachable_; }
 
   /// Failure injection: the pool becomes unreachable on the virtual
-  /// timeline at `from` (forever if `until` <= `from`). Heartbeats and
-  /// pushdowns evaluate reachability at their own send time.
-  void InjectFailureWindow(Nanos from, Nanos until = 0) {
+  /// timeline at `from`, healing at `until` (exclusive). `until` defaults
+  /// to kNeverHeals — a permanent failure, the paper's panic case. Passing
+  /// `until <= from` (other than the sentinel) is a contract violation and
+  /// aborts; it historically meant "forever" silently.
+  void InjectFailureWindow(Nanos from, Nanos until = kNeverHeals) {
+    TELEPORT_CHECK(until == kNeverHeals || until > from)
+        << "failure window must be either permanent (until == kNeverHeals) "
+           "or a real interval (until > from); got from=" << from
+        << " until=" << until;
     fail_from_ = from;
     fail_until_ = until;
   }
-  bool ReachableAt(Nanos now) const {
-    if (!reachable_) return false;
-    if (fail_from_ < 0) return true;
-    if (now < fail_from_) return true;
-    return fail_until_ > fail_from_ && now >= fail_until_;
+
+  /// Heartbeats and pushdowns evaluate reachability at their own send time.
+  /// Considers the manual flag, the injected failure window, and any
+  /// scheduled injector outage (link flap / crash-restart).
+  bool ReachableAt(Nanos now) const;
+
+  /// Hard (panic-class) unreachability: the manual flag or an injected
+  /// failure window, ignoring injector outages. The §3.2 runtime panics on
+  /// these; injector outages are transient (flap / restartable node) and are
+  /// handled by the retry layer instead.
+  bool HardDownAt(Nanos now) const {
+    if (!reachable_) return true;
+    return fail_from_ >= 0 && now >= fail_from_ &&
+           (fail_until_ == kNeverHeals || now < fail_until_);
   }
+
+  /// Earliest virtual time >= `now` at which the pool is reachable again:
+  /// `now` itself when currently reachable, the end of the covering
+  /// transient window, or kNeverHeals for a permanent failure. This is what
+  /// the §3.2 local-fallback policy consults to distinguish a restartable
+  /// pool from a lost one.
+  Nanos NextReachableAt(Nanos now) const;
+
+  /// Deterministic fault injection; non-owning, may be nullptr.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   uint64_t total_messages() const {
     return compute_to_memory_.messages_sent() +
@@ -106,18 +187,48 @@ class Fabric {
     return compute_to_memory_.bytes_sent() + memory_to_compute_.bytes_sent();
   }
 
+  /// Per-kind breakdown over both directions (delivered copies, including
+  /// duplicates; drops are visible in the injector's counters instead).
+  /// Separates coherence vs control traffic for Fig 22-style benches.
+  uint64_t messages_of(MessageKind kind) const {
+    return messages_by_kind_[static_cast<size_t>(kind)];
+  }
+  uint64_t bytes_of(MessageKind kind) const {
+    return bytes_by_kind_[static_cast<size_t>(kind)];
+  }
+  std::string KindBreakdownToString() const;
+
   const Channel& compute_to_memory() const { return compute_to_memory_; }
   const Channel& memory_to_compute() const { return memory_to_compute_; }
 
   void Reset();
 
  private:
+  /// Reliable delivery: accounts the message per kind, applies injector
+  /// delay/duplicate events, and hides drops behind transport retransmits.
+  Nanos ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
+                        MessageKind kind);
+  /// Fault-visible delivery: drops (and outages covering `now`) fail the
+  /// send and are reported to the caller.
+  SendOutcome TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
+                         MessageKind kind);
+
+  void CountDelivered(MessageKind kind, uint64_t bytes, int copies) {
+    messages_by_kind_[static_cast<size_t>(kind)] +=
+        static_cast<uint64_t>(copies);
+    bytes_by_kind_[static_cast<size_t>(kind)] +=
+        bytes * static_cast<uint64_t>(copies);
+  }
+
   sim::CostParams params_;
   Channel compute_to_memory_;
   Channel memory_to_compute_;
   bool reachable_ = true;
   Nanos fail_from_ = -1;
-  Nanos fail_until_ = -1;
+  Nanos fail_until_ = kNeverHeals;
+  FaultInjector* injector_ = nullptr;
+  std::array<uint64_t, kNumMessageKinds> messages_by_kind_{};
+  std::array<uint64_t, kNumMessageKinds> bytes_by_kind_{};
 };
 
 }  // namespace teleport::net

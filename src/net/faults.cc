@@ -1,0 +1,109 @@
+#include "net/faults.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace teleport::net {
+
+void FaultInjector::AddOutage(Nanos from, Nanos until, bool crash_restart) {
+  TELEPORT_CHECK(until > from)
+      << "outage windows are finite: until (" << until
+      << ") must be > from (" << from
+      << "); use Fabric::InjectFailureWindow for a permanent failure";
+  for (const OutageWindow& w : outages_) {
+    TELEPORT_CHECK(until <= w.from || from >= w.until)
+        << "outage [" << from << ", " << until << ") overlaps ["
+        << w.from << ", " << w.until << ")";
+  }
+  outages_.push_back(OutageWindow{from, until, crash_restart});
+  std::sort(outages_.begin(), outages_.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.from < b.from;
+            });
+}
+
+void FaultInjector::AddLinkFlaps(Nanos start, Nanos duration, Nanos period,
+                                 int count) {
+  TELEPORT_CHECK(duration > 0 && count >= 0);
+  TELEPORT_CHECK(count <= 1 || period > duration)
+      << "flap period must exceed the flap duration";
+  for (int k = 0; k < count; ++k) {
+    const Nanos from = start + static_cast<Nanos>(k) * period;
+    AddOutage(from, from + duration, /*crash_restart=*/false);
+  }
+}
+
+FaultDecision FaultInjector::OnSend(MessageKind kind, Nanos now) {
+  (void)now;
+  FaultDecision d;
+  const FaultSpec& s = specs_[Index(kind)];
+  if (s.drop_p > 0.0 && rng_.Bernoulli(s.drop_p)) {
+    d.dropped = true;
+    ++drops_;
+    ++drops_by_kind_[Index(kind)];
+    return d;
+  }
+  if (s.dup_p > 0.0 && rng_.Bernoulli(s.dup_p)) {
+    d.copies = 2;
+    ++duplicates_;
+  }
+  if (s.delay_p > 0.0 && rng_.Bernoulli(s.delay_p)) {
+    d.extra_delay_ns = s.delay_ns;
+    ++delays_;
+  }
+  return d;
+}
+
+bool FaultInjector::LinkUpAt(Nanos now) const {
+  for (const OutageWindow& w : outages_) {
+    if (now >= w.from && now < w.until) return false;
+    if (w.from > now) break;  // sorted; no later window can cover `now`
+  }
+  return true;
+}
+
+Nanos FaultInjector::HealsAt(Nanos now) const {
+  for (const OutageWindow& w : outages_) {
+    if (now >= w.from && now < w.until) return w.until;
+    if (w.from > now) break;
+  }
+  return -1;
+}
+
+bool FaultInjector::InCrashRestartAt(Nanos now) const {
+  for (const OutageWindow& w : outages_) {
+    if (now >= w.from && now < w.until) return w.crash_restart;
+    if (w.from > now) break;
+  }
+  return false;
+}
+
+int FaultInjector::CrashRestartsCompletedBy(Nanos now) const {
+  int n = 0;
+  for (const OutageWindow& w : outages_) {
+    if (w.crash_restart && w.until <= now) ++n;
+  }
+  return n;
+}
+
+std::string FaultInjector::ToString() const {
+  std::ostringstream os;
+  os << "faults{seed=" << seed_ << " drops=" << drops_
+     << " dups=" << duplicates_ << " delays=" << delays_
+     << " outage_drops=" << outage_drops_
+     << " windows=" << outages_.size() << "}";
+  return os.str();
+}
+
+void FaultInjector::Reset() {
+  rng_ = Rng(seed_);
+  drops_ = 0;
+  duplicates_ = 0;
+  delays_ = 0;
+  outage_drops_ = 0;
+  drops_by_kind_.fill(0);
+}
+
+}  // namespace teleport::net

@@ -1,0 +1,155 @@
+#ifndef TELEPORT_NET_FAULTS_H_
+#define TELEPORT_NET_FAULTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/fabric.h"
+
+namespace teleport::net {
+
+/// Per-MessageKind transient fault probabilities. All zero by default, so an
+/// attached injector with default specs perturbs nothing.
+struct FaultSpec {
+  double drop_p = 0.0;   ///< message lost in flight; the sender sees silence
+  double delay_p = 0.0;  ///< message held up by `delay_ns` before the wire
+  double dup_p = 0.0;    ///< message delivered twice (bytes counted twice)
+  Nanos delay_ns = 0;    ///< extra latency applied on a delay event
+};
+
+/// Verdict for one message send.
+struct FaultDecision {
+  bool dropped = false;
+  int copies = 1;            ///< 2 when duplicated
+  Nanos extra_delay_ns = 0;  ///< sender-side stall before serialization
+};
+
+/// One scheduled outage of the compute<->memory link. While an outage covers
+/// the current virtual time the pool is unreachable; the window heals at
+/// `until` (exclusive). Windows are always finite — permanent loss is
+/// expressed with Fabric::InjectFailureWindow, which keeps the paper's
+/// panic semantics (§3.2).
+struct OutageWindow {
+  Nanos from = 0;
+  Nanos until = 0;
+  /// Crash-restart of the memory node (distinct from a permanent crash):
+  /// when the node comes back at `until`, dirty compute-cache pages survive
+  /// but unflushed memory-pool writes since the last Syncmem are lost and
+  /// reported (MemorySystem::ApplyPoolRestarts).
+  bool crash_restart = false;
+};
+
+/// Seeded, deterministic fault-injection fabric consulted by the Fabric per
+/// message. Two fault families:
+///
+///  - Probabilistic per-kind events (drop / delay / duplicate), drawn from a
+///    dedicated xoshiro stream, so the same seed and the same send sequence
+///    reproduce the exact same fault pattern.
+///  - Scheduled outages on the virtual timeline: transient link flaps and
+///    memory-node crash-restart windows.
+///
+/// The injector never touches clocks or channels itself; the Fabric applies
+/// its decisions so all lost time is accounted on virtual clocks.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // --- Configuration ------------------------------------------------------
+
+  void SetSpec(MessageKind kind, const FaultSpec& spec) {
+    specs_[Index(kind)] = spec;
+  }
+  void SetSpecAll(const FaultSpec& spec) { specs_.fill(spec); }
+  const FaultSpec& spec(MessageKind kind) const { return specs_[Index(kind)]; }
+
+  /// Retransmission timeout of the transport-level reliability layer: a
+  /// dropped message on a non-RPC path (coherence, writebacks, syncmem) is
+  /// resent this much later, preserving the reliable-RDMA contract of §4.1.
+  void set_link_rto_ns(Nanos rto) { link_rto_ns_ = rto; }
+  Nanos link_rto_ns() const { return link_rto_ns_; }
+
+  /// Schedules one outage window [from, until). `until` must be > `from`.
+  void AddOutage(Nanos from, Nanos until, bool crash_restart = false);
+
+  /// Schedules `count` link flaps of `duration` each, the k-th starting at
+  /// `start + k * period`. Windows must not overlap (period > duration).
+  void AddLinkFlaps(Nanos start, Nanos duration, Nanos period, int count);
+
+  /// Schedules a memory-node crash at `at` that restarts `down_for` later.
+  void ScheduleCrashRestart(Nanos at, Nanos down_for) {
+    AddOutage(at, at + down_for, /*crash_restart=*/true);
+  }
+
+  // --- Per-send consultation (mutates the RNG stream) ---------------------
+
+  /// Decides the fate of one message of `kind` sent at `now`. Counted in the
+  /// injector's event totals; scheduled outages are NOT applied here (the
+  /// Fabric checks LinkUpAt separately so reachability stays a const query).
+  FaultDecision OnSend(MessageKind kind, Nanos now);
+
+  /// Records a message lost to an outage window (bookkeeping only).
+  void CountOutageDrop() { ++outage_drops_; }
+
+  // --- Timeline queries (const, deterministic) ----------------------------
+
+  /// False while any scheduled outage window covers `now`.
+  bool LinkUpAt(Nanos now) const;
+
+  /// End of the outage window covering `now`, or -1 if the link is up.
+  /// All injector windows are finite, so this never means "forever".
+  Nanos HealsAt(Nanos now) const;
+
+  /// True if the outage covering `now` is a memory-node crash-restart.
+  bool InCrashRestartAt(Nanos now) const;
+
+  /// Number of crash-restart windows fully completed (until <= now): the
+  /// node has crashed and come back that many times. MemorySystem applies
+  /// the lost-write bookkeeping when this count advances.
+  int CrashRestartsCompletedBy(Nanos now) const;
+
+  // --- Event totals -------------------------------------------------------
+
+  uint64_t drops() const { return drops_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t delays() const { return delays_; }
+  uint64_t outage_drops() const { return outage_drops_; }
+  uint64_t drops_of(MessageKind kind) const { return drops_by_kind_[Index(kind)]; }
+  /// Total injected events of every family.
+  uint64_t fault_events() const {
+    return drops_ + duplicates_ + delays_ + outage_drops_;
+  }
+
+  std::string ToString() const;
+
+  /// Reseeds the RNG stream and clears event counters. The configured specs
+  /// and outage schedule are kept, so a Reset + identical send sequence
+  /// replays the identical fault pattern.
+  void Reset();
+
+ private:
+  static size_t Index(MessageKind kind) {
+    return static_cast<size_t>(kind);
+  }
+
+  uint64_t seed_;
+  Rng rng_;
+  std::array<FaultSpec, kNumMessageKinds> specs_{};
+  std::vector<OutageWindow> outages_;  ///< sorted by `from`, non-overlapping
+  Nanos link_rto_ns_ = 50 * kMicrosecond;
+
+  uint64_t drops_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t delays_ = 0;
+  uint64_t outage_drops_ = 0;
+  std::array<uint64_t, kNumMessageKinds> drops_by_kind_{};
+};
+
+}  // namespace teleport::net
+
+#endif  // TELEPORT_NET_FAULTS_H_

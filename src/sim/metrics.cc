@@ -22,6 +22,9 @@ std::string Metrics::ToString() const {
      << " page_returns=" << coherence_page_returns << "\n";
   os << "teleport: pushdowns=" << pushdown_calls
      << " syncmem_pages=" << syncmem_pages << "\n";
+  os << "resilience: fault_events=" << fault_events << " retries=" << retries
+     << " fallbacks=" << fallbacks << " lost_pool_writes=" << lost_pool_writes
+     << "\n";
   os << "cpu: ops=" << cpu_ops;
   return os.str();
 }

@@ -42,6 +42,12 @@ struct Metrics {
   uint64_t pushdown_calls = 0;
   uint64_t syncmem_pages = 0;
 
+  // Resilience (§3.2 failure handling; all zero in fault-free runs).
+  uint64_t fault_events = 0;      ///< injected drops observed by this context
+  uint64_t retries = 0;           ///< RPC attempts repeated after a drop
+  uint64_t fallbacks = 0;         ///< pushdowns re-run locally (§3.2 escape)
+  uint64_t lost_pool_writes = 0;  ///< unflushed pool pages lost to a restart
+
   // CPU accounting.
   uint64_t cpu_ops = 0;
 
@@ -66,6 +72,10 @@ struct Metrics {
     coherence_page_returns += o.coherence_page_returns;
     pushdown_calls += o.pushdown_calls;
     syncmem_pages += o.syncmem_pages;
+    fault_events += o.fault_events;
+    retries += o.retries;
+    fallbacks += o.fallbacks;
+    lost_pool_writes += o.lost_pool_writes;
     cpu_ops += o.cpu_ops;
   }
 
@@ -91,6 +101,10 @@ struct Metrics {
     d.coherence_page_returns -= o.coherence_page_returns;
     d.pushdown_calls -= o.pushdown_calls;
     d.syncmem_pages -= o.syncmem_pages;
+    d.fault_events -= o.fault_events;
+    d.retries -= o.retries;
+    d.fallbacks -= o.fallbacks;
+    d.lost_pool_writes -= o.lost_pool_writes;
     d.cpu_ops -= o.cpu_ops;
     return d;
   }

@@ -21,6 +21,16 @@ std::string_view SyncStrategyToString(SyncStrategy s) {
   return "Unknown";
 }
 
+std::string_view FallbackPolicyToString(FallbackPolicy f) {
+  switch (f) {
+    case FallbackPolicy::kNone:
+      return "None";
+    case FallbackPolicy::kLocal:
+      return "Local";
+  }
+  return "Unknown";
+}
+
 void PushdownBreakdown::Add(const PushdownBreakdown& o) {
   pre_sync_ns += o.pre_sync_ns;
   request_transfer_ns += o.request_transfer_ns;
@@ -30,6 +40,7 @@ void PushdownBreakdown::Add(const PushdownBreakdown& o) {
   online_sync_ns += o.online_sync_ns;
   response_transfer_ns += o.response_transfer_ns;
   post_sync_ns += o.post_sync_ns;
+  retry_ns += o.retry_ns;
 }
 
 std::string PushdownBreakdown::ToString() const {
@@ -41,7 +52,8 @@ std::string PushdownBreakdown::ToString() const {
      << "ms exec=" << ToMillis(function_exec_ns)
      << "ms online_sync=" << ToMillis(online_sync_ns)
      << "ms response=" << ToMillis(response_transfer_ns)
-     << "ms post_sync=" << ToMillis(post_sync_ns) << "ms";
+     << "ms post_sync=" << ToMillis(post_sync_ns)
+     << "ms retry=" << ToMillis(retry_ns) << "ms";
   return os.str();
 }
 
@@ -55,17 +67,54 @@ PushdownRuntime::PushdownRuntime(ddc::MemorySystem* ms, int num_instances)
 
 Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
   const auto& params = ms_->params();
-  if (panicked_ || !ms_->fabric().ReachableAt(ctx.now())) {
+  ms_->ApplyPoolRestarts(ctx);
+  if (panicked_ || ms_->fabric().HardDownAt(ctx.now())) {
     // The real system triggers a kernel panic: main memory is lost (§3.2).
     panicked_ = true;
     ctx.AdvanceTime(params.net_latency_ns * 2);
     return Status::Unavailable("memory pool unreachable (heartbeat lost)");
   }
-  const Nanos done = ms_->fabric().RoundTripFromCompute(
-      ctx.now(), 64, 64, params.fault_handler_ns);
-  ctx.clock().AdvanceTo(done);
+  if (ms_->fabric().fault_injector() == nullptr) {
+    const Nanos done = ms_->fabric().RoundTripFromCompute(
+        ctx.now(), 64, 64, params.fault_handler_ns,
+        net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat);
+    ctx.clock().AdvanceTo(done);
+    ctx.metrics().net_messages += 2;
+    ctx.metrics().net_bytes += 128;
+    return Status::OK();
+  }
+  // Resilient probe: dropped heartbeats are retried with backoff, and a
+  // transient outage (link flap / restartable memory node) is waited out
+  // instead of latched as a panic. Only a pool that will never answer again
+  // is §3.2's lost-main-memory case.
+  Nanos t = ctx.now();
+  RetryStats stats;
+  bool ok = false;
+  for (int round = 0; round < 16 && !ok; ++round) {
+    const RetryOutcome out = RetryRoundTripFromCompute(
+        ms_->fabric(), retry_, retry_rng_, t, 64, 64, params.fault_handler_ns,
+        net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat, &stats);
+    if (out.ok) {
+      t = out.done;
+      ok = true;
+      break;
+    }
+    t = out.gave_up_at;
+    const Nanos heal = ms_->fabric().NextReachableAt(t);
+    if (heal == net::Fabric::kNeverHeals) break;
+    if (heal > t) t = heal;
+  }
+  retry_events_ += stats.retries;
+  ctx.metrics().retries += stats.retries;
+  ctx.metrics().fault_events += stats.retries;
+  ctx.clock().AdvanceTo(t);
+  if (!ok) {
+    panicked_ = true;
+    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+  }
   ctx.metrics().net_messages += 2;
   ctx.metrics().net_bytes += 128;
+  ms_->ApplyPoolRestarts(ctx);
   return Status::OK();
 }
 
@@ -76,7 +125,11 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   const auto& params = ms_->params();
   PushdownBreakdown bd;
 
-  if (panicked_ || !ms_->fabric().ReachableAt(caller.now())) {
+  // Materialize any memory-node crash-restart that completed before this
+  // call: the restarted pool lost its unflushed writes (§3.2).
+  ms_->ApplyPoolRestarts(caller);
+
+  if (panicked_ || ms_->fabric().HardDownAt(caller.now())) {
     panicked_ = true;
     caller.AdvanceTime(params.net_latency_ns * 2);
     return Status::Unavailable("memory pool unreachable (heartbeat lost)");
@@ -117,12 +170,59 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   }
   bd.pre_sync_ns = caller.now() - t0;
 
-  // (2) Request transfer over the fabric (single RDMA message, §6).
+  // (2) Request transfer over the fabric (single RDMA message, §6). Under a
+  // fault injector the send is fault-visible: a dropped request costs one
+  // RTO plus backoff before the retransmit (§3.2).
   const Nanos send_time = caller.now();
-  const Nanos arrive = ms_->fabric().SendToMemory(send_time, req_bytes);
+  Nanos arrive = 0;
+  Nanos request_retry_wait = 0;
+  if (ms_->fabric().fault_injector() == nullptr) {
+    arrive = ms_->fabric().SendToMemory(send_time, req_bytes,
+                                        net::MessageKind::kPushdownRequest);
+  } else {
+    Nanos t = send_time;
+    bool delivered = false;
+    for (int a = 0; a < std::max(1, retry_.max_attempts); ++a) {
+      const net::SendOutcome out = ms_->fabric().TrySendToMemory(
+          t, req_bytes, net::MessageKind::kPushdownRequest);
+      if (out.delivered) {
+        arrive = out.deliver_at;
+        delivered = true;
+        break;
+      }
+      Nanos wait = retry_.rto_ns + retry_.BackoffFor(a, retry_rng_);
+      t += wait;
+      const Nanos heal = ms_->fabric().NextReachableAt(t);
+      if (heal > t) {
+        wait += heal - t;
+        t = heal;
+      }
+      request_retry_wait += wait;
+      ++retry_events_;
+      ++caller.metrics().retries;
+      ++caller.metrics().fault_events;
+    }
+    if (!delivered) {
+      bd.retry_ns += request_retry_wait;
+      if (flags.fallback == FallbackPolicy::kLocal &&
+          ms_->fabric().NextReachableAt(t) != net::Fabric::kNeverHeals) {
+        // Restartable pool but the retry budget is spent: §3.2 escape
+        // hatch — run the function locally instead of failing the call.
+        caller.clock().AdvanceTo(t);
+        return RunLocalFallback(caller, fn, arg, bd, t0,
+                                /*cancel_sent=*/false);
+      }
+      // No fallback requested: hand the request to the reliable transport,
+      // which retransmits below the RPC layer and cannot lose it.
+      arrive = ms_->fabric().SendToMemory(t, req_bytes,
+                                          net::MessageKind::kPushdownRequest);
+      request_retry_wait = 0;  // already folded into bd.retry_ns
+    }
+  }
   caller.metrics().net_messages += 1;
   caller.metrics().net_bytes += req_bytes;
-  bd.request_transfer_ns = arrive - send_time;
+  bd.retry_ns += request_retry_wait;
+  bd.request_transfer_ns = arrive - send_time - bd.retry_ns;
 
   // Queue for a free memory-pool instance (FIFO workqueue, §3.2).
   auto slot = std::min_element(instance_free_.begin(), instance_free_.end());
@@ -135,11 +235,18 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     const Nanos cancel_arrives = cancel_sent + params.NetTransfer(64);
     if (start > cancel_arrives) {
       const Nanos done = ms_->fabric().RoundTripFromCompute(
-          cancel_sent, 64, 64, params.fault_handler_ns);
+          cancel_sent, 64, 64, params.fault_handler_ns,
+          net::MessageKind::kTryCancel, net::MessageKind::kTryCancel);
       caller.clock().AdvanceTo(done);
       caller.metrics().net_messages += 2;
       caller.metrics().net_bytes += 128;
       ++cancelled_calls_;
+      if (flags.fallback == FallbackPolicy::kLocal) {
+        // §3.2: "the application is then free to execute the function
+        // locally" — do so transparently instead of surfacing TimedOut.
+        return RunLocalFallback(caller, fn, arg, bd, t0,
+                                /*cancel_sent=*/true);
+      }
       return Status::TimedOut("pushdown cancelled before execution");
     }
     // Already running (or about to): the memory pool declines to cancel and
@@ -175,17 +282,52 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   caller.metrics().pushdown_calls += 1;
   ms_->EndPushdownSession();
 
-  // (5) Response transfer; the instance is recycled.
+  // (5) Response transfer; the instance is recycled. A dropped response is
+  // retransmitted by the memory side (the function already executed — it is
+  // never re-run); after the retry budget the reliable transport carries it.
   const Nanos resp_sent = mem_ctx->now() + params.context_fixed_ns / 4;
   *slot = resp_sent;
   const uint64_t resp_bytes = 128 + flags.result_bytes;
-  const Nanos resp_arrive = ms_->fabric().SendToCompute(resp_sent, resp_bytes);
+  Nanos resp_arrive = 0;
+  Nanos resp_retry_wait = 0;
+  if (ms_->fabric().fault_injector() == nullptr) {
+    resp_arrive = ms_->fabric().SendToCompute(
+        resp_sent, resp_bytes, net::MessageKind::kPushdownResponse);
+  } else {
+    Nanos t = resp_sent;
+    bool delivered = false;
+    for (int a = 0; a < std::max(1, retry_.max_attempts); ++a) {
+      const net::SendOutcome out = ms_->fabric().TrySendToCompute(
+          t, resp_bytes, net::MessageKind::kPushdownResponse);
+      if (out.delivered) {
+        resp_arrive = out.deliver_at;
+        delivered = true;
+        break;
+      }
+      Nanos wait = retry_.rto_ns + retry_.BackoffFor(a, retry_rng_);
+      t += wait;
+      const Nanos heal = ms_->fabric().NextReachableAt(t);
+      if (heal > t) {
+        wait += heal - t;
+        t = heal;
+      }
+      resp_retry_wait += wait;
+      ++retry_events_;
+      ++caller.metrics().retries;
+      ++caller.metrics().fault_events;
+    }
+    if (!delivered) {
+      resp_arrive = ms_->fabric().SendToCompute(
+          t, resp_bytes, net::MessageKind::kPushdownResponse);
+    }
+  }
   caller.metrics().net_messages += 1;
   caller.metrics().net_bytes += resp_bytes;
   caller.clock().AdvanceTo(resp_arrive);
   // Includes the instance-recycle interval so the per-call breakdown sums
   // exactly to the caller's observed elapsed time.
-  bd.response_transfer_ns = resp_arrive - mem_ctx->now();
+  bd.retry_ns += resp_retry_wait;
+  bd.response_transfer_ns = resp_arrive - mem_ctx->now() - resp_retry_wait;
 
   // (6) Post-pushdown synchronization.
   const Nanos post0 = caller.now();
@@ -196,6 +338,43 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // lazily (no work here, §4.1).
   bd.post_sync_ns = caller.now() - post0;
 
+  last_breakdown_ = bd;
+  total_breakdown_.Add(bd);
+  call_latency_.Add(bd.Total());
+  online_sync_latency_.Add(bd.online_sync_ns);
+  ++completed_calls_;
+  return st;
+}
+
+Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
+                                         PushdownFn fn, void* arg,
+                                         PushdownBreakdown& bd, Nanos t0,
+                                         bool cancel_sent) {
+  if (!cancel_sent) {
+    // Best-effort try_cancel so a late-delivered request is not executed by
+    // the pool as well; a drop is acceptable — the pool discards requests
+    // whose caller already gave up on them.
+    const net::SendOutcome probe = ms_->fabric().TrySendToMemory(
+        caller.now(), 64, net::MessageKind::kTryCancel);
+    if (probe.delivered) {
+      caller.metrics().net_messages += 1;
+      caller.metrics().net_bytes += 64;
+    }
+  }
+  // Local execution in the caller's own context: pages the function needs
+  // come in through ordinary demand paging (which itself rides the retry
+  // layer while the pool recovers).
+  const Nanos exec0 = caller.now();
+  Status st = fn(caller, arg);
+  bd.function_exec_ns = caller.now() - exec0;
+  // Everything else the caller waited on — exhausted attempts, backoff,
+  // outage waits, the cancel round trip — is recovery time, so the
+  // breakdown still sums exactly to the caller's elapsed time.
+  const Nanos other = bd.Total() - bd.retry_ns;
+  bd.retry_ns = (caller.now() - t0) - other;
+  ++fallback_calls_;
+  caller.metrics().fallbacks += 1;
+  caller.metrics().pushdown_calls += 1;
   last_breakdown_ = bd;
   total_breakdown_.Add(bd);
   call_latency_.Add(bd.Total());

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "ddc/memory_system.h"
+#include "teleport/retry.h"
 
 namespace teleport::tp {
 
@@ -30,6 +32,19 @@ enum class SyncStrategy : uint8_t {
 };
 
 std::string_view SyncStrategyToString(SyncStrategy s);
+
+/// §3.2 escape hatch: what the runtime does when a pushdown times out or
+/// cannot reach the memory pool while the pool is still restartable.
+enum class FallbackPolicy : uint8_t {
+  /// Surface TimedOut/Unavailable to the application (default).
+  kNone,
+  /// Issue try_cancel, then transparently re-run the function locally on the
+  /// compute pool via demand paging ("the application is then free to
+  /// execute the function locally", §3.2).
+  kLocal,
+};
+
+std::string_view FallbackPolicyToString(FallbackPolicy f);
 
 /// The `flags` argument of the pushdown syscall (§3.1).
 struct PushdownFlags {
@@ -54,6 +69,9 @@ struct PushdownFlags {
 
   /// Approximate serialized size of fn's return payload.
   uint64_t result_bytes = 64;
+
+  /// Recovery behavior on timeout or an unreachable-but-restartable pool.
+  FallbackPolicy fallback = FallbackPolicy::kNone;
 };
 
 /// Wall-clock breakdown of one pushdown call, matching the six components
@@ -68,11 +86,15 @@ struct PushdownBreakdown {
   Nanos online_sync_ns = 0;        ///< (4b) coherence during execution
   Nanos response_transfer_ns = 0;  ///< (5) response over RDMA
   Nanos post_sync_ns = 0;          ///< (6) post-pushdown synchronization
+  /// Virtual time spent in §3.2 recovery: retransmission timeouts, backoff,
+  /// outage waits, and local-fallback overhead. Exactly zero in fault-free
+  /// runs.
+  Nanos retry_ns = 0;
 
   Nanos Total() const {
     return pre_sync_ns + request_transfer_ns + queue_wait_ns +
            context_setup_ns + function_exec_ns + online_sync_ns +
-           response_transfer_ns + post_sync_ns;
+           response_transfer_ns + post_sync_ns + retry_ns;
   }
 
   void Add(const PushdownBreakdown& o);
@@ -166,6 +188,19 @@ class PushdownRuntime {
   uint64_t completed_calls() const { return completed_calls_; }
   uint64_t cancelled_calls() const { return cancelled_calls_; }
 
+  /// Retry/backoff policy applied to pushdown requests, responses, and
+  /// heartbeats when a fault injector is attached to the fabric; inert
+  /// otherwise.
+  void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Reseeds the deterministic jitter stream for retry backoff.
+  void set_retry_seed(uint64_t seed) { retry_rng_ = Rng(seed); }
+
+  /// RPC attempts this runtime repeated after a drop.
+  uint64_t retry_events() const { return retry_events_; }
+  /// Pushdowns transparently re-run locally under FallbackPolicy::kLocal.
+  uint64_t fallback_calls() const { return fallback_calls_; }
+
   /// True once a heartbeat or pushdown has observed the memory pool
   /// unreachable. The real system panics at that point (§3.2: main memory
   /// is lost); here the runtime latches into a failed state and every
@@ -177,9 +212,20 @@ class PushdownRuntime {
   }
 
  private:
+  /// Runs `fn` in the caller's own context after a failed/cancelled
+  /// pushdown (§3.2 local execution). `cancel_sent` says whether a
+  /// try_cancel already went out on the wire.
+  Status RunLocalFallback(ddc::ExecutionContext& caller, PushdownFn fn,
+                          void* arg, PushdownBreakdown& bd, Nanos t0,
+                          bool cancel_sent);
+
   ddc::MemorySystem* ms_;
   std::vector<Nanos> instance_free_;  ///< next-free time per instance
   Nanos kill_timeout_ns_ = 600 * kSecond;
+  RetryPolicy retry_;
+  Rng retry_rng_{0x7e1e905u};
+  uint64_t retry_events_ = 0;
+  uint64_t fallback_calls_ = 0;
   PushdownBreakdown last_breakdown_;
   PushdownBreakdown total_breakdown_;
   Histogram call_latency_;

@@ -1,0 +1,22 @@
+#include "teleport/retry.h"
+
+#include <sstream>
+
+namespace teleport::tp {
+
+std::string RetryPolicy::ToString() const {
+  std::ostringstream os;
+  os << "retry{attempts=" << max_attempts << " rto=" << rto_ns
+     << "ns backoff=" << base_backoff_ns << ".." << max_backoff_ns << "ns x"
+     << multiplier << " jitter=" << jitter_frac << "}";
+  return os.str();
+}
+
+std::string RetryStats::ToString() const {
+  std::ostringstream os;
+  os << "retry_stats{attempts=" << attempts << " retries=" << retries
+     << " backoff=" << backoff_ns << "ns}";
+  return os.str();
+}
+
+}  // namespace teleport::tp

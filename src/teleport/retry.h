@@ -1,0 +1,114 @@
+#ifndef TELEPORT_TELEPORT_RETRY_H_
+#define TELEPORT_TELEPORT_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/fabric.h"
+
+namespace teleport::tp {
+
+/// Capped exponential backoff with deterministic jitter, applied to the
+/// RPCs the paper's runtime retries after silence: pushdown requests,
+/// heartbeats, and page-fault RPCs (§3.2 failure handling). All waiting is
+/// accounted on the caller's virtual clock; jitter comes from a seeded
+/// common/rng stream so runs are reproducible bit-for-bit.
+///
+/// The core is header-inline because the ddc layer (page-fault path) uses
+/// it without linking against teleport_core.
+struct RetryPolicy {
+  /// Total send attempts before the caller gives up (>= 1). Exhaustion
+  /// surfaces Unavailable — or the §3.2 local fallback when enabled.
+  int max_attempts = 5;
+  /// Retransmission timeout: how long the caller waits in silence before
+  /// declaring an attempt lost.
+  Nanos rto_ns = 50 * kMicrosecond;
+  /// Backoff added to the k-th retry: base * multiplier^k, capped.
+  Nanos base_backoff_ns = 20 * kMicrosecond;
+  Nanos max_backoff_ns = 2 * kMillisecond;
+  double multiplier = 2.0;
+  /// Backoff is scaled by a factor drawn uniformly from
+  /// [1 - jitter_frac, 1 + jitter_frac].
+  double jitter_frac = 0.25;
+
+  /// Backoff wait before retry number `retry` (0-based), with deterministic
+  /// jitter drawn from `rng`. Always >= 0.
+  Nanos BackoffFor(int retry, Rng& rng) const {
+    double b = static_cast<double>(base_backoff_ns);
+    for (int i = 0; i < retry; ++i) {
+      b *= multiplier;
+      if (b >= static_cast<double>(max_backoff_ns)) break;
+    }
+    b = std::min(b, static_cast<double>(max_backoff_ns));
+    if (jitter_frac > 0.0) {
+      b *= 1.0 + jitter_frac * (2.0 * rng.NextDouble() - 1.0);
+    }
+    return std::max<Nanos>(0, static_cast<Nanos>(b));
+  }
+
+  std::string ToString() const;
+};
+
+/// Accumulated retry accounting for one logical RPC (or a whole run).
+struct RetryStats {
+  uint64_t attempts = 0;  ///< total send attempts, including the first
+  uint64_t retries = 0;   ///< attempts repeated after a drop
+  Nanos backoff_ns = 0;   ///< virtual time spent waiting (RTO + backoff)
+
+  void Add(const RetryStats& o) {
+    attempts += o.attempts;
+    retries += o.retries;
+    backoff_ns += o.backoff_ns;
+  }
+
+  std::string ToString() const;
+};
+
+/// Outcome of a retried RPC: on success `done` is the completion time; on
+/// exhaustion `gave_up_at` is where the caller's clock stands after burning
+/// every attempt (so the caller can continue from there).
+struct RetryOutcome {
+  bool ok = false;
+  Nanos done = 0;
+  Nanos gave_up_at = 0;
+};
+
+/// Runs a compute-side round trip under `policy`: each dropped attempt costs
+/// one RTO plus jittered backoff of virtual time, then the request is
+/// retransmitted. If the link is down with a known heal time the retry also
+/// waits the outage out (the heartbeat thread tells the kernel when the pool
+/// answers again, §3.2). Without a fault injector the first attempt always
+/// succeeds with timing identical to Fabric::RoundTripFromCompute.
+inline RetryOutcome RetryRoundTripFromCompute(
+    net::Fabric& fabric, const RetryPolicy& policy, Rng& rng, Nanos now,
+    uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
+    net::MessageKind req_kind, net::MessageKind resp_kind,
+    RetryStats* stats = nullptr) {
+  Nanos t = now;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int a = 0; a < attempts; ++a) {
+    if (stats != nullptr) ++stats->attempts;
+    const net::RpcOutcome rpc = fabric.TryRoundTripFromCompute(
+        t, req_bytes, resp_bytes, handler_ns, req_kind, resp_kind);
+    if (rpc.ok) return RetryOutcome{true, rpc.done, t};
+    Nanos wait = policy.rto_ns + policy.BackoffFor(a, rng);
+    t += wait;
+    const Nanos heal = fabric.NextReachableAt(t);
+    if (heal > t) {
+      wait += heal - t;
+      t = heal;
+    }
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_ns += wait;
+    }
+  }
+  return RetryOutcome{false, 0, t};
+}
+
+}  // namespace teleport::tp
+
+#endif  // TELEPORT_TELEPORT_RETRY_H_

@@ -1,0 +1,286 @@
+// Chaos soak: the three application engines run under a sweep of fault
+// seeds — message drops, delays, duplicates, link flaps, and a memory-node
+// crash-restart — and must produce answers bit-identical to the fault-free
+// run. Faults cost virtual time, never correctness: the simulator keeps
+// real data in host memory, so the resilience layer (retry/backoff,
+// reliable-transport floor, crash-restart bookkeeping, §3.2) only has to
+// preserve determinism and forward progress.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "db/query.h"
+#include "graph/engine.h"
+#include "mr/engine.h"
+#include "net/faults.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55};
+
+net::FaultSpec LossySpec() {
+  net::FaultSpec spec;
+  spec.drop_p = 0.15;
+  spec.delay_p = 0.10;
+  spec.delay_ns = 3 * kMicrosecond;
+  spec.dup_p = 0.05;
+  return spec;
+}
+
+/// Arms `ms` with drops/delays/dups on every kind plus two link flaps and
+/// one crash-restart of the memory node early in the run.
+void ArmChaos(ddc::MemorySystem& ms, tp::PushdownRuntime& runtime,
+              net::FaultInjector& inj) {
+  inj.SetSpecAll(LossySpec());
+  inj.AddLinkFlaps(/*start=*/2 * kMillisecond, /*duration=*/200 * kMicrosecond,
+                   /*period=*/5 * kMillisecond, /*count=*/2);
+  inj.ScheduleCrashRestart(/*at=*/20 * kMillisecond,
+                           /*down_for=*/1 * kMillisecond);
+  ms.fabric().set_fault_injector(&inj);
+  ms.set_retry_seed(0xdb0);
+  runtime.set_retry_seed(0xdb1);
+}
+
+struct Observed {
+  int64_t checksum = 0;
+  Nanos elapsed = 0;
+  Nanos retry_ns = 0;
+  uint64_t retries = 0;
+  uint64_t fallbacks = 0;
+};
+
+Observed RunDb(uint64_t fault_seed, bool faults) {
+  bench::DeployOptions deploy;
+  deploy.cache_fraction = 0.05;
+  auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.3, deploy);
+  net::FaultInjector inj(fault_seed);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  db::QueryOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_ops = db::DefaultTeleportOps("q6");
+  const db::QueryResult r = db::RunQ6(*d.ctx, *d.database, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.retry_ns = d.runtime->total_breakdown().retry_ns;
+  o.retries = d.ctx->metrics().retries;
+  o.fallbacks = d.ctx->metrics().fallbacks;
+  return o;
+}
+
+Observed RunGraph(uint64_t fault_seed, bool faults) {
+  auto d = bench::MakeGraph(ddc::Platform::kBaseDdc, 2000, 6);
+  net::FaultInjector inj(fault_seed);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  graph::GasOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = {graph::Phase::kFinalize, graph::Phase::kGather,
+                      graph::Phase::kScatter};
+  const graph::GasResult r = graph::RunSssp(*d.ctx, d.graph, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.retry_ns = d.runtime->total_breakdown().retry_ns;
+  o.retries = d.ctx->metrics().retries;
+  o.fallbacks = d.ctx->metrics().fallbacks;
+  return o;
+}
+
+Observed RunMr(uint64_t fault_seed, bool faults) {
+  auto d = bench::MakeMr(ddc::Platform::kBaseDdc, 256 << 10);
+  net::FaultInjector inj(fault_seed);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  mr::MrOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = {mr::MrPhase::kMapShuffle};
+  const mr::MrResult r = mr::RunWordCount(*d.ctx, d.corpus, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.retry_ns = d.runtime->total_breakdown().retry_ns;
+  o.retries = d.ctx->metrics().retries;
+  o.fallbacks = d.ctx->metrics().fallbacks;
+  return o;
+}
+
+using Runner = Observed (*)(uint64_t, bool);
+
+class ChaosSoakTest : public ::testing::TestWithParam<Runner> {};
+
+TEST_P(ChaosSoakTest, AnswersAreBitIdenticalAcrossFaultSeeds) {
+  Runner run = GetParam();
+  const Observed clean = run(/*fault_seed=*/0, /*faults=*/false);
+  EXPECT_EQ(clean.retry_ns, 0);
+  EXPECT_EQ(clean.retries, 0u);
+  EXPECT_EQ(clean.fallbacks, 0u);
+  ASSERT_GT(clean.elapsed, 0);
+  uint64_t total_retries = 0;
+  for (const uint64_t seed : kSeeds) {
+    const Observed faulty = run(seed, /*faults=*/true);
+    // Faults must never change the application's answer. (Timing may move
+    // either way: retries add virtual time, while a crash-restart empties
+    // the pool and makes later refaults cheaper.)
+    EXPECT_EQ(faulty.checksum, clean.checksum) << "seed " << seed;
+    EXPECT_GT(faulty.elapsed, 0) << "seed " << seed;
+    EXPECT_GE(faulty.retry_ns, 0) << "seed " << seed;
+    total_retries += faulty.retries;
+  }
+  // Across a whole sweep the lossy schedule must actually bite.
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST_P(ChaosSoakTest, SameSeedIsReproducibleToTheNanosecond) {
+  Runner run = GetParam();
+  const Observed a = run(/*fault_seed=*/13, /*faults=*/true);
+  const Observed b = run(/*fault_seed=*/13, /*faults=*/true);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.retry_ns, b.retry_ns);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ChaosSoakTest,
+                         ::testing::Values(&RunDb, &RunGraph, &RunMr),
+                         [](const ::testing::TestParamInfo<Runner>& info) {
+                           switch (info.index) {
+                             case 0:
+                               return "Db";
+                             case 1:
+                               return "Graph";
+                             default:
+                               return "Mr";
+                           }
+                         });
+
+// A zero-probability injector must be indistinguishable from no injector —
+// the resilience layer's fault-free fast paths are bit-identical, down to
+// the virtual-time nanosecond.
+TEST(ChaosFaultFreeTest, ZeroProbabilityInjectorChangesNothing) {
+  const Observed plain = RunDb(/*fault_seed=*/0, /*faults=*/false);
+
+  bench::DeployOptions deploy;
+  deploy.cache_fraction = 0.05;
+  auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.3, deploy);
+  net::FaultInjector inj(/*seed=*/99);  // attached but all probabilities 0
+  d.ms->fabric().set_fault_injector(&inj);
+  db::QueryOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_ops = db::DefaultTeleportOps("q6");
+  const db::QueryResult r = db::RunQ6(*d.ctx, *d.database, opts);
+
+  EXPECT_EQ(r.checksum, plain.checksum);
+  EXPECT_EQ(r.total_ns, plain.elapsed);
+  EXPECT_EQ(d.ctx->metrics().retries, 0u);
+  EXPECT_EQ(d.runtime->total_breakdown().retry_ns, 0);
+}
+
+// The memory node crash-restarts mid-run: unflushed pool writes since the
+// last flush are lost and reported; pages flushed to storage survive; the
+// compute cache survives. The next pushdown observes the loss.
+TEST(ChaosCrashRestartTest, LostPoolWritesAreReported) {
+  constexpr uint64_t kPage = 4096;
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 8 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  ddc::MemorySystem ms(cfg, sim::CostParams::Default(), 16 << 20);
+  tp::PushdownRuntime runtime(&ms);
+  net::FaultInjector inj(/*seed=*/4);
+  ms.fabric().set_fault_injector(&inj);
+
+  const ddc::VAddr a = ms.space().Alloc(64 * kPage, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  // Dirty many pages; the small cache forces writebacks into the pool,
+  // which mark pool copies dirty w.r.t. storage.
+  for (uint64_t p = 0; p < 64; ++p) {
+    ctx->Store<int64_t>(a + p * kPage, static_cast<int64_t>(p) + 1);
+  }
+  ASSERT_GT(ctx->metrics().dirty_writebacks, 0u);
+
+  // Crash-restart the node entirely in the future, then advance past it.
+  const Nanos at = ctx->now() + 1 * kMillisecond;
+  inj.ScheduleCrashRestart(at, /*down_for=*/500 * kMicrosecond);
+  ctx->AdvanceTime(10 * kMillisecond);
+  const uint64_t lost = ms.ApplyPoolRestarts(*ctx);
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(ms.lost_pool_writes(), lost);
+  EXPECT_EQ(ctx->metrics().lost_pool_writes, lost);
+  EXPECT_EQ(ms.pool_restarts_applied(), 1);
+  EXPECT_EQ(ms.memory_pool_pages_used(), 0u);  // pool DRAM came back empty
+
+  // Applying the same restart twice is a no-op.
+  EXPECT_EQ(ms.ApplyPoolRestarts(*ctx), 0u);
+
+  // The system keeps running: reads re-fault and still see the stored
+  // values (a restart loses placement, not the simulated ground truth).
+  for (uint64_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(ctx->Load<int64_t>(a + p * kPage), static_cast<int64_t>(p) + 1);
+  }
+  EXPECT_FALSE(runtime.panicked());
+}
+
+// §3.2 escape hatch: when the pushdown request cannot get through but the
+// pool is restartable, FallbackPolicy::kLocal cancels and re-runs the
+// function locally instead of failing the call or latching a panic.
+TEST(ChaosFallbackTest, LocalFallbackRunsTheFunctionExactlyOnce) {
+  constexpr uint64_t kPage = 4096;
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 32 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  ddc::MemorySystem ms(cfg, sim::CostParams::Default(), 16 << 20);
+  tp::PushdownRuntime runtime(&ms);
+  net::FaultInjector inj(/*seed=*/6);
+  net::FaultSpec drop_requests;
+  drop_requests.drop_p = 1.0;  // pushdown requests never get through
+  inj.SetSpec(net::MessageKind::kPushdownRequest, drop_requests);
+  ms.fabric().set_fault_injector(&inj);
+
+  const ddc::VAddr a = ms.space().Alloc(16 * kPage, "d");
+  ms.SeedData();
+  auto caller = ms.CreateContext(ddc::Pool::kCompute);
+
+  tp::PushdownFlags flags;
+  flags.fallback = tp::FallbackPolicy::kLocal;
+  int executions = 0;
+  int64_t sum = 0;
+  const Status st = runtime.Call(
+      *caller,
+      [&](ddc::ExecutionContext& ctx) {
+        ++executions;
+        for (uint64_t p = 0; p < 16; ++p) {
+          sum += ctx.Load<int64_t>(a + p * kPage);
+        }
+        return Status::OK();
+      },
+      flags);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(runtime.fallback_calls(), 1u);
+  EXPECT_EQ(caller->metrics().fallbacks, 1u);
+  EXPECT_FALSE(runtime.panicked());
+  // The recovery time is visible in the breakdown and sums exactly.
+  EXPECT_GT(runtime.last_breakdown().retry_ns, 0);
+  EXPECT_EQ(runtime.last_breakdown().Total(), caller->now());
+  // A try_cancel went out (or was dropped trying); the kind is accounted.
+  EXPECT_GT(inj.drops_of(net::MessageKind::kPushdownRequest), 0u);
+
+  // Without the fallback flag the same schedule still completes — the
+  // reliable transport floor carries the request after the retry budget.
+  const Status st2 = runtime.Call(*caller, [&](ddc::ExecutionContext& ctx) {
+    (void)ctx.Load<int64_t>(a);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st2.ok()) << st2;
+  EXPECT_EQ(runtime.fallback_calls(), 1u);  // no new fallback
+}
+
+}  // namespace
+}  // namespace teleport

@@ -1,0 +1,217 @@
+// FaultInjector unit tests plus the Fabric failure-window contract: the
+// single-argument InjectFailureWindow form means "permanent" via the
+// kNeverHeals sentinel, and a degenerate interval aborts instead of
+// silently meaning forever.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/faults.h"
+#include "sim/cost_model.h"
+
+namespace teleport::net {
+namespace {
+
+sim::CostParams Params() { return sim::CostParams::Default(); }
+
+TEST(FailureWindowTest, SingleArgumentFormIsPermanent) {
+  Fabric fabric(Params());
+  fabric.InjectFailureWindow(5 * kMicrosecond);
+  EXPECT_TRUE(fabric.ReachableAt(0));
+  EXPECT_FALSE(fabric.ReachableAt(5 * kMicrosecond));
+  EXPECT_FALSE(fabric.ReachableAt(1000 * kSecond));
+  EXPECT_EQ(fabric.NextReachableAt(6 * kMicrosecond), Fabric::kNeverHeals);
+}
+
+TEST(FailureWindowTest, FiniteWindowHeals) {
+  Fabric fabric(Params());
+  fabric.InjectFailureWindow(10, 20);
+  EXPECT_TRUE(fabric.ReachableAt(9));
+  EXPECT_FALSE(fabric.ReachableAt(10));
+  EXPECT_FALSE(fabric.ReachableAt(19));
+  EXPECT_TRUE(fabric.ReachableAt(20));
+  EXPECT_EQ(fabric.NextReachableAt(15), 20);
+  EXPECT_EQ(fabric.NextReachableAt(25), 25);
+}
+
+TEST(FailureWindowDeathTest, EmptyWindowAborts) {
+  Fabric fabric(Params());
+  // `until == from` historically meant "forever" silently; it is now a
+  // contract violation.
+  EXPECT_DEATH(fabric.InjectFailureWindow(7, 7), "failure window");
+  EXPECT_DEATH(fabric.InjectFailureWindow(7, 3), "failure window");
+}
+
+TEST(FailureWindowTest, HardDownIgnoresInjectorOutages) {
+  Fabric fabric(Params());
+  FaultInjector inj(/*seed=*/1);
+  inj.AddOutage(100, 200);
+  fabric.set_fault_injector(&inj);
+  EXPECT_FALSE(fabric.ReachableAt(150));  // transient: link down
+  EXPECT_FALSE(fabric.HardDownAt(150));   // ...but not panic-class
+  fabric.InjectFailureWindow(300, 400);
+  EXPECT_TRUE(fabric.HardDownAt(350));
+}
+
+TEST(FaultInjectorTest, SeedDeterminism) {
+  FaultSpec spec;
+  spec.drop_p = 0.3;
+  spec.dup_p = 0.1;
+  spec.delay_p = 0.2;
+  spec.delay_ns = 500;
+  FaultInjector a(/*seed=*/42), b(/*seed=*/42);
+  a.SetSpecAll(spec);
+  b.SetSpecAll(spec);
+  for (int i = 0; i < 1000; ++i) {
+    const FaultDecision da = a.OnSend(MessageKind::kPageFaultRequest, i);
+    const FaultDecision db = b.OnSend(MessageKind::kPageFaultRequest, i);
+    EXPECT_EQ(da.dropped, db.dropped);
+    EXPECT_EQ(da.copies, db.copies);
+    EXPECT_EQ(da.extra_delay_ns, db.extra_delay_ns);
+  }
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_EQ(a.duplicates(), b.duplicates());
+  EXPECT_EQ(a.delays(), b.delays());
+}
+
+TEST(FaultInjectorTest, PerKindSpecsAreIndependent) {
+  FaultInjector inj(/*seed=*/7);
+  FaultSpec drop_all;
+  drop_all.drop_p = 1.0;
+  inj.SetSpec(MessageKind::kHeartbeat, drop_all);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(inj.OnSend(MessageKind::kHeartbeat, i).dropped);
+    EXPECT_FALSE(inj.OnSend(MessageKind::kPageFaultRequest, i).dropped);
+  }
+  EXPECT_EQ(inj.drops_of(MessageKind::kHeartbeat), 50u);
+  EXPECT_EQ(inj.drops_of(MessageKind::kPageFaultRequest), 0u);
+}
+
+TEST(FaultInjectorTest, LinkFlapsFollowTheSchedule) {
+  FaultInjector inj(/*seed=*/1);
+  // Three 10ns flaps starting at 100, one every 50ns.
+  inj.AddLinkFlaps(/*start=*/100, /*duration=*/10, /*period=*/50,
+                   /*count=*/3);
+  EXPECT_TRUE(inj.LinkUpAt(99));
+  EXPECT_FALSE(inj.LinkUpAt(100));
+  EXPECT_FALSE(inj.LinkUpAt(109));
+  EXPECT_TRUE(inj.LinkUpAt(110));
+  EXPECT_FALSE(inj.LinkUpAt(155));
+  EXPECT_FALSE(inj.LinkUpAt(205));
+  EXPECT_TRUE(inj.LinkUpAt(260));
+  EXPECT_EQ(inj.HealsAt(105), 110);
+  EXPECT_EQ(inj.HealsAt(99), -1);  // link is up: nothing to heal
+}
+
+TEST(FaultInjectorTest, CrashRestartWindowsAreCounted) {
+  FaultInjector inj(/*seed=*/1);
+  inj.ScheduleCrashRestart(/*at=*/1000, /*down_for=*/500);
+  inj.AddOutage(5000, 5100, /*crash_restart=*/false);
+  EXPECT_TRUE(inj.InCrashRestartAt(1200));
+  EXPECT_FALSE(inj.InCrashRestartAt(5050));  // plain outage, no data loss
+  EXPECT_EQ(inj.CrashRestartsCompletedBy(1499), 0);
+  EXPECT_EQ(inj.CrashRestartsCompletedBy(1500), 1);
+  EXPECT_EQ(inj.CrashRestartsCompletedBy(6000), 1);
+}
+
+TEST(FabricFaultTest, ReliableSendIsDelayedNeverLost) {
+  Fabric fabric(Params());
+  FaultInjector inj(/*seed=*/3);
+  FaultSpec spec;
+  spec.drop_p = 0.5;
+  inj.SetSpecAll(spec);
+  fabric.set_fault_injector(&inj);
+  Nanos t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Nanos d = fabric.SendToMemory(t, 64, MessageKind::kPageReturn);
+    EXPECT_GT(d, t);  // always delivered, possibly after retransmits
+    t = d;
+  }
+  EXPECT_GT(inj.drops(), 0u);
+}
+
+TEST(FabricFaultTest, TrySendSurfacesDropsAndOutages) {
+  Fabric fabric(Params());
+  FaultInjector inj(/*seed=*/3);
+  FaultSpec drop_all;
+  drop_all.drop_p = 1.0;
+  inj.SetSpec(MessageKind::kPushdownRequest, drop_all);
+  inj.AddOutage(1000, 2000);
+  fabric.set_fault_injector(&inj);
+  EXPECT_FALSE(
+      fabric.TrySendToMemory(0, 64, MessageKind::kPushdownRequest).delivered);
+  // Outage drops any kind, even with a zero drop probability.
+  EXPECT_FALSE(
+      fabric.TrySendToMemory(1500, 64, MessageKind::kHeartbeat).delivered);
+  EXPECT_TRUE(
+      fabric.TrySendToMemory(2500, 64, MessageKind::kHeartbeat).delivered);
+  EXPECT_GT(inj.outage_drops(), 0u);
+}
+
+TEST(FabricFaultTest, PerKindAccountingSeparatesTraffic) {
+  Fabric fabric(Params());
+  fabric.SendToMemory(0, 100, MessageKind::kPushdownRequest);
+  fabric.SendToCompute(10, 200, MessageKind::kPushdownResponse);
+  fabric.SendToMemory(20, 64, MessageKind::kTryCancel);
+  fabric.RoundTripFromCompute(30, 64, 64, 0, MessageKind::kHeartbeat,
+                              MessageKind::kHeartbeat);
+  EXPECT_EQ(fabric.messages_of(MessageKind::kPushdownRequest), 1u);
+  EXPECT_EQ(fabric.bytes_of(MessageKind::kPushdownRequest), 100u);
+  EXPECT_EQ(fabric.messages_of(MessageKind::kPushdownResponse), 1u);
+  EXPECT_EQ(fabric.messages_of(MessageKind::kTryCancel), 1u);
+  EXPECT_EQ(fabric.messages_of(MessageKind::kHeartbeat), 2u);
+  EXPECT_EQ(fabric.messages_of(MessageKind::kCoherenceRequest), 0u);
+  // Per-kind counts tie out against the channel totals.
+  uint64_t sum = 0;
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    sum += fabric.messages_of(static_cast<MessageKind>(k));
+  }
+  EXPECT_EQ(sum, fabric.total_messages());
+  EXPECT_NE(fabric.KindBreakdownToString().find("Heartbeat=2"),
+            std::string::npos);
+}
+
+TEST(FabricFaultTest, ZeroProbabilityInjectorMatchesNoInjector) {
+  Fabric plain(Params());
+  Fabric injected(Params());
+  FaultInjector inj(/*seed=*/9);  // all probabilities default to zero
+  injected.set_fault_injector(&inj);
+  Nanos tp = 0, ti = 0;
+  for (int i = 0; i < 100; ++i) {
+    tp = plain.SendToMemory(tp, 64 + i, MessageKind::kPageReturn);
+    ti = injected.SendToMemory(ti, 64 + i, MessageKind::kPageReturn);
+    EXPECT_EQ(tp, ti);
+  }
+  EXPECT_EQ(plain.total_messages(), injected.total_messages());
+  EXPECT_EQ(plain.total_bytes(), injected.total_bytes());
+}
+
+TEST(FabricFaultTest, ResetClearsKindAccountingAndReseedsInjector) {
+  Fabric fabric(Params());
+  FaultInjector inj(/*seed=*/5);
+  FaultSpec spec;
+  spec.drop_p = 0.4;
+  inj.SetSpecAll(spec);
+  fabric.set_fault_injector(&inj);
+  Nanos t = 0;
+  std::vector<Nanos> first;
+  for (int i = 0; i < 50; ++i) {
+    t = fabric.SendToMemory(t, 64, MessageKind::kPageReturn);
+    first.push_back(t);
+  }
+  fabric.Reset();
+  EXPECT_EQ(fabric.messages_of(MessageKind::kPageReturn), 0u);
+  EXPECT_EQ(inj.drops(), 0u);
+  t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t = fabric.SendToMemory(t, 64, MessageKind::kPageReturn);
+    EXPECT_EQ(t, first[static_cast<size_t>(i)]);  // same seed, same run
+  }
+}
+
+}  // namespace
+}  // namespace teleport::net

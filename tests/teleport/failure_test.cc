@@ -79,7 +79,7 @@ TEST_F(FailureTest, HeartbeatDetectsBeforeAnyPushdown) {
 }
 
 TEST_F(FailureTest, PermanentFailureHasNoEnd) {
-  ms_.fabric().InjectFailureWindow(2 * kMillisecond);  // until <= from
+  ms_.fabric().InjectFailureWindow(2 * kMillisecond);  // until = kNeverHeals
   auto caller = ms_.CreateContext(Pool::kCompute);
   EXPECT_TRUE(Touch(*caller).ok());
   caller->AdvanceTime(10 * kMillisecond);
