@@ -21,6 +21,32 @@ std::string_view CoherenceModeToString(CoherenceMode m) {
   return "Unknown";
 }
 
+std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k) {
+  switch (k) {
+    case CoherenceEvent::Kind::kSessionBegin:
+      return "SessionBegin";
+    case CoherenceEvent::Kind::kSessionEnd:
+      return "SessionEnd";
+    case CoherenceEvent::Kind::kComputeAccess:
+      return "ComputeAccess";
+    case CoherenceEvent::Kind::kMemoryAccess:
+      return "MemoryAccess";
+    case CoherenceEvent::Kind::kComputeEvict:
+      return "ComputeEvict";
+    case CoherenceEvent::Kind::kPrefetchFill:
+      return "PrefetchFill";
+    case CoherenceEvent::Kind::kSyncmemPage:
+      return "SyncmemPage";
+    case CoherenceEvent::Kind::kFlushPage:
+      return "FlushPage";
+    case CoherenceEvent::Kind::kRefetchPage:
+      return "RefetchPage";
+    case CoherenceEvent::Kind::kPoolRestart:
+      return "PoolRestart";
+  }
+  return "Unknown";
+}
+
 // --- LruList ---------------------------------------------------------------
 
 void MemorySystem::LruList::EnsureSize(size_t n) {
@@ -258,7 +284,12 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
   const Perm old_perm = v.compute_perm;
   v.compute_perm = Perm::kNone;
   ++ctx.metrics_.cache_evictions;
-  if (!v.compute_dirty) return;
+  if (!v.compute_dirty) {
+    if (config_.platform == Platform::kBaseDdc) {
+      Notify(CoherenceEvent::Kind::kComputeEvict, victim, false, ctx.now());
+    }
+    return;
+  }
   v.compute_dirty = false;
   ++ctx.metrics_.dirty_writebacks;
   if (config_.platform == Platform::kLinuxSsd) {
@@ -285,6 +316,7 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     pool_lru_.MoveToFront(victim);
   }
   v.mem_dirty = true;
+  Notify(CoherenceEvent::Kind::kComputeEvict, victim, false, ctx.now());
 }
 
 void MemorySystem::CacheInsert(ExecutionContext& ctx, PageId page, Perm perm,
@@ -365,11 +397,13 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     for (const PageId p : prefetch) {
       CacheInsert(ctx, p, Perm::kRead, /*dirty=*/false);
       ++ctx.metrics_.prefetched_pages;
+      Notify(CoherenceEvent::Kind::kPrefetchFill, p, false, ctx.now());
     }
     CacheInsert(ctx, page, write ? Perm::kWrite : Perm::kRead, write);
   }
   if (write) s.compute_dirty = true;
   ChargeDram(ctx, page, len);
+  Notify(CoherenceEvent::Kind::kComputeAccess, page, write, ctx.now());
 }
 
 void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
@@ -396,6 +430,7 @@ void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
     if (pushdown_active_) s.temp_touched = true;
   }
   ChargeDram(ctx, page, len);
+  Notify(CoherenceEvent::Kind::kMemoryAccess, page, write, ctx.now());
 }
 
 Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
@@ -463,7 +498,8 @@ void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
   }
 
   // Memory-side handler: Invalidate(t_pte, write) per Fig 8/9.
-  if (coherence_mode_ != CoherenceMode::kWeakOrdering) {
+  if (coherence_mode_ != CoherenceMode::kWeakOrdering &&
+      mutation_ != ProtocolMutation::kSkipInvalidation) {
     if (write) {
       if (s.temp_perm != Perm::kNone) {
         if (coherence_mode_ == CoherenceMode::kPso) {
@@ -520,7 +556,9 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
 
   // The compute pool caches the page: issue a coherence request to it.
   const Nanos start = ctx.now();
-  const bool page_back = s.compute_dirty;  // fresher data lives in the cache
+  // Fresher data lives in the cache and must come back with the reply.
+  const bool page_back = s.compute_dirty &&
+                         mutation_ != ProtocolMutation::kSkipPageReturn;
   Nanos handler = params_.coherence_overhead_ns + params_.perm_upgrade_ns;
   uint64_t resp_bytes = 64 + (page_back ? params_.page_size : 0);
 
@@ -611,6 +649,7 @@ uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode) {
         break;
     }
   }
+  Notify(CoherenceEvent::Kind::kSessionBegin, 0, false, 0);
   return pages_.size();
 }
 
@@ -626,6 +665,7 @@ void MemorySystem::EndPushdownSession() {
     s.mem_upgrade_inflight_until = 0;
   }
   pushdown_active_ = false;
+  Notify(CoherenceEvent::Kind::kSessionEnd, 0, false, 0);
 }
 
 void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
@@ -653,6 +693,7 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
     }
     s.mem_dirty = true;
     ++flushed;
+    Notify(CoherenceEvent::Kind::kSyncmemPage, p, false, ctx.now());
   }
   if (flushed == 0) return;
   const uint64_t bytes = flushed * page_size;
@@ -706,6 +747,7 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
       --cache_used_;
       s.compute_perm = Perm::kNone;
     }
+    Notify(CoherenceEvent::Kind::kFlushPage, p, drop, ctx.now());
   }
   if (moved == 0) return 0;
   const uint64_t bytes = transferred * params_.page_size;
@@ -734,6 +776,7 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
     cache_lru_.PushFront(p);
     ++cache_used_;
     ++refetched;
+    Notify(CoherenceEvent::Kind::kRefetchPage, p, false, ctx.now());
   }
   const uint64_t bytes = refetched * params_.page_size;
   const Nanos cost =
@@ -771,6 +814,7 @@ uint64_t MemorySystem::ApplyPoolRestarts(ExecutionContext& ctx) {
   pool_used_ = 0;
   lost_pool_writes_ += lost;
   ctx.metrics_.lost_pool_writes += lost;
+  Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, ctx.now());
   return lost;
 }
 

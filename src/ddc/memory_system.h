@@ -81,6 +81,15 @@ class ExecutionContext {
   /// used for the Fig 19/20 pushdown breakdown.
   Nanos coherence_ns() const { return coherence_ns_; }
 
+  /// Cooperative-scheduling hook, fired after every charged access and CPU
+  /// batch. sim::CoopTask uses it to preempt straight-line engine code at
+  /// its instrumentation points; null (the default) costs one branch.
+  using YieldFn = void (*)(void*);
+  void set_yield_hook(YieldFn fn, void* arg) {
+    yield_fn_ = fn;
+    yield_arg_ = arg;
+  }
+
  private:
   friend class MemorySystem;
 
@@ -104,6 +113,8 @@ class ExecutionContext {
   /// Previously faulted page (per backend), for SSD readahead modeling.
   PageId last_fault_page_ = ~PageId{0};
   Nanos coherence_ns_ = 0;
+  YieldFn yield_fn_ = nullptr;
+  void* yield_arg_ = nullptr;
 };
 
 /// Coherence behavior of a pushdown session (§4.1 default and §4.2
@@ -116,6 +127,53 @@ enum class CoherenceMode : uint8_t {
 };
 
 std::string_view CoherenceModeToString(CoherenceMode m);
+
+/// Deliberate protocol bugs, injectable for testing the model checker (a
+/// checker that has never caught a planted bug proves nothing). Off in all
+/// production paths.
+enum class ProtocolMutation : uint8_t {
+  kNone,
+  /// CoherenceComputeFault skips the memory-side invalidate/downgrade
+  /// handler: the temporary context keeps stale permissions.
+  kSkipInvalidation,
+  /// CoherenceMemoryFault never returns the dirty compute page, so the
+  /// temporary context reads stale pool data.
+  kSkipPageReturn,
+};
+
+/// A page-granular coherence/page-table transition, reported to an attached
+/// CoherenceObserver *after* the implementation has applied it (so observers
+/// can compare predicted state against the real page table). Only the
+/// kBaseDdc paths emit events.
+struct CoherenceEvent {
+  enum class Kind : uint8_t {
+    kSessionBegin,   ///< pushdown session activated (mode is valid)
+    kSessionEnd,     ///< last concurrent session ended; temp table cleared
+    kComputeAccess,  ///< ComputeTouch finished on `page` (write is valid)
+    kMemoryAccess,   ///< MemoryTouch finished on `page` (write is valid)
+    kComputeEvict,   ///< capacity eviction of `page` from the compute cache
+    kPrefetchFill,   ///< `page` pulled read-only by sequential prefetch
+    kSyncmemPage,    ///< `page` flushed clean by the syncmem syscall
+    kFlushPage,      ///< `page` flushed by FlushRange (write := dropped)
+    kRefetchPage,    ///< `page` re-cached read-only by BulkRefetch
+    kPoolRestart,    ///< crash-restart wiped the memory pool
+  };
+  Kind kind;
+  PageId page = 0;
+  bool write = false;  ///< for kFlushPage: whether the page was dropped
+  CoherenceMode mode = CoherenceMode::kMesi;
+  Nanos at = 0;
+};
+
+std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k);
+
+/// Receives every CoherenceEvent from a MemorySystem it is attached to.
+/// tp::ModelChecker implements this to shadow the protocol state machine.
+class CoherenceObserver {
+ public:
+  virtual ~CoherenceObserver() = default;
+  virtual void OnCoherenceEvent(const CoherenceEvent& ev) = 0;
+};
 
 /// Simulates the memory hierarchy of one deployment: the compute-local page
 /// cache, the memory pool with its full page table, and the storage pool,
@@ -201,6 +259,8 @@ class MemorySystem {
   uint64_t cache_pages_used() const { return cache_used_; }
   uint64_t cache_capacity_pages() const { return cache_capacity_pages_; }
   uint64_t memory_pool_pages_used() const { return pool_used_; }
+  /// Pages with page-table state (grows lazily with the address space).
+  uint64_t tracked_pages() const { return pages_.size(); }
   Perm compute_perm(PageId p) const { return PS(p).compute_perm; }
   Perm temp_perm(PageId p) const { return PS(p).temp_perm; }
   bool in_memory_pool(PageId p) const { return PS(p).in_memory_pool; }
@@ -211,6 +271,17 @@ class MemorySystem {
   /// (§4.1 correctness argument). Aborts on violation; returns the number
   /// of pages checked. Only meaningful while a kMesi session is active.
   uint64_t CheckSwmrInvariant() const;
+
+  // --- Protocol checking hooks ---------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) a coherence observer. Non-owning;
+  /// at most one observer, which must outlive its attachment.
+  void set_coherence_observer(CoherenceObserver* o) { observer_ = o; }
+  CoherenceObserver* coherence_observer() const { return observer_; }
+
+  /// Plants a deliberate protocol bug (tests only).
+  void set_protocol_mutation(ProtocolMutation m) { mutation_ = m; }
+  ProtocolMutation protocol_mutation() const { return mutation_; }
 
   // --- Resilience (§3.2 failure handling) ---------------------------------
 
@@ -308,6 +379,13 @@ class MemorySystem {
   void EvictOneCachePage(ExecutionContext& ctx);
   void EvictOnePoolPage(ExecutionContext& ctx);
 
+  /// Reports a completed transition to the attached observer, if any.
+  void Notify(CoherenceEvent::Kind kind, PageId page, bool write, Nanos at) {
+    if (observer_ == nullptr) return;
+    observer_->OnCoherenceEvent(
+        CoherenceEvent{kind, page, write, coherence_mode_, at});
+  }
+
   /// §4.1 coherence: compute side faults during a pushdown session.
   void CoherenceComputeFault(ExecutionContext& ctx, PageId page, bool write);
   /// §4.1 coherence: temporary-context faults during a pushdown session.
@@ -336,6 +414,8 @@ class MemorySystem {
   bool pushdown_active_ = false;
   int session_refcount_ = 0;
   CoherenceMode coherence_mode_ = CoherenceMode::kMesi;
+  CoherenceObserver* observer_ = nullptr;
+  ProtocolMutation mutation_ = ProtocolMutation::kNone;
 
   // Resilience state (inert without a fabric fault injector).
   tp::RetryPolicy fault_retry_;
@@ -379,7 +459,9 @@ inline void* ExecutionContext::AccessImpl(VAddr addr, uint64_t len,
     cursor += in_page;
     remaining -= in_page;
   }
-  return ms_->space().HostPtr(addr, len);
+  void* p = ms_->space().HostPtr(addr, len);
+  if (yield_fn_ != nullptr) yield_fn_(yield_arg_);
+  return p;
 }
 
 inline void ExecutionContext::ChargeCpu(uint64_t ops) {
@@ -388,6 +470,7 @@ inline void ExecutionContext::ChargeCpu(uint64_t ops) {
                            : 1.0;
   clock_.Advance(ms_->params().Cpu(ops, ratio));
   metrics_.cpu_ops += ops;
+  if (yield_fn_ != nullptr) yield_fn_(yield_arg_);
 }
 
 }  // namespace teleport::ddc

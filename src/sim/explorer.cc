@@ -1,0 +1,111 @@
+#include "sim/explorer.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace teleport::sim {
+
+namespace {
+
+/// One scheduling decision point on the current DFS path: the runnable set
+/// observed there (in ascending task-index order) and which alternative the
+/// path currently follows.
+struct Frame {
+  std::vector<size_t> options;
+  size_t cur = 0;
+};
+
+std::vector<size_t> RunnableIndices(const std::vector<Task*>& tasks) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!tasks[i]->done()) out.push_back(i);
+  }
+  return out;
+}
+
+bool AllDone(const std::vector<Task*>& tasks) {
+  for (Task* t : tasks) {
+    if (!t->done()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DfsExplorer::Stats DfsExplorer::Explore(const Factory& factory,
+                                        const Options& opts) {
+  Stats stats;
+  // The DFS path: path[i].options[path[i].cur] is the task stepped at depth
+  // i. Simulation state cannot be checkpointed, so each descent re-creates
+  // the scenario and replays the path prefix before extending it.
+  std::vector<Frame> path;
+  std::unordered_set<uint64_t> visited;
+  std::vector<uint32_t> trace;
+
+  while (true) {
+    if (stats.schedules_run >= opts.max_schedules) {
+      stats.truncated = true;
+      break;
+    }
+
+    // Fresh scenario; replay the committed prefix.
+    ++stats.replays;
+    std::unique_ptr<ExplorationScenario> scenario = factory();
+    std::vector<Task*> tasks = scenario->tasks();
+    TELEPORT_CHECK(!tasks.empty()) << "exploration scenario has no tasks";
+    trace.clear();
+    for (const Frame& f : path) {
+      const size_t pick = f.options[f.cur];
+      TELEPORT_CHECK(!tasks[pick]->done())
+          << "scenario is not deterministic: replay diverged";
+      tasks[pick]->Step();
+      trace.push_back(static_cast<uint32_t>(pick));
+    }
+
+    // Extend greedily (always the first alternative), pushing a frame per
+    // decision, until the schedule completes or a bound/prune cuts it.
+    bool complete = true;
+    while (!AllDone(tasks)) {
+      if (static_cast<int>(trace.size()) >= opts.max_steps) {
+        stats.truncated = true;
+        complete = false;
+        break;
+      }
+      if (opts.prune_visited) {
+        // Prune only at genuinely new decision points — the prefix itself
+        // was already expanded, and a terminal state has no futures to cut.
+        const uint64_t h = scenario->StateHash();
+        if (!visited.insert(h).second) {
+          ++stats.prunes;
+          complete = false;
+          break;
+        }
+      }
+      Frame f;
+      f.options = RunnableIndices(tasks);
+      const size_t pick = f.options[f.cur];
+      path.push_back(std::move(f));
+      tasks[pick]->Step();
+      trace.push_back(static_cast<uint32_t>(pick));
+    }
+
+    if (complete) {
+      ++stats.schedules_run;
+      scenario->OnComplete(trace);
+    }
+
+    // Backtrack: advance the deepest frame with an unexplored alternative,
+    // discarding exhausted frames. An empty path means exhaustion.
+    while (!path.empty() && path.back().cur + 1 >= path.back().options.size()) {
+      path.pop_back();
+    }
+    if (path.empty()) break;
+    ++path.back().cur;
+  }
+
+  if (opts.prune_visited) stats.states_visited = visited.size();
+  return stats;
+}
+
+}  // namespace teleport::sim

@@ -1,0 +1,73 @@
+#ifndef TELEPORT_SIM_EXPLORER_H_
+#define TELEPORT_SIM_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/interleaver.h"
+
+namespace teleport::sim {
+
+/// One fresh instance of the concurrency scenario under exploration. The
+/// explorer re-creates the scenario from scratch for every schedule it
+/// enumerates (simulated state is cheap to rebuild and there is no way to
+/// roll a MemorySystem back), so a scenario must be a pure function of its
+/// constructor arguments.
+class ExplorationScenario {
+ public:
+  virtual ~ExplorationScenario() = default;
+
+  /// The tasks to interleave, in registration order. Owned by the scenario;
+  /// pointers stay valid for the scenario's lifetime.
+  virtual std::vector<Task*> tasks() = 0;
+
+  /// Digest of the semantically relevant simulation state (task progress,
+  /// page permissions, data values) at the current instant. Used for
+  /// visited-state pruning: two prefixes reaching the same hash have
+  /// identical futures, so only one is expanded. Return values must be a
+  /// pure function of the executed prefix. Only consulted when
+  /// Options::prune_visited is set.
+  virtual uint64_t StateHash() { return 0; }
+
+  /// Called when a complete schedule (all tasks done) finishes, with the
+  /// trace of task indices that produced it.
+  virtual void OnComplete(const std::vector<uint32_t>& trace) { (void)trace; }
+};
+
+/// Bounded exhaustive depth-first enumeration of task interleavings: every
+/// distinct sequence of scheduling choices over the scenario's tasks is
+/// executed once, in lexicographic order of the choice indices. Suitable
+/// for small task graphs (2 tasks x a handful of steps — the state space is
+/// the binomial C(a+b, a)); the bounds below keep a misconfigured scenario
+/// from running away.
+class DfsExplorer {
+ public:
+  struct Options {
+    /// Stop after this many complete schedules.
+    uint64_t max_schedules = 1'000'000;
+    /// Longest schedule (total Step() calls) the explorer will follow.
+    int max_steps = 64;
+    /// Prune branches whose post-prefix StateHash() was already expanded.
+    /// Requires the scenario to implement StateHash().
+    bool prune_visited = false;
+  };
+
+  struct Stats {
+    uint64_t schedules_run = 0;   ///< complete schedules executed
+    uint64_t states_visited = 0;  ///< distinct StateHash values expanded
+    uint64_t prunes = 0;          ///< branches cut by visited-state hashing
+    uint64_t replays = 0;         ///< scenario re-creations (cost metric)
+    bool truncated = false;       ///< a bound fired before exhaustion
+  };
+
+  using Factory = std::function<std::unique_ptr<ExplorationScenario>()>;
+
+  /// Enumerates schedules of `factory`'s scenario under `opts`.
+  static Stats Explore(const Factory& factory, const Options& opts);
+};
+
+}  // namespace teleport::sim
+
+#endif  // TELEPORT_SIM_EXPLORER_H_

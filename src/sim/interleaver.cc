@@ -1,6 +1,9 @@
 #include "sim/interleaver.h"
 
 #include <limits>
+#include <sstream>
+
+#include "common/logging.h"
 
 namespace teleport::sim {
 
@@ -8,20 +11,89 @@ namespace {
 constexpr Nanos kForever = std::numeric_limits<Nanos>::max();
 }  // namespace
 
+size_t SmallestClockSchedule::Pick(const std::vector<size_t>& runnable,
+                                   const std::vector<Task*>& tasks) {
+  size_t best = runnable.front();
+  for (const size_t i : runnable) {
+    if (tasks[i]->clock() < tasks[best]->clock()) best = i;
+  }
+  return best;  // runnable is ascending, so ties keep registration order
+}
+
+size_t RandomSchedule::Pick(const std::vector<size_t>& runnable,
+                            const std::vector<Task*>& tasks) {
+  const std::vector<size_t>* pool = &runnable;
+  if (max_skew_ != kUnboundedSkew) {
+    Nanos min_clock = tasks[runnable.front()]->clock();
+    for (const size_t i : runnable) {
+      if (tasks[i]->clock() < min_clock) min_clock = tasks[i]->clock();
+    }
+    eligible_.clear();
+    for (const size_t i : runnable) {
+      if (tasks[i]->clock() <= min_clock + max_skew_) eligible_.push_back(i);
+    }
+    pool = &eligible_;  // never empty: the min-clock task always qualifies
+  }
+  return (*pool)[rng_.Uniform(pool->size())];
+}
+
+size_t ReplaySchedule::Pick(const std::vector<size_t>& runnable,
+                            const std::vector<Task*>& tasks) {
+  if (pos_ < trace_.size()) {
+    const size_t wanted = trace_[pos_++];
+    for (const size_t i : runnable) {
+      if (i == wanted) return i;
+    }
+    ++divergences_;  // trace names a task that is done/blocked here
+  } else if (!trace_.empty()) {
+    ++divergences_;  // trace exhausted before the scenario finished
+  }
+  return fallback_.Pick(runnable, tasks);
+}
+
+std::string TraceToString(const std::vector<uint32_t>& trace) {
+  std::ostringstream os;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) os << ",";
+    os << trace[i];
+  }
+  return os.str();
+}
+
+std::vector<uint32_t> TraceFromString(const std::string& s) {
+  std::vector<uint32_t> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    size_t pos = 0;
+    const unsigned long v = std::stoul(tok, &pos);
+    TELEPORT_CHECK(pos > 0) << "malformed trace token: " << tok;
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
 Nanos Interleaver::Run() { return RunUntil(kForever); }
 
 Nanos Interleaver::RunUntil(Nanos deadline) {
+  SmallestClockSchedule default_schedule;
+  Schedule* schedule = schedule_ != nullptr ? schedule_ : &default_schedule;
+  std::vector<size_t> runnable;
   Nanos max_clock = 0;
   while (true) {
-    Task* next = nullptr;
-    for (Task* t : tasks_) {
+    runnable.clear();
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      Task* t = tasks_[i];
       if (t->done()) continue;
       if (t->clock() >= deadline) continue;
-      if (next == nullptr || t->clock() < next->clock()) next = t;
+      runnable.push_back(i);
     }
-    if (next == nullptr) break;
-    next->Step();
-    if (next->clock() > max_clock) max_clock = next->clock();
+    if (runnable.empty()) break;
+    const size_t pick = schedule->Pick(runnable, tasks_);
+    TELEPORT_DCHECK(!tasks_[pick]->done());
+    if (record_trace_) trace_.push_back(static_cast<uint32_t>(pick));
+    tasks_[pick]->Step();
+    if (tasks_[pick]->clock() > max_clock) max_clock = tasks_[pick]->clock();
   }
   for (Task* t : tasks_) {
     if (t->clock() > max_clock) max_clock = t->clock();

@@ -2,8 +2,11 @@
 #define TELEPORT_SIM_INTERLEAVER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 
 namespace teleport::sim {
@@ -24,18 +27,99 @@ class Task {
   virtual void Step() = 0;
 };
 
-/// Deterministic conservative scheduler for concurrent simulated threads:
-/// always advances the unfinished task with the smallest virtual clock
-/// (ties broken by registration order). With small step quanta this
-/// approximates true concurrency closely while staying bit-reproducible.
-///
-/// Used by the multi-threaded microbenchmarks of Figs 6/7/21/22, where a
+/// A scheduling policy for the Interleaver: given the indices of the
+/// currently runnable tasks (ascending registration order), picks which one
+/// steps next. Policies must be deterministic functions of their own state
+/// and the arguments so any run can be replayed from its recorded trace.
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+
+  /// Returns one element of `runnable`. `tasks` is the interleaver's full
+  /// registration list (for clock inspection); `runnable` is never empty.
+  virtual size_t Pick(const std::vector<size_t>& runnable,
+                      const std::vector<Task*>& tasks) = 0;
+};
+
+/// The conservative default: always advances the unfinished task with the
+/// smallest virtual clock (ties broken by registration order). With small
+/// step quanta this approximates true concurrency closely while staying
+/// bit-reproducible; it is the policy every benchmark runs under.
+class SmallestClockSchedule : public Schedule {
+ public:
+  size_t Pick(const std::vector<size_t>& runnable,
+              const std::vector<Task*>& tasks) override;
+};
+
+/// Seeded-random exploration schedule: picks uniformly among the runnable
+/// tasks, optionally restricted to those within `max_skew` of the minimum
+/// clock (an unbounded skew lets one simulated thread race arbitrarily far
+/// ahead, which is legal but unphysical; a bound keeps schedules plausible).
+/// Distinct seeds yield distinct interleavings with overwhelming
+/// probability, and the same seed replays bit-identically.
+class RandomSchedule : public Schedule {
+ public:
+  static constexpr Nanos kUnboundedSkew = -1;
+
+  explicit RandomSchedule(uint64_t seed, Nanos max_skew = kUnboundedSkew)
+      : rng_(seed), max_skew_(max_skew) {}
+
+  size_t Pick(const std::vector<size_t>& runnable,
+              const std::vector<Task*>& tasks) override;
+
+ private:
+  Rng rng_;
+  Nanos max_skew_;
+  std::vector<size_t> eligible_;  // scratch, reused across picks
+};
+
+/// Replays a recorded schedule trace (the per-step task indices emitted by
+/// Interleaver trace recording). When the trace is exhausted — or names a
+/// task that is not currently runnable, which can happen after the scenario
+/// under replay was edited — it falls back to smallest-clock and counts the
+/// divergence, so a reproducer degrades loudly instead of deadlocking.
+class ReplaySchedule : public Schedule {
+ public:
+  explicit ReplaySchedule(std::vector<uint32_t> trace)
+      : trace_(std::move(trace)) {}
+
+  size_t Pick(const std::vector<size_t>& runnable,
+              const std::vector<Task*>& tasks) override;
+
+  uint64_t divergences() const { return divergences_; }
+
+ private:
+  std::vector<uint32_t> trace_;
+  size_t pos_ = 0;
+  uint64_t divergences_ = 0;
+  SmallestClockSchedule fallback_;
+};
+
+/// Compact text form of a schedule trace ("0,1,1,0"), for failure messages
+/// and reproducer dumps.
+std::string TraceToString(const std::vector<uint32_t>& trace);
+
+/// Inverse of TraceToString; ignores whitespace. Malformed entries abort.
+std::vector<uint32_t> TraceFromString(const std::string& s);
+
+/// Deterministic scheduler for concurrent simulated threads. The policy is
+/// pluggable: the default SmallestClockSchedule approximates fair parallel
+/// progress (used by the Figs 6/7/21/22 microbenchmarks, where a
 /// compute-pool thread runs concurrently with a pushed-down function and the
-/// two interact through the page-coherence protocol.
+/// two interact through the page-coherence protocol); RandomSchedule and the
+/// DfsExplorer sweep alternative interleavings for the concurrency tests.
 class Interleaver {
  public:
   /// Registers a task. Does not take ownership; tasks must outlive Run().
   void Add(Task* task) { tasks_.push_back(task); }
+
+  /// Installs a scheduling policy (non-owning; nullptr restores the
+  /// default). The policy must outlive Run().
+  void set_schedule(Schedule* schedule) { schedule_ = schedule; }
+
+  /// Records the index of the task chosen at every step into trace().
+  void set_record_trace(bool on) { record_trace_ = on; }
+  const std::vector<uint32_t>& trace() const { return trace_; }
 
   /// Runs all tasks to completion; returns the maximum finishing clock
   /// (the simulated wall time of the parallel region).
@@ -47,6 +131,9 @@ class Interleaver {
 
  private:
   std::vector<Task*> tasks_;
+  Schedule* schedule_ = nullptr;
+  bool record_trace_ = false;
+  std::vector<uint32_t> trace_;
 };
 
 }  // namespace teleport::sim

@@ -1,0 +1,342 @@
+#include "teleport/model_checker.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace teleport::tp {
+
+namespace {
+using ddc::CoherenceEvent;
+using ddc::CoherenceMode;
+using ddc::Perm;
+
+const char* PermName(Perm p) {
+  switch (p) {
+    case Perm::kNone:
+      return "None";
+    case Perm::kRead:
+      return "R";
+    case Perm::kWrite:
+      return "W";
+  }
+  return "?";
+}
+}  // namespace
+
+ModelChecker::ModelChecker(ddc::MemorySystem* ms, OnViolation action)
+    : ms_(ms), action_(action) {
+  TELEPORT_CHECK(ms_->config().platform == ddc::Platform::kBaseDdc)
+      << "ModelChecker shadows the DDC coherence paths only";
+  // Snapshot the implementation's page table as the model's start state.
+  // A page that is dirty at attach holds the only copy of its latest
+  // (abstract) version; everything else is in sync at version 0.
+  pages_.resize(ms_->tracked_pages());
+  for (ddc::PageId p = 0; p < pages_.size(); ++p) {
+    PageModel& m = pages_[p];
+    m.compute = ms_->compute_perm(p);
+    m.temp = ms_->temp_perm(p);
+    m.dirty = ms_->compute_dirty(p);
+    if (m.dirty) {
+      m.master = m.compute_v = 1;
+      m.home_v = 0;
+    }
+  }
+  session_active_ = ms_->pushdown_active();
+  mode_ = ms_->coherence_mode();
+  ms_->set_coherence_observer(this);
+  attached_ = true;
+}
+
+ModelChecker::~ModelChecker() {
+  if (attached_ && ms_->coherence_observer() == this) {
+    ms_->set_coherence_observer(nullptr);
+  }
+}
+
+ModelChecker::PageModel& ModelChecker::Page(ddc::PageId p) {
+  if (p >= pages_.size()) pages_.resize(p + 1);
+  return pages_[p];
+}
+
+void ModelChecker::Fail(const CoherenceEvent& ev, std::string message) {
+  std::ostringstream os;
+  os << "step " << steps_ << " [" << ddc::CoherenceEventKindToString(ev.kind)
+     << " page=" << ev.page << " write=" << ev.write << " mode="
+     << ddc::CoherenceModeToString(ev.mode) << "]: " << message;
+  violations_.push_back(Violation{steps_, ev, os.str()});
+  if (action_ == OnViolation::kAbort) {
+    TELEPORT_CHECK(false) << "coherence model violation: " << os.str();
+  }
+}
+
+void ModelChecker::CheckAgainstImpl(const CoherenceEvent& ev, ddc::PageId p) {
+  if (p >= ms_->tracked_pages()) return;
+  const PageModel& m = Page(p);
+  if (m.compute != ms_->compute_perm(p) || m.temp != ms_->temp_perm(p) ||
+      m.dirty != ms_->compute_dirty(p)) {
+    std::ostringstream os;
+    os << "spec/impl mismatch on page " << p << ": spec{compute="
+       << PermName(m.compute) << " temp=" << PermName(m.temp)
+       << " dirty=" << m.dirty << "} impl{compute="
+       << PermName(ms_->compute_perm(p)) << " temp="
+       << PermName(ms_->temp_perm(p)) << " dirty=" << ms_->compute_dirty(p)
+       << "}";
+    Fail(ev, os.str());
+    // Resync so one impl bug reports once, not on every later event.
+    PageModel& mm = Page(p);
+    mm.compute = ms_->compute_perm(p);
+    mm.temp = ms_->temp_perm(p);
+    mm.dirty = ms_->compute_dirty(p);
+  }
+}
+
+void ModelChecker::CheckSwmr(const CoherenceEvent& ev, ddc::PageId p) {
+  if (!session_active_ || p >= ms_->tracked_pages()) return;
+  const Perm c = ms_->compute_perm(p);
+  const Perm t = ms_->temp_perm(p);
+  if (mode_ == CoherenceMode::kMesi) {
+    if ((c == Perm::kWrite && t != Perm::kNone) ||
+        (t == Perm::kWrite && c != Perm::kNone)) {
+      std::ostringstream os;
+      os << "SWMR violated on page " << p << ": compute=" << PermName(c)
+         << " temp=" << PermName(t);
+      Fail(ev, os.str());
+    }
+  } else if (mode_ == CoherenceMode::kPso) {
+    if (c == Perm::kWrite && t == Perm::kWrite) {
+      std::ostringstream os;
+      os << "PSO single-writer violated on page " << p;
+      Fail(ev, os.str());
+    }
+  }
+  // kWeakOrdering and kNone permit concurrent writers by design.
+}
+
+void ModelChecker::StepComputeAccess(const CoherenceEvent& ev) {
+  const bool w = ev.write;
+  PageModel& m = Page(ev.page);
+  const bool sufficient =
+      m.compute == Perm::kWrite || (!w && m.compute == Perm::kRead);
+  if (sufficient) {
+    // Cache hit: no permission movement.
+  } else if (session_active_ && mode_ != CoherenceMode::kNone) {
+    // Spec of CoherenceComputeFault (Figs 8/9).
+    if (mode_ == CoherenceMode::kWeakOrdering && m.compute != Perm::kNone) {
+      m.compute = Perm::kWrite;  // silent upgrade, no remote traffic
+    } else {
+      if (mode_ != CoherenceMode::kWeakOrdering) {
+        // Memory-side handler invalidates/downgrades the temp mapping.
+        if (w) {
+          if (m.temp != Perm::kNone) {
+            m.temp = mode_ == CoherenceMode::kPso ? Perm::kRead : Perm::kNone;
+          }
+        } else if (m.temp == Perm::kWrite) {
+          m.temp = Perm::kRead;
+        }
+      }
+      const bool need_data = m.compute == Perm::kNone;
+      if (need_data) {
+        m.compute_v = m.home_v;  // fill travels with the reply
+        m.dirty = false;
+      }
+      m.compute = w ? Perm::kWrite : Perm::kRead;
+    }
+  } else if (m.compute != Perm::kNone) {
+    m.compute = Perm::kWrite;  // local R->W upgrade (writes only)
+  } else {
+    m.compute_v = m.home_v;  // plain fault fill from the pool
+    m.dirty = false;
+    m.compute = w ? Perm::kWrite : Perm::kRead;
+  }
+  if (w) {
+    m.dirty = true;
+    m.compute_v = ++m.master;
+  } else if (session_active_ && mode_ == CoherenceMode::kMesi &&
+             m.compute_v != m.master) {
+    std::ostringstream os;
+    os << "stale read on page " << ev.page << ": compute copy holds v"
+       << m.compute_v << ", latest write is v" << m.master;
+    Fail(ev, os.str());
+    m.compute_v = m.master;  // resync
+  }
+}
+
+void ModelChecker::StepMemoryAccess(const CoherenceEvent& ev) {
+  const bool w = ev.write;
+  PageModel& m = Page(ev.page);
+  if (session_active_ && mode_ != CoherenceMode::kNone) {
+    const bool sufficient =
+        m.temp == Perm::kWrite || (!w && m.temp == Perm::kRead);
+    if (!sufficient) {
+      // Spec of CoherenceMemoryFault (Fig 9).
+      const Perm wanted = w ? Perm::kWrite : Perm::kRead;
+      if (mode_ == CoherenceMode::kWeakOrdering ||
+          m.compute == Perm::kNone) {
+        m.temp = wanted;  // nothing to reconcile with the compute pool
+      } else {
+        if (m.dirty) {
+          // The fresher compute copy rides back with the reply.
+          m.dirty = false;
+          m.home_v = m.compute_v;
+        }
+        if (w) {
+          m.compute =
+              mode_ == CoherenceMode::kPso ? Perm::kRead : Perm::kNone;
+        } else if (m.compute == Perm::kWrite) {
+          m.compute = Perm::kRead;
+        }
+        m.temp = wanted;
+      }
+    }
+  }
+  if (w) {
+    m.home_v = ++m.master;  // temp writes land directly in the pool
+  } else if (session_active_ && mode_ == CoherenceMode::kMesi &&
+             m.home_v != m.master) {
+    std::ostringstream os;
+    os << "stale read on page " << ev.page << ": pool copy holds v"
+       << m.home_v << ", latest write is v" << m.master;
+    Fail(ev, os.str());
+    m.home_v = m.master;  // resync
+  }
+}
+
+void ModelChecker::StepSessionBegin(const CoherenceEvent& ev) {
+  session_active_ = true;
+  mode_ = ev.mode;
+  if (pages_.size() < ms_->tracked_pages()) {
+    pages_.resize(ms_->tracked_pages());
+  }
+  for (ddc::PageId p = 0; p < pages_.size(); ++p) {
+    PageModel& m = pages_[p];
+    if (mode_ == CoherenceMode::kNone) {
+      m.temp = Perm::kWrite;
+      continue;
+    }
+    // Fig 8 temporary page table: compute-writable pages are unmapped,
+    // compute-read pages map read-only, uncached pages map writable.
+    switch (m.compute) {
+      case Perm::kWrite:
+        m.temp = Perm::kNone;
+        break;
+      case Perm::kRead:
+        m.temp = Perm::kRead;
+        break;
+      case Perm::kNone:
+        m.temp = Perm::kWrite;
+        break;
+    }
+  }
+  // Full-table audit at the boundary: catches drift anywhere, not just on
+  // pages the workload happens to touch next.
+  for (ddc::PageId p = 0; p < pages_.size(); ++p) CheckAgainstImpl(ev, p);
+}
+
+void ModelChecker::StepSessionEnd(const CoherenceEvent& ev) {
+  for (ddc::PageId p = 0; p < pages_.size(); ++p) {
+    pages_[p].temp = Perm::kNone;
+  }
+  session_active_ = false;
+  // Drain: the implementation must also have cleared every temp mapping.
+  for (ddc::PageId p = 0; p < pages_.size(); ++p) CheckAgainstImpl(ev, p);
+}
+
+void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
+  switch (ev.kind) {
+    case CoherenceEvent::Kind::kSessionBegin:
+      StepSessionBegin(ev);
+      ++steps_;
+      return;
+    case CoherenceEvent::Kind::kSessionEnd:
+      StepSessionEnd(ev);
+      ++steps_;
+      return;
+    case CoherenceEvent::Kind::kComputeAccess:
+      StepComputeAccess(ev);
+      break;
+    case CoherenceEvent::Kind::kMemoryAccess:
+      StepMemoryAccess(ev);
+      break;
+    case CoherenceEvent::Kind::kComputeEvict: {
+      PageModel& m = Page(ev.page);
+      if (m.dirty) {
+        m.dirty = false;
+        m.home_v = m.compute_v;  // writeback to the pool
+      }
+      m.compute = Perm::kNone;
+      break;
+    }
+    case CoherenceEvent::Kind::kPrefetchFill: {
+      PageModel& m = Page(ev.page);
+      m.compute = Perm::kRead;
+      m.dirty = false;
+      m.compute_v = m.home_v;
+      break;
+    }
+    case CoherenceEvent::Kind::kSyncmemPage: {
+      PageModel& m = Page(ev.page);
+      m.dirty = false;
+      m.home_v = m.compute_v;
+      m.compute = Perm::kRead;
+      if (session_active_ && mode_ != CoherenceMode::kNone &&
+          m.temp == Perm::kNone) {
+        m.temp = Perm::kRead;
+      }
+      break;
+    }
+    case CoherenceEvent::Kind::kFlushPage: {
+      PageModel& m = Page(ev.page);
+      if (m.dirty) {
+        m.dirty = false;
+        m.home_v = m.compute_v;
+      }
+      if (ev.write) m.compute = Perm::kNone;  // write := dropped
+      break;
+    }
+    case CoherenceEvent::Kind::kRefetchPage: {
+      PageModel& m = Page(ev.page);
+      m.compute = Perm::kRead;
+      m.dirty = false;
+      m.compute_v = m.home_v;
+      break;
+    }
+    case CoherenceEvent::Kind::kPoolRestart:
+      // The data plane is host memory (ground truth): after the wipe, a
+      // refault serves the freshest bytes even though the timing model
+      // charged a storage trip. Lost writes are accounted in metrics, not
+      // materialized as stale data, so "home" holds the latest version.
+      for (PageModel& m : pages_) m.home_v = m.master;
+      ++steps_;
+      return;
+  }
+  CheckAgainstImpl(ev, ev.page);
+  CheckSwmr(ev, ev.page);
+  ++steps_;
+}
+
+uint64_t ModelChecker::Finish() {
+  if (attached_) {
+    if (session_active_ || ms_->pushdown_active()) {
+      Fail(CoherenceEvent{CoherenceEvent::Kind::kSessionEnd, 0, false, mode_,
+                          0},
+           "pushdown session still active at Finish()");
+    }
+    for (ddc::PageId p = 0; p < ms_->tracked_pages(); ++p) {
+      if (ms_->temp_perm(p) != Perm::kNone) {
+        std::ostringstream os;
+        os << "undrained temporary mapping on page " << p;
+        Fail(CoherenceEvent{CoherenceEvent::Kind::kSessionEnd, p, false,
+                            mode_, 0},
+             os.str());
+      }
+    }
+    if (ms_->coherence_observer() == this) {
+      ms_->set_coherence_observer(nullptr);
+    }
+    attached_ = false;
+  }
+  return violations_.size();
+}
+
+}  // namespace teleport::tp

@@ -1,0 +1,106 @@
+#ifndef TELEPORT_TELEPORT_MODEL_CHECKER_H_
+#define TELEPORT_TELEPORT_MODEL_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddc/memory_system.h"
+
+namespace teleport::tp {
+
+/// Executable specification of the §4.1 page-coherence protocol, run in
+/// lock-step with the real ddc::MemorySystem. On every CoherenceEvent the
+/// checker steps its own model of the protocol state machine and asserts:
+///
+///  1. *Spec/impl agreement* — the model's predicted per-page state
+///     (compute perm, temporary-context perm, compute dirty bit) equals the
+///     implementation's page table after the transition.
+///  2. *SWMR* — under kMesi a writable mapping on one side excludes any
+///     mapping on the other; under kPso a writer may coexist only with a
+///     reader; kWeakOrdering/kNone deliberately relax this.
+///  3. *Freshness* — under kMesi every read observes the latest write:
+///     the model tracks an abstract version counter per page (bumped on
+///     each write, propagated by fills, page-returns, writebacks and
+///     syncmem) and requires the reading side's version to equal the
+///     globally newest one. This is the "data value matches last write"
+///     invariant without hashing page payloads.
+///  4. *Drain* — when a session ends (and at Finish()) no temporary-context
+///     permissions or in-flight upgrade windows survive.
+///
+/// The checker is an observer: it never mutates the system, costs no
+/// virtual time, and can be attached to any kBaseDdc MemorySystem — tests
+/// attach it wholesale and assert zero violations, and the mutation tests
+/// (ddc::ProtocolMutation) prove it actually catches planted protocol bugs.
+class ModelChecker : public ddc::CoherenceObserver {
+ public:
+  enum class OnViolation {
+    kAbort,   ///< TELEPORT_CHECK-fail at the first violation (default)
+    kRecord,  ///< keep running, collect violations (expected-failure tests)
+  };
+
+  struct Violation {
+    uint64_t step = 0;  ///< index of the offending event (0-based)
+    ddc::CoherenceEvent event;
+    std::string message;
+  };
+
+  /// Attaches to `ms` (replacing any previous observer) and snapshots its
+  /// current page table as the model's initial state.
+  explicit ModelChecker(ddc::MemorySystem* ms,
+                        OnViolation action = OnViolation::kAbort);
+  ~ModelChecker() override;
+
+  ModelChecker(const ModelChecker&) = delete;
+  ModelChecker& operator=(const ModelChecker&) = delete;
+
+  void OnCoherenceEvent(const ddc::CoherenceEvent& ev) override;
+
+  /// End-of-run drain check; detaches from the system. Returns the total
+  /// violation count (0 for a clean run). Idempotent.
+  uint64_t Finish();
+
+  uint64_t steps() const { return steps_; }
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  /// Model state of one page. Versions: `master` is the newest write
+  /// anywhere; `compute_v` the version held by the compute-cache copy;
+  /// `home_v` the version of the pool/storage ("home") copy.
+  struct PageModel {
+    ddc::Perm compute = ddc::Perm::kNone;
+    ddc::Perm temp = ddc::Perm::kNone;
+    bool dirty = false;
+    uint64_t master = 0;
+    uint64_t compute_v = 0;
+    uint64_t home_v = 0;
+  };
+
+  PageModel& Page(ddc::PageId p);
+  void Fail(const ddc::CoherenceEvent& ev, std::string message);
+
+  // Spec transitions (mirror memory_system.cc, independently derived from
+  // the paper's Figs 8/9 — agreement is the point).
+  void StepComputeAccess(const ddc::CoherenceEvent& ev);
+  void StepMemoryAccess(const ddc::CoherenceEvent& ev);
+  void StepSessionBegin(const ddc::CoherenceEvent& ev);
+  void StepSessionEnd(const ddc::CoherenceEvent& ev);
+
+  // Invariant checks for the page touched by `ev`.
+  void CheckAgainstImpl(const ddc::CoherenceEvent& ev, ddc::PageId p);
+  void CheckSwmr(const ddc::CoherenceEvent& ev, ddc::PageId p);
+
+  ddc::MemorySystem* ms_;
+  const OnViolation action_;
+  std::vector<PageModel> pages_;
+  bool session_active_ = false;
+  ddc::CoherenceMode mode_ = ddc::CoherenceMode::kMesi;
+  uint64_t steps_ = 0;
+  std::vector<Violation> violations_;
+  bool attached_ = false;
+};
+
+}  // namespace teleport::tp
+
+#endif  // TELEPORT_TELEPORT_MODEL_CHECKER_H_

@@ -241,6 +241,12 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       caller.metrics().net_messages += 2;
       caller.metrics().net_bytes += 128;
       ++cancelled_calls_;
+      // The caller abandoned the request mid-flight: it never waited for
+      // the (possibly fault-delayed) delivery, so the transfer time is not
+      // part of its timeline. Leaving it in the breakdown would misattribute
+      // the cancel wait and drive retry_ns negative under the conservation
+      // rebalance in RunLocalFallback.
+      bd.request_transfer_ns = 0;
       if (flags.fallback == FallbackPolicy::kLocal) {
         // §3.2: "the application is then free to execute the function
         // locally" — do so transparently instead of surfacing TimedOut.

@@ -16,6 +16,7 @@
 #include "graph/engine.h"
 #include "mr/engine.h"
 #include "net/faults.h"
+#include "teleport/model_checker.h"
 #include "teleport/pushdown.h"
 
 namespace teleport {
@@ -60,10 +61,12 @@ Observed RunDb(uint64_t fault_seed, bool faults) {
   auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.3, deploy);
   net::FaultInjector inj(fault_seed);
   if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   db::QueryOptions opts;
   opts.runtime = d.runtime.get();
   opts.push_ops = db::DefaultTeleportOps("q6");
   const db::QueryResult r = db::RunQ6(*d.ctx, *d.database, opts);
+  EXPECT_EQ(checker.Finish(), 0u);
   Observed o;
   o.checksum = r.checksum;
   o.elapsed = r.total_ns;
@@ -77,11 +80,13 @@ Observed RunGraph(uint64_t fault_seed, bool faults) {
   auto d = bench::MakeGraph(ddc::Platform::kBaseDdc, 2000, 6);
   net::FaultInjector inj(fault_seed);
   if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   graph::GasOptions opts;
   opts.runtime = d.runtime.get();
   opts.push_phases = {graph::Phase::kFinalize, graph::Phase::kGather,
                       graph::Phase::kScatter};
   const graph::GasResult r = graph::RunSssp(*d.ctx, d.graph, opts);
+  EXPECT_EQ(checker.Finish(), 0u);
   Observed o;
   o.checksum = r.checksum;
   o.elapsed = r.total_ns;
@@ -95,10 +100,12 @@ Observed RunMr(uint64_t fault_seed, bool faults) {
   auto d = bench::MakeMr(ddc::Platform::kBaseDdc, 256 << 10);
   net::FaultInjector inj(fault_seed);
   if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   mr::MrOptions opts;
   opts.runtime = d.runtime.get();
   opts.push_phases = {mr::MrPhase::kMapShuffle};
   const mr::MrResult r = mr::RunWordCount(*d.ctx, d.corpus, opts);
+  EXPECT_EQ(checker.Finish(), 0u);
   Observed o;
   o.checksum = r.checksum;
   o.elapsed = r.total_ns;
@@ -169,11 +176,13 @@ TEST(ChaosFaultFreeTest, ZeroProbabilityInjectorChangesNothing) {
   auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.3, deploy);
   net::FaultInjector inj(/*seed=*/99);  // attached but all probabilities 0
   d.ms->fabric().set_fault_injector(&inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   db::QueryOptions opts;
   opts.runtime = d.runtime.get();
   opts.push_ops = db::DefaultTeleportOps("q6");
   const db::QueryResult r = db::RunQ6(*d.ctx, *d.database, opts);
 
+  EXPECT_EQ(checker.Finish(), 0u);
   EXPECT_EQ(r.checksum, plain.checksum);
   EXPECT_EQ(r.total_ns, plain.elapsed);
   EXPECT_EQ(d.ctx->metrics().retries, 0u);
@@ -196,6 +205,7 @@ TEST(ChaosCrashRestartTest, LostPoolWritesAreReported) {
 
   const ddc::VAddr a = ms.space().Alloc(64 * kPage, "d");
   ms.SeedData();
+  tp::ModelChecker checker(&ms, tp::ModelChecker::OnViolation::kRecord);
   auto ctx = ms.CreateContext(ddc::Pool::kCompute);
   // Dirty many pages; the small cache forces writebacks into the pool,
   // which mark pool copies dirty w.r.t. storage.
@@ -224,6 +234,7 @@ TEST(ChaosCrashRestartTest, LostPoolWritesAreReported) {
     EXPECT_EQ(ctx->Load<int64_t>(a + p * kPage), static_cast<int64_t>(p) + 1);
   }
   EXPECT_FALSE(runtime.panicked());
+  EXPECT_EQ(checker.Finish(), 0u);
 }
 
 // §3.2 escape hatch: when the pushdown request cannot get through but the
@@ -245,6 +256,7 @@ TEST(ChaosFallbackTest, LocalFallbackRunsTheFunctionExactlyOnce) {
 
   const ddc::VAddr a = ms.space().Alloc(16 * kPage, "d");
   ms.SeedData();
+  tp::ModelChecker checker(&ms, tp::ModelChecker::OnViolation::kRecord);
   auto caller = ms.CreateContext(ddc::Pool::kCompute);
 
   tp::PushdownFlags flags;
@@ -280,6 +292,7 @@ TEST(ChaosFallbackTest, LocalFallbackRunsTheFunctionExactlyOnce) {
   });
   EXPECT_TRUE(st2.ok()) << st2;
   EXPECT_EQ(runtime.fallback_calls(), 1u);  // no new fallback
+  EXPECT_EQ(checker.Finish(), 0u);
 }
 
 }  // namespace

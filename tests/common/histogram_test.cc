@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace teleport {
 namespace {
 
@@ -82,6 +84,66 @@ TEST(HistogramTest, ToStringMentionsCount) {
   h.Add(7);
   EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
 }
+
+// All externally observable state of a histogram, for exact comparison in
+// the algebraic property tests below.
+void ExpectSame(const Histogram& x, const Histogram& y) {
+  EXPECT_EQ(x.count(), y.count());
+  EXPECT_EQ(x.min(), y.min());
+  EXPECT_EQ(x.max(), y.max());
+  EXPECT_DOUBLE_EQ(x.Mean(), y.Mean());
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(x.Percentile(p), y.Percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(x.ToString(), y.ToString());
+}
+
+// Property: Merge is associative — (a + b) + c == a + (b + c) — so per-call
+// histograms can be combined in any aggregation order (per-operator, then
+// per-query, then per-suite) without changing a single reported number.
+class HistogramMergeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramMergeTest, MergeIsAssociative) {
+  Rng rng(GetParam());
+  Histogram a, b, c;
+  Histogram* parts[] = {&a, &b, &c};
+  for (Histogram* h : parts) {
+    const int n = static_cast<int>(rng.Uniform(500));
+    for (int i = 0; i < n; ++i) {
+      h->Add(static_cast<int64_t>(rng.Uniform(1u << 20)));
+    }
+  }
+  Histogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  Histogram right = a;
+  right.Merge(bc);
+  ExpectSame(left, right);
+}
+
+TEST_P(HistogramMergeTest, MergeIsCommutativeWithEmptyIdentity) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  Histogram a, b;
+  const int n = static_cast<int>(rng.Uniform(300));
+  for (int i = 0; i < n; ++i) a.Add(static_cast<int64_t>(rng.Uniform(1000)));
+  const int m = static_cast<int>(rng.Uniform(300));
+  for (int i = 0; i < m; ++i) b.Add(static_cast<int64_t>(rng.Uniform(1000)));
+
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  ExpectSame(ab, ba);
+
+  Histogram with_empty = a;
+  with_empty.Merge(Histogram());
+  ExpectSame(with_empty, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergeTest,
+                         ::testing::Values(7, 21, 63, 189, 567));
 
 }  // namespace
 }  // namespace teleport

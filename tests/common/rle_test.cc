@@ -91,5 +91,70 @@ TEST(RleTest, RunsAreMaximal) {
   }
 }
 
+// Adversarial worst case: permissions alternate on every contiguous page,
+// so no two entries ever merge — one run per page, and the encoded form
+// hits its 13/9 per-entry ceiling against the raw list. Round-trip must
+// still be exact.
+TEST(RleTest, AlternatingPermissionsWorstCaseRoundTrips) {
+  std::vector<PageEntry> pages;
+  for (uint64_t p = 0; p < 4096; ++p) pages.push_back({p, (p % 2) == 0});
+  const auto runs = RleEncode(pages);
+  EXPECT_EQ(runs.size(), pages.size());
+  EXPECT_EQ(RleDecode(runs), pages);
+  EXPECT_EQ(RleSizeBytes(runs), 13u * runs.size());
+  EXPECT_GT(RleSizeBytes(runs), RawSizeBytes(pages.size()));
+}
+
+// Property: singleton lists of every permission round-trip to one run.
+TEST(RleTest, SingletonRoundTrips) {
+  for (const bool writable : {false, true}) {
+    const std::vector<PageEntry> pages = {{42, writable}};
+    const auto runs = RleEncode(pages);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (PageRun{42, 1, writable}));
+    EXPECT_EQ(RleDecode(runs), pages);
+  }
+}
+
+// Property: random *adversarial* lists mixing long runs, alternations, and
+// large gaps round-trip exactly, and re-encoding the decoded list is a
+// fixed point (encode . decode . encode == encode).
+class RleAdversarialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RleAdversarialTest, RoundTripAndEncodeIsFixedPoint) {
+  Rng rng(GetParam());
+  std::vector<PageEntry> pages;
+  uint64_t p = 0;
+  const int segments = 20 + static_cast<int>(rng.Uniform(30));
+  for (int s = 0; s < segments; ++s) {
+    switch (rng.Uniform(3)) {
+      case 0: {  // long uniform run
+        const bool w = rng.Bernoulli(0.5);
+        const uint64_t len = 1 + rng.Uniform(200);
+        for (uint64_t i = 0; i < len; ++i) pages.push_back({p++, w});
+        break;
+      }
+      case 1: {  // alternating permissions, contiguous
+        const uint64_t len = 1 + rng.Uniform(64);
+        for (uint64_t i = 0; i < len; ++i) {
+          pages.push_back({p++, (i % 2) == 0});
+        }
+        break;
+      }
+      default:  // a big hole in the address space
+        p += 1 + rng.Uniform(1 << 20);
+        break;
+    }
+  }
+  const auto runs = RleEncode(pages);
+  const auto decoded = RleDecode(runs);
+  EXPECT_EQ(decoded, pages);
+  EXPECT_EQ(RleEncode(decoded), runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RleAdversarialTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
 }  // namespace
 }  // namespace teleport

@@ -1,0 +1,488 @@
+// Differential golden-reference harness: each application engine (DBMS Q6,
+// graph SSSP, MapReduce WordCount) runs under a sweep of seeded-random
+// schedules — the engine interleaved with an interfering compute-pool
+// mutator at access granularity — across coherence modes x sync strategies,
+// and every run's answer must be bit-identical to a sequential golden run.
+// A ModelChecker shadows the coherence protocol in every run; any
+// divergence (wrong answer, checker violation, corrupted interferer state)
+// is minimized to the shortest failing schedule prefix and dumped as a
+// replayable trace.
+//
+// The simulator keeps real data in host memory, so a *correct* protocol can
+// never change an answer — schedules move timing, not bytes. That is
+// exactly what makes the golden comparison a lock: if an engine or the
+// coherence layer ever grows real schedule-dependent state, this harness
+// catches it on the spot with a reproducer.
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "db/query.h"
+#include "ddc/memory_system.h"
+#include "graph/engine.h"
+#include "mr/engine.h"
+#include "sim/coop_task.h"
+#include "sim/interleaver.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+using ddc::CoherenceMode;
+using ddc::Pool;
+using ddc::ProtocolMutation;
+using ddc::VAddr;
+using tp::SyncStrategy;
+
+constexpr uint64_t kPage = 4096;
+
+// --- Sweep dimensions --------------------------------------------------------
+
+struct Combo {
+  CoherenceMode coherence;
+  SyncStrategy sync;
+};
+
+constexpr Combo kCombos[] = {
+    {CoherenceMode::kMesi, SyncStrategy::kOnDemand},
+    {CoherenceMode::kPso, SyncStrategy::kOnDemand},
+    {CoherenceMode::kWeakOrdering, SyncStrategy::kOnDemand},
+    {CoherenceMode::kMesi, SyncStrategy::kEager},
+    {CoherenceMode::kPso, SyncStrategy::kEager},
+    {CoherenceMode::kWeakOrdering, SyncStrategy::kEager},
+};
+
+// 6 combos x 87 seeds = 522 randomized runs per engine; the acceptance
+// floor is 500 *distinct* schedules, measured by trace signature.
+constexpr int kSeedsPerCombo = 87;
+constexpr uint64_t kDistinctFloor = 500;
+
+// Workload sizes: small enough that a 522-run sweep stays in seconds, big
+// enough that every engine still pushes work down and faults real pages.
+constexpr double kDbScale = 0.05;  // 3000 lineitem rows
+constexpr uint64_t kGraphVertices = 400;
+constexpr uint64_t kGraphDegree = 4;
+constexpr uint64_t kMrBytes = 20 << 10;
+
+// Engine tasks yield every `quantum` charged operations on the hooked
+// compute context; the interferer yields on every access for the finest
+// interleaving. Quanta are tuned per engine so each contributes hundreds
+// of preemption points per run (enough entropy for >= 500 distinct
+// schedules) without drowning the sweep in handoffs.
+constexpr int kDbQuantum = 64;
+constexpr int kGraphQuantum = 16;
+constexpr int kMrQuantum = 256;
+
+tp::PushdownFlags FlagsFor(const Combo& c) {
+  tp::PushdownFlags f;
+  f.coherence = c.coherence;
+  f.sync = c.sync;
+  return f;
+}
+
+// --- Schedule signatures -----------------------------------------------------
+
+uint64_t TraceSignature(const std::vector<uint32_t>& trace) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const uint32_t step : trace) {
+    h ^= step;
+    h *= 1099511628211ull;
+  }
+  h ^= trace.size();
+  h *= 1099511628211ull;
+  return h;
+}
+
+// --- The interferer ----------------------------------------------------------
+//
+// A compute-pool thread that hammers its own private scratch region while
+// the engine runs: its evictions race the engine's pages through the shared
+// compute cache, and its accesses land inside active pushdown sessions at
+// schedule-dependent points. It folds only values it wrote itself, so its
+// digest is schedule-invariant — a third differential check.
+
+constexpr int kScratchPages = 8;
+constexpr int kInterfererRounds = 12;
+
+uint64_t InterfererValue(int round, int page) {
+  uint64_t v = static_cast<uint64_t>(round) * 0x9e3779b97f4a7c15ull +
+               static_cast<uint64_t>(page) + 1;
+  v ^= v >> 31;
+  return v;
+}
+
+uint64_t FoldDigest(uint64_t digest, uint64_t v) {
+  digest ^= v;
+  digest *= 1099511628211ull;
+  return digest;
+}
+
+uint64_t InterfererBody(ddc::ExecutionContext& ctx, VAddr scratch) {
+  uint64_t digest = 1469598103934665603ull;
+  for (int r = 0; r < kInterfererRounds; ++r) {
+    for (int p = 0; p < kScratchPages; ++p) {
+      const VAddr addr = scratch + static_cast<VAddr>(p) * kPage;
+      ctx.Store<uint64_t>(addr, InterfererValue(r, p));
+      digest = FoldDigest(digest, ctx.Load<uint64_t>(addr));
+    }
+  }
+  return digest;
+}
+
+uint64_t ExpectedInterfererDigest() {
+  uint64_t digest = 1469598103934665603ull;
+  for (int r = 0; r < kInterfererRounds; ++r) {
+    for (int p = 0; p < kScratchPages; ++p) {
+      digest = FoldDigest(digest, InterfererValue(r, p));
+    }
+  }
+  return digest;
+}
+
+// --- One observed run --------------------------------------------------------
+
+struct RunOut {
+  int64_t answer = 0;
+  uint64_t interferer_digest = 0;
+  uint64_t checker_violations = 0;
+  std::vector<uint32_t> trace;
+};
+
+/// Interleaves `engine_body` (confined to `engine_ctx`) with the standard
+/// interferer under `schedule`, recording the schedule trace.
+void RunInterleaved(ddc::MemorySystem& ms, ddc::ExecutionContext& engine_ctx,
+                    const std::function<void()>& engine_body, int quantum,
+                    sim::Schedule* schedule, RunOut* out) {
+  const VAddr scratch =
+      ms.space().Alloc(kScratchPages * kPage, "interferer-scratch");
+  auto ictx = ms.CreateContext(Pool::kCompute);
+  uint64_t digest = 0;
+  {
+    sim::CoopTask engine({&engine_ctx}, engine_body, quantum);
+    sim::CoopTask interferer(
+        {ictx.get()}, [&] { digest = InterfererBody(*ictx, scratch); },
+        /*quantum=*/1);
+    sim::Interleaver il;
+    il.Add(&engine);
+    il.Add(&interferer);
+    il.set_schedule(schedule);
+    il.set_record_trace(true);
+    il.Run();
+    out->trace = il.trace();
+  }
+  out->interferer_digest = digest;
+}
+
+/// One engine run on a fresh deployment. `schedule == nullptr` is the
+/// sequential golden: the engine alone, default scheduling, no interferer
+/// (the digest slot is filled with the expected constant so golden RunOuts
+/// compare clean). A ModelChecker shadows the protocol either way.
+using CaseFn = RunOut (*)(sim::Schedule* schedule,
+                          const tp::PushdownFlags& flags,
+                          ProtocolMutation mutation);
+
+RunOut RunDbCase(sim::Schedule* schedule, const tp::PushdownFlags& flags,
+                 ProtocolMutation mutation) {
+  bench::DeployOptions deploy;
+  deploy.cache_fraction = 0.05;
+  auto d = bench::MakeDb(ddc::Platform::kBaseDdc, kDbScale, deploy);
+  d.ms->set_protocol_mutation(mutation);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  db::QueryOptions opts;
+  opts.runtime = d.runtime.get();
+  // Push only the leading selection + projection: the remaining selections
+  // and the aggregation stay compute-side, so the hooked context yields
+  // often enough to open up a large schedule space.
+  opts.push_ops = {"Selection(shipdate)", "Projection"};
+  opts.flags = flags;
+  RunOut out;
+  if (schedule == nullptr) {
+    out.answer = db::RunQ6(*d.ctx, *d.database, opts).checksum;
+    out.interferer_digest = ExpectedInterfererDigest();
+  } else {
+    RunInterleaved(
+        *d.ms, *d.ctx,
+        [&] { out.answer = db::RunQ6(*d.ctx, *d.database, opts).checksum; },
+        kDbQuantum, schedule, &out);
+  }
+  out.checker_violations = checker.Finish();
+  return out;
+}
+
+RunOut RunGraphCase(sim::Schedule* schedule, const tp::PushdownFlags& flags,
+                    ProtocolMutation mutation) {
+  auto d = bench::MakeGraph(ddc::Platform::kBaseDdc, kGraphVertices,
+                            kGraphDegree);
+  d.ms->set_protocol_mutation(mutation);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  graph::GasOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = {graph::Phase::kFinalize, graph::Phase::kGather,
+                      graph::Phase::kScatter};
+  opts.flags = flags;
+  RunOut out;
+  if (schedule == nullptr) {
+    out.answer = graph::RunWidestPath(*d.ctx, d.graph, opts).checksum;
+    out.interferer_digest = ExpectedInterfererDigest();
+  } else {
+    RunInterleaved(
+        *d.ms, *d.ctx,
+        [&] {
+          out.answer = graph::RunWidestPath(*d.ctx, d.graph, opts).checksum;
+        },
+        kGraphQuantum, schedule, &out);
+  }
+  out.checker_violations = checker.Finish();
+  return out;
+}
+
+RunOut RunMrCase(sim::Schedule* schedule, const tp::PushdownFlags& flags,
+                 ProtocolMutation mutation) {
+  auto d = bench::MakeMr(ddc::Platform::kBaseDdc, kMrBytes);
+  d.ms->set_protocol_mutation(mutation);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  mr::MrOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = {mr::MrPhase::kMapShuffle};
+  opts.flags = flags;
+  RunOut out;
+  if (schedule == nullptr) {
+    out.answer = mr::RunWordCount(*d.ctx, d.corpus, opts).checksum;
+    out.interferer_digest = ExpectedInterfererDigest();
+  } else {
+    RunInterleaved(
+        *d.ms, *d.ctx,
+        [&] { out.answer = mr::RunWordCount(*d.ctx, d.corpus, opts).checksum; },
+        kMrQuantum, schedule, &out);
+  }
+  out.checker_violations = checker.Finish();
+  return out;
+}
+
+// --- Reproducer: replay + prefix minimization --------------------------------
+
+/// True when replaying `trace` on a fresh run still fails. Replay past the
+/// end of the trace falls back to smallest-clock, so any prefix is a
+/// complete, deterministic schedule.
+using FailPred = std::function<bool(const std::vector<uint32_t>& trace)>;
+
+/// Shortest failing prefix by binary search over the prefix length. The
+/// predicate need not be monotone in the prefix; the result is verified to
+/// fail before being returned (falling back to the full trace if the
+/// search landed on a passing prefix).
+std::vector<uint32_t> MinimizeTrace(const FailPred& fails,
+                                    const std::vector<uint32_t>& trace) {
+  size_t lo = 0;
+  size_t hi = trace.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const std::vector<uint32_t> prefix(trace.begin(), trace.begin() + mid);
+    if (fails(prefix)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<uint32_t> best(trace.begin(), trace.begin() + hi);
+  if (!fails(best)) return trace;
+  return best;
+}
+
+/// Fails the current test with a minimized, replayable schedule dump.
+void ReportDivergence(CaseFn run, const tp::PushdownFlags& flags,
+                      const RunOut& bad, int64_t golden,
+                      uint64_t expected_digest, uint64_t seed) {
+  const FailPred fails = [&](const std::vector<uint32_t>& t) {
+    sim::ReplaySchedule replay(t);
+    const RunOut o = run(&replay, flags, ProtocolMutation::kNone);
+    return o.answer != golden || o.checker_violations != 0 ||
+           o.interferer_digest != expected_digest;
+  };
+  const std::vector<uint32_t> minimized = MinimizeTrace(fails, bad.trace);
+  ADD_FAILURE() << "divergence under seed " << seed << " (coherence "
+                << ddc::CoherenceModeToString(flags.coherence) << ", sync "
+                << tp::SyncStrategyToString(flags.sync) << "): answer "
+                << bad.answer << " vs golden " << golden << ", "
+                << bad.checker_violations
+                << " checker violations; minimized reproducer ("
+                << minimized.size() << " of " << bad.trace.size()
+                << " steps): " << sim::TraceToString(minimized);
+}
+
+// --- The sweep ---------------------------------------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<CaseFn> {};
+
+TEST_P(DifferentialTest, ExploredSchedulesMatchSequentialGolden) {
+  CaseFn run = GetParam();
+
+  // Sequential goldens, one per combo. Coherence mode and sync strategy
+  // trade timing, never bytes: all goldens must agree with each other.
+  int64_t golden = 0;
+  bool have_golden = false;
+  for (const Combo& combo : kCombos) {
+    const RunOut g = run(nullptr, FlagsFor(combo), ProtocolMutation::kNone);
+    EXPECT_EQ(g.checker_violations, 0u)
+        << "golden run violated the protocol spec, coherence "
+        << ddc::CoherenceModeToString(combo.coherence);
+    if (!have_golden) {
+      golden = g.answer;
+      have_golden = true;
+    } else {
+      EXPECT_EQ(g.answer, golden)
+          << "golden differs across combos, coherence "
+          << ddc::CoherenceModeToString(combo.coherence) << ", sync "
+          << tp::SyncStrategyToString(combo.sync);
+    }
+  }
+
+  const uint64_t expected_digest = ExpectedInterfererDigest();
+  std::set<uint64_t> signatures;
+  uint64_t runs = 0;
+  uint64_t seed = 0;
+  for (const Combo& combo : kCombos) {
+    const tp::PushdownFlags flags = FlagsFor(combo);
+    for (int i = 0; i < kSeedsPerCombo; ++i) {
+      ++seed;
+      sim::RandomSchedule schedule(seed);
+      const RunOut o = run(&schedule, flags, ProtocolMutation::kNone);
+      ++runs;
+      signatures.insert(TraceSignature(o.trace));
+      if (o.answer != golden || o.checker_violations != 0 ||
+          o.interferer_digest != expected_digest) {
+        ReportDivergence(run, flags, o, golden, expected_digest, seed);
+        return;  // one minimized reproducer is enough; don't cascade
+      }
+    }
+  }
+  EXPECT_EQ(runs, static_cast<uint64_t>(kSeedsPerCombo) *
+                      (sizeof(kCombos) / sizeof(kCombos[0])));
+  // The sweep must actually explore: >= 500 *distinct* interleavings.
+  EXPECT_GE(signatures.size(), kDistinctFloor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DifferentialTest,
+                         ::testing::Values(&RunDbCase, &RunGraphCase,
+                                           &RunMrCase),
+                         [](const ::testing::TestParamInfo<CaseFn>& info) {
+                           switch (info.index) {
+                             case 0:
+                               return "Db";
+                             case 1:
+                               return "Graph";
+                             default:
+                               return "Mr";
+                           }
+                         });
+
+// --- Reproducer machinery, exercised on a planted protocol bug --------------
+//
+// A micro-scenario cheap enough to replay dozens of times during
+// minimization: a compute-side writer and a memory-side reader race over
+// eight pages inside an active kMesi session. With kSkipPageReturn planted,
+// dirty compute pages stop riding back to the pool and the checker flags a
+// stale read — on schedules where a racing read lands after the write.
+
+RunOut RunMicroCase(sim::Schedule* schedule, const tp::PushdownFlags& flags,
+                    ProtocolMutation mutation) {
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 16 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  ddc::MemorySystem ms(cfg, sim::CostParams::Default(), 16 << 20);
+  const VAddr base = ms.space().Alloc(32 * kPage, "d");
+  ms.SeedData();
+  ms.set_protocol_mutation(mutation);
+  tp::ModelChecker checker(&ms, tp::ModelChecker::OnViolation::kRecord);
+  auto cc = ms.CreateContext(Pool::kCompute);
+  auto mc = ms.CreateContext(Pool::kMemory);
+  ms.BeginPushdownSession(flags.coherence);
+  int64_t sum = 0;
+  RunOut out;
+  {
+    sim::CoopTask writer({cc.get()}, [&] {
+      for (int p = 0; p < 8; ++p) {
+        cc->Store<int64_t>(base + static_cast<VAddr>(p) * kPage, p + 1);
+      }
+    });
+    sim::CoopTask reader({mc.get()}, [&] {
+      for (int p = 7; p >= 0; --p) {
+        sum += mc->Load<int64_t>(base + static_cast<VAddr>(p) * kPage);
+      }
+    });
+    sim::Interleaver il;
+    il.Add(&writer);
+    il.Add(&reader);
+    il.set_schedule(schedule);
+    il.set_record_trace(true);
+    il.Run();
+    out.trace = il.trace();
+  }
+  ms.EndPushdownSession();
+  out.answer = sum;  // legitimately schedule-dependent; not compared
+  out.checker_violations = checker.Finish();
+  return out;
+}
+
+TEST(DiffReproducerTest, PlantedBugIsCaughtMinimizedAndReplayable) {
+  tp::PushdownFlags flags;  // kMesi, kOnDemand
+
+  // Deterministic seed scan until the planted bug bites.
+  std::vector<uint32_t> failing;
+  uint64_t failing_seed = 0;
+  for (uint64_t seed = 1; seed <= 64 && failing.empty(); ++seed) {
+    sim::RandomSchedule schedule(seed);
+    const RunOut o =
+        RunMicroCase(&schedule, flags, ProtocolMutation::kSkipPageReturn);
+    if (o.checker_violations > 0) {
+      failing = o.trace;
+      failing_seed = seed;
+    }
+  }
+  ASSERT_FALSE(failing.empty()) << "planted bug never caught in 64 seeds";
+
+  const FailPred fails = [&](const std::vector<uint32_t>& t) {
+    sim::ReplaySchedule replay(t);
+    return RunMicroCase(&replay, flags, ProtocolMutation::kSkipPageReturn)
+               .checker_violations > 0;
+  };
+  // The dumped trace replays to the same failure...
+  ASSERT_TRUE(fails(failing)) << "seed " << failing_seed
+                              << " trace did not replay";
+  // ...and minimization yields a (weakly) shorter failing prefix.
+  const std::vector<uint32_t> minimized = MinimizeTrace(fails, failing);
+  EXPECT_TRUE(fails(minimized));
+  EXPECT_LE(minimized.size(), failing.size());
+  // The same minimized schedule is clean without the mutation: the failure
+  // is the planted bug, not the harness.
+  sim::ReplaySchedule replay(minimized);
+  EXPECT_EQ(RunMicroCase(&replay, flags, ProtocolMutation::kNone)
+                .checker_violations,
+            0u);
+}
+
+// Replay fidelity at engine scale: re-running a recorded random schedule
+// through ReplaySchedule reproduces the identical interleaving (zero
+// divergences) and the identical observables.
+TEST(DiffReplayTest, RecordedEngineScheduleReplaysExactly) {
+  const tp::PushdownFlags flags = FlagsFor(kCombos[0]);
+  sim::RandomSchedule schedule(0xd1ff);
+  const RunOut a = RunMrCase(&schedule, flags, ProtocolMutation::kNone);
+  ASSERT_FALSE(a.trace.empty());
+
+  sim::ReplaySchedule replay(a.trace);
+  const RunOut b = RunMrCase(&replay, flags, ProtocolMutation::kNone);
+  EXPECT_EQ(replay.divergences(), 0u);
+  EXPECT_EQ(b.answer, a.answer);
+  EXPECT_EQ(b.interferer_digest, a.interferer_digest);
+  EXPECT_EQ(TraceSignature(b.trace), TraceSignature(a.trace));
+}
+
+}  // namespace
+}  // namespace teleport

@@ -1,0 +1,131 @@
+// Golden-string locks for text formats that downstream tooling parses
+// (bench banners, EXPERIMENTS.md extraction, log scrapers). These compare
+// full output strings byte-for-byte: any accidental reordering, renamed
+// counter, or changed separator fails loudly here instead of silently
+// breaking a dashboard regex.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+#include "net/fabric.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+// --- Fabric per-kind breakdown ----------------------------------------------
+
+TEST(FormatGoldenTest, FabricKindBreakdownEmpty) {
+  net::Fabric fabric(sim::CostParams::Default());
+  EXPECT_EQ(fabric.KindBreakdownToString(), "fabric{}");
+}
+
+TEST(FormatGoldenTest, FabricKindBreakdownSkipsZeroKindsAndKeepsEnumOrder) {
+  net::Fabric fabric(sim::CostParams::Default());
+  // Drive known traffic through the public send APIs; kinds with zero
+  // messages must be omitted and the rest printed in enum order.
+  fabric.SendToMemory(0, 64, net::MessageKind::kPushdownRequest);
+  fabric.SendToCompute(0, 4096, net::MessageKind::kPageFaultReply);
+  fabric.SendToCompute(0, 4096, net::MessageKind::kPageFaultReply);
+  fabric.SendToMemory(0, 128, net::MessageKind::kSyncmem);
+  EXPECT_EQ(fabric.KindBreakdownToString(),
+            "fabric{PushdownRequest=1/64B PageFaultReply=2/8192B "
+            "Syncmem=1/128B}");
+}
+
+TEST(FormatGoldenTest, FabricKindBreakdownResetsClean) {
+  net::Fabric fabric(sim::CostParams::Default());
+  fabric.SendToMemory(0, 64, net::MessageKind::kHeartbeat);
+  fabric.Reset();
+  EXPECT_EQ(fabric.KindBreakdownToString(), "fabric{}");
+}
+
+// --- sim::Metrics dump -------------------------------------------------------
+
+TEST(FormatGoldenTest, MetricsToStringFullDump) {
+  sim::Metrics m;
+  m.cache_hits = 101;
+  m.cache_misses = 7;
+  m.cache_evictions = 5;
+  m.dirty_writebacks = 3;
+  m.net_messages = 40;
+  m.net_bytes = 16384;
+  m.bytes_from_memory_pool = 12288;
+  m.bytes_to_memory_pool = 4096;
+  m.memory_pool_hits = 6;
+  m.memory_pool_faults = 1;
+  m.storage_reads = 2;
+  m.storage_writes = 1;
+  m.coherence_messages = 9;
+  m.coherence_invalidations = 4;
+  m.coherence_downgrades = 2;
+  m.coherence_page_returns = 3;
+  m.pushdown_calls = 2;
+  m.syncmem_pages = 8;
+  m.fault_events = 11;
+  m.retries = 5;
+  m.fallbacks = 1;
+  m.lost_pool_writes = 13;
+  m.cpu_ops = 90210;
+  EXPECT_EQ(m.ToString(),
+            "cache: hits=101 misses=7 evictions=5 writebacks=3\n"
+            "net: messages=40 bytes=16384 from_mem=12288 to_mem=4096\n"
+            "memory pool: hits=6 faults=1\n"
+            "storage: reads=2 writes=1\n"
+            "coherence: messages=9 invalidations=4 downgrades=2 "
+            "page_returns=3\n"
+            "teleport: pushdowns=2 syncmem_pages=8\n"
+            "resilience: fault_events=11 retries=5 fallbacks=1 "
+            "lost_pool_writes=13\n"
+            "cpu: ops=90210");
+}
+
+// The resilience line is what the chaos dashboards grep for; lock it in
+// the all-zero (fault-free) shape too.
+TEST(FormatGoldenTest, MetricsResilienceLineFaultFree) {
+  const sim::Metrics m;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("resilience: fault_events=0 retries=0 fallbacks=0 "
+                   "lost_pool_writes=0\n"),
+            std::string::npos)
+      << s;
+}
+
+// --- Pushdown breakdown ------------------------------------------------------
+
+TEST(FormatGoldenTest, PushdownBreakdownToString) {
+  tp::PushdownBreakdown bd;
+  EXPECT_EQ(bd.ToString(),
+            "pre_sync=0ms request=0ms queue=0ms setup=0ms exec=0ms "
+            "online_sync=0ms response=0ms post_sync=0ms retry=0ms");
+  bd.pre_sync_ns = 1 * kMillisecond;
+  bd.function_exec_ns = 2500 * kMicrosecond;
+  bd.retry_ns = 500 * kMicrosecond;
+  EXPECT_EQ(bd.ToString(),
+            "pre_sync=1ms request=0ms queue=0ms setup=0ms exec=2.5ms "
+            "online_sync=0ms response=0ms post_sync=0ms retry=0.5ms");
+}
+
+// --- Coherence-event names (consumed by trace dumps / replay tooling) -------
+
+TEST(FormatGoldenTest, CoherenceEventKindNames) {
+  using K = ddc::CoherenceEvent::Kind;
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kSessionBegin), "SessionBegin");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kSessionEnd), "SessionEnd");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kComputeAccess),
+            "ComputeAccess");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kMemoryAccess), "MemoryAccess");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kComputeEvict), "ComputeEvict");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPrefetchFill), "PrefetchFill");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kSyncmemPage), "SyncmemPage");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kFlushPage), "FlushPage");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kRefetchPage), "RefetchPage");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPoolRestart), "PoolRestart");
+}
+
+}  // namespace
+}  // namespace teleport

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/faults.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::tp {
@@ -153,6 +154,126 @@ TEST_F(AccountingTest, LatencyHistogramsTrackCalls) {
   // Percentiles bracket the mean.
   EXPECT_LE(runtime_.call_latency().Percentile(1),
             runtime_.call_latency().Percentile(99));
+}
+
+// --- FallbackPolicy::kLocal accounting (§3.2 escape hatch) -------------------
+//
+// Conservation under recovery: however a call degrades — dropped requests,
+// a timeout-cancel, the transparent local re-run — the breakdown must
+// still sum *exactly* to the caller's elapsed virtual time, with every
+// component (including the synchronization phases) counted exactly once
+// and retry_ns never driven negative by double-counted work.
+
+TEST_F(AccountingTest, LocalFallbackBreakdownSumsToElapsedExactly) {
+  const VAddr a = Seeded(16);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  net::FaultInjector inj(/*seed=*/6);
+  net::FaultSpec drop_requests;
+  drop_requests.drop_p = 1.0;  // the pushdown request never gets through
+  inj.SetSpec(net::MessageKind::kPushdownRequest, drop_requests);
+  ms_.fabric().set_fault_injector(&inj);
+
+  PushdownFlags flags;
+  flags.fallback = FallbackPolicy::kLocal;
+  int executions = 0;
+  const Nanos t0 = caller->now();
+  const Status st = runtime_.Call(
+      *caller,
+      [&](ExecutionContext& ctx) {
+        ++executions;
+        for (uint64_t p = 0; p < 16; ++p) {
+          (void)ctx.Load<int64_t>(a + p * kPage);
+        }
+        return Status::OK();
+      },
+      flags);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(runtime_.fallback_calls(), 1u);
+
+  const PushdownBreakdown& bd = runtime_.last_breakdown();
+  EXPECT_EQ(bd.Total(), caller->now() - t0);
+  EXPECT_GT(bd.function_exec_ns, 0);
+  EXPECT_GT(bd.retry_ns, 0);  // the exhausted attempts + backoff are visible
+  EXPECT_GE(bd.pre_sync_ns, 0);
+  EXPECT_GE(bd.post_sync_ns, 0);
+  // The fallback is a completed call for every aggregate.
+  EXPECT_EQ(runtime_.completed_calls(), 1u);
+  EXPECT_EQ(runtime_.call_latency().count(), 1u);
+  EXPECT_EQ(caller->metrics().pushdown_calls, 1u);
+  EXPECT_EQ(caller->metrics().fallbacks, 1u);
+  ms_.fabric().set_fault_injector(nullptr);
+}
+
+TEST_F(AccountingTest, CancelledThenLocalNeverDoubleCountsSync) {
+  const VAddr a = Seeded(32);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  // Dirty some cache pages so the eager pre-sync below has real work: a
+  // double-counted sync phase would show up as Total() > elapsed (or as
+  // retry_ns < 0 after the conservation rebalance).
+  for (uint64_t p = 0; p < 8; ++p) {
+    caller->Store<int64_t>(a + p * kPage, static_cast<int64_t>(p));
+  }
+
+  net::FaultInjector inj(/*seed=*/9);
+  net::FaultSpec delay_requests;
+  delay_requests.delay_p = 1.0;  // request crawls; the cancel wins the race
+  delay_requests.delay_ns = 10 * kMillisecond;
+  inj.SetSpec(net::MessageKind::kPushdownRequest, delay_requests);
+  ms_.fabric().set_fault_injector(&inj);
+
+  for (const SyncStrategy sync :
+       {SyncStrategy::kOnDemand, SyncStrategy::kEager}) {
+    const uint64_t fallbacks_before = runtime_.fallback_calls();
+    PushdownFlags flags;
+    flags.sync = sync;
+    flags.fallback = FallbackPolicy::kLocal;
+    flags.timeout_ns = 50 * kMicrosecond;
+    int executions = 0;
+    const Nanos t0 = caller->now();
+    const Status st = runtime_.Call(
+        *caller,
+        [&](ExecutionContext& ctx) {
+          ++executions;
+          for (uint64_t p = 0; p < 8; ++p) {
+            (void)ctx.Load<int64_t>(a + p * kPage);
+          }
+          return Status::OK();
+        },
+        flags);
+    ASSERT_TRUE(st.ok()) << st << " sync " << SyncStrategyToString(sync);
+    EXPECT_EQ(executions, 1) << SyncStrategyToString(sync);
+    EXPECT_EQ(runtime_.fallback_calls(), fallbacks_before + 1);
+
+    const PushdownBreakdown& bd = runtime_.last_breakdown();
+    // Exact conservation: every phase counted once, nothing lost, nothing
+    // twice. A double-counted pre-sync would break this equality.
+    EXPECT_EQ(bd.Total(), caller->now() - t0) << SyncStrategyToString(sync);
+    EXPECT_GE(bd.retry_ns, 0) << SyncStrategyToString(sync);
+    EXPECT_GT(bd.function_exec_ns, 0) << SyncStrategyToString(sync);
+  }
+  EXPECT_GE(runtime_.cancelled_calls(), 2u);
+  ms_.fabric().set_fault_injector(nullptr);
+}
+
+TEST_F(AccountingTest, LocalFallbackFlagIsFreeOnHealthyFabric) {
+  const VAddr a = Seeded(8);
+  auto caller = ms_.CreateContext(Pool::kCompute);
+  PushdownFlags flags;
+  flags.fallback = FallbackPolicy::kLocal;
+  const Nanos t0 = caller->now();
+  const Status st = runtime_.Call(
+      *caller,
+      [&](ExecutionContext& ctx) {
+        (void)ctx.Load<int64_t>(a);
+        return Status::OK();
+      },
+      flags);
+  ASSERT_TRUE(st.ok()) << st;
+  // No fault, no fallback, no retry time — and the sum still holds.
+  EXPECT_EQ(runtime_.fallback_calls(), 0u);
+  EXPECT_EQ(runtime_.last_breakdown().retry_ns, 0);
+  EXPECT_EQ(runtime_.last_breakdown().Total(), caller->now() - t0);
 }
 
 TEST_F(AccountingTest, MemoryIntensityZeroOnLocalPlatform) {

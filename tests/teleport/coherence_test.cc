@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "ddc/memory_system.h"
+#include "teleport/model_checker.h"
 
 namespace teleport::ddc {
 namespace {
@@ -14,9 +15,12 @@ class CoherenceTest : public ::testing::Test {
  protected:
   CoherenceTest()
       : ms_(Config(), sim::CostParams::Default(), 16 << 20),
-        base_(ms_.space().Alloc(64 * kPage, "data")) {
+        base_(ms_.space().Alloc(64 * kPage, "data")),
+        checker_(&ms_, tp::ModelChecker::OnViolation::kRecord) {
     ms_.SeedData();
   }
+
+  void TearDown() override { EXPECT_EQ(checker_.Finish(), 0u); }
 
   static DdcConfig Config() {
     DdcConfig c;
@@ -30,6 +34,7 @@ class CoherenceTest : public ::testing::Test {
 
   MemorySystem ms_;
   VAddr base_;
+  tp::ModelChecker checker_;
 };
 
 TEST_F(CoherenceTest, Fig8TempTableConstruction) {
@@ -197,6 +202,7 @@ TEST_P(SwmrPropertyTest, RandomOpsPreserveSwmrAndData) {
   MemorySystem ms(c, sim::CostParams::Default(), 4 << 20);
   const VAddr base = ms.space().Alloc(16 * kPage, "d");
   ms.SeedData();
+  tp::ModelChecker checker(&ms, tp::ModelChecker::OnViolation::kRecord);
   Rng rng(GetParam());
 
   auto cc = ms.CreateContext(Pool::kCompute);
@@ -232,6 +238,7 @@ TEST_P(SwmrPropertyTest, RandomOpsPreserveSwmrAndData) {
     ms.CheckSwmrInvariant();
   }
   ms.EndPushdownSession();
+  EXPECT_EQ(checker.Finish(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SwmrPropertyTest,

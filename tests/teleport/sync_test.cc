@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "teleport/model_checker.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::tp {
@@ -27,7 +28,11 @@ DdcConfig Config() {
 
 class SyncTest : public ::testing::Test {
  protected:
-  SyncTest() : ms_(Config(), sim::CostParams::Default(), 64 << 20) {}
+  SyncTest()
+      : ms_(Config(), sim::CostParams::Default(), 64 << 20),
+        checker_(&ms_, ModelChecker::OnViolation::kRecord) {}
+
+  void TearDown() override { EXPECT_EQ(checker_.Finish(), 0u); }
 
   VAddr MakeDirtyPages(ExecutionContext& ctx, int pages) {
     const VAddr a = ms_.space().Alloc(static_cast<uint64_t>(pages) * kPage,
@@ -39,6 +44,7 @@ class SyncTest : public ::testing::Test {
   }
 
   MemorySystem ms_;
+  ModelChecker checker_;
 };
 
 TEST_F(SyncTest, SyncmemFlushesOnlyDirtyPagesInRange) {
@@ -100,6 +106,7 @@ TEST_F(SyncTest, EagerStrategyPaysUpfrontOnDemandDoesNot) {
   // moves nothing up front. Compare pre/post phases of the breakdown.
   auto run = [&](SyncStrategy sync, PushdownBreakdown* bd) {
     MemorySystem ms(Config(), sim::CostParams::Default(), 64 << 20);
+    ModelChecker checker(&ms, ModelChecker::OnViolation::kRecord);
     PushdownRuntime rt(&ms);
     auto ctx = ms.CreateContext(Pool::kCompute);
     const VAddr a = ms.space().Alloc(16 * kPage, "d");
@@ -117,6 +124,7 @@ TEST_F(SyncTest, EagerStrategyPaysUpfrontOnDemandDoesNot) {
         flags);
     ASSERT_TRUE(st.ok());
     *bd = rt.last_breakdown();
+    EXPECT_EQ(checker.Finish(), 0u);
   };
   PushdownBreakdown eager, on_demand;
   run(SyncStrategy::kEager, &eager);
@@ -154,6 +162,7 @@ TEST_F(SyncTest, DataCorrectAcrossEveryStrategy) {
        {SyncStrategy::kOnDemand, SyncStrategy::kEager,
         SyncStrategy::kEagerRange}) {
     MemorySystem ms(Config(), sim::CostParams::Default(), 64 << 20);
+    ModelChecker checker(&ms, ModelChecker::OnViolation::kRecord);
     PushdownRuntime rt(&ms);
     auto ctx = ms.CreateContext(Pool::kCompute);
     const VAddr a = ms.space().Alloc(4 * kPage, "d");
@@ -184,6 +193,7 @@ TEST_F(SyncTest, DataCorrectAcrossEveryStrategy) {
                       flags)
                     .ok());
     EXPECT_EQ(ctx->Load<int64_t>(a), 1000) << SyncStrategyToString(sync);
+    EXPECT_EQ(checker.Finish(), 0u) << SyncStrategyToString(sync);
   }
 }
 
