@@ -32,8 +32,14 @@ int main() {
     auto local = bench::MakeDb(ddc::Platform::kLocal, 2.0);
     const db::QueryResult rl = db::RunQ9(*local.ctx, *local.database, {});
     auto base = bench::MakeDb(ddc::Platform::kBaseDdc, 2.0);
+    sim::Tracer tracer;
+    base.ms->set_tracer(&tracer);
     const db::QueryResult rd = db::RunQ9(*base.ctx, *base.database, {});
     ok = ok && rl.checksum == rd.checksum;
+    const std::string trace = bench::MaybeWriteTrace(tracer, "fig10_q9_ddc");
+    bench::EmitBenchRecord({"fig10", "Q9", "Local", rl.total_ns, 0, ""});
+    bench::EmitBenchRecord({"fig10", "Q9", "BaseDDC", rd.total_ns,
+                            base.ctx->metrics().RemoteMemoryBytes(), trace});
     std::printf("TPC-H Q9 (MonetDB-like)      local(ms)    DDC(ms) "
                 "remote(MiB)\n");
     Nanos max_ddc = 0;
@@ -60,6 +66,9 @@ int main() {
     auto base = bench::MakeGraph(ddc::Platform::kBaseDdc, 50'000, 12);
     const graph::GasResult rd = RunSssp(*base.ctx, base.graph, {});
     ok = ok && rl.checksum == rd.checksum;
+    bench::EmitBenchRecord({"fig10", "SSSP", "Local", rl.total_ns, 0, ""});
+    bench::EmitBenchRecord({"fig10", "SSSP", "BaseDDC", rd.total_ns,
+                            base.ctx->metrics().RemoteMemoryBytes(), ""});
     std::printf("SSSP (PowerGraph-like)       local(ms)    DDC(ms) "
                 "remote(MiB)\n");
     for (size_t i = 0; i < rd.phases.size(); ++i) {
@@ -81,6 +90,9 @@ int main() {
     auto base = bench::MakeMr(ddc::Platform::kBaseDdc, 4 << 20);
     const mr::MrResult rd = RunWordCount(*base.ctx, base.corpus, {});
     ok = ok && rl.checksum == rd.checksum;
+    bench::EmitBenchRecord({"fig10", "WC", "Local", rl.total_ns, 0, ""});
+    bench::EmitBenchRecord({"fig10", "WC", "BaseDDC", rd.total_ns,
+                            base.ctx->metrics().RemoteMemoryBytes(), ""});
     std::printf("WordCount (Phoenix-like)     local(ms)    DDC(ms) "
                 "remote(MiB)\n");
     for (size_t i = 0; i < rd.phases.size(); ++i) {

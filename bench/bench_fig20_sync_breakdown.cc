@@ -19,12 +19,14 @@ namespace {
 /// 32 MiB) is full of dirty pages, then issues one pushdown and returns
 /// the runtime's breakdown. The pushed function touches a small slice of
 /// pool data so the user-function term stays negligible, as in Fig 20.
-PushdownBreakdown MeasureOneCall(SyncStrategy sync) {
+PushdownBreakdown MeasureOneCall(SyncStrategy sync, const char* label) {
   ddc::DdcConfig dc;
   dc.platform = ddc::Platform::kBaseDdc;
   dc.compute_cache_bytes = 32 << 20;
   dc.memory_pool_bytes = 512 << 20;
   ddc::MemorySystem ms(dc, sim::CostParams::Default(), 256 << 20);
+  sim::Tracer tracer;
+  ms.set_tracer(&tracer);
   const ddc::VAddr working = ms.space().Alloc(64 << 20, "working");
   const ddc::VAddr remote = ms.space().Alloc(1 << 20, "pool_slice");
   ms.SeedData();
@@ -51,7 +53,12 @@ PushdownBreakdown MeasureOneCall(SyncStrategy sync) {
       },
       flags);
   TELEPORT_CHECK(st.ok());
-  return runtime.last_breakdown();
+  const PushdownBreakdown bd = runtime.last_breakdown();
+  const std::string trace =
+      bench::MaybeWriteTrace(tracer, std::string("fig20_") + label);
+  bench::EmitBenchRecord({"fig20", label, "TELEPORT", bd.Total(),
+                          ctx->metrics().RemoteMemoryBytes(), trace});
+  return bd;
 }
 
 void PrintBreakdown(const char* label, const PushdownBreakdown& bd) {
@@ -80,8 +87,10 @@ int main() {
               "  5 response transfer      <- message size, network\n"
               "  6 post-pushdown sync     <- sync method, cache size\n\n");
 
-  const PushdownBreakdown eager = MeasureOneCall(SyncStrategy::kEager);
-  const PushdownBreakdown on_demand = MeasureOneCall(SyncStrategy::kOnDemand);
+  const PushdownBreakdown eager =
+      MeasureOneCall(SyncStrategy::kEager, "eager");
+  const PushdownBreakdown on_demand =
+      MeasureOneCall(SyncStrategy::kOnDemand, "on_demand");
   PrintBreakdown("eager sync", eager);
   PrintBreakdown("on-demand", on_demand);
 

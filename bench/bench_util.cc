@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace teleport::bench {
 
@@ -110,6 +111,7 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
                        config.deploy);
     const db::QueryResult rd = c.fn(*base.ctx, *base.database, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
       auto tele = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
@@ -119,6 +121,7 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       opts.push_ops = db::DefaultTeleportOps(c.query);
       const db::QueryResult rt = c.fn(*tele.ctx, *tele.database, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
     out.push_back(w);
@@ -146,6 +149,7 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
                           config.graph_degree, config.deploy);
     const graph::GasResult rd = c.fn(*base.ctx, base.graph, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
       auto tele = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
@@ -155,6 +159,7 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       opts.push_phases = graph::DefaultTeleportPhases();
       const graph::GasResult rt = c.fn(*tele.ctx, tele.graph, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
     out.push_back(w);
@@ -180,6 +185,7 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
                        config.deploy);
     const mr::MrResult rd = run(base, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
       auto tele = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
@@ -189,12 +195,63 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       opts.push_phases = mr::DefaultTeleportPhases(c.grep);
       const mr::MrResult rt = run(tele, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
     out.push_back(w);
   }
 
   return out;
+}
+
+namespace {
+
+void AppendJsonField(std::string& out, const char* key,
+                     const std::string& value, bool last = false) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  // Record fields are paths and identifiers; escape the two characters
+  // that could break the JSON framing.
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += last ? "\"" : "\",";
+}
+
+}  // namespace
+
+std::string BenchRecordToJson(const BenchRecord& record) {
+  std::string out = "{";
+  AppendJsonField(out, "figure", record.figure);
+  AppendJsonField(out, "workload", record.workload);
+  AppendJsonField(out, "platform", record.platform);
+  out += "\"virtual_ns\":" + std::to_string(record.virtual_ns) + ",";
+  out += "\"remote_memory_bytes\":" +
+         std::to_string(record.remote_memory_bytes) + ",";
+  AppendJsonField(out, "trace", record.trace, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+void EmitBenchRecord(const BenchRecord& record) {
+  const char* path = std::getenv("TELEPORT_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  const std::string line = BenchRecordToJson(record) + "\n";
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
+std::string MaybeWriteTrace(const sim::Tracer& tracer,
+                            const std::string& stem) {
+  const char* dir = std::getenv("TELEPORT_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  const std::string path = std::string(dir) + "/" + stem + ".trace.json";
+  if (!tracer.WriteChromeJson(path)) return "";
+  return path;
 }
 
 void PrintBanner(const std::string& title, const std::string& paper_ref) {

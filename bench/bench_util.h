@@ -8,6 +8,7 @@
 #include "db/query.h"
 #include "graph/engine.h"
 #include "mr/engine.h"
+#include "sim/tracer.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::bench {
@@ -74,12 +75,43 @@ struct WorkloadTimes {
   Nanos local_ns = 0;
   Nanos ddc_ns = 0;
   Nanos teleport_ns = 0;
+  /// Metrics::RemoteMemoryBytes() of the DDC / TELEPORT deployments after
+  /// the run (the local leg never touches the fabric).
+  uint64_t ddc_remote_bytes = 0;
+  uint64_t teleport_remote_bytes = 0;
   bool checksums_match = true;
 };
 
 /// Runs Q9/Q3/Q6, SSSP/RE/CC, WC/Grep on fresh deployments per platform —
 /// the Figure 3 and Figure 13 measurement loop.
 std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config);
+
+/// One machine-readable result row of a figure run. Records accumulate as
+/// JSON lines (one object per line) so CI can concatenate every figure's
+/// output into a single BENCH_PR4.json artifact.
+struct BenchRecord {
+  std::string figure;    ///< e.g. "fig13"
+  std::string workload;  ///< e.g. "Q6"
+  std::string platform;  ///< ddc::PlatformToString, or "TELEPORT"
+  Nanos virtual_ns = 0;
+  uint64_t remote_memory_bytes = 0;
+  std::string trace;  ///< path of the Chrome trace for this row, "" if none
+};
+
+/// Deterministic single-line JSON encoding of one record (golden-locked in
+/// tests/golden/format_golden_test.cc).
+std::string BenchRecordToJson(const BenchRecord& record);
+
+/// Appends `BenchRecordToJson(record)` + '\n' to the file named by the
+/// TELEPORT_BENCH_JSON environment variable. No-op when it is unset, so
+/// interactive bench runs stay side-effect free.
+void EmitBenchRecord(const BenchRecord& record);
+
+/// Writes `tracer`'s Chrome trace to $TELEPORT_TRACE_DIR/<stem>.trace.json
+/// and returns that path; returns "" (writing nothing) when the variable
+/// is unset.
+std::string MaybeWriteTrace(const sim::Tracer& tracer,
+                            const std::string& stem);
 
 /// Formatting helpers so every bench binary reports the same way.
 void PrintBanner(const std::string& title, const std::string& paper_ref);

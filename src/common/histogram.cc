@@ -57,9 +57,20 @@ double Histogram::Percentile(double p) const {
   for (int i = 0; i < kNumBuckets; ++i) {
     const uint64_t next = cum + buckets_[i];
     if (static_cast<double>(next) >= target && buckets_[i] > 0) {
-      // Interpolate within [2^i, 2^(i+1)).
-      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
-      const double hi = static_cast<double>(1ULL << (i + 1));
+      // Interpolate within the bucket's range — [0, 2) for bucket 0,
+      // [2^i, 2^(i+1)) otherwise (the top bucket has no power-of-two upper
+      // bound: shifting by 64 is UB, and it absorbs everything >= 2^63, so
+      // its ceiling is the observed max). Both ends are then tightened to
+      // the observed [min, max]: no sample lies outside that range, so no
+      // interpolated percentile should either — in particular, all-equal
+      // inputs report the exact sample value at every percentile.
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      double hi = i + 1 >= kNumBuckets
+                      ? static_cast<double>(max_)
+                      : static_cast<double>(1ULL << (i + 1));
+      lo = std::max(lo, static_cast<double>(min()));
+      hi = std::min(hi, static_cast<double>(max_));
+      if (hi < lo) hi = lo;
       const double frac =
           (target - static_cast<double>(cum)) / static_cast<double>(buckets_[i]);
       const double v = lo + frac * (hi - lo);

@@ -8,8 +8,12 @@
 namespace teleport {
 
 /// Log-bucketed histogram for latency-like quantities (nanoseconds, bytes).
-/// Bucket i covers [2^i, 2^(i+1)); percentiles interpolate linearly inside a
-/// bucket. Mirrors the RocksDB statistics histogram in spirit.
+/// Bucket 0 covers [0, 2) — both 0 and 1 land there — and bucket i >= 1
+/// covers [2^i, 2^(i+1)), with the top bucket also absorbing everything at
+/// or above 2^63. Percentiles interpolate linearly inside a bucket after
+/// tightening its bounds to the observed [min, max], so a histogram whose
+/// samples are all equal reports that exact value at every percentile.
+/// Mirrors the RocksDB statistics histogram in spirit.
 class Histogram {
  public:
   Histogram();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/tracer.h"
 
 namespace teleport::db {
 
@@ -20,6 +21,8 @@ class PlanExecutor {
 
   template <typename Fn>
   void Run(const std::string& name, OpKind kind, Fn&& body) {
+    TELEPORT_TRACE(ctx_.memory_system().tracer(), ctx_.clock(), "db", name,
+                   sim::kTrackCompute);
     OperatorProfile prof;
     prof.name = name;
     prof.kind = kind;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "net/faults.h"
+#include "sim/tracer.h"
 
 namespace teleport::ddc {
 
@@ -267,6 +268,19 @@ void MemorySystem::TouchCachePage(PageId page) {
   }
 }
 
+void MemorySystem::TraceProtocol(std::string_view name, PageId page,
+                                 Nanos at) {
+  if (tracer_ == nullptr) return;
+  tracer_->Instant("coherence", name, at, sim::kTrackCoherence,
+                   "\"page\":" + std::to_string(page));
+}
+
+void MemorySystem::TraceCache(std::string_view name, PageId page, Nanos at) {
+  if (tracer_ == nullptr) return;
+  tracer_->Instant("cache", name, at, sim::kTrackCompute,
+                   "\"page\":" + std::to_string(page));
+}
+
 void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
   PageId victim = cache_lru_.Back();
   if (config_.cache_policy == CachePolicy::kClock) {
@@ -285,6 +299,7 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
   v.compute_perm = Perm::kNone;
   ++ctx.metrics_.cache_evictions;
   if (!v.compute_dirty) {
+    TraceCache("Evict", victim, ctx.now());
     if (config_.platform == Platform::kBaseDdc) {
       Notify(CoherenceEvent::Kind::kComputeEvict, victim, false, ctx.now());
     }
@@ -296,6 +311,7 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     ctx.clock_.Advance(params_.ssd_write_page_ns);
     ++ctx.metrics_.storage_writes;
     v.on_storage = true;
+    TraceCache("Writeback", victim, ctx.now());
     return;
   }
   // DDC: write the page back to the memory pool over the fabric.
@@ -316,6 +332,7 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     pool_lru_.MoveToFront(victim);
   }
   v.mem_dirty = true;
+  TraceCache("Writeback", victim, ctx.now());
   Notify(CoherenceEvent::Kind::kComputeEvict, victim, false, ctx.now());
 }
 
@@ -329,6 +346,7 @@ void MemorySystem::CacheInsert(ExecutionContext& ctx, PageId page, Perm perm,
   s.ref_bit = false;
   cache_lru_.PushFront(page);
   ++cache_used_;
+  TraceCache("Fill", page, ctx.now());
 }
 
 void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
@@ -505,14 +523,17 @@ void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
         if (coherence_mode_ == CoherenceMode::kPso) {
           s.temp_perm = Perm::kRead;
           ++ctx.metrics_.coherence_downgrades;
+          TraceProtocol("Downgrade", page, ctx.now());
         } else {
           s.temp_perm = Perm::kNone;
           ++ctx.metrics_.coherence_invalidations;
+          TraceProtocol("Invalidate", page, ctx.now());
         }
       }
     } else if (s.temp_perm == Perm::kWrite) {
       s.temp_perm = Perm::kRead;
       ++ctx.metrics_.coherence_downgrades;
+      TraceProtocol("Downgrade", page, ctx.now());
     }
   }
 
@@ -568,22 +589,26 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
     if (coherence_mode_ == CoherenceMode::kPso) {
       s.compute_perm = Perm::kRead;
       ++ctx.metrics_.coherence_downgrades;
+      TraceProtocol("Downgrade", page, ctx.now());
     } else {
       cache_lru_.Remove(page);
       --cache_used_;
       s.compute_perm = Perm::kNone;
       ++ctx.metrics_.coherence_invalidations;
       ++ctx.metrics_.cache_evictions;
+      TraceProtocol("Invalidate", page, ctx.now());
     }
   } else if (s.compute_perm == Perm::kWrite) {
     s.compute_perm = Perm::kRead;
     ++ctx.metrics_.coherence_downgrades;
+    TraceProtocol("Downgrade", page, ctx.now());
   }
   if (page_back) {
     s.compute_dirty = false;
     s.mem_dirty = true;
     ++ctx.metrics_.coherence_page_returns;
     ctx.metrics_.bytes_to_memory_pool += params_.page_size;
+    TraceProtocol("PageReturn", page, ctx.now());
   }
 
   const Nanos done =
@@ -814,6 +839,11 @@ uint64_t MemorySystem::ApplyPoolRestarts(ExecutionContext& ctx) {
   pool_used_ = 0;
   lost_pool_writes_ += lost;
   ctx.metrics_.lost_pool_writes += lost;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("coherence", "PoolRestart", ctx.now(),
+                     sim::kTrackCoherence,
+                     "\"lost_writes\":" + std::to_string(lost));
+  }
   Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, ctx.now());
   return lost;
 }

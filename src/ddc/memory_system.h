@@ -283,6 +283,16 @@ class MemorySystem {
   void set_protocol_mutation(ProtocolMutation m) { mutation_ = m; }
   ProtocolMutation protocol_mutation() const { return mutation_; }
 
+  /// Attaches (or detaches, with nullptr) a structured-event tracer, shared
+  /// with the fabric so one trace carries cache/coherence transitions and
+  /// per-kind message sends. Non-owning; recording never advances virtual
+  /// time, so an attached tracer is invisible to the simulation.
+  void set_tracer(sim::Tracer* tracer) {
+    tracer_ = tracer;
+    fabric_.set_tracer(tracer);
+  }
+  sim::Tracer* tracer() const { return tracer_; }
+
   // --- Resilience (§3.2 failure handling) ---------------------------------
 
   /// Policy for retrying page-fault RPCs when a fault injector is attached
@@ -386,6 +396,11 @@ class MemorySystem {
         CoherenceEvent{kind, page, write, coherence_mode_, at});
   }
 
+  /// Tracer instants for §4.1 protocol transitions and compute-cache
+  /// fill/evict/writeback; no-ops without an attached tracer.
+  void TraceProtocol(std::string_view name, PageId page, Nanos at);
+  void TraceCache(std::string_view name, PageId page, Nanos at);
+
   /// §4.1 coherence: compute side faults during a pushdown session.
   void CoherenceComputeFault(ExecutionContext& ctx, PageId page, bool write);
   /// §4.1 coherence: temporary-context faults during a pushdown session.
@@ -416,6 +431,7 @@ class MemorySystem {
   CoherenceMode coherence_mode_ = CoherenceMode::kMesi;
   CoherenceObserver* observer_ = nullptr;
   ProtocolMutation mutation_ = ProtocolMutation::kNone;
+  sim::Tracer* tracer_ = nullptr;
 
   // Resilience state (inert without a fabric fault injector).
   tp::RetryPolicy fault_retry_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/tracer.h"
 
 namespace teleport::graph {
 
@@ -27,6 +28,10 @@ class PhaseRunner {
 
   template <typename Fn>
   void Run(Phase phase, Fn&& body) {
+    // One span per invocation — i.e. per superstep for the Gather / Apply /
+    // Scatter phases of the GAS loop.
+    TELEPORT_TRACE(ctx_.memory_system().tracer(), ctx_.clock(), "graph",
+                   PhaseToString(phase), sim::kTrackCompute);
     PhaseProfile& prof = profiles_[static_cast<size_t>(phase)];
     const Nanos t0 = ctx_.now();
     const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "sim/tracer.h"
 
 namespace teleport::mr {
 
@@ -86,6 +87,8 @@ class MrRunner {
 
   template <typename Fn>
   void Run(MrPhase phase, Fn&& body) {
+    TELEPORT_TRACE(ctx_.memory_system().tracer(), ctx_.clock(), "mr",
+                   MrPhaseToString(phase), sim::kTrackCompute);
     MrPhaseProfile& prof = profiles_[static_cast<size_t>(phase)];
     const Nanos t0 = ctx_.now();
     const uint64_t rm0 = ctx_.metrics().RemoteMemoryBytes();

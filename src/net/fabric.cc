@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "net/faults.h"
+#include "sim/tracer.h"
 
 namespace teleport::net {
 
@@ -35,11 +37,23 @@ std::string_view MessageKindToString(MessageKind kind) {
 
 Nanos Channel::Send(Nanos now, uint64_t bytes, const sim::CostParams& params) {
   Nanos delivery = now + params.NetTransfer(bytes);
-  // Reliable FIFO: a message never overtakes one sent earlier on the
-  // virtual timeline. (Simulated threads may issue sends out of host-call
-  // order; a message sent at an earlier virtual time is logically first
-  // and is not clamped by later ones.)
-  if (now >= last_send_ && delivery < last_delivery_) {
+  // Reliable FIFO on the virtual timeline: a message never overtakes one
+  // already in flight. Sends reach the channel in host-call order, not
+  // virtual-time order (cooperative tasks run with unsynchronized clocks),
+  // so three cases arise:
+  //  - now >= last_send_: this message is logically newest; it queues
+  //    behind everything committed (clamp to last_delivery_).
+  //  - now < last_send_ but the transfer would still be on the wire at
+  //    last_send_ (delivery >= last_send_): it overlaps a committed
+  //    transfer. The committed delivery was already returned to its
+  //    caller and cannot be retroactively delayed, so the serial wire
+  //    queues this one behind it instead. The seed exempted every
+  //    out-of-order-time send from the clamp, which let an overlapping
+  //    message be delivered before one already in flight
+  //    (fabric_test's regression demonstrates the reordering).
+  //  - delivery < last_send_: the transfer provably completed before the
+  //    newest committed send touched the wire; it keeps its own timeline.
+  if (delivery >= last_send_ && delivery < last_delivery_) {
     delivery = last_delivery_;
   }
   if (now > last_send_) last_send_ = now;
@@ -56,10 +70,21 @@ void Channel::Reset() {
   last_delivery_ = 0;
 }
 
+void Fabric::TraceSend(const Channel& ch, MessageKind kind, uint64_t bytes,
+                       Nanos at) {
+  if (tracer_ == nullptr) return;
+  std::string args = "\"bytes\":" + std::to_string(bytes) + ",\"to\":\"";
+  args += &ch == &compute_to_memory_ ? "memory" : "compute";
+  args += '"';
+  tracer_->Instant("fabric", MessageKindToString(kind), at, sim::kTrackFabric,
+                   std::move(args));
+}
+
 Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
                               MessageKind kind) {
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
+    TraceSend(ch, kind, bytes, now);
     return ch.Send(now, bytes, params_);
   }
   Nanos t = now;
@@ -84,6 +109,7 @@ Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
   if (d.dropped) d = FaultDecision{};
   t += d.extra_delay_ns;
   CountDelivered(kind, bytes, d.copies);
+  TraceSend(ch, kind, bytes, t);
   Nanos delivery = ch.Send(t, bytes, params_);
   for (int c = 1; c < d.copies; ++c) {
     ch.Send(t, bytes, params_);  // duplicate occupies the wire too
@@ -95,6 +121,7 @@ SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
                                MessageKind kind) {
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
+    TraceSend(ch, kind, bytes, now);
     return SendOutcome{true, ch.Send(now, bytes, params_)};
   }
   if (!injector_->LinkUpAt(now)) {
@@ -105,6 +132,7 @@ SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
   if (d.dropped) return SendOutcome{false, 0};
   CountDelivered(kind, bytes, d.copies);
   const Nanos t = now + d.extra_delay_ns;
+  TraceSend(ch, kind, bytes, t);
   Nanos delivery = ch.Send(t, bytes, params_);
   for (int c = 1; c < d.copies; ++c) {
     ch.Send(t, bytes, params_);

@@ -9,6 +9,10 @@
 #include "common/units.h"
 #include "sim/cost_model.h"
 
+namespace teleport::sim {
+class Tracer;
+}
+
 namespace teleport::net {
 
 /// Kinds of messages exchanged between the compute pool and the memory-pool
@@ -179,6 +183,11 @@ class Fabric {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Structured-event tracing of every delivered message, labeled by
+  /// MessageKind; non-owning, may be nullptr (no events, no cost).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  sim::Tracer* tracer() const { return tracer_; }
+
   uint64_t total_messages() const {
     return compute_to_memory_.messages_sent() +
            memory_to_compute_.messages_sent();
@@ -213,6 +222,11 @@ class Fabric {
   SendOutcome TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
                          MessageKind kind);
 
+  /// Emits a per-kind instant event for a message entering the wire at
+  /// `at`; no-op without an attached tracer.
+  void TraceSend(const Channel& ch, MessageKind kind, uint64_t bytes,
+                 Nanos at);
+
   void CountDelivered(MessageKind kind, uint64_t bytes, int copies) {
     messages_by_kind_[static_cast<size_t>(kind)] +=
         static_cast<uint64_t>(copies);
@@ -227,6 +241,7 @@ class Fabric {
   Nanos fail_from_ = -1;
   Nanos fail_until_ = kNeverHeals;
   FaultInjector* injector_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
   std::array<uint64_t, kNumMessageKinds> messages_by_kind_{};
   std::array<uint64_t, kNumMessageKinds> bytes_by_kind_{};
 };

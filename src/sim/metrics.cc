@@ -1,31 +1,44 @@
 #include "sim/metrics.h"
 
 #include <sstream>
+#include <string_view>
 
 namespace teleport::sim {
 
+namespace {
+
+/// Display name of a ToString section; group tokens must be identifiers so
+/// the X-macro can stringize them, hence this one mapping.
+std::string_view GroupLabel(std::string_view group) {
+  return group == "memory_pool" ? "memory pool" : group;
+}
+
+}  // namespace
+
 std::string Metrics::ToString() const {
+  struct Row {
+    std::string_view group;
+    std::string_view label;
+    uint64_t value;
+  };
+  const Row rows[] = {
+#define TELEPORT_SIM_METRICS_ROW(field, group, label) {#group, #label, field},
+      TELEPORT_SIM_METRICS_FIELDS(TELEPORT_SIM_METRICS_ROW)
+#undef TELEPORT_SIM_METRICS_ROW
+  };
   std::ostringstream os;
-  os << "cache: hits=" << cache_hits << " misses=" << cache_misses
-     << " evictions=" << cache_evictions << " writebacks=" << dirty_writebacks
-     << "\n";
-  os << "net: messages=" << net_messages << " bytes=" << net_bytes
-     << " from_mem=" << bytes_from_memory_pool
-     << " to_mem=" << bytes_to_memory_pool << "\n";
-  os << "memory pool: hits=" << memory_pool_hits
-     << " faults=" << memory_pool_faults << "\n";
-  os << "storage: reads=" << storage_reads << " writes=" << storage_writes
-     << "\n";
-  os << "coherence: messages=" << coherence_messages
-     << " invalidations=" << coherence_invalidations
-     << " downgrades=" << coherence_downgrades
-     << " page_returns=" << coherence_page_returns << "\n";
-  os << "teleport: pushdowns=" << pushdown_calls
-     << " syncmem_pages=" << syncmem_pages << "\n";
-  os << "resilience: fault_events=" << fault_events << " retries=" << retries
-     << " fallbacks=" << fallbacks << " lost_pool_writes=" << lost_pool_writes
-     << "\n";
-  os << "cpu: ops=" << cpu_ops;
+  std::string_view current;
+  for (const Row& r : rows) {
+    if (r.group == "none") continue;
+    if (r.group != current) {
+      if (!current.empty()) os << "\n";
+      os << GroupLabel(r.group) << ": ";
+      current = r.group;
+    } else {
+      os << " ";
+    }
+    os << r.label << "=" << r.value;
+  }
   return os.str();
 }
 

@@ -6,106 +6,72 @@
 
 namespace teleport::sim {
 
+/// X(field, group, label) — every counter of the simulator, in declaration
+/// and print order. The field declarations, Add, Diff, and ToString are all
+/// generated from this one list, so a counter cannot be added to one and
+/// silently missed by the others (the drift guard below catches a field
+/// declared outside the list).
+///
+/// `group` names the ToString section (`memory_pool` prints as
+/// "memory pool"; the sentinel `none` keeps a field out of the dump, whose
+/// exact format is byte-locked by format_golden_test). `label` is the
+/// field's short name within its section.
+#define TELEPORT_SIM_METRICS_FIELDS(X)                                        \
+  /* Compute-pool cache. */                                                   \
+  X(cache_hits, cache, hits)                                                  \
+  X(cache_misses, cache, misses)         /* page faults to the memory pool */ \
+  X(cache_evictions, cache, evictions)                                        \
+  X(dirty_writebacks, cache, writebacks) /* evicted dirty pages sent back */  \
+  X(prefetched_pages, none, prefetched)  /* pages pulled by the prefetcher */ \
+  /* Fabric traffic. */                                                       \
+  X(net_messages, net, messages)                                              \
+  X(net_bytes, net, bytes)                                                    \
+  X(bytes_from_memory_pool, net, from_mem) /* page data pulled to compute */  \
+  X(bytes_to_memory_pool, net, to_mem)     /* page data pushed back */        \
+  /* Memory pool. */                                                          \
+  X(memory_pool_hits, memory_pool, hits)                                      \
+  X(memory_pool_faults, memory_pool, faults) /* recursive storage faults */   \
+  /* Storage pool. */                                                         \
+  X(storage_reads, storage, reads)                                            \
+  X(storage_writes, storage, writes)                                          \
+  /* Coherence protocol (§4). */                                              \
+  X(coherence_messages, coherence, messages)                                  \
+  X(coherence_invalidations, coherence, invalidations)                        \
+  X(coherence_downgrades, coherence, downgrades)                              \
+  X(coherence_page_returns, coherence, page_returns) /* dirty flush-backs */  \
+  /* TELEPORT runtime. */                                                     \
+  X(pushdown_calls, teleport, pushdowns)                                      \
+  X(syncmem_pages, teleport, syncmem_pages)                                   \
+  /* Resilience (§3.2 failure handling; all zero in fault-free runs). */      \
+  X(fault_events, resilience, fault_events) /* injected drops observed */     \
+  X(retries, resilience, retries)           /* RPC attempts after a drop */   \
+  X(fallbacks, resilience, fallbacks)       /* pushdowns re-run locally */    \
+  X(lost_pool_writes, resilience, lost_pool_writes) /* lost to a restart */   \
+  /* CPU accounting. */                                                       \
+  X(cpu_ops, cpu, ops)
+
 /// Event counters accumulated by the DDC simulator. A context owns one
 /// Metrics; scopes (e.g. one relational operator) can snapshot-and-diff to
 /// attribute traffic to a region of execution (Fig 10's "remote memory
 /// accesses" column).
 struct Metrics {
-  // Compute-pool cache.
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;            ///< page faults to the memory pool
-  uint64_t cache_evictions = 0;
-  uint64_t dirty_writebacks = 0;        ///< evicted dirty pages sent back
-  uint64_t prefetched_pages = 0;        ///< pages pulled by the prefetcher
-
-  // Fabric traffic.
-  uint64_t net_messages = 0;
-  uint64_t net_bytes = 0;
-  uint64_t bytes_from_memory_pool = 0;  ///< page data pulled to compute
-  uint64_t bytes_to_memory_pool = 0;    ///< page data pushed back
-
-  // Memory pool.
-  uint64_t memory_pool_hits = 0;
-  uint64_t memory_pool_faults = 0;      ///< recursive faults to storage
-
-  // Storage pool.
-  uint64_t storage_reads = 0;
-  uint64_t storage_writes = 0;
-
-  // Coherence protocol (§4).
-  uint64_t coherence_messages = 0;
-  uint64_t coherence_invalidations = 0;
-  uint64_t coherence_downgrades = 0;
-  uint64_t coherence_page_returns = 0;  ///< dirty pages flushed by requests
-
-  // TELEPORT runtime.
-  uint64_t pushdown_calls = 0;
-  uint64_t syncmem_pages = 0;
-
-  // Resilience (§3.2 failure handling; all zero in fault-free runs).
-  uint64_t fault_events = 0;      ///< injected drops observed by this context
-  uint64_t retries = 0;           ///< RPC attempts repeated after a drop
-  uint64_t fallbacks = 0;         ///< pushdowns re-run locally (§3.2 escape)
-  uint64_t lost_pool_writes = 0;  ///< unflushed pool pages lost to a restart
-
-  // CPU accounting.
-  uint64_t cpu_ops = 0;
+#define TELEPORT_SIM_METRICS_DECL(field, group, label) uint64_t field = 0;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_SIM_METRICS_DECL)
+#undef TELEPORT_SIM_METRICS_DECL
 
   /// Element-wise accumulation.
   void Add(const Metrics& o) {
-    cache_hits += o.cache_hits;
-    cache_misses += o.cache_misses;
-    cache_evictions += o.cache_evictions;
-    dirty_writebacks += o.dirty_writebacks;
-    prefetched_pages += o.prefetched_pages;
-    net_messages += o.net_messages;
-    net_bytes += o.net_bytes;
-    bytes_from_memory_pool += o.bytes_from_memory_pool;
-    bytes_to_memory_pool += o.bytes_to_memory_pool;
-    memory_pool_hits += o.memory_pool_hits;
-    memory_pool_faults += o.memory_pool_faults;
-    storage_reads += o.storage_reads;
-    storage_writes += o.storage_writes;
-    coherence_messages += o.coherence_messages;
-    coherence_invalidations += o.coherence_invalidations;
-    coherence_downgrades += o.coherence_downgrades;
-    coherence_page_returns += o.coherence_page_returns;
-    pushdown_calls += o.pushdown_calls;
-    syncmem_pages += o.syncmem_pages;
-    fault_events += o.fault_events;
-    retries += o.retries;
-    fallbacks += o.fallbacks;
-    lost_pool_writes += o.lost_pool_writes;
-    cpu_ops += o.cpu_ops;
+#define TELEPORT_SIM_METRICS_ADD(field, group, label) field += o.field;
+    TELEPORT_SIM_METRICS_FIELDS(TELEPORT_SIM_METRICS_ADD)
+#undef TELEPORT_SIM_METRICS_ADD
   }
 
   /// Element-wise difference (this - o); used for scoped attribution.
   Metrics Diff(const Metrics& o) const {
     Metrics d = *this;
-    d.cache_hits -= o.cache_hits;
-    d.cache_misses -= o.cache_misses;
-    d.cache_evictions -= o.cache_evictions;
-    d.dirty_writebacks -= o.dirty_writebacks;
-    d.prefetched_pages -= o.prefetched_pages;
-    d.net_messages -= o.net_messages;
-    d.net_bytes -= o.net_bytes;
-    d.bytes_from_memory_pool -= o.bytes_from_memory_pool;
-    d.bytes_to_memory_pool -= o.bytes_to_memory_pool;
-    d.memory_pool_hits -= o.memory_pool_hits;
-    d.memory_pool_faults -= o.memory_pool_faults;
-    d.storage_reads -= o.storage_reads;
-    d.storage_writes -= o.storage_writes;
-    d.coherence_messages -= o.coherence_messages;
-    d.coherence_invalidations -= o.coherence_invalidations;
-    d.coherence_downgrades -= o.coherence_downgrades;
-    d.coherence_page_returns -= o.coherence_page_returns;
-    d.pushdown_calls -= o.pushdown_calls;
-    d.syncmem_pages -= o.syncmem_pages;
-    d.fault_events -= o.fault_events;
-    d.retries -= o.retries;
-    d.fallbacks -= o.fallbacks;
-    d.lost_pool_writes -= o.lost_pool_writes;
-    d.cpu_ops -= o.cpu_ops;
+#define TELEPORT_SIM_METRICS_DIFF(field, group, label) d.field -= o.field;
+    TELEPORT_SIM_METRICS_FIELDS(TELEPORT_SIM_METRICS_DIFF)
+#undef TELEPORT_SIM_METRICS_DIFF
     return d;
   }
 
@@ -118,6 +84,20 @@ struct Metrics {
   /// Multi-line human-readable dump.
   std::string ToString() const;
 };
+
+#define TELEPORT_SIM_METRICS_COUNT(field, group, label) +1
+/// Number of counters in the field list.
+inline constexpr int kNumMetricsFields =
+    0 TELEPORT_SIM_METRICS_FIELDS(TELEPORT_SIM_METRICS_COUNT);
+#undef TELEPORT_SIM_METRICS_COUNT
+
+// Drift guard: every member of Metrics must come from the X-macro list. A
+// uint64_t added directly to the struct changes its size without changing
+// kNumMetricsFields and fails here.
+static_assert(sizeof(Metrics) ==
+                  static_cast<size_t>(kNumMetricsFields) * sizeof(uint64_t),
+              "Metrics has a field outside TELEPORT_SIM_METRICS_FIELDS; add "
+              "it to the X-macro list so Add/Diff/ToString stay in sync");
 
 }  // namespace teleport::sim
 

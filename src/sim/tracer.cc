@@ -1,0 +1,193 @@
+#include "sim/tracer.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace teleport::sim {
+
+namespace {
+
+/// Virtual nanos -> Chrome microseconds ("ts"/"dur" fields) with exact
+/// integer math: "1234567" ns becomes "1234.567". No floating point, so
+/// same-seed traces are byte-identical.
+void AppendMicros(std::string& out, Nanos ns) {
+  TELEPORT_DCHECK(ns >= 0);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view TrackName(int tid) {
+  switch (tid) {
+    case kTrackCompute:
+      return "compute";
+    case kTrackMemoryPool:
+      return "memory-pool";
+    case kTrackFabric:
+      return "fabric";
+    case kTrackCoherence:
+      return "coherence";
+    default:
+      return "other";
+  }
+}
+
+uint32_t Tracer::Intern(std::string_view s) {
+  const auto it = intern_.find(s);
+  if (it != intern_.end()) return it->second;
+  const auto id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  intern_.emplace(strings_.back(), id);
+  return id;
+}
+
+void Tracer::Record(TraceEvent::Phase phase, std::string_view cat,
+                    std::string_view name, Nanos ts, Nanos dur, int tid,
+                    std::string args) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.phase = phase;
+  ev.cat = Intern(cat);
+  ev.name = Intern(name);
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::Span(std::string_view cat, std::string_view name, Nanos begin,
+                  Nanos dur, int tid, std::string args) {
+  TELEPORT_DCHECK(dur >= 0);
+  std::string key(cat);
+  key += '/';
+  key += name;
+  rollup_[std::move(key)].Add(dur);
+  Record(TraceEvent::Phase::kComplete, cat, name, begin, dur, tid,
+         std::move(args));
+}
+
+void Tracer::Instant(std::string_view cat, std::string_view name, Nanos at,
+                     int tid, std::string args) {
+  Record(TraceEvent::Phase::kInstant, cat, name, at, 0, tid, std::move(args));
+}
+
+const Histogram* Tracer::SpanLatency(std::string_view cat,
+                                     std::string_view name) const {
+  std::string key(cat);
+  key += '/';
+  key += name;
+  const auto it = rollup_.find(key);
+  return it == rollup_.end() ? nullptr : &it->second;
+}
+
+std::string Tracer::RollupToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, hist] : rollup_) {
+    if (!first) os << "\n";
+    first = false;
+    os << key << ": " << hist.ToString();
+  }
+  return os.str();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 512);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  // Thread metadata first, so the swimlanes carry resource names.
+  for (int tid = 0; tid < kNumTracks; ++tid) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendJsonString(out, TrackName(tid));
+    out += "}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += static_cast<char>(ev.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    AppendMicros(out, ev.ts);
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      out += ",\"dur\":";
+      AppendMicros(out, ev.dur);
+    } else {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"cat\":";
+    AppendJsonString(out, strings_[ev.cat]);
+    out += ",\"name\":";
+    AppendJsonString(out, strings_[ev.name]);
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      out += ev.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void Tracer::Reset() {
+  strings_.clear();
+  intern_.clear();
+  events_.clear();
+  dropped_ = 0;
+  rollup_.clear();
+}
+
+}  // namespace teleport::sim

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rle.h"
+#include "sim/tracer.h"
 
 namespace teleport::tp {
 
@@ -174,6 +175,9 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // fault injector the send is fault-visible: a dropped request costs one
   // RTO plus backoff before the retransmit (§3.2).
   const Nanos send_time = caller.now();
+  if (sim::Tracer* tracer = ms_->tracer()) {
+    tracer->Instant("pushdown", "Dispatch", send_time, sim::kTrackCompute);
+  }
   Nanos arrive = 0;
   Nanos request_retry_wait = 0;
   if (ms_->fabric().fault_injector() == nullptr) {
@@ -201,6 +205,9 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       ++retry_events_;
       ++caller.metrics().retries;
       ++caller.metrics().fault_events;
+      if (sim::Tracer* tracer = ms_->tracer()) {
+        tracer->Instant("pushdown", "RetryRequest", t, sim::kTrackCompute);
+      }
     }
     if (!delivered) {
       bd.retry_ns += request_retry_wait;
@@ -241,6 +248,10 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       caller.metrics().net_messages += 2;
       caller.metrics().net_bytes += 128;
       ++cancelled_calls_;
+      if (sim::Tracer* tracer = ms_->tracer()) {
+        tracer->Instant("pushdown", "TryCancel", cancel_sent,
+                        sim::kTrackCompute);
+      }
       // The caller abandoned the request mid-flight: it never waited for
       // the (possibly fault-delayed) delivery, so the transfer time is not
       // part of its timeline. Leaving it in the breakdown would misattribute
@@ -321,6 +332,9 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       ++retry_events_;
       ++caller.metrics().retries;
       ++caller.metrics().fault_events;
+      if (sim::Tracer* tracer = ms_->tracer()) {
+        tracer->Instant("pushdown", "RetryResponse", t, sim::kTrackMemoryPool);
+      }
     }
     if (!delivered) {
       resp_arrive = ms_->fabric().SendToCompute(
@@ -344,6 +358,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // lazily (no work here, §4.1).
   bd.post_sync_ns = caller.now() - post0;
 
+  TraceCall(bd, t0, /*fallback=*/false);
   last_breakdown_ = bd;
   total_breakdown_.Add(bd);
   call_latency_.Add(bd.Total());
@@ -371,6 +386,9 @@ Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
   // come in through ordinary demand paging (which itself rides the retry
   // layer while the pool recovers).
   const Nanos exec0 = caller.now();
+  if (sim::Tracer* tracer = ms_->tracer()) {
+    tracer->Instant("pushdown", "LocalFallback", exec0, sim::kTrackCompute);
+  }
   Status st = fn(caller, arg);
   bd.function_exec_ns = caller.now() - exec0;
   // Everything else the caller waited on — exhausted attempts, backoff,
@@ -381,12 +399,50 @@ Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
   ++fallback_calls_;
   caller.metrics().fallbacks += 1;
   caller.metrics().pushdown_calls += 1;
+  TraceCall(bd, t0, /*fallback=*/true);
   last_breakdown_ = bd;
   total_breakdown_.Add(bd);
   call_latency_.Add(bd.Total());
   online_sync_latency_.Add(bd.online_sync_ns);
   ++completed_calls_;
   return st;
+}
+
+void PushdownRuntime::TraceCall(const PushdownBreakdown& bd, Nanos t0,
+                                bool fallback) {
+  sim::Tracer* tracer = ms_->tracer();
+  if (tracer == nullptr) return;
+  // completed_calls_ has not been bumped yet, so it is this call's 0-based
+  // id; the same tag on every child span lets tests and trace queries
+  // reassemble one request's components.
+  const std::string id = "\"call\":" + std::to_string(completed_calls_);
+  tracer->Span("pushdown", "call", t0, bd.Total(), sim::kTrackCompute,
+               fallback ? id + ",\"fallback\":true" : id);
+  // Components are laid out consecutively from t0 in breakdown order. The
+  // layout is an attribution view, not a strict interleaving (online_sync
+  // really overlaps function_exec), but it tiles the enclosing span
+  // exactly: child durations sum to bd.Total() by construction.
+  const struct {
+    std::string_view name;
+    Nanos dur;
+  } parts[] = {
+      {"pre_sync", bd.pre_sync_ns},
+      {"request_transfer", bd.request_transfer_ns},
+      {"queue_wait", bd.queue_wait_ns},
+      {"context_setup", bd.context_setup_ns},
+      {"function_exec", bd.function_exec_ns},
+      {"online_sync", bd.online_sync_ns},
+      {"response_transfer", bd.response_transfer_ns},
+      {"post_sync", bd.post_sync_ns},
+      {"retry", bd.retry_ns},
+  };
+  Nanos at = t0;
+  for (const auto& part : parts) {
+    if (part.dur == 0) continue;
+    tracer->Span("pushdown", part.name, at, part.dur, sim::kTrackCompute,
+                 std::string(id));
+    at += part.dur;
+  }
 }
 
 Nanos InstancePoolMakespan(int n_requests, Nanos busy_ns, Nanos stall_ns,

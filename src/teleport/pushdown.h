@@ -219,6 +219,13 @@ class PushdownRuntime {
                           void* arg, PushdownBreakdown& bd, Nanos t0,
                           bool cancel_sent);
 
+  /// Emits the per-call trace spans once a breakdown is final: one
+  /// enclosing "call" span plus a child span per non-zero component, laid
+  /// out consecutively from t0 and tagged with the call id, so the child
+  /// durations of every request sum exactly to bd.Total() — the caller's
+  /// observed elapsed time. No-op without a tracer on the MemorySystem.
+  void TraceCall(const PushdownBreakdown& bd, Nanos t0, bool fallback);
+
   ddc::MemorySystem* ms_;
   std::vector<Nanos> instance_free_;  ///< next-free time per instance
   Nanos kill_timeout_ns_ = 600 * kSecond;

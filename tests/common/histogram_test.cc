@@ -1,5 +1,7 @@
 #include "common/histogram.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -51,6 +53,47 @@ TEST(HistogramTest, PercentileWithinBucketBounds) {
   for (int i = 0; i < 1000; ++i) h.Add(512);  // all in bucket [512,1024)
   EXPECT_GE(h.Percentile(50), 512.0);
   EXPECT_LE(h.Percentile(50), 1024.0);
+}
+
+// The doc/impl contract fixed in PR4: interpolation bounds are tightened
+// to the observed [min, max], so all-equal samples report the exact value
+// at every percentile (the seed reported e.g. p50=768 for 1000x 512).
+TEST(HistogramTest, AllEqualSamplesReportExactPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(777);
+  for (const double p : {0.1, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 777.0) << "p" << p;
+  }
+  Histogram one;
+  one.Add(12345);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 12345.0);
+}
+
+TEST(HistogramTest, PercentilesNeverLeaveObservedRange) {
+  Histogram h;
+  h.Add(100);
+  h.Add(900);  // same bucket as neither; range [100, 900]
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_GE(h.Percentile(p), 100.0);
+    EXPECT_LE(h.Percentile(p), 900.0);
+  }
+}
+
+// The top bucket has no power-of-two ceiling (1ULL << 64 is UB); its upper
+// bound is the observed max. Samples at and around 2^62..2^63 must neither
+// trap under UBSAN nor report values past the max.
+TEST(HistogramTest, HugeValuesStayFiniteAndBounded) {
+  Histogram h;
+  const int64_t big = int64_t{1} << 62;
+  h.Add(big);
+  h.Add(big + 12345);
+  h.Add(std::numeric_limits<int64_t>::max());
+  for (const double p : {1.0, 50.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, static_cast<double>(h.min()));
+    EXPECT_LE(v, static_cast<double>(h.max()));
+  }
+  EXPECT_EQ(h.max(), std::numeric_limits<int64_t>::max());
 }
 
 TEST(HistogramTest, NegativeClampsToZero) {

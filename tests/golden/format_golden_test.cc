@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/bench_util.h"
 #include "ddc/memory_system.h"
 #include "net/fabric.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
+#include "sim/tracer.h"
 #include "teleport/pushdown.h"
 
 namespace teleport {
@@ -108,6 +110,82 @@ TEST(FormatGoldenTest, PushdownBreakdownToString) {
   EXPECT_EQ(bd.ToString(),
             "pre_sync=1ms request=0ms queue=0ms setup=0ms exec=2.5ms "
             "online_sync=0ms response=0ms post_sync=0ms retry=0.5ms");
+}
+
+// --- Chrome trace JSON shape (loaded by chrome://tracing / Perfetto) --------
+
+TEST(FormatGoldenTest, TracerChromeJsonEmpty) {
+  sim::Tracer t;
+  EXPECT_EQ(
+      t.ToChromeJson(),
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"compute\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"memory-pool\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"fabric\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"coherence\"}}\n"
+      "]}\n");
+}
+
+TEST(FormatGoldenTest, TracerChromeJsonSpanAndInstant) {
+  sim::Tracer t;
+  t.Span("pushdown", "call", 1234567, 8901, sim::kTrackCompute, "\"call\":0");
+  t.Instant("coherence", "Invalidate", 2000, sim::kTrackCoherence,
+            "\"page\":7");
+  const std::string json = t.ToChromeJson();
+  // Event lines are byte-locked: integer-math microsecond rendering, span
+  // dur, instant scope marker, args passthrough.
+  EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1234.567,"
+                      "\"dur\":8.901,\"cat\":\"pushdown\",\"name\":\"call\","
+                      "\"args\":{\"call\":0}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"ph\":\"i\",\"pid\":1,\"tid\":3,\"ts\":2.000,"
+                      "\"s\":\"t\",\"cat\":\"coherence\","
+                      "\"name\":\"Invalidate\",\"args\":{\"page\":7}}"),
+            std::string::npos)
+      << json;
+}
+
+// --- Per-phase rollup (Fig 19/20-style attribution tables) ------------------
+
+TEST(FormatGoldenTest, TracerRollupFormat) {
+  sim::Tracer t;
+  t.Span("pushdown", "call", 0, 100, sim::kTrackCompute);
+  t.Span("pushdown", "call", 100, 100, sim::kTrackCompute);
+  t.Span("db", "Scan", 0, 8, sim::kTrackCompute);
+  // Keys sorted, one line each, histogram summary after ": ". All-equal
+  // span durations report exact percentiles (the PR4 histogram fix).
+  EXPECT_EQ(t.RollupToString(),
+            "db/Scan: count=1 mean=8 p50=8 p99=8 max=8\n"
+            "pushdown/call: count=2 mean=100 p50=100 p99=100 max=100");
+  EXPECT_EQ(sim::Tracer().RollupToString(), "");
+}
+
+// --- Bench JSONL records (concatenated into BENCH_PR4.json by CI) -----------
+
+TEST(FormatGoldenTest, BenchRecordJsonLine) {
+  bench::BenchRecord r;
+  r.figure = "fig20";
+  r.workload = "on_demand";
+  r.platform = "TELEPORT";
+  r.virtual_ns = 8333226;
+  r.remote_memory_bytes = 100663296;
+  r.trace = "traces/fig20_on_demand.trace.json";
+  EXPECT_EQ(bench::BenchRecordToJson(r),
+            "{\"figure\":\"fig20\",\"workload\":\"on_demand\","
+            "\"platform\":\"TELEPORT\",\"virtual_ns\":8333226,"
+            "\"remote_memory_bytes\":100663296,"
+            "\"trace\":\"traces/fig20_on_demand.trace.json\"}");
+  // Quotes and backslashes in fields are escaped, not framing-breaking.
+  bench::BenchRecord esc;
+  esc.figure = "f\"1\\2";
+  EXPECT_EQ(bench::BenchRecordToJson(esc),
+            "{\"figure\":\"f\\\"1\\\\2\",\"workload\":\"\",\"platform\":\"\","
+            "\"virtual_ns\":0,\"remote_memory_bytes\":0,\"trace\":\"\"}");
 }
 
 // --- Coherence-event names (consumed by trace dumps / replay tooling) -------

@@ -1,8 +1,13 @@
 #include "net/fabric.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sim/clock.h"
+#include "sim/interleaver.h"
 
 namespace teleport::net {
 namespace {
@@ -44,6 +49,120 @@ TEST(ChannelTest, FifoPropertyRandomized) {
     EXPECT_GE(d, prev_delivery);
     EXPECT_GE(d, now + p.net_latency_ns);
     prev_delivery = d;
+  }
+}
+
+// Regression for the out-of-order-time clamp bug: a cooperatively
+// scheduled task whose clock lags the channel's newest committed send used
+// to escape the FIFO clamp entirely, so a transfer overlapping one already
+// in flight could be delivered first.
+TEST(ChannelTest, LaggingSendOverlappingInFlightTransferQueuesBehindIt) {
+  Channel ch;
+  const auto p = TestParams();
+  // Task A (clock ahead) commits a transfer occupying [100, 101100].
+  const Nanos big = ch.Send(100, 100000, p);
+  EXPECT_EQ(big, 101100);
+  // Task B runs next in host order with its clock slightly behind. Its
+  // 50 KB transfer would still be on the wire at t=100, overlapping the
+  // committed one; the serial wire queues it behind (the seed delivered it
+  // at 51095, overtaking the message already in flight).
+  const Nanos overlap = ch.Send(95, 50000, p);
+  EXPECT_GE(overlap, big);
+}
+
+TEST(ChannelTest, LaggingSendOnProvablyIdleWireKeepsItsOwnTimeline) {
+  Channel ch;
+  const auto p = TestParams();
+  // One transfer committed late on the timeline: occupies [100000, 101008].
+  EXPECT_EQ(ch.Send(100000, 8, p), 101008);
+  // A lagging task's message that completes before that transfer even
+  // began used the wire while it was provably idle; clamping it to the
+  // committed delivery would serialize logically-concurrent flows (and,
+  // e.g., delay a try_cancel behind the 50 ms call it is cancelling).
+  EXPECT_EQ(ch.Send(10, 8, p), 1018);
+}
+
+namespace {
+
+/// Interleaver task that fires sends on a shared channel at its own
+/// virtual pace, recording (send, raw transfer, delivery) triples.
+class SenderTask : public sim::Task {
+ public:
+  struct Sent {
+    Nanos at;
+    Nanos raw_delivery;  ///< at + NetTransfer, before FIFO clamping
+    Nanos delivery;
+  };
+
+  SenderTask(Channel* ch, const sim::CostParams* params, Nanos quantum,
+             uint64_t bytes, int sends, std::vector<Sent>* log)
+      : ch_(ch),
+        params_(params),
+        quantum_(quantum),
+        bytes_(bytes),
+        sends_(sends),
+        log_(log) {}
+
+  Nanos clock() const override { return clock_.now(); }
+  bool done() const override { return sends_ == 0; }
+  void Step() override {
+    clock_.Advance(quantum_);
+    const Nanos raw = clock_.now() + params_->NetTransfer(bytes_);
+    const Nanos d = ch_->Send(clock_.now(), bytes_, *params_);
+    log_->push_back({clock_.now(), raw, d});
+    --sends_;
+  }
+
+ private:
+  Channel* ch_;
+  const sim::CostParams* params_;
+  Nanos quantum_;
+  uint64_t bytes_;
+  int sends_;
+  std::vector<Sent>* log_;
+  sim::VirtualClock clock_;
+};
+
+}  // namespace
+
+// Interleaver-driven regression (the ISSUE's reproducer shape): two tasks
+// with skewed clocks share one channel under RandomSchedule, so sends
+// reach the channel out of virtual-time order. The per-channel FIFO
+// contract: a send whose transfer would still be on the wire at the
+// newest committed send's start never beats a committed delivery.
+TEST(ChannelTest, RandomScheduleInterleavingPreservesFifoContract) {
+  const auto p = TestParams();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Channel ch;
+    std::vector<SenderTask::Sent> log;
+    // A fast-clocked task with big messages and a slow-clocked task with
+    // small ones maximize send/virtual-time inversions.
+    SenderTask big(&ch, &p, /*quantum=*/50'000, /*bytes=*/100'000,
+                   /*sends=*/20, &log);
+    SenderTask small(&ch, &p, /*quantum=*/7'000, /*bytes=*/500, /*sends=*/20,
+                     &log);
+    sim::Interleaver il;
+    il.Add(&big);
+    il.Add(&small);
+    sim::RandomSchedule schedule(seed);
+    il.set_schedule(&schedule);
+    il.Run();
+
+    Nanos newest_send = 0;
+    Nanos newest_delivery = 0;
+    for (const SenderTask::Sent& s : log) {
+      if (s.raw_delivery >= newest_send) {
+        // Overlaps (or follows) committed wire usage: must queue.
+        EXPECT_GE(s.delivery, newest_delivery)
+            << "seed " << seed << ": send at " << s.at
+            << " overtook an in-flight transfer";
+      } else {
+        // Provably idle window: keeps its own timeline, unclamped.
+        EXPECT_EQ(s.delivery, s.raw_delivery) << "seed " << seed;
+      }
+      newest_send = std::max(newest_send, s.at);
+      newest_delivery = std::max(newest_delivery, s.delivery);
+    }
   }
 }
 

@@ -51,5 +51,52 @@ TEST(MetricsTest, ToStringContainsSections) {
   EXPECT_NE(s.find("messages=12"), std::string::npos);
 }
 
+// The X-macro is now the single source of truth for the field list; these
+// exercise Add/Diff/ToString over EVERY field it generates, so a field
+// added to the macro but mishandled anywhere shows up here (and a field
+// added outside the macro trips the sizeof static_assert in the header).
+TEST(MetricsTest, XMacroCoversEveryFieldExactlyOnce) {
+  int fields = 0;
+#define TELEPORT_METRICS_TEST_COUNT(field, group, label) ++fields;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_METRICS_TEST_COUNT)
+#undef TELEPORT_METRICS_TEST_COUNT
+  EXPECT_EQ(fields, kNumMetricsFields);
+  EXPECT_EQ(sizeof(Metrics),
+            static_cast<size_t>(kNumMetricsFields) * sizeof(uint64_t));
+}
+
+TEST(MetricsTest, AddAndDiffRoundTripEveryGeneratedField) {
+  // Give every field a distinct nonzero value via the macro itself.
+  Metrics base, delta;
+  uint64_t v = 1;
+#define TELEPORT_METRICS_TEST_SET(field, group, label) \
+  base.field = v;                                      \
+  delta.field = 2 * v + 1;                             \
+  v += 3;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_METRICS_TEST_SET)
+#undef TELEPORT_METRICS_TEST_SET
+
+  Metrics sum = base;
+  sum.Add(delta);
+  const Metrics back = sum.Diff(delta);
+#define TELEPORT_METRICS_TEST_CHECK(field, group, label)          \
+  EXPECT_EQ(sum.field, base.field + delta.field) << #field;       \
+  EXPECT_EQ(back.field, base.field) << #field;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_METRICS_TEST_CHECK)
+#undef TELEPORT_METRICS_TEST_CHECK
+}
+
+TEST(MetricsTest, EveryDumpedLabelAppearsInToString) {
+  Metrics m;
+  const std::string s = m.ToString();
+#define TELEPORT_METRICS_TEST_LABEL(field, group, label)                   \
+  if (std::string(#group) != "none") {                                     \
+    EXPECT_NE(s.find(std::string(#label) + "="), std::string::npos)        \
+        << #label;                                                         \
+  }
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_METRICS_TEST_LABEL)
+#undef TELEPORT_METRICS_TEST_LABEL
+}
+
 }  // namespace
 }  // namespace teleport::sim

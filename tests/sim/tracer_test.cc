@@ -1,0 +1,173 @@
+#include "sim/tracer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace teleport::sim {
+namespace {
+
+TEST(TracerTest, SpanAndInstantAreRecorded) {
+  Tracer t;
+  t.Span("db", "Scan", 100, 50, kTrackCompute, "\"rows\":3");
+  t.Instant("fabric", "PageFaultRequest", 120, kTrackFabric);
+  ASSERT_EQ(t.events().size(), 2u);
+
+  const TraceEvent& span = t.events()[0];
+  EXPECT_EQ(span.phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(t.CatOf(span), "db");
+  EXPECT_EQ(t.NameOf(span), "Scan");
+  EXPECT_EQ(span.ts, 100);
+  EXPECT_EQ(span.dur, 50);
+  EXPECT_EQ(span.tid, kTrackCompute);
+  EXPECT_EQ(span.args, "\"rows\":3");
+
+  const TraceEvent& inst = t.events()[1];
+  EXPECT_EQ(inst.phase, TraceEvent::Phase::kInstant);
+  EXPECT_EQ(t.CatOf(inst), "fabric");
+  EXPECT_EQ(inst.dur, 0);
+}
+
+TEST(TracerTest, NamesAreInternedOnce) {
+  Tracer t;
+  for (int i = 0; i < 100; ++i) t.Span("db", "Scan", i, 1, kTrackCompute);
+  // Every event shares the same interned indices.
+  const uint32_t cat = t.events()[0].cat;
+  const uint32_t name = t.events()[0].name;
+  for (const TraceEvent& ev : t.events()) {
+    EXPECT_EQ(ev.cat, cat);
+    EXPECT_EQ(ev.name, name);
+  }
+}
+
+TEST(TracerTest, RollupAccumulatesSpanLatencies) {
+  Tracer t;
+  t.Span("db", "Scan", 0, 10, kTrackCompute);
+  t.Span("db", "Scan", 10, 30, kTrackCompute);
+  t.Span("db", "Join", 40, 5, kTrackCompute);
+  const Histogram* scan = t.SpanLatency("db", "Scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->count(), 2u);
+  EXPECT_EQ(scan->min(), 10);
+  EXPECT_EQ(scan->max(), 30);
+  ASSERT_NE(t.SpanLatency("db", "Join"), nullptr);
+  EXPECT_EQ(t.SpanLatency("db", "Missing"), nullptr);
+  // Instants never feed the rollup.
+  t.Instant("db", "Mark", 50, kTrackCompute);
+  EXPECT_EQ(t.SpanLatency("db", "Mark"), nullptr);
+}
+
+TEST(TracerTest, EventCapDropsEventsButRollupStaysComplete) {
+  Tracer t;
+  t.set_max_events(3);
+  for (int i = 0; i < 10; ++i) t.Span("db", "Scan", i, 7, kTrackCompute);
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped_events(), 7u);
+  // The per-phase statistics still see every span.
+  ASSERT_NE(t.SpanLatency("db", "Scan"), nullptr);
+  EXPECT_EQ(t.SpanLatency("db", "Scan")->count(), 10u);
+}
+
+TEST(TracerTest, ResetClearsEverything) {
+  Tracer t;
+  t.set_max_events(1);
+  t.Span("db", "Scan", 0, 10, kTrackCompute);
+  t.Span("db", "Scan", 10, 10, kTrackCompute);  // dropped
+  t.Reset();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped_events(), 0u);
+  EXPECT_EQ(t.SpanLatency("db", "Scan"), nullptr);
+  // Reset keeps the cap; recording works again.
+  t.Span("db", "Scan", 0, 10, kTrackCompute);
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(TracerTest, TraceSpanGuardMeasuresTheClock) {
+  Tracer t;
+  VirtualClock clock;
+  clock.Advance(1000);
+  {
+    TELEPORT_TRACE(&t, clock, "graph", "Gather", kTrackCompute);
+    clock.Advance(250);
+  }
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].ts, 1000);
+  EXPECT_EQ(t.events()[0].dur, 250);
+  EXPECT_EQ(t.NameOf(t.events()[0]), "Gather");
+}
+
+TEST(TracerTest, NullTracerGuardIsSafeAndFree) {
+  VirtualClock clock;
+  {
+    TELEPORT_TRACE(static_cast<Tracer*>(nullptr), clock, "db", "Scan",
+                   kTrackCompute);
+    clock.Advance(10);
+  }
+  // Nothing to assert beyond "did not crash": the guard must never touch
+  // the clock.
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(TracerTest, ChromeJsonIsDeterministic) {
+  auto fill = [](Tracer& t) {
+    t.Span("pushdown", "call", 0, 12345, kTrackCompute, "\"call\":0");
+    t.Instant("coherence", "Invalidate", 42, kTrackCoherence, "\"page\":7");
+    t.Span("db", "Scan\"weird\\name", 50, 1, kTrackCompute);
+  };
+  Tracer a;
+  Tracer b;
+  fill(a);
+  fill(b);
+  EXPECT_EQ(a.ToChromeJson(), b.ToChromeJson());
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+  Tracer t;
+  t.Span("db", "Scan", 1234567, 890, kTrackCompute);
+  const std::string json = t.ToChromeJson();
+  // Microsecond timestamps via exact integer math: 1234567ns -> 1234.567us.
+  EXPECT_NE(json.find("\"ts\":1234.567"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":0.890"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  // All four track-name metadata records are present.
+  for (int tid = 0; tid < kNumTracks; ++tid) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(TrackName(tid)) + "\""),
+              std::string::npos)
+        << TrackName(tid);
+  }
+}
+
+TEST(TracerTest, WriteChromeJsonRoundTrips) {
+  Tracer t;
+  t.Span("mr", "Map", 0, 99, kTrackCompute);
+  const std::string path = "tracer_test_roundtrip.trace.json";
+  ASSERT_TRUE(t.WriteChromeJson(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), t.ToChromeJson());
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, WriteChromeJsonFailsOnBadPath) {
+  Tracer t;
+  EXPECT_FALSE(t.WriteChromeJson("no_such_dir/x/y/z.trace.json"));
+}
+
+TEST(TracerTest, TrackNamesAreStable) {
+  EXPECT_EQ(TrackName(kTrackCompute), "compute");
+  EXPECT_EQ(TrackName(kTrackMemoryPool), "memory-pool");
+  EXPECT_EQ(TrackName(kTrackFabric), "fabric");
+  EXPECT_EQ(TrackName(kTrackCoherence), "coherence");
+  EXPECT_EQ(TrackName(99), "other");
+}
+
+}  // namespace
+}  // namespace teleport::sim
