@@ -38,11 +38,12 @@ int main() {
                 paper_speedup[i], win ? "yes" : "NO",
                 w.checksums_match ? "match" : "MISMATCH");
     ++i;
-    bench::EmitBenchRecord({"fig13", w.name, "Local", w.local_ns, 0, ""});
+    bench::EmitBenchRecord(
+        {"fig13", w.name, "Local", w.local_ns, w.local_wall_ns, 0, ""});
     bench::EmitBenchRecord({"fig13", w.name, "BaseDDC", w.ddc_ns,
-                            w.ddc_remote_bytes, ""});
+                            w.ddc_wall_ns, w.ddc_remote_bytes, ""});
     bench::EmitBenchRecord({"fig13", w.name, "TELEPORT", w.teleport_ns,
-                            w.teleport_remote_bytes, ""});
+                            w.teleport_wall_ns, w.teleport_remote_bytes, ""});
   }
   std::printf("\npaper: TELEPORT wins on every workload, up to an order of\n"
               "magnitude; measured shape %s.\n",

@@ -43,6 +43,7 @@ PushdownBreakdown MeasureOneCall(SyncStrategy sync, const char* label) {
 
   PushdownFlags flags;
   flags.sync = sync;
+  bench::WallTimer wall;
   const Status st = runtime.Call(
       *ctx,
       [&](ddc::ExecutionContext& mem_ctx) {
@@ -53,10 +54,11 @@ PushdownBreakdown MeasureOneCall(SyncStrategy sync, const char* label) {
       },
       flags);
   TELEPORT_CHECK(st.ok());
+  const Nanos call_wall = wall.ElapsedNs();
   const PushdownBreakdown bd = runtime.last_breakdown();
   const std::string trace =
       bench::MaybeWriteTrace(tracer, std::string("fig20_") + label);
-  bench::EmitBenchRecord({"fig20", label, "TELEPORT", bd.Total(),
+  bench::EmitBenchRecord({"fig20", label, "TELEPORT", bd.Total(), call_wall,
                           ctx->metrics().RemoteMemoryBytes(), trace});
   return bd;
 }

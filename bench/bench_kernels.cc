@@ -39,6 +39,89 @@ void BM_SequentialLoads(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialLoads);
 
+// The same sequential walk, fast path disabled — the denominator of the
+// CI wall-clock smoke check (scalar vs bulk on one machine, same build).
+void BM_SequentialLoadsScalar(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  ms.set_scalar_datapath(true);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->Load<int64_t>(a + off));
+    off = (off + 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialLoadsScalar);
+
+// Sequential walk through a caller-held cursor (the engines' inner-loop
+// idiom): the pin declares sequential intent, so every same-page access
+// after the first is a single closed-form charge.
+void BM_CursorLoads(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  ddc::Cursor cur(*ctx);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cur.Load<int64_t>(a + off));
+    off = (off + 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CursorLoads);
+
+void BM_CursorLoadsScalar(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  ms.set_scalar_datapath(true);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  ddc::Cursor cur(*ctx);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cur.Load<int64_t>(a + off));
+    off = (off + 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CursorLoadsScalar);
+
+// Extent transfers: one LoadSpan per 512-element run, batched into
+// per-page charges on the fast path.
+void BM_SpanLoads(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  int64_t buf[512];
+  uint64_t off = 0;
+  for (auto _ : state) {
+    ctx->LoadSpan<int64_t>(a + off, buf, 512);
+    benchmark::DoNotOptimize(buf[0]);
+    off = (off + sizeof(buf)) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_SpanLoads);
+
+void BM_SpanFill(benchmark::State& state) {
+  ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
+  const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");
+  ms.SeedData();
+  auto ctx = ms.CreateContext(ddc::Pool::kCompute);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    ctx->Fill<int64_t>(a + off, 7, 512);
+    off = (off + 512 * 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_SpanFill);
+
 void BM_RandomLoads(benchmark::State& state) {
   ddc::MemorySystem ms(DdcCfg(4096), sim::CostParams::Default(), 256 << 20);
   const ddc::VAddr a = ms.space().Alloc(64 << 20, "d");

@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -105,12 +106,16 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
     w.name = c.label;
     auto local = MakeDb(ddc::Platform::kLocal, config.db_scale_factor,
                         config.deploy);
+    WallTimer wall;
     const db::QueryResult rl = c.fn(*local.ctx, *local.database, {});
     w.local_ns = rl.total_ns;
+    w.local_wall_ns = wall.ElapsedNs();
     auto base = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
                        config.deploy);
+    wall.Reset();
     const db::QueryResult rd = c.fn(*base.ctx, *base.database, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_wall_ns = wall.ElapsedNs();
     w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
@@ -119,8 +124,10 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       db::QueryOptions opts;
       opts.runtime = tele.runtime.get();
       opts.push_ops = db::DefaultTeleportOps(c.query);
+      wall.Reset();
       const db::QueryResult rt = c.fn(*tele.ctx, *tele.database, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_wall_ns = wall.ElapsedNs();
       w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
@@ -143,12 +150,16 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
     w.name = c.label;
     auto local = MakeGraph(ddc::Platform::kLocal, config.graph_vertices,
                            config.graph_degree, config.deploy);
+    WallTimer wall;
     const graph::GasResult rl = c.fn(*local.ctx, local.graph, {});
     w.local_ns = rl.total_ns;
+    w.local_wall_ns = wall.ElapsedNs();
     auto base = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
                           config.graph_degree, config.deploy);
+    wall.Reset();
     const graph::GasResult rd = c.fn(*base.ctx, base.graph, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_wall_ns = wall.ElapsedNs();
     w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
@@ -157,8 +168,10 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       graph::GasOptions opts;
       opts.runtime = tele.runtime.get();
       opts.push_phases = graph::DefaultTeleportPhases();
+      wall.Reset();
       const graph::GasResult rt = c.fn(*tele.ctx, tele.graph, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_wall_ns = wall.ElapsedNs();
       w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
@@ -179,12 +192,16 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
                     : RunWordCount(*d.ctx, d.corpus, opts);
     };
     auto local = MakeMr(ddc::Platform::kLocal, config.mr_bytes, config.deploy);
+    WallTimer wall;
     const mr::MrResult rl = run(local, {});
     w.local_ns = rl.total_ns;
+    w.local_wall_ns = wall.ElapsedNs();
     auto base = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
                        config.deploy);
+    wall.Reset();
     const mr::MrResult rd = run(base, {});
     w.ddc_ns = rd.total_ns;
+    w.ddc_wall_ns = wall.ElapsedNs();
     w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
     w.checksums_match = rl.checksum == rd.checksum;
     if (config.run_teleport) {
@@ -193,8 +210,10 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       mr::MrOptions opts;
       opts.runtime = tele.runtime.get();
       opts.push_phases = mr::DefaultTeleportPhases(c.grep);
+      wall.Reset();
       const mr::MrResult rt = run(tele, opts);
       w.teleport_ns = rt.total_ns;
+      w.teleport_wall_ns = wall.ElapsedNs();
       w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
       w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
     }
@@ -228,12 +247,31 @@ std::string BenchRecordToJson(const BenchRecord& record) {
   AppendJsonField(out, "workload", record.workload);
   AppendJsonField(out, "platform", record.platform);
   out += "\"virtual_ns\":" + std::to_string(record.virtual_ns) + ",";
+  out += "\"wall_ns\":" + std::to_string(record.wall_ns) + ",";
   out += "\"remote_memory_bytes\":" +
          std::to_string(record.remote_memory_bytes) + ",";
   AppendJsonField(out, "trace", record.trace, /*last=*/true);
   out += "}";
   return out;
 }
+
+namespace {
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallTimer::WallTimer() : t0_(WallNowNs()) {}
+
+Nanos WallTimer::ElapsedNs() const {
+  return static_cast<Nanos>(WallNowNs() - t0_);
+}
+
+void WallTimer::Reset() { t0_ = WallNowNs(); }
 
 void EmitBenchRecord(const BenchRecord& record) {
   const char* path = std::getenv("TELEPORT_BENCH_JSON");

@@ -75,6 +75,12 @@ struct WorkloadTimes {
   Nanos local_ns = 0;
   Nanos ddc_ns = 0;
   Nanos teleport_ns = 0;
+  /// Host wall-clock of each leg (steady_clock), excluding deployment
+  /// generation — the simulator-performance axis, orthogonal to the
+  /// virtual times above.
+  Nanos local_wall_ns = 0;
+  Nanos ddc_wall_ns = 0;
+  Nanos teleport_wall_ns = 0;
   /// Metrics::RemoteMemoryBytes() of the DDC / TELEPORT deployments after
   /// the run (the local leg never touches the fabric).
   uint64_t ddc_remote_bytes = 0;
@@ -94,8 +100,24 @@ struct BenchRecord {
   std::string workload;  ///< e.g. "Q6"
   std::string platform;  ///< ddc::PlatformToString, or "TELEPORT"
   Nanos virtual_ns = 0;
+  /// Host wall-clock of the measured region (0 when not measured). Unlike
+  /// every other field this is machine-dependent by design: it tracks the
+  /// simulator's own speed, not the simulated system's.
+  Nanos wall_ns = 0;
   uint64_t remote_memory_bytes = 0;
   std::string trace;  ///< path of the Chrome trace for this row, "" if none
+};
+
+/// Host wall-clock stopwatch for BenchRecord::wall_ns.
+class WallTimer {
+ public:
+  WallTimer();
+  /// Nanoseconds since construction (or the last Reset()).
+  Nanos ElapsedNs() const;
+  void Reset();
+
+ private:
+  int64_t t0_;
 };
 
 /// Deterministic single-line JSON encoding of one record (golden-locked in

@@ -34,9 +34,20 @@ class Column {
     return ctx.Load<int64_t>(addr_ + row * sizeof(int64_t));
   }
 
+  /// Timed element read through a caller-held cursor (operator inner loops
+  /// walking this column keep its page pinned across iterations).
+  int64_t Get(ddc::Cursor& cur, uint64_t row) const {
+    return cur.Load<int64_t>(addr_ + row * sizeof(int64_t));
+  }
+
   /// Timed element write.
   void Set(ddc::ExecutionContext& ctx, uint64_t row, int64_t v) const {
     ctx.Store<int64_t>(addr_ + row * sizeof(int64_t), v);
+  }
+
+  /// Timed element write through a caller-held cursor.
+  void Set(ddc::Cursor& cur, uint64_t row, int64_t v) const {
+    cur.Store<int64_t>(addr_ + row * sizeof(int64_t), v);
   }
 
   /// Untimed host pointer for data generation.
@@ -75,6 +86,12 @@ class StringColumn {
   /// Timed row read; the returned view is valid until the next allocation.
   std::string_view Get(ddc::ExecutionContext& ctx, uint64_t row) const {
     const void* p = ctx.ReadRange(addr_ + row * width_, width_);
+    return std::string_view(static_cast<const char*>(p), width_);
+  }
+
+  /// Timed row read through a caller-held cursor.
+  std::string_view Get(ddc::Cursor& cur, uint64_t row) const {
+    const void* p = cur.ReadRange(addr_ + row * width_, width_);
     return std::string_view(static_cast<const char*>(p), width_);
   }
 

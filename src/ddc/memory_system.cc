@@ -1,6 +1,7 @@
 #include "ddc/memory_system.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "net/faults.h"
@@ -54,37 +55,14 @@ void MemorySystem::LruList::EnsureSize(size_t n) {
   if (prev_.size() < n) {
     prev_.resize(n, kNil);
     next_.resize(n, kNil);
-    in_list_.resize(n, false);
+    in_list_.resize(n, 0);
   }
-}
-
-void MemorySystem::LruList::PushFront(PageId p) {
-  EnsureSize(p + 1);
-  TELEPORT_DCHECK(!in_list_[p]);
-  prev_[p] = kNil;
-  next_[p] = head_;
-  if (head_ != kNil) prev_[head_] = static_cast<uint32_t>(p);
-  head_ = static_cast<uint32_t>(p);
-  if (tail_ == kNil) tail_ = static_cast<uint32_t>(p);
-  in_list_[p] = true;
-  ++size_;
-}
-
-void MemorySystem::LruList::Remove(PageId p) {
-  TELEPORT_DCHECK(Contains(p));
-  const uint32_t pr = prev_[p];
-  const uint32_t nx = next_[p];
-  if (pr != kNil) next_[pr] = nx; else head_ = nx;
-  if (nx != kNil) prev_[nx] = pr; else tail_ = pr;
-  prev_[p] = next_[p] = kNil;
-  in_list_[p] = false;
-  --size_;
 }
 
 void MemorySystem::LruList::Clear() {
   std::fill(prev_.begin(), prev_.end(), kNil);
   std::fill(next_.begin(), next_.end(), kNil);
-  std::fill(in_list_.begin(), in_list_.end(), false);
+  std::fill(in_list_.begin(), in_list_.end(), uint8_t{0});
   head_ = tail_ = kNil;
   size_ = 0;
 }
@@ -101,7 +79,16 @@ MemorySystem::MemorySystem(const DdcConfig& config,
       cache_capacity_pages_(
           std::max<uint64_t>(1, config.compute_cache_bytes / params.page_size)),
       pool_capacity_pages_(
-          std::max<uint64_t>(1, config.memory_pool_bytes / params.page_size)) {}
+          std::max<uint64_t>(1, config.memory_pool_bytes / params.page_size)) {
+  // The explore tier exports TELEPORT_SCALAR_DATAPATH=1 to force per-access
+  // dispatch (schedule points at every element); any non-empty value other
+  // than "0" enables it.
+  const char* scalar = std::getenv("TELEPORT_SCALAR_DATAPATH");
+  if (scalar != nullptr && scalar[0] != '\0' &&
+      !(scalar[0] == '0' && scalar[1] == '\0')) {
+    scalar_datapath_ = true;
+  }
+}
 
 MemorySystem::PageState& MemorySystem::PS(PageId p) {
   EnsurePageTables();
@@ -120,11 +107,15 @@ void MemorySystem::EnsurePageTables() {
     pages_.resize(n);
     cache_lru_.EnsureSize(n);
     pool_lru_.EnsureSize(n);
+    // pages_ may have reallocated: every PageState pointer held by a pin is
+    // dangling. Unconditional (memory safety, not protocol).
+    InvalidateAllPins();
   }
 }
 
 void MemorySystem::SeedData() {
   EnsurePageTables();
+  InvalidateAllPins();  // staging rewrites placement state wholesale
   for (PageId p = 0; p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (s.compute_perm != Perm::kNone || s.in_memory_pool || s.on_storage) {
@@ -170,7 +161,7 @@ void MemorySystem::ChargeDram(ExecutionContext& ctx, PageId page,
   }
   // Advancing a stream to its next page: one row-miss / TLB fill.
   for (PageId& s : ctx.streams_) {
-    if (s != ~PageId{0} && page == s + 1) {
+    if (s != kNoPage && page == s + 1) {
       s = page;
       ctx.clock_.Advance(params_.dram_random_access_ns + byte_cost);
       return;
@@ -180,6 +171,91 @@ void MemorySystem::ChargeDram(ExecutionContext& ctx, PageId page,
   ctx.streams_[ctx.stream_clock_] = page;
   ctx.stream_clock_ = (ctx.stream_clock_ + 1) % ExecutionContext::kStreams;
   ctx.clock_.Advance(params_.dram_random_access_ns + byte_cost);
+}
+
+void MemorySystem::FillPin(ExecutionContext& ctx, PagePin& pin, PageId page) {
+  pin.Reset();
+  if (scalar_datapath_) return;  // pins never validate: pure scalar dispatch
+  if (page >= pages_.size()) return;
+  // The closed-form charge replays ChargeDram's sequential branch, which is
+  // only taken while the page occupies one of the context's stream slots.
+  PageId* slot = nullptr;
+  for (PageId& s : ctx.streams_) {
+    if (s == page) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) return;
+  PageState& s = pages_[page];
+  switch (ctx.pool_) {
+    case Pool::kCompute:
+      switch (config_.platform) {
+        case Platform::kLocal:
+          // LocalTouch charges DRAM only: no counters, no replacement.
+          pin.read_ok = pin.write_ok = true;
+          break;
+        case Platform::kLinuxSsd:
+          if (s.compute_perm == Perm::kNone) return;
+          pin.read_ok = true;
+          // A write to a read-only page takes the upgrade path: not a hit.
+          pin.write_ok = s.compute_perm == Perm::kWrite;
+          pin.hit_counter = &ctx.metrics_.cache_hits;
+          pin.dirty_flag = &s.compute_dirty;
+          break;
+        case Platform::kBaseDdc:
+          if (s.compute_perm == Perm::kNone) return;
+          pin.read_ok = true;
+          pin.write_ok = s.compute_perm == Perm::kWrite;
+          pin.hit_counter = &ctx.metrics_.cache_hits;
+          pin.dirty_flag = &s.compute_dirty;
+          pin.notify = observer_ != nullptr;
+          break;
+      }
+      if (config_.platform != Platform::kLocal) {
+        switch (config_.cache_policy) {
+          case CachePolicy::kLru:
+            pin.lru_kind = 1;
+            pin.lru_list = &cache_lru_;
+            break;
+          case CachePolicy::kFifo:
+            break;  // hits do not promote
+          case CachePolicy::kClock:
+            pin.lru_kind = 2;
+            pin.ref_bit = &s.ref_bit;
+            break;
+        }
+      }
+      break;
+    case Pool::kMemory:
+      if (!s.in_memory_pool) return;
+      if (pushdown_active_ && coherence_mode_ != CoherenceMode::kNone) {
+        if (s.temp_perm == Perm::kNone) return;
+        pin.read_ok = true;
+        pin.write_ok = s.temp_perm == Perm::kWrite;
+      } else {
+        pin.read_ok = pin.write_ok = true;
+      }
+      pin.hit_counter = &ctx.metrics_.memory_pool_hits;
+      pin.dirty_flag = &s.mem_dirty;
+      if (pushdown_active_) pin.touched_flag = &s.temp_touched;
+      pin.lru_kind = 1;  // MemoryTouch promotes unconditionally
+      pin.lru_list = &pool_lru_;
+      pin.notify = observer_ != nullptr;
+      pin.pool_side = true;
+      break;
+  }
+  const uint64_t page_size = params_.page_size;
+  pin.v_lo = static_cast<VAddr>(page) * page_size;
+  pin.v_hi = pin.v_lo + page_size - 1;  // used_bytes is page-aligned
+  pin.host = static_cast<std::byte*>(space_.HostPtr(pin.v_lo, page_size));
+  pin.page = page;
+  pin.stream_slot = slot;
+  pin.seq_ns = params_.dram_seq_access_ns;
+  pin.ns_per_byte = params_.dram_seq_ns_per_byte;
+  pin.map_epoch = mapping_epoch_;
+  pin.page_epoch = s.tlb_epoch;
+  pin.page_epoch_ptr = &s.tlb_epoch;
 }
 
 void MemorySystem::LocalTouch(ExecutionContext& ctx, PageId page, uint64_t len,
@@ -210,6 +286,7 @@ void MemorySystem::LinuxSsdTouch(ExecutionContext& ctx, PageId page,
     TouchCachePage(page);
     if (write && s.compute_perm != Perm::kWrite) {
       s.compute_perm = Perm::kWrite;
+      BumpTlbEpoch(page);
       ctx.clock_.Advance(params_.perm_upgrade_ns);
     }
     if (write) s.compute_dirty = true;
@@ -234,6 +311,7 @@ Nanos MemorySystem::EnsureInMemoryPoolCost(ExecutionContext& ctx,
     cost += params_.minor_fault_ns;  // zero-fill allocation in the pool
   }
   if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+  BumpTlbEpoch(page);  // the page's pool residency changes
   s.in_memory_pool = true;
   pool_lru_.PushFront(page);
   ++pool_used_;
@@ -243,6 +321,7 @@ Nanos MemorySystem::EnsureInMemoryPoolCost(ExecutionContext& ctx,
 void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx) {
   const PageId victim = pool_lru_.Back();
   TELEPORT_DCHECK(victim != kNil) << "memory pool empty but full";
+  BumpTlbEpoch(victim);  // shootdown before the victim's state is rewritten
   PageState& v = pages_[victim];
   pool_lru_.Remove(victim);
   --pool_used_;
@@ -292,6 +371,7 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     }
   }
   TELEPORT_DCHECK(victim != kNil) << "compute cache empty but full";
+  BumpTlbEpoch(victim);  // shootdown before the victim loses its mapping
   PageState& v = pages_[victim];
   cache_lru_.Remove(victim);
   --cache_used_;
@@ -341,6 +421,9 @@ void MemorySystem::CacheInsert(ExecutionContext& ctx, PageId page, Perm perm,
   PageState& s = PS(page);
   TELEPORT_DCHECK(s.compute_perm == Perm::kNone);
   if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+  // After the possible eviction (whose own shootdown precedes its event) so
+  // the fill's shootdown is still outstanding when the access event fires.
+  BumpTlbEpoch(page);
   s.compute_perm = perm;
   s.compute_dirty = dirty;
   s.ref_bit = false;
@@ -364,6 +447,7 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     // Local R->W upgrade; the cached copy is the only one being written.
     ++ctx.metrics_.cache_hits;
     TouchCachePage(page);
+    BumpTlbEpoch(page);
     s.compute_perm = Perm::kWrite;
     ctx.clock_.Advance(params_.perm_upgrade_ns);
   } else {
@@ -371,8 +455,7 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     ++ctx.metrics_.cache_misses;
     const bool has_remote_data = s.in_memory_pool || s.on_storage;
     const bool sequential_fault =
-        ctx.last_fault_page_ != ~PageId{0} &&
-        page == ctx.last_fault_page_ + 1;
+        ctx.last_fault_page_ != kNoPage && page == ctx.last_fault_page_ + 1;
     Nanos handler = params_.fault_handler_ns;
     uint64_t resp_bytes = 64;
     if (has_remote_data) {
@@ -489,6 +572,7 @@ void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
                                          bool write) {
   PageState& s = PS(page);
   const Nanos start = ctx.now();
+  BumpTlbEpoch(page);  // every coherence transition is a shootdown
 
   // Weak Ordering: contended permission changes are silent; only data
   // movement (page absent from the cache) costs anything.
@@ -560,6 +644,7 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
                                         bool write) {
   PageState& s = PS(page);
   const Perm wanted = write ? Perm::kWrite : Perm::kRead;
+  BumpTlbEpoch(page);  // every coherence transition is a shootdown
 
   // Weak Ordering: no invalidation traffic; both sides may hold writable
   // copies. Data movement still happens through the regular fault path.
@@ -674,6 +759,7 @@ uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode) {
         break;
     }
   }
+  BumpTlbEpochAll();  // temp table materialized; pool-side pins must refill
   Notify(CoherenceEvent::Kind::kSessionBegin, 0, false, 0);
   return pages_.size();
 }
@@ -690,6 +776,7 @@ void MemorySystem::EndPushdownSession() {
     s.mem_upgrade_inflight_until = 0;
   }
   pushdown_active_ = false;
+  BumpTlbEpochAll();  // temp table torn down
   Notify(CoherenceEvent::Kind::kSessionEnd, 0, false, 0);
 }
 
@@ -703,6 +790,7 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
   for (PageId p = first; p <= last && p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (s.compute_perm == Perm::kNone || !s.compute_dirty) continue;
+    BumpTlbEpoch(p);  // per-page: write permission drops to read
     s.compute_dirty = false;
     s.compute_perm = Perm::kRead;
     // The pool now holds fresh data; a temporary context may map it R.
@@ -749,6 +837,7 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
   for (PageId p = first; p <= last && p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (s.compute_perm == Perm::kNone) continue;
+    BumpTlbEpoch(p);  // per-page unmap / writeback
     ++moved;
     flushed_pages_.push_back(p);
     if (s.compute_dirty) {
@@ -796,6 +885,7 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
     PageState& s = PS(p);
     if (s.compute_perm != Perm::kNone) continue;
     if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+    BumpTlbEpoch(p);  // per-page refill (after the eviction's own shootdown)
     s.compute_perm = Perm::kRead;
     s.compute_dirty = false;
     cache_lru_.PushFront(p);
@@ -821,6 +911,7 @@ uint64_t MemorySystem::ApplyPoolRestarts(ExecutionContext& ctx) {
   if (completed <= pool_restarts_applied_) return 0;
   pool_restarts_applied_ = completed;
   EnsurePageTables();
+  BumpTlbEpochAll();  // the pool's page table is wiped wholesale
   // The restarted node comes back with empty DRAM: every pool-resident page
   // is dropped. Pages whose bytes were flushed to storage are recoverable
   // (refaulted on demand); unflushed writes since the last Syncmem/writeback

@@ -21,6 +21,63 @@
 namespace teleport::ddc {
 
 class MemorySystem;
+class Cursor;
+
+/// One entry of the miniature software TLB used by the extent fast path: a
+/// pinned translation of a single page whose state is known to be a plain
+/// cache/pool *hit* for the recorded access modes. While the pin is valid, a
+/// same-page access can be charged in closed form (the hit cost of
+/// ChargeDram's sequential branch plus the hit-side bookkeeping) without a
+/// MemorySystem dispatch.
+///
+/// Validity is governed by three checks, all performed on every use:
+///  - `map_epoch` must equal MemorySystem's wholesale mapping epoch, bumped
+///    on bulk state rewrites (session boundaries, pool restarts, staging,
+///    page-table growth, mode flips).
+///  - `*page_epoch_ptr` must equal `page_epoch`: the pinned page's own
+///    shootdown counter, bumped on every per-page transition that could
+///    make the pin stale (coherence transitions, evictions, writebacks,
+///    flushes, permission changes). Together with the mapping epoch this is
+///    the TLB-shootdown invariant asserted by tp::ModelChecker (which
+///    watches the combined translation_epoch() sequence number).
+///  - `*stream_slot` must still equal `page`: the scalar cost model charges
+///    the cheap sequential rate only while the page occupies one of the
+///    context's stream trackers, and interleaved random accesses can evict
+///    it. A mismatch falls back to the full dispatch, which re-charges
+///    exactly what the scalar path would.
+///
+/// The raw pointers (page state flags, metrics counter, LRU list) stay valid
+/// between wholesale shootdowns because the page table only grows — and
+/// growth bumps the mapping epoch before any of them is dereferenced.
+struct PagePin {
+  VAddr v_lo = 1, v_hi = 0;  ///< pinned byte interval; empty = invalid
+  /// Snapshot of MemorySystem::mapping_epoch_: dies on wholesale shootdowns
+  /// (page-table growth, session begin/end, pool restart, mode flips). It
+  /// guards every raw pointer below, so it is checked before any of them.
+  uint64_t map_epoch = 0;
+  /// Snapshot of the pinned page's own shootdown counter: dies when *this*
+  /// page transitions (eviction, fill, permission change, coherence fault)
+  /// while pins on unrelated pages survive.
+  uint32_t page_epoch = 0;
+  const uint32_t* page_epoch_ptr = nullptr;
+  std::byte* host = nullptr;  ///< host pointer at v_lo
+  PageId page = kNoPage;
+  PageId* stream_slot = nullptr;  ///< slot in the owner's streams_[]
+  bool read_ok = false;
+  bool write_ok = false;
+  bool notify = false;     ///< observer attached at fill time
+  bool pool_side = false;  ///< kMemoryAccess (vs kComputeAccess) events
+  uint8_t lru_kind = 0;    ///< 0 none, 1 list move-to-front, 2 CLOCK ref bit
+  bool* dirty_flag = nullptr;    ///< compute_dirty / mem_dirty on write
+  bool* touched_flag = nullptr;  ///< temp_touched while a session is active
+  bool* ref_bit = nullptr;       ///< CLOCK reference bit (lru_kind == 2)
+  uint64_t* hit_counter = nullptr;  ///< cache_hits / memory_pool_hits
+  void* lru_list = nullptr;         ///< MemorySystem::LruList*
+  Nanos seq_ns = 0;                 ///< per-access sequential base cost
+  double ns_per_byte = 0;
+
+  void Reset() { *this = PagePin{}; }
+};
 
 /// A simulated thread of execution placed in one resource pool.
 ///
@@ -47,7 +104,8 @@ class ExecutionContext {
   /// Reads a POD value at `addr`, charging the access.
   template <typename T>
   T Load(VAddr addr) {
-    const void* p = AccessImpl(addr, sizeof(T), /*write=*/false);
+    const void* p = TryPinned(tlb_, addr, sizeof(T), /*write=*/false);
+    if (p == nullptr) p = SlowAccess(addr, sizeof(T), /*write=*/false);
     T v;
     std::memcpy(&v, p, sizeof(T));
     return v;
@@ -56,19 +114,49 @@ class ExecutionContext {
   /// Writes a POD value at `addr`, charging the access.
   template <typename T>
   void Store(VAddr addr, const T& v) {
-    void* p = AccessImpl(addr, sizeof(T), /*write=*/true);
+    void* p = TryPinned(tlb_, addr, sizeof(T), /*write=*/true);
+    if (p == nullptr) p = SlowAccess(addr, sizeof(T), /*write=*/true);
     std::memcpy(p, &v, sizeof(T));
   }
 
   /// Charges a read of [addr, addr+len) and returns a host pointer to it.
   const void* ReadRange(VAddr addr, uint64_t len) {
-    return AccessImpl(addr, len, /*write=*/false);
+    const void* p = TryPinned(tlb_, addr, len, /*write=*/false);
+    return p != nullptr ? p : SlowAccess(addr, len, /*write=*/false);
   }
 
   /// Charges a write of [addr, addr+len) and returns a host pointer to it.
   void* WriteRange(VAddr addr, uint64_t len) {
-    return AccessImpl(addr, len, /*write=*/true);
+    void* p = TryPinned(tlb_, addr, len, /*write=*/true);
+    return p != nullptr ? p : SlowAccess(addr, len, /*write=*/true);
   }
+
+  // --- Extent (bulk) APIs ---------------------------------------------------
+  //
+  // Each is defined to perform exactly the element-by-element access
+  // sequence of the equivalent Load/Store loop — same touch order, same
+  // per-element charges — but runs of same-page hit accesses are charged in
+  // closed form through the pinned translation (one multiplication instead
+  // of N dispatches). With a yield hook installed (sim::CoopTask) or the
+  // TELEPORT_SCALAR_DATAPATH knob set, they degrade to the per-element
+  // scalar path so schedule-exploration granularity is preserved.
+
+  /// Reads `count` elements of T starting at `addr` into `dst`.
+  template <typename T>
+  void LoadSpan(VAddr addr, T* dst, uint64_t count);
+
+  /// Writes `count` elements of T from `src` starting at `addr`.
+  template <typename T>
+  void StoreSpan(VAddr addr, const T* src, uint64_t count);
+
+  /// Stores `count` copies of `value` starting at `addr`.
+  template <typename T>
+  void Fill(VAddr addr, const T& value, uint64_t count);
+
+  /// Copies `count` elements of T from `src_addr` to `dst_addr`, charging
+  /// the alternating load/store sequence of the scalar loop.
+  template <typename T>
+  void Memcpy(VAddr dst_addr, VAddr src_addr, uint64_t count);
 
   /// Charges `ops` simple CPU operations at this pool's clock speed.
   void ChargeCpu(uint64_t ops);
@@ -92,13 +180,37 @@ class ExecutionContext {
 
  private:
   friend class MemorySystem;
+  friend class Cursor;
 
   void* AccessImpl(VAddr addr, uint64_t len, bool write);
+
+  /// Fast path: serves [addr, addr+len) from a valid pin, charging the hit
+  /// cost, or returns nullptr when the pin does not cover the access.
+  void* TryPinned(PagePin& pin, VAddr addr, uint64_t len, bool write);
+  /// True when a pinned *run* may start at `addr` (same checks as TryPinned
+  /// but without charging; used by the span batchers).
+  bool PinnedRunReady(const PagePin& pin, VAddr addr, uint64_t len,
+                      bool write) const;
+  /// Charges `n` identical same-page hit accesses of `len` bytes against a
+  /// valid pin: the closed-form equivalent of n ChargeDram sequential hits
+  /// plus the per-hit bookkeeping (metrics, dirty bits, LRU, events).
+  void ChargePinnedRun(const PagePin& pin, uint64_t len, uint64_t n,
+                       bool write);
+  /// Full dispatch plus opportunistic pin refill for the context TLB: the
+  /// pin is (re)filled when the same page misses twice in a row, so random
+  /// access patterns do not pay the refill cost.
+  void* SlowAccess(VAddr addr, uint64_t len, bool write);
+  /// Full dispatch plus unconditional pin refill (cursors and spans declare
+  /// sequential intent).
+  void* PinnedSlowAccess(PagePin& pin, VAddr addr, uint64_t len, bool write);
 
   MemorySystem* ms_;
   Pool pool_;
   sim::VirtualClock clock_;
   sim::Metrics metrics_;
+  /// The context's one-entry translation cache (see PagePin).
+  PagePin tlb_;
+  PageId last_slow_page_ = kNoPage;
   /// Recently touched pages, one per hardware-tracked stream: an access to
   /// a tracked page (or its successor) is stream-like and cheap, anything
   /// else pays the DRAM row-miss cost. Modeling several streams matters
@@ -106,12 +218,11 @@ class ExecutionContext {
   /// (input column, candidate list, output), which real prefetchers and
   /// TLBs handle concurrently.
   static constexpr int kStreams = 8;
-  PageId streams_[kStreams] = {~PageId{0}, ~PageId{0}, ~PageId{0},
-                               ~PageId{0}, ~PageId{0}, ~PageId{0},
-                               ~PageId{0}, ~PageId{0}};
+  PageId streams_[kStreams] = {kNoPage, kNoPage, kNoPage, kNoPage,
+                               kNoPage, kNoPage, kNoPage, kNoPage};
   int stream_clock_ = 0;
   /// Previously faulted page (per backend), for SSD readahead modeling.
-  PageId last_fault_page_ = ~PageId{0};
+  PageId last_fault_page_ = kNoPage;
   Nanos coherence_ns_ = 0;
   YieldFn yield_fn_ = nullptr;
   void* yield_arg_ = nullptr;
@@ -139,6 +250,11 @@ enum class ProtocolMutation : uint8_t {
   /// CoherenceMemoryFault never returns the dirty compute page, so the
   /// temporary context reads stale pool data.
   kSkipPageReturn,
+  /// Protocol transitions skip the translation-cache shootdown (the epoch
+  /// bump), so pinned fast-path translations survive state changes they
+  /// must not survive. The model checker asserts the bump on every
+  /// transition, so this mutation is caught at the first one.
+  kSkipTlbShootdown,
 };
 
 /// A page-granular coherence/page-table transition, reported to an attached
@@ -192,6 +308,7 @@ class MemorySystem {
   MemorySystem& operator=(const MemorySystem&) = delete;
 
   AddressSpace& space() { return space_; }
+  const AddressSpace& space() const { return space_; }
   const DdcConfig& config() const { return config_; }
   const sim::CostParams& params() const { return params_; }
   net::Fabric& fabric() { return fabric_; }
@@ -275,13 +392,43 @@ class MemorySystem {
   // --- Protocol checking hooks ---------------------------------------------
 
   /// Attaches (or detaches, with nullptr) a coherence observer. Non-owning;
-  /// at most one observer, which must outlive its attachment.
-  void set_coherence_observer(CoherenceObserver* o) { observer_ = o; }
+  /// at most one observer, which must outlive its attachment. Shoots down
+  /// pinned translations: whether a pinned access must emit events is
+  /// captured at pin-fill time.
+  void set_coherence_observer(CoherenceObserver* o) {
+    observer_ = o;
+    InvalidateAllPins();
+  }
   CoherenceObserver* coherence_observer() const { return observer_; }
 
-  /// Plants a deliberate protocol bug (tests only).
-  void set_protocol_mutation(ProtocolMutation m) { mutation_ = m; }
+  /// Plants a deliberate protocol bug (tests only). Always shoots down
+  /// outstanding translations itself: the mutation governs *future*
+  /// transitions, not the act of planting it.
+  void set_protocol_mutation(ProtocolMutation m) {
+    mutation_ = m;
+    InvalidateAllPins();
+  }
   ProtocolMutation protocol_mutation() const { return mutation_; }
+
+  // --- Extent fast path -----------------------------------------------------
+
+  /// Observable TLB-shootdown sequence number: advances on every shootdown,
+  /// per-page or wholesale. tp::ModelChecker asserts it moved across each
+  /// coherence event that requires a shootdown. (Pin validity itself is
+  /// checked against the finer-grained mapping/page epochs, so pins on
+  /// unrelated pages survive another page's eviction.)
+  uint64_t translation_epoch() const { return translation_epoch_; }
+
+  /// Forces every access through the per-element scalar dispatch path:
+  /// pins never fill, so Load/Store, cursors and spans all charge exactly
+  /// as the pre-extent code did, access by access. Used by the explore
+  /// tier (per-access yield granularity) and the equivalence tests.
+  /// Initialized from the TELEPORT_SCALAR_DATAPATH environment variable.
+  void set_scalar_datapath(bool scalar) {
+    scalar_datapath_ = scalar;
+    InvalidateAllPins();
+  }
+  bool scalar_datapath() const { return scalar_datapath_; }
 
   /// Attaches (or detaches, with nullptr) a structured-event tracer, shared
   /// with the fabric so one trace carries cache/coherence transitions and
@@ -322,6 +469,9 @@ class MemorySystem {
   struct PageState {
     Perm compute_perm = Perm::kNone;
     Perm temp_perm = Perm::kNone;
+    /// Per-page TLB-shootdown counter (see PagePin::page_epoch). Bumped by
+    /// BumpTlbEpoch(page) alongside the observable translation epoch.
+    uint32_t tlb_epoch = 0;
     bool compute_dirty = false;
     bool temp_touched = false;
     bool in_memory_pool = false;
@@ -333,19 +483,44 @@ class MemorySystem {
     Nanos mem_upgrade_inflight_until = 0;
   };
 
-  /// Intrusive-by-index LRU list over page ids.
+  /// Intrusive-by-index LRU list over page ids. List surgery is inline:
+  /// it sits on the hit path of every charged access (directly or via the
+  /// pinned fast path's move-to-front-if-needed).
   class LruList {
    public:
     void EnsureSize(size_t n);
     bool Contains(PageId p) const {
-      return p < in_list_.size() && in_list_[p];
+      return p < in_list_.size() && in_list_[p] != 0;
     }
-    void PushFront(PageId p);
-    void Remove(PageId p);
+    void PushFront(PageId p) {
+      EnsureSize(p + 1);
+      TELEPORT_DCHECK(!Contains(p));
+      prev_[p] = kNil;
+      next_[p] = head_;
+      if (head_ != kNil) prev_[head_] = static_cast<uint32_t>(p);
+      head_ = static_cast<uint32_t>(p);
+      if (tail_ == kNil) tail_ = static_cast<uint32_t>(p);
+      in_list_[p] = 1;
+      ++size_;
+    }
+    void Remove(PageId p) {
+      TELEPORT_DCHECK(Contains(p));
+      const uint32_t pr = prev_[p];
+      const uint32_t nx = next_[p];
+      if (pr != kNil) next_[pr] = nx; else head_ = nx;
+      if (nx != kNil) prev_[nx] = pr; else tail_ = pr;
+      prev_[p] = next_[p] = kNil;
+      in_list_[p] = 0;
+      --size_;
+    }
     void MoveToFront(PageId p) {
       Remove(p);
       PushFront(p);
     }
+    /// Most-recently-used element; kNil if empty. The pinned fast path
+    /// skips MoveToFront when the page is already at the front, which
+    /// preserves the exact recency order at a fraction of the cost.
+    PageId Front() const { return head_; }
     /// Least-recently-used element; kNil if empty.
     PageId Back() const { return tail_; }
     size_t size() const { return size_; }
@@ -354,7 +529,10 @@ class MemorySystem {
 
    private:
     std::vector<uint32_t> prev_, next_;
-    std::vector<bool> in_list_;
+    /// Membership bitmap. uint8_t, not vector<bool>: Contains() is on the
+    /// access hot path and the proxy-reference bit arithmetic costs more
+    /// than the 8x space.
+    std::vector<uint8_t> in_list_;
     uint32_t head_ = kNil, tail_ = kNil;
     size_t size_ = 0;
   };
@@ -413,6 +591,43 @@ class MemorySystem {
   Nanos RetriedPageFaultRpc(ExecutionContext& ctx, uint64_t req_bytes,
                             uint64_t resp_bytes, Nanos handler_ns);
 
+  /// TLB shootdown of one page: invalidates every PagePin on `page` (pins
+  /// on other pages survive) and advances the observable translation epoch
+  /// the model checker watches. Gated on the kSkipTlbShootdown mutation so
+  /// the checker's shootdown assertion can be proven able to catch a
+  /// protocol that forgets it.
+  void BumpTlbEpoch(PageId page) {
+    if (mutation_ != ProtocolMutation::kSkipTlbShootdown) {
+      ++translation_epoch_;
+      ++pages_[page].tlb_epoch;
+    }
+  }
+
+  /// Wholesale TLB shootdown: invalidates every outstanding PagePin (used
+  /// when page state is rewritten in bulk — session begin/end, pool
+  /// restart). Gated like BumpTlbEpoch(page).
+  void BumpTlbEpochAll() {
+    if (mutation_ != ProtocolMutation::kSkipTlbShootdown) {
+      ++translation_epoch_;
+      ++mapping_epoch_;
+    }
+  }
+
+  /// Ungated wholesale invalidation for memory-safety and behavior-mode
+  /// events (page-table reallocation, staging, observer/mutation/scalar
+  /// flips). Not part of the checked shootdown protocol, so the mutation
+  /// cannot skip it.
+  void InvalidateAllPins() {
+    ++translation_epoch_;
+    ++mapping_epoch_;
+  }
+
+  /// Fills `pin` for `page` iff the page's *current* state makes every
+  /// covered access a plain hit chargeable in closed form (see PagePin).
+  /// Leaves the pin invalid otherwise. Reads state only — a fill never
+  /// advances time, touches metrics, or changes page state.
+  void FillPin(ExecutionContext& ctx, PagePin& pin, PageId page);
+
   DdcConfig config_;
   sim::CostParams params_;
   AddressSpace space_;
@@ -432,6 +647,21 @@ class MemorySystem {
   CoherenceObserver* observer_ = nullptr;
   ProtocolMutation mutation_ = ProtocolMutation::kNone;
   sim::Tracer* tracer_ = nullptr;
+
+  /// Observable shootdown sequence number: advances on *every* shootdown
+  /// (per-page or wholesale, plus the unconditional safety bumps), which is
+  /// what model-checker invariant #5 watches. Pins do not validate against
+  /// it — they check mapping_epoch_ and their page's own tlb_epoch.
+  uint64_t translation_epoch_ = 1;
+  /// Wholesale pin-validity fence (PagePin::map_epoch). Starts at 1 so a
+  /// default pin (map_epoch 0) can never validate. Bumped by
+  /// BumpTlbEpochAll() on bulk protocol transitions and unconditionally on
+  /// events that dangle raw pin pointers (page-table growth) or change what
+  /// a pinned access must do (observer attach, mutation plant, scalar-knob
+  /// flip) — those are memory-safety bumps, not part of the checked
+  /// shootdown protocol, so the mutation cannot skip them.
+  uint64_t mapping_epoch_ = 1;
+  bool scalar_datapath_ = false;
 
   // Resilience state (inert without a fabric fault injector).
   tp::RetryPolicy fault_retry_;
@@ -488,6 +718,250 @@ inline void ExecutionContext::ChargeCpu(uint64_t ops) {
   metrics_.cpu_ops += ops;
   if (yield_fn_ != nullptr) yield_fn_(yield_arg_);
 }
+
+// --- Extent fast path --------------------------------------------------------
+
+inline bool ExecutionContext::PinnedRunReady(const PagePin& pin, VAddr addr,
+                                             uint64_t len, bool write) const {
+  // Interval first: a default pin has v_lo > v_hi, so the empty pin fails
+  // here before any pointer is examined. The mapping-epoch check guards
+  // every raw pointer in the pin (page-table growth bumps it); only then
+  // may the page's own shootdown counter be dereferenced.
+  return addr >= pin.v_lo && addr + len - 1 <= pin.v_hi &&
+         pin.map_epoch == ms_->mapping_epoch_ &&
+         (write ? pin.write_ok : pin.read_ok) &&
+         *pin.stream_slot == pin.page &&
+         *pin.page_epoch_ptr == pin.page_epoch;
+}
+
+inline void ExecutionContext::ChargePinnedRun(const PagePin& pin, uint64_t len,
+                                              uint64_t n, bool write) {
+  // Exactly the hit-side bookkeeping of n scalar Touch calls.
+  if (pin.hit_counter != nullptr) *pin.hit_counter += n;
+  if (pin.lru_kind == 1) {
+    auto* lru = static_cast<MemorySystem::LruList*>(pin.lru_list);
+    // MoveToFront of the front element is a structural no-op; skipping it
+    // preserves the exact recency order.
+    if (lru->Front() != pin.page) lru->MoveToFront(pin.page);
+  } else if (pin.lru_kind == 2) {
+    *pin.ref_bit = true;  // CLOCK: idempotent
+  }
+  if (write) {
+    if (pin.dirty_flag != nullptr) *pin.dirty_flag = true;
+    if (pin.touched_flag != nullptr) *pin.touched_flag = true;
+  }
+  // ChargeDram's sequential branch, in closed form.
+  const Nanos per =
+      pin.seq_ns +
+      static_cast<Nanos>(static_cast<double>(len) * pin.ns_per_byte);
+  if (!pin.notify) {
+    clock_.Advance(per * static_cast<Nanos>(n));
+    return;
+  }
+  // With an observer attached every access reports its own event at its own
+  // timestamp, so the event stream stays identical to the scalar path.
+  const auto kind = pin.pool_side ? CoherenceEvent::Kind::kMemoryAccess
+                                  : CoherenceEvent::Kind::kComputeAccess;
+  for (uint64_t i = 0; i < n; ++i) {
+    clock_.Advance(per);
+    ms_->Notify(kind, pin.page, write, clock_.now());
+  }
+}
+
+inline void* ExecutionContext::TryPinned(PagePin& pin, VAddr addr,
+                                         uint64_t len, bool write) {
+  if (!PinnedRunReady(pin, addr, len, write)) {
+    // A pin that still covers `addr` but failed validation may be a
+    // casualty of a wholesale shootdown (session boundary, restart) or of
+    // a transition that left the page pinnable (e.g. its own permission
+    // upgrade). Revalidate in place: FillPin re-reads the page's current
+    // state under the new epochs, so this is exactly as safe as the first
+    // fill, and when the page is still a plain hit it skips the scalar
+    // dispatch entirely. A reset pin has v_lo > v_hi and fails the range
+    // test, so cold pins still take the cheap early exit.
+    if (addr < pin.v_lo || addr + len - 1 > pin.v_hi) return nullptr;
+    ms_->FillPin(*this, pin, pin.page);
+    if (!PinnedRunReady(pin, addr, len, write)) return nullptr;
+  }
+  ChargePinnedRun(pin, len, 1, write);
+  if (yield_fn_ != nullptr) yield_fn_(yield_arg_);
+  return pin.host + (addr - pin.v_lo);
+}
+
+inline void* ExecutionContext::SlowAccess(VAddr addr, uint64_t len,
+                                          bool write) {
+  void* p = AccessImpl(addr, len, write);
+  // Refill the context TLB only on the second consecutive miss to the same
+  // page: two misses declare sequential intent, while random patterns (hash
+  // probes) never pay the fill cost.
+  const PageId page = (addr + len - 1) / ms_->space().page_size();
+  if (page == last_slow_page_) {
+    ms_->FillPin(*this, tlb_, page);
+  } else {
+    last_slow_page_ = page;
+  }
+  return p;
+}
+
+inline void* ExecutionContext::PinnedSlowAccess(PagePin& pin, VAddr addr,
+                                                uint64_t len, bool write) {
+  void* p = AccessImpl(addr, len, write);
+  ms_->FillPin(*this, pin, (addr + len - 1) / ms_->space().page_size());
+  return p;
+}
+
+template <typename T>
+void ExecutionContext::LoadSpan(VAddr addr, T* dst, uint64_t count) {
+  uint64_t i = 0;
+  while (i < count) {
+    const VAddr a = addr + i * sizeof(T);
+    if (yield_fn_ == nullptr && PinnedRunReady(tlb_, a, sizeof(T), false)) {
+      uint64_t n = (tlb_.v_hi - a + 1) / sizeof(T);  // run staying in the pin
+      n = std::min(n, count - i);
+      ChargePinnedRun(tlb_, sizeof(T), n, false);
+      std::memcpy(dst + i, tlb_.host + (a - tlb_.v_lo), n * sizeof(T));
+      i += n;
+      continue;
+    }
+    const void* p = TryPinned(tlb_, a, sizeof(T), false);
+    if (p == nullptr) p = PinnedSlowAccess(tlb_, a, sizeof(T), false);
+    std::memcpy(dst + i, p, sizeof(T));
+    ++i;
+  }
+}
+
+template <typename T>
+void ExecutionContext::StoreSpan(VAddr addr, const T* src, uint64_t count) {
+  uint64_t i = 0;
+  while (i < count) {
+    const VAddr a = addr + i * sizeof(T);
+    if (yield_fn_ == nullptr && PinnedRunReady(tlb_, a, sizeof(T), true)) {
+      uint64_t n = (tlb_.v_hi - a + 1) / sizeof(T);
+      n = std::min(n, count - i);
+      ChargePinnedRun(tlb_, sizeof(T), n, true);
+      std::memcpy(tlb_.host + (a - tlb_.v_lo), src + i, n * sizeof(T));
+      i += n;
+      continue;
+    }
+    void* p = TryPinned(tlb_, a, sizeof(T), true);
+    if (p == nullptr) p = PinnedSlowAccess(tlb_, a, sizeof(T), true);
+    std::memcpy(p, src + i, sizeof(T));
+    ++i;
+  }
+}
+
+template <typename T>
+void ExecutionContext::Fill(VAddr addr, const T& value, uint64_t count) {
+  uint64_t i = 0;
+  while (i < count) {
+    const VAddr a = addr + i * sizeof(T);
+    if (yield_fn_ == nullptr && PinnedRunReady(tlb_, a, sizeof(T), true)) {
+      uint64_t n = (tlb_.v_hi - a + 1) / sizeof(T);
+      n = std::min(n, count - i);
+      ChargePinnedRun(tlb_, sizeof(T), n, true);
+      std::byte* h = tlb_.host + (a - tlb_.v_lo);
+      for (uint64_t j = 0; j < n; ++j) {
+        std::memcpy(h + j * sizeof(T), &value, sizeof(T));
+      }
+      i += n;
+      continue;
+    }
+    void* p = TryPinned(tlb_, a, sizeof(T), true);
+    if (p == nullptr) p = PinnedSlowAccess(tlb_, a, sizeof(T), true);
+    std::memcpy(p, &value, sizeof(T));
+    ++i;
+  }
+}
+
+template <typename T>
+void ExecutionContext::Memcpy(VAddr dst_addr, VAddr src_addr, uint64_t count) {
+  // Element sequence of the scalar loop: load src[i], then store dst[i].
+  // The source gets a local pin so the context TLB keeps covering the
+  // destination page across calls.
+  PagePin src_pin;
+  uint64_t i = 0;
+  while (i < count) {
+    const VAddr sa = src_addr + i * sizeof(T);
+    const VAddr da = dst_addr + i * sizeof(T);
+    if (yield_fn_ == nullptr && PinnedRunReady(src_pin, sa, sizeof(T), false) &&
+        PinnedRunReady(tlb_, da, sizeof(T), true)) {
+      uint64_t n = std::min((src_pin.v_hi - sa + 1) / sizeof(T),
+                            (tlb_.v_hi - da + 1) / sizeof(T));
+      n = std::min(n, count - i);
+      if (src_pin.notify || tlb_.notify) {
+        // Preserve the exact load/store event interleaving for observers.
+        for (uint64_t j = 0; j < n; ++j) {
+          ChargePinnedRun(src_pin, sizeof(T), 1, false);
+          ChargePinnedRun(tlb_, sizeof(T), 1, true);
+        }
+      } else {
+        // Grouped charging: all Advances are constants, so the clock and
+        // every counter land exactly where the alternating loop puts them.
+        ChargePinnedRun(src_pin, sizeof(T), n, false);
+        ChargePinnedRun(tlb_, sizeof(T), n, true);
+      }
+      std::memmove(tlb_.host + (da - tlb_.v_lo),
+                   src_pin.host + (sa - src_pin.v_lo), n * sizeof(T));
+      i += n;
+      continue;
+    }
+    T v;
+    const void* sp = TryPinned(src_pin, sa, sizeof(T), false);
+    if (sp == nullptr) sp = PinnedSlowAccess(src_pin, sa, sizeof(T), false);
+    std::memcpy(&v, sp, sizeof(T));
+    void* dp = TryPinned(tlb_, da, sizeof(T), true);
+    if (dp == nullptr) dp = PinnedSlowAccess(tlb_, da, sizeof(T), true);
+    std::memcpy(dp, &v, sizeof(T));
+    ++i;
+  }
+}
+
+/// Sequential accessor carrying its own translation pin. Engine inner loops
+/// hold one Cursor per array they walk, so each stream keeps its page pinned
+/// independently of the others (mirroring the kStreams DRAM model): a miss
+/// refills the pin unconditionally — constructing a Cursor *declares*
+/// sequential intent, unlike the plain Load/Store TLB which waits for two
+/// consecutive same-page misses. Charges and access order are identical to
+/// issuing the same Load/Store sequence on the context directly.
+class Cursor {
+ public:
+  explicit Cursor(ExecutionContext& ctx) : ctx_(&ctx) {}
+
+  template <typename T>
+  T Load(VAddr addr) {
+    const void* p = ctx_->TryPinned(pin_, addr, sizeof(T), /*write=*/false);
+    if (p == nullptr) {
+      p = ctx_->PinnedSlowAccess(pin_, addr, sizeof(T), /*write=*/false);
+    }
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Store(VAddr addr, const T& v) {
+    void* p = ctx_->TryPinned(pin_, addr, sizeof(T), /*write=*/true);
+    if (p == nullptr) {
+      p = ctx_->PinnedSlowAccess(pin_, addr, sizeof(T), /*write=*/true);
+    }
+    std::memcpy(p, &v, sizeof(T));
+  }
+
+  const void* ReadRange(VAddr addr, uint64_t len) {
+    const void* p = ctx_->TryPinned(pin_, addr, len, /*write=*/false);
+    return p != nullptr ? p
+                        : ctx_->PinnedSlowAccess(pin_, addr, len, false);
+  }
+
+  void* WriteRange(VAddr addr, uint64_t len) {
+    void* p = ctx_->TryPinned(pin_, addr, len, /*write=*/true);
+    return p != nullptr ? p : ctx_->PinnedSlowAccess(pin_, addr, len, true);
+  }
+
+ private:
+  ExecutionContext* ctx_;
+  PagePin pin_;
+};
 
 }  // namespace teleport::ddc
 

@@ -14,6 +14,10 @@ using VAddr = uint64_t;
 /// Page number (VAddr / page_size).
 using PageId = uint64_t;
 
+/// Sentinel for "no page": used by the per-context stream trackers, the
+/// last-fault readahead state, and the translation-cache pins.
+inline constexpr PageId kNoPage = ~PageId{0};
+
 /// Which resource pool a context executes in.
 enum class Pool : uint8_t {
   kCompute,  ///< compute pool; local DRAM is only a cache

@@ -125,9 +125,10 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
   runner.Run(Phase::kFinalize, [&](ddc::ExecutionContext& c) {
     // Per-worker edge counts (first pass over the CSR).
     std::vector<uint64_t> worker_edges(static_cast<size_t>(workers), 0);
+    ddc::Cursor off_cur(c);
     for (uint64_t v = 0; v < v_count; ++v) {
-      const int64_t begin = c.Load<int64_t>(g.offsets + v * 8);
-      const int64_t end = c.Load<int64_t>(g.offsets + (v + 1) * 8);
+      const int64_t begin = off_cur.Load<int64_t>(g.offsets + v * 8);
+      const int64_t end = off_cur.Load<int64_t>(g.offsets + (v + 1) * 8);
       worker_edges[v % static_cast<uint64_t>(workers)] +=
           static_cast<uint64_t>(end - begin);
       c.ChargeCpu(2);
@@ -139,20 +140,29 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
       base += worker_edges[static_cast<size_t>(w)];
     }
     // Second pass: copy each vertex's edges into its worker's region and
-    // initialize vertex state.
+    // initialize vertex state. Each array walks its own cursor; the
+    // per-worker output regions advance sequentially within a vertex.
+    ddc::Cursor val_cur(c);
+    ddc::Cursor msg_cur(c);
+    ddc::Cursor fs_cur(c);
+    ddc::Cursor fd_cur(c);
+    ddc::Cursor tgt_cur(c);
+    ddc::Cursor wgt_cur(c);
+    ddc::Cursor ft_cur(c);
+    ddc::Cursor fw_cur(c);
     for (uint64_t v = 0; v < v_count; ++v) {
-      c.Store<int64_t>(values + v * 8, program.InitValue(v));
-      c.Store<int64_t>(msgs + v * 8, identity);
-      const int64_t begin = c.Load<int64_t>(g.offsets + v * 8);
-      const int64_t end = c.Load<int64_t>(g.offsets + (v + 1) * 8);
+      val_cur.Store<int64_t>(values + v * 8, program.InitValue(v));
+      msg_cur.Store<int64_t>(msgs + v * 8, identity);
+      const int64_t begin = off_cur.Load<int64_t>(g.offsets + v * 8);
+      const int64_t end = off_cur.Load<int64_t>(g.offsets + (v + 1) * 8);
       uint64_t& cur = cursor[v % static_cast<uint64_t>(workers)];
-      c.Store<int64_t>(f_start + v * 8, static_cast<int64_t>(cur));
-      c.Store<int64_t>(f_deg + v * 8, end - begin);
+      fs_cur.Store<int64_t>(f_start + v * 8, static_cast<int64_t>(cur));
+      fd_cur.Store<int64_t>(f_deg + v * 8, end - begin);
       for (int64_t e = begin; e < end; ++e) {
-        const int64_t t = c.Load<int64_t>(g.targets + e * 8);
-        const int64_t w = c.Load<int64_t>(g.weights + e * 8);
-        c.Store<int64_t>(f_targets + cur * 8, t);
-        c.Store<int64_t>(f_weights + cur * 8, w);
+        const int64_t t = tgt_cur.Load<int64_t>(g.targets + e * 8);
+        const int64_t w = wgt_cur.Load<int64_t>(g.weights + e * 8);
+        ft_cur.Store<int64_t>(f_targets + cur * 8, t);
+        fw_cur.Store<int64_t>(f_weights + cur * 8, w);
         ++cur;
         c.ChargeCpu(2);
       }
@@ -164,10 +174,11 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
   uint64_t frontier_count = 0;
   {
     auto& c = ctx;  // initial activation is bookkeeping, not a GAS phase
+    ddc::Cursor fr_cur(c);
     for (uint64_t v = 0; v < v_count; ++v) {
       if (program.InitiallyActive(v)) {
-        c.Store<int64_t>(frontier + frontier_count * 8,
-                         static_cast<int64_t>(v));
+        fr_cur.Store<int64_t>(frontier + frontier_count * 8,
+                              static_cast<int64_t>(v));
         ++frontier_count;
       }
       c.ChargeCpu(1);
@@ -181,14 +192,23 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
     // --- Scatter: active vertices push messages along their (shuffled)
     // out-edges; random writes into msgs[] are the expensive part (§5.2).
     runner.Run(Phase::kScatter, [&](ddc::ExecutionContext& c) {
+      // Frontier ids are ascending, so the per-vertex arrays stream too;
+      // the msgs[] scatter is genuinely random and stays on the plain
+      // context path (a pin would only churn).
+      ddc::Cursor fr_cur(c);
+      ddc::Cursor val_cur(c);
+      ddc::Cursor fs_cur(c);
+      ddc::Cursor fd_cur(c);
+      ddc::Cursor ft_cur(c);
+      ddc::Cursor fw_cur(c);
       for (uint64_t i = 0; i < frontier_count; ++i) {
-        const int64_t v = c.Load<int64_t>(frontier + i * 8);
-        const int64_t value = c.Load<int64_t>(values + v * 8);
-        const int64_t start = c.Load<int64_t>(f_start + v * 8);
-        const int64_t deg = c.Load<int64_t>(f_deg + v * 8);
+        const int64_t v = fr_cur.Load<int64_t>(frontier + i * 8);
+        const int64_t value = val_cur.Load<int64_t>(values + v * 8);
+        const int64_t start = fs_cur.Load<int64_t>(f_start + v * 8);
+        const int64_t deg = fd_cur.Load<int64_t>(f_deg + v * 8);
         for (int64_t e = start; e < start + deg; ++e) {
-          const int64_t t = c.Load<int64_t>(f_targets + e * 8);
-          const int64_t w = c.Load<int64_t>(f_weights + e * 8);
+          const int64_t t = ft_cur.Load<int64_t>(f_targets + e * 8);
+          const int64_t w = fw_cur.Load<int64_t>(f_weights + e * 8);
           const int64_t m = program.ScatterMessage(value, w, deg);
           const ddc::VAddr slot = msgs + static_cast<uint64_t>(t) * 8;
           c.Store<int64_t>(slot, program.Combine(c.Load<int64_t>(slot), m));
@@ -202,13 +222,17 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
     // list and reset the message array.
     uint64_t gathered = 0;
     runner.Run(Phase::kGather, [&](ddc::ExecutionContext& c) {
+      ddc::Cursor msg_cur(c);
+      ddc::Cursor fr_cur(c);
+      ddc::Cursor fm_cur(c);
       for (uint64_t v = 0; v < v_count; ++v) {
-        const int64_t m = c.Load<int64_t>(msgs + v * 8);
+        const int64_t m = msg_cur.Load<int64_t>(msgs + v * 8);
         c.ChargeCpu(2);
         if (m != identity) {
-          c.Store<int64_t>(frontier + gathered * 8, static_cast<int64_t>(v));
-          c.Store<int64_t>(frontier_msgs + gathered * 8, m);
-          c.Store<int64_t>(msgs + v * 8, identity);
+          fr_cur.Store<int64_t>(frontier + gathered * 8,
+                                static_cast<int64_t>(v));
+          fm_cur.Store<int64_t>(frontier_msgs + gathered * 8, m);
+          msg_cur.Store<int64_t>(msgs + v * 8, identity);
           ++gathered;
         }
       }
@@ -218,16 +242,22 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
     // scatter frontier (compacted in place).
     uint64_t activated = 0;
     runner.Run(Phase::kApply, [&](ddc::ExecutionContext& c) {
+      // The compacted frontier is rewritten in place behind the read
+      // position, so reads and writes each keep their own cursor.
+      ddc::Cursor fr_cur(c);
+      ddc::Cursor fm_cur(c);
+      ddc::Cursor val_cur(c);
+      ddc::Cursor fout_cur(c);
       for (uint64_t i = 0; i < gathered; ++i) {
-        const int64_t v = c.Load<int64_t>(frontier + i * 8);
-        const int64_t m = c.Load<int64_t>(frontier_msgs + i * 8);
-        const int64_t old = c.Load<int64_t>(values + v * 8);
+        const int64_t v = fr_cur.Load<int64_t>(frontier + i * 8);
+        const int64_t m = fm_cur.Load<int64_t>(frontier_msgs + i * 8);
+        const int64_t old = val_cur.Load<int64_t>(values + v * 8);
         int64_t updated = old;
         const bool act = program.Apply(old, m, &updated);
         c.ChargeCpu(4);
-        if (updated != old) c.Store<int64_t>(values + v * 8, updated);
+        if (updated != old) val_cur.Store<int64_t>(values + v * 8, updated);
         if (act) {
-          c.Store<int64_t>(frontier + activated * 8, v);
+          fout_cur.Store<int64_t>(frontier + activated * 8, v);
           ++activated;
         }
       }
@@ -237,8 +267,9 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
     if (program.AlwaysActive()) {
       // Fixed-round programs re-activate every vertex.
       frontier_count = v_count;
+      ddc::Cursor fr_cur(ctx);
       for (uint64_t v = 0; v < v_count; ++v) {
-        ctx.Store<int64_t>(frontier + v * 8, static_cast<int64_t>(v));
+        fr_cur.Store<int64_t>(frontier + v * 8, static_cast<int64_t>(v));
       }
     }
   }
@@ -247,8 +278,9 @@ GasResult RunGas(ddc::ExecutionContext& ctx, const Graph& g,
   // unreached vertices keep large kInf sentinels whose products wrap, and
   // the digest is the two's-complement bit pattern, not an arithmetic sum.
   uint64_t checksum = 0;
+  ddc::Cursor sum_cur(ctx);
   for (uint64_t v = 0; v < v_count; ++v) {
-    const int64_t value = ctx.Load<int64_t>(values + v * 8);
+    const int64_t value = sum_cur.Load<int64_t>(values + v * 8);
     checksum += (v % 97 + 1) * (static_cast<uint64_t>(value) + 13);
     ctx.ChargeCpu(2);
   }

@@ -35,7 +35,7 @@ bool IsWordChar(char c) { return c != ' ' && c != '\n'; }
 class ByteCursor {
  public:
   ByteCursor(ddc::ExecutionContext& ctx, ddc::VAddr base, uint64_t size)
-      : ctx_(ctx), base_(base), size_(size) {}
+      : cur_(ctx), base_(base), size_(size) {}
 
   /// Returns the byte at pos, or -1 past the end.
   int Get(uint64_t pos) {
@@ -44,13 +44,13 @@ class ByteCursor {
       block_start_ = pos;
       block_len_ = std::min<uint64_t>(256, size_ - pos);
       block_ = static_cast<const char*>(
-          ctx_.ReadRange(base_ + block_start_, block_len_));
+          cur_.ReadRange(base_ + block_start_, block_len_));
     }
     return static_cast<unsigned char>(block_[pos - block_start_]);
   }
 
  private:
-  ddc::ExecutionContext& ctx_;
+  ddc::Cursor cur_;
   ddc::VAddr base_;
   uint64_t size_;
   const char* block_ = nullptr;
@@ -68,6 +68,14 @@ struct KvBuffer {
     TELEPORT_CHECK(count < capacity) << "kv buffer overflow";
     ctx.Store<int64_t>(addr + count * kPairBytes, key);
     ctx.Store<int64_t>(addr + count * kPairBytes + 8, value);
+    ++count;
+  }
+
+  /// Bump append through a caller-held cursor (sequential output runs).
+  void Emit(ddc::Cursor& cur, int64_t key, int64_t value) {
+    TELEPORT_CHECK(count < capacity) << "kv buffer overflow";
+    cur.Store<int64_t>(addr + count * kPairBytes, key);
+    cur.Store<int64_t>(addr + count * kPairBytes + 8, value);
     ++count;
   }
 };
@@ -196,9 +204,13 @@ MrResult RunPipeline(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
     // --- Map-shuffle: insert this task's pairs into the reduce tasks'
     // keyed buffers (the pushdown target, §5.3).
     runner.Run(MrPhase::kMapShuffle, [&](ddc::ExecutionContext& c) {
+      // The local buffer streams; the keyed-table probes are random and
+      // stay on the plain context path.
+      ddc::Cursor buf_cur(c);
       for (uint64_t i = 0; i < buf.count; ++i) {
-        const int64_t key = c.Load<int64_t>(buf.addr + i * kPairBytes);
-        const int64_t value = c.Load<int64_t>(buf.addr + i * kPairBytes + 8);
+        const int64_t key = buf_cur.Load<int64_t>(buf.addr + i * kPairBytes);
+        const int64_t value =
+            buf_cur.Load<int64_t>(buf.addr + i * kPairBytes + 8);
         ReduceTable& tab = tables[static_cast<size_t>(
             static_cast<uint64_t>(key) % static_cast<uint64_t>(r_tasks))];
         const uint64_t mask = tab.slots - 1;
@@ -237,12 +249,15 @@ MrResult RunPipeline(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
     out.addr = ms.space().Alloc(out.capacity * kPairBytes,
                                 "mr.reduce_out." + std::to_string(r));
     runner.Run(MrPhase::kReduce, [&](ddc::ExecutionContext& c) {
+      ddc::Cursor scan_cur(c);
+      ddc::Cursor out_cur(c);
       for (uint64_t s = 0; s < tab.slots; ++s) {
-        const int64_t key = c.Load<int64_t>(tab.addr + s * kPairBytes);
+        const int64_t key = scan_cur.Load<int64_t>(tab.addr + s * kPairBytes);
         c.ChargeCpu(2);
         if (key == kEmptyKey) continue;
-        const int64_t value = c.Load<int64_t>(tab.addr + s * kPairBytes + 8);
-        out.Emit(c, key, value);
+        const int64_t value =
+            scan_cur.Load<int64_t>(tab.addr + s * kPairBytes + 8);
+        out.Emit(out_cur, key, value);
       }
     });
   }
@@ -255,12 +270,15 @@ MrResult RunPipeline(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
   int64_t checksum = 0;
   runner.Run(MrPhase::kMerge, [&](ddc::ExecutionContext& c) {
     uint64_t n = 0;
+    ddc::Cursor in_cur(c);
+    ddc::Cursor out_cur(c);
     for (const KvBuffer& out : outputs) {
       for (uint64_t i = 0; i < out.count; ++i) {
-        const int64_t key = c.Load<int64_t>(out.addr + i * kPairBytes);
-        const int64_t value = c.Load<int64_t>(out.addr + i * kPairBytes + 8);
-        c.Store<int64_t>(merged + n * kPairBytes, key);
-        c.Store<int64_t>(merged + n * kPairBytes + 8, value);
+        const int64_t key = in_cur.Load<int64_t>(out.addr + i * kPairBytes);
+        const int64_t value =
+            in_cur.Load<int64_t>(out.addr + i * kPairBytes + 8);
+        out_cur.Store<int64_t>(merged + n * kPairBytes, key);
+        out_cur.Store<int64_t>(merged + n * kPairBytes + 8, value);
         ++n;
         c.ChargeCpu(2);
         // Order-independent digest (outputs are hash-ordered).
@@ -304,6 +322,7 @@ MrResult RunWordCount(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
       [&corpus](ddc::ExecutionContext& c, uint64_t begin, uint64_t end,
                 KvBuffer& out) {
         ByteCursor bytes(c, corpus.addr, corpus.bytes);
+        ddc::Cursor out_cur(c);
         uint64_t pos = begin;
         // Words straddling the chunk start belong to the previous task.
         if (begin > 0) {
@@ -328,7 +347,7 @@ MrResult RunWordCount(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
           } else {
             if (!word.empty()) {
               c.ChargeCpu(word.size() + 2);
-              out.Emit(c, FnvHash(word), 1);
+              out.Emit(out_cur, FnvHash(word), 1);
               word.clear();
             }
             if (pos >= end) break;
@@ -337,7 +356,7 @@ MrResult RunWordCount(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
         }
         if (!word.empty()) {
           c.ChargeCpu(word.size() + 2);
-          out.Emit(c, FnvHash(word), 1);
+          out.Emit(out_cur, FnvHash(word), 1);
         }
       });
 }
@@ -355,6 +374,7 @@ MrResult RunGrep(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
       [&corpus, needle](ddc::ExecutionContext& c, uint64_t begin,
                         uint64_t end, KvBuffer& out) {
         ByteCursor bytes(c, corpus.addr, corpus.bytes);
+        ddc::Cursor out_cur(c);
         uint64_t pos = begin;
         // Lines straddling the chunk start belong to the previous task
         // (unless the chunk begins exactly at a line start).
@@ -377,7 +397,7 @@ MrResult RunGrep(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
           // End of line.
           c.ChargeCpu(line.size() + needle.size());
           if (line.find(needle) != std::string::npos) {
-            out.Emit(c, FnvHash(line), 1);
+            out.Emit(out_cur, FnvHash(line), 1);
           }
           line.clear();
           ++pos;
@@ -387,7 +407,7 @@ MrResult RunGrep(ddc::ExecutionContext& ctx, const TextCorpus& corpus,
         if (!line.empty() && pos >= corpus.bytes && line_start < end) {
           c.ChargeCpu(line.size() + needle.size());
           if (line.find(needle) != std::string::npos) {
-            out.Emit(c, FnvHash(line), 1);
+            out.Emit(out_cur, FnvHash(line), 1);
           }
         }
       });

@@ -45,6 +45,9 @@ ModelChecker::ModelChecker(ddc::MemorySystem* ms, OnViolation action)
   session_active_ = ms_->pushdown_active();
   mode_ = ms_->coherence_mode();
   ms_->set_coherence_observer(this);
+  // After the attach (which itself bumps the epoch), so the first checked
+  // transition needs a bump of its own.
+  last_epoch_ = ms_->translation_epoch();
   attached_ = true;
 }
 
@@ -242,7 +245,40 @@ void ModelChecker::StepSessionEnd(const CoherenceEvent& ev) {
   for (ddc::PageId p = 0; p < pages_.size(); ++p) CheckAgainstImpl(ev, p);
 }
 
+bool ModelChecker::RequiresShootdown(const CoherenceEvent& ev) {
+  switch (ev.kind) {
+    case CoherenceEvent::Kind::kComputeAccess: {
+      // Obliged only when the access is not a plain hit under the model's
+      // pre-step permissions (fault, upgrade, or coherence transition).
+      const PageModel& m = Page(ev.page);
+      return !(m.compute == Perm::kWrite ||
+               (!ev.write && m.compute == Perm::kRead));
+    }
+    case CoherenceEvent::Kind::kMemoryAccess: {
+      // Transitions only happen under an active coherent session; plain
+      // pool faults also bump, but the model cannot see pool residency so
+      // it does not insist.
+      if (!session_active_ || mode_ == CoherenceMode::kNone) return false;
+      const PageModel& m = Page(ev.page);
+      return !(m.temp == Perm::kWrite ||
+               (!ev.write && m.temp == Perm::kRead));
+    }
+    default:
+      // Evictions, fills, writebacks, flushes, refetches, restarts and
+      // session boundaries always rewrite page state.
+      return true;
+  }
+}
+
 void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
+  const uint64_t epoch = ms_->translation_epoch();
+  if (epoch == last_epoch_ && RequiresShootdown(ev)) {
+    Fail(ev,
+         "missing TLB shootdown: translation epoch unchanged across a "
+         "coherence transition (pinned fast-path translations would survive "
+         "a state change)");
+  }
+  last_epoch_ = epoch;
   switch (ev.kind) {
     case CoherenceEvent::Kind::kSessionBegin:
       StepSessionBegin(ev);

@@ -27,6 +27,14 @@ namespace teleport::tp {
 ///     invariant without hashing page payloads.
 ///  4. *Drain* — when a session ends (and at Finish()) no temporary-context
 ///     permissions or in-flight upgrade windows survive.
+///  5. *TLB shootdown* — every event that reflects a protocol transition
+///     (coherence fault, eviction, writeback, flush, refetch, restart,
+///     session boundary) must observe a translation-epoch value different
+///     from the previous event's: the extent fast path caches page
+///     translations (ddc::PagePin) and a transition that forgets the
+///     shootdown would let a pin serve accesses against stale state.
+///     Access events that the spec resolves as plain hits carry no such
+///     obligation.
 ///
 /// The checker is an observer: it never mutates the system, costs no
 /// virtual time, and can be attached to any kBaseDdc MemorySystem — tests
@@ -80,6 +88,12 @@ class ModelChecker : public ddc::CoherenceObserver {
   PageModel& Page(ddc::PageId p);
   void Fail(const ddc::CoherenceEvent& ev, std::string message);
 
+  /// Whether `ev` reflects a state transition that obliges a TLB shootdown
+  /// (translation-epoch bump), judged from the *model's* pre-step state so
+  /// an implementation that forgot the transition cannot also excuse the
+  /// missing shootdown.
+  bool RequiresShootdown(const ddc::CoherenceEvent& ev);
+
   // Spec transitions (mirror memory_system.cc, independently derived from
   // the paper's Figs 8/9 — agreement is the point).
   void StepComputeAccess(const ddc::CoherenceEvent& ev);
@@ -96,6 +110,8 @@ class ModelChecker : public ddc::CoherenceObserver {
   std::vector<PageModel> pages_;
   bool session_active_ = false;
   ddc::CoherenceMode mode_ = ddc::CoherenceMode::kMesi;
+  /// Translation epoch observed by the previous event (shootdown check).
+  uint64_t last_epoch_ = 0;
   uint64_t steps_ = 0;
   std::vector<Violation> violations_;
   bool attached_ = false;

@@ -165,7 +165,7 @@ TEST(FormatGoldenTest, TracerRollupFormat) {
   EXPECT_EQ(sim::Tracer().RollupToString(), "");
 }
 
-// --- Bench JSONL records (concatenated into BENCH_PR4.json by CI) -----------
+// --- Bench JSONL records (concatenated into BENCH_PR5.json by CI) -----------
 
 TEST(FormatGoldenTest, BenchRecordJsonLine) {
   bench::BenchRecord r;
@@ -173,11 +173,13 @@ TEST(FormatGoldenTest, BenchRecordJsonLine) {
   r.workload = "on_demand";
   r.platform = "TELEPORT";
   r.virtual_ns = 8333226;
+  r.wall_ns = 41250;
   r.remote_memory_bytes = 100663296;
   r.trace = "traces/fig20_on_demand.trace.json";
   EXPECT_EQ(bench::BenchRecordToJson(r),
             "{\"figure\":\"fig20\",\"workload\":\"on_demand\","
             "\"platform\":\"TELEPORT\",\"virtual_ns\":8333226,"
+            "\"wall_ns\":41250,"
             "\"remote_memory_bytes\":100663296,"
             "\"trace\":\"traces/fig20_on_demand.trace.json\"}");
   // Quotes and backslashes in fields are escaped, not framing-breaking.
@@ -185,7 +187,8 @@ TEST(FormatGoldenTest, BenchRecordJsonLine) {
   esc.figure = "f\"1\\2";
   EXPECT_EQ(bench::BenchRecordToJson(esc),
             "{\"figure\":\"f\\\"1\\\\2\",\"workload\":\"\",\"platform\":\"\","
-            "\"virtual_ns\":0,\"remote_memory_bytes\":0,\"trace\":\"\"}");
+            "\"virtual_ns\":0,\"wall_ns\":0,\"remote_memory_bytes\":0,"
+            "\"trace\":\"\"}");
 }
 
 // --- Coherence-event names (consumed by trace dumps / replay tooling) -------

@@ -1,0 +1,135 @@
+// Tier-1 equivalence lock for the extent fast path at engine scale: each
+// application engine (db / graph / mr) runs the same deployment twice —
+// once with the fast path live (default) and once with the scalar data
+// path forced — across three fault seeds (seed 0 fault-free, the others
+// with the chaos injector armed). Answers, virtual clocks, and the full
+// sim::Metrics must match bit for bit, and the coherence model checker
+// rides along on every run (same event count on both paths, zero
+// violations — which also asserts the TLB-shootdown invariant while the
+// engines exercise the protocol).
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "db/query.h"
+#include "graph/engine.h"
+#include "mr/engine.h"
+#include "net/faults.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+net::FaultSpec LossySpec() {
+  net::FaultSpec spec;
+  spec.drop_p = 0.12;
+  spec.delay_p = 0.08;
+  spec.delay_ns = 2 * kMicrosecond;
+  spec.dup_p = 0.04;
+  return spec;
+}
+
+void ArmChaos(ddc::MemorySystem& ms, tp::PushdownRuntime& runtime,
+              net::FaultInjector& inj) {
+  inj.SetSpecAll(LossySpec());
+  ms.fabric().set_fault_injector(&inj);
+  ms.set_retry_seed(0xe40);
+  runtime.set_retry_seed(0xe41);
+}
+
+struct Observed {
+  int64_t checksum = 0;
+  Nanos elapsed = 0;
+  Nanos clock_now = 0;
+  std::string metrics;
+  uint64_t checker_steps = 0;
+};
+
+Observed RunDb(uint64_t fault_seed, bool scalar) {
+  auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.2);
+  if (scalar) d.ms->set_scalar_datapath(true);
+  net::FaultInjector inj(fault_seed);
+  if (fault_seed != 0) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  db::QueryOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_ops = db::DefaultTeleportOps("q6");
+  const db::QueryResult r = db::RunQ6(*d.ctx, *d.database, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.clock_now = d.ctx->now();
+  o.metrics = d.ctx->metrics().ToString();
+  o.checker_steps = checker.steps();
+  EXPECT_EQ(checker.Finish(), 0u);
+  return o;
+}
+
+Observed RunGraph(uint64_t fault_seed, bool scalar) {
+  auto d = bench::MakeGraph(ddc::Platform::kBaseDdc, 1500, 6);
+  if (scalar) d.ms->set_scalar_datapath(true);
+  net::FaultInjector inj(fault_seed);
+  if (fault_seed != 0) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  graph::GasOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = graph::DefaultTeleportPhases();
+  const graph::GasResult r = graph::RunSssp(*d.ctx, d.graph, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.clock_now = d.ctx->now();
+  o.metrics = d.ctx->metrics().ToString();
+  o.checker_steps = checker.steps();
+  EXPECT_EQ(checker.Finish(), 0u);
+  return o;
+}
+
+Observed RunMr(uint64_t fault_seed, bool scalar) {
+  auto d = bench::MakeMr(ddc::Platform::kBaseDdc, 192 << 10);
+  if (scalar) d.ms->set_scalar_datapath(true);
+  net::FaultInjector inj(fault_seed);
+  if (fault_seed != 0) ArmChaos(*d.ms, *d.runtime, inj);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  mr::MrOptions opts;
+  opts.runtime = d.runtime.get();
+  opts.push_phases = mr::DefaultTeleportPhases(/*grep=*/false);
+  const mr::MrResult r = mr::RunWordCount(*d.ctx, d.corpus, opts);
+  Observed o;
+  o.checksum = r.checksum;
+  o.elapsed = r.total_ns;
+  o.clock_now = d.ctx->now();
+  o.metrics = d.ctx->metrics().ToString();
+  o.checker_steps = checker.steps();
+  EXPECT_EQ(checker.Finish(), 0u);
+  return o;
+}
+
+using Runner = Observed (*)(uint64_t, bool);
+
+class BulkEquivalenceTest : public ::testing::TestWithParam<Runner> {};
+
+TEST_P(BulkEquivalenceTest, FastAndScalarPathsMatchBitForBit) {
+  Runner run = GetParam();
+  // Seed 0 is fault-free; the other two arm the lossy fabric.
+  for (const uint64_t seed : {0u, 5u, 13u}) {
+    const Observed fast = run(seed, /*scalar=*/false);
+    const Observed slow = run(seed, /*scalar=*/true);
+    EXPECT_EQ(fast.checksum, slow.checksum) << "seed " << seed;
+    EXPECT_EQ(fast.elapsed, slow.elapsed) << "seed " << seed;
+    EXPECT_EQ(fast.clock_now, slow.clock_now) << "seed " << seed;
+    EXPECT_EQ(fast.metrics, slow.metrics) << "seed " << seed;
+    EXPECT_EQ(fast.checker_steps, slow.checker_steps) << "seed " << seed;
+    ASSERT_GT(fast.elapsed, 0) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, BulkEquivalenceTest,
+                         ::testing::Values(&RunDb, &RunGraph, &RunMr));
+
+}  // namespace
+}  // namespace teleport

@@ -112,6 +112,37 @@ TEST_F(ModelCheckerTest, SkipInvalidationMutationIsCaught) {
   EXPECT_FALSE(checker.ok());
 }
 
+TEST_F(ModelCheckerTest, SkipTlbShootdownMutationIsCaught) {
+  // The mutation suppresses the translation-epoch bump that every protocol
+  // transition owes the extent fast path's cached page pins. The checker
+  // judges the shootdown obligation from its own model (a coherence fault
+  // must bump; a plain hit need not), so the missing bump is observable.
+  ms_.set_protocol_mutation(ProtocolMutation::kSkipTlbShootdown);
+  ModelChecker checker(&ms_, ModelChecker::OnViolation::kRecord);
+  auto cc = ms_.CreateContext(Pool::kCompute);
+  cc->Load<int64_t>(PageAddr(0));      // read fault: shootdown owed
+  cc->Store<int64_t>(PageAddr(0), 1);  // R->W upgrade: shootdown owed
+  cc->Load<int64_t>(PageAddr(1));      // another fault, plus its eviction-
+  cc->Load<int64_t>(PageAddr(2));      // free cache inserts
+  EXPECT_GT(checker.Finish(), 0u);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST_F(ModelCheckerTest, ShootdownInvariantHoldsOnCleanRuns) {
+  // Same flow, no mutation: every transition bumps the epoch and the
+  // checker's invariant #5 stays quiet (hits carry no obligation).
+  ModelChecker checker(&ms_);
+  auto cc = ms_.CreateContext(Pool::kCompute);
+  cc->Load<int64_t>(PageAddr(0));
+  cc->Load<int64_t>(PageAddr(0) + 8);  // plain hit: no bump owed
+  cc->Store<int64_t>(PageAddr(0), 1);
+  ms_.BeginPushdownSession(CoherenceMode::kMesi);
+  auto mc = ms_.CreateContext(Pool::kMemory);
+  mc->Store<int64_t>(PageAddr(0), 2);  // page return + invalidate
+  ms_.EndPushdownSession();
+  EXPECT_EQ(checker.Finish(), 0u);
+}
+
 // --- Exhaustive exploration of a 2-task coherence scenario -------------------
 
 /// A compute-side thread and a pushed-down (memory-side) thread race over
