@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kFenced,           ///< RPC admitted under a stale pool epoch (pool recovered)
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -79,6 +80,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +92,7 @@ class Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsFault() const { return code_ == StatusCode::kFault; }
+  bool IsFenced() const { return code_ == StatusCode::kFenced; }
 
   /// Formats as "Code: message" (just "OK" for success).
   std::string ToString() const;

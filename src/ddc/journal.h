@@ -1,0 +1,121 @@
+#ifndef TELEPORT_DDC_JOURNAL_H_
+#define TELEPORT_DDC_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ddc/types.h"
+
+namespace teleport::ddc {
+
+/// Virtual-time cost knobs of the redo journal. The journal occupies a
+/// small battery-backed region of pool DRAM, so an append is a short local
+/// write plus its share of a group-commit flush that pushes the batch out
+/// to the persistent region; replay after a crash streams the live records
+/// back into pool DRAM.
+struct JournalConfig {
+  /// Local append of one redo record into the journal tail.
+  Nanos append_ns = 180;
+  /// Group-commit flush charged once every `group_commit_records` appends;
+  /// amortizes the persistence barrier across the batch.
+  Nanos flush_ns = 900;
+  /// Records per group-commit batch (the batching bound).
+  int group_commit_records = 8;
+  /// Fixed recovery cost per applied crash-restart (journal scan setup).
+  Nanos replay_fixed_ns = 2 * kMicrosecond;
+  /// Per-page cost of re-materializing one journaled page during replay.
+  Nanos replay_per_page_ns = 600;
+};
+
+/// Redo journal for acknowledged pool writes (PR6, §3.2 hardening).
+///
+/// The pool acknowledges a dirty-page writeback, Syncmem delta, or session
+/// merge only after the corresponding redo record is durable, so "has a
+/// live record" is exactly "acknowledged but not yet flushed to storage".
+/// One live record per page suffices: records are physical redo images of
+/// the whole page, and a later append for the same page supersedes the
+/// earlier one. Truncation happens when the page reaches the storage pool
+/// (the eviction write makes the record redundant).
+///
+/// Durability model: the journal region survives a pool crash-restart, so
+/// recovery replays every live record; records stay live across replay and
+/// keep protecting the page until it is flushed to storage.
+///
+/// All costs are virtual-time only — the caller charges the returned cost
+/// to the acting ExecutionContext; the journal itself never touches a
+/// clock, which keeps it usable from any context (or none, in tests).
+class Journal {
+ public:
+  struct AppendResult {
+    Nanos cost = 0;     ///< append + (on batch boundary) group-commit flush
+    bool flushed = false;  ///< this append closed a group-commit batch
+  };
+
+  explicit Journal(const JournalConfig& cfg = JournalConfig()) : cfg_(cfg) {}
+
+  /// Makes the redo record for `page` durable. Always charges an append;
+  /// every `group_commit_records`-th append also charges the batch flush.
+  AppendResult Append(PageId page) {
+    if (page >= live_.size()) live_.resize(page + 1, 0);
+    if (live_[page] == 0) {
+      live_[page] = 1;
+      ++live_records_;
+    }
+    ++appends_;
+    AppendResult r;
+    r.cost = cfg_.append_ns;
+    if (++group_fill_ >= cfg_.group_commit_records) {
+      group_fill_ = 0;
+      ++flushes_;
+      r.cost += cfg_.flush_ns;
+      r.flushed = true;
+    }
+    return r;
+  }
+
+  /// Drops the record for `page` (the page reached storage). Returns
+  /// whether a record was live. Free: it piggybacks on the storage write.
+  bool Truncate(PageId page) {
+    if (page >= live_.size() || live_[page] == 0) return false;
+    live_[page] = 0;
+    --live_records_;
+    return true;
+  }
+
+  bool Has(PageId page) const {
+    return page < live_.size() && live_[page] != 0;
+  }
+
+  /// Live records in ascending page order — the deterministic replay order.
+  std::vector<PageId> LiveRecords() const {
+    std::vector<PageId> out;
+    out.reserve(live_records_);
+    for (PageId p = 0; p < live_.size(); ++p) {
+      if (live_[p] != 0) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Virtual time to replay `pages` records after one crash-restart.
+  Nanos ReplayCost(uint64_t pages) const {
+    return cfg_.replay_fixed_ns +
+           cfg_.replay_per_page_ns * static_cast<Nanos>(pages);
+  }
+
+  uint64_t live_records() const { return live_records_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t flushes() const { return flushes_; }
+  const JournalConfig& config() const { return cfg_; }
+
+ private:
+  JournalConfig cfg_;
+  std::vector<uint8_t> live_;  ///< per-page: has a live redo record
+  uint64_t live_records_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t flushes_ = 0;
+  int group_fill_ = 0;  ///< appends since the last group-commit flush
+};
+
+}  // namespace teleport::ddc
+
+#endif  // TELEPORT_DDC_JOURNAL_H_

@@ -45,6 +45,14 @@ std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k) {
       return "RefetchPage";
     case CoherenceEvent::Kind::kPoolRestart:
       return "PoolRestart";
+    case CoherenceEvent::Kind::kPoolRecover:
+      return "PoolRecover";
+    case CoherenceEvent::Kind::kJournalCommit:
+      return "JournalCommit";
+    case CoherenceEvent::Kind::kJournalTruncate:
+      return "JournalTruncate";
+    case CoherenceEvent::Kind::kPushdownAdmit:
+      return "PushdownAdmit";
   }
   return "Unknown";
 }
@@ -87,6 +95,13 @@ MemorySystem::MemorySystem(const DdcConfig& config,
   if (scalar != nullptr && scalar[0] != '\0' &&
       !(scalar[0] == '0' && scalar[1] == '\0')) {
     scalar_datapath_ = true;
+  }
+  // TELEPORT_JOURNAL=1 turns on the redo journal (durable pool recovery);
+  // unset/0 preserves the lossy §3.2 crash-restart behavior byte-for-byte.
+  const char* journal = std::getenv("TELEPORT_JOURNAL");
+  if (journal != nullptr && journal[0] != '\0' &&
+      !(journal[0] == '0' && journal[1] == '\0')) {
+    journal_enabled_ = true;
   }
 }
 
@@ -332,6 +347,8 @@ void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx) {
     v.on_storage = true;
     v.mem_dirty = false;
   }
+  // The page now has a storage copy: its redo record is redundant.
+  JournalTruncate(victim, ctx.now());
 }
 
 void MemorySystem::TouchCachePage(PageId page) {
@@ -412,6 +429,9 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     pool_lru_.MoveToFront(victim);
   }
   v.mem_dirty = true;
+  // Ack point of the writeback: the pool acknowledges once the redo record
+  // is durable, so the journal commit precedes the eviction event.
+  JournalCommit(&ctx, victim, ctx.now());
   TraceCache("Writeback", victim, ctx.now());
   Notify(CoherenceEvent::Kind::kComputeEvict, victim, false, ctx.now());
 }
@@ -694,6 +714,9 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
     ++ctx.metrics_.coherence_page_returns;
     ctx.metrics_.bytes_to_memory_pool += params_.page_size;
     TraceProtocol("PageReturn", page, ctx.now());
+    // The returned page is fresh pool state the compute copy no longer
+    // backs up: acknowledge it into the journal.
+    JournalCommit(&ctx, page, ctx.now());
   }
 
   const Nanos done =
@@ -724,7 +747,8 @@ std::vector<PageEntry> MemorySystem::ResidentPages() const {
   return out;  // sorted by construction
 }
 
-uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode) {
+uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode,
+                                            uint64_t admit_epoch) {
   EnsurePageTables();
   if (pushdown_active_) {
     // Concurrent request from another thread of the same process: shares
@@ -760,17 +784,24 @@ uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode) {
     }
   }
   BumpTlbEpochAll();  // temp table materialized; pool-side pins must refill
-  Notify(CoherenceEvent::Kind::kSessionBegin, 0, false, 0);
+  Notify(CoherenceEvent::Kind::kSessionBegin, 0, false, 0,
+         admit_epoch == kCurrentEpoch ? pool_epoch_ : admit_epoch);
   return pages_.size();
 }
 
-void MemorySystem::EndPushdownSession() {
+void MemorySystem::EndPushdownSession(ExecutionContext* ctx) {
   TELEPORT_CHECK(pushdown_active_);
   if (--session_refcount_ > 0) return;
   for (PageId p = 0; p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     // Dirty bits of the temporary context merge into the full table with no
     // external communication (§4.1); temp writes already marked mem_dirty.
+    // With journaling on, the merge is where session writes become
+    // acknowledged pool state: each touched dirty page gets a redo record
+    // (group-commit batching amortizes the flushes).
+    if (journal_enabled_ && s.temp_touched && s.mem_dirty) {
+      JournalCommit(ctx, p, ctx != nullptr ? ctx->now() : 0);
+    }
     s.temp_perm = Perm::kNone;
     s.temp_touched = false;
     s.mem_upgrade_inflight_until = 0;
@@ -805,6 +836,7 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
       ++pool_used_;
     }
     s.mem_dirty = true;
+    JournalCommit(&ctx, p, ctx.now());
     ++flushed;
     Notify(CoherenceEvent::Kind::kSyncmemPage, p, false, ctx.now());
   }
@@ -851,6 +883,7 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
         ++pool_used_;
       }
       s.mem_dirty = true;
+      JournalCommit(&ctx, p, ctx.now());
     } else {
       // Clean pages move no data but still go through the page-by-page
       // eviction path (unmap + TLB shootdown per page).
@@ -904,39 +937,107 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
   ctx.metrics_.bytes_from_memory_pool += bytes;
 }
 
-uint64_t MemorySystem::ApplyPoolRestarts(ExecutionContext& ctx) {
+MemorySystem::RestartOutcome MemorySystem::ApplyPoolRestartsAt(
+    ExecutionContext& ctx, Nanos now) {
+  RestartOutcome out;
   const net::FaultInjector* inj = fabric_.fault_injector();
-  if (inj == nullptr) return 0;
-  const int completed = inj->CrashRestartsCompletedBy(ctx.now());
-  if (completed <= pool_restarts_applied_) return 0;
+  if (inj == nullptr) return out;
+  const int completed = inj->CrashRestartsCompletedBy(now);
+  if (completed <= pool_restarts_applied_) return out;
+  const int windows = completed - pool_restarts_applied_;
   pool_restarts_applied_ = completed;
+  // Each completed crash-restart window opens a fresh lease epoch, even when
+  // several windows are absorbed in one batch: sessions admitted under any
+  // earlier epoch must be fenced.
+  pool_epoch_ += static_cast<uint64_t>(windows);
   EnsurePageTables();
   BumpTlbEpochAll();  // the pool's page table is wiped wholesale
   // The restarted node comes back with empty DRAM: every pool-resident page
   // is dropped. Pages whose bytes were flushed to storage are recoverable
-  // (refaulted on demand); unflushed writes since the last Syncmem/writeback
-  // flush are gone and get reported. Compute-cache pages are untouched.
-  uint64_t lost = 0;
+  // (refaulted on demand). Unflushed writes are gone unless the journal
+  // holds their redo record; writes that bypassed an acknowledgement point
+  // (direct pool stores outside any session) are genuinely unrecoverable
+  // and get reported. Compute-cache pages are untouched.
+  const bool replay =
+      journal_enabled_ && mutation_ != ProtocolMutation::kSkipJournalReplay;
   for (PageId p = 0; p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (!s.in_memory_pool) continue;
     s.in_memory_pool = false;
-    if (s.mem_dirty) {
+    if (s.mem_dirty && !(replay && journal_.Has(p))) {
       s.mem_dirty = false;
-      ++lost;
+      ++out.lost;
     }
   }
   pool_lru_.Clear();
   pool_used_ = 0;
-  lost_pool_writes_ += lost;
-  ctx.metrics_.lost_pool_writes += lost;
+  lost_pool_writes_ += out.lost;
+  ctx.metrics_.lost_pool_writes += out.lost;
   if (tracer_ != nullptr) {
-    tracer_->Instant("coherence", "PoolRestart", ctx.now(),
-                     sim::kTrackCoherence,
-                     "\"lost_writes\":" + std::to_string(lost));
+    tracer_->Instant("coherence", "PoolRestart", now, sim::kTrackCoherence,
+                     "\"lost_writes\":" + std::to_string(out.lost));
   }
-  Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, ctx.now());
-  return lost;
+  Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, now, pool_epoch_);
+  if (replay) {
+    // Replay re-materializes every journaled page into pool DRAM, dirty
+    // again (the storage copy, if any, predates the acknowledged write).
+    // Records stay live so a back-to-back crash recovers them again.
+    for (const PageId p : journal_.LiveRecords()) {
+      PageState& s = pages_[p];
+      s.in_memory_pool = true;
+      s.mem_dirty = true;
+      pool_lru_.PushFront(p);
+      ++pool_used_;
+      ++out.recovered;
+      Notify(CoherenceEvent::Kind::kPoolRecover, p, false, now);
+    }
+    out.recovery_ns = journal_.ReplayCost(out.recovered);
+    recovered_pool_writes_ += out.recovered;
+    ctx.metrics_.recovered_pool_writes += out.recovered;
+    if (tracer_ != nullptr) {
+      tracer_->Span("recovery", "JournalReplay", now, out.recovery_ns,
+                    sim::kTrackMemoryPool,
+                    "\"recovered\":" + std::to_string(out.recovered));
+    }
+  }
+  return out;
+}
+
+bool MemorySystem::AdmitPushdown(ExecutionContext& ctx, uint64_t token,
+                                 Nanos at) {
+  if (token >= executed_tokens_.size()) executed_tokens_.resize(token + 1, 0);
+  const bool duplicate = executed_tokens_[token] != 0;
+  executed_tokens_[token] = 1;
+  bool execute = !duplicate;
+  if (duplicate) {
+    if (mutation_ == ProtocolMutation::kReplayDuplicate) {
+      execute = true;  // planted bug: the dedup table "forgets" the token
+    } else {
+      ++ctx.metrics_.dedup_hits;
+    }
+  }
+  Notify(CoherenceEvent::Kind::kPushdownAdmit, token, execute, at);
+  return execute;
+}
+
+void MemorySystem::JournalCommit(ExecutionContext* ctx, PageId page,
+                                 Nanos at) {
+  if (!journal_enabled_) return;
+  const Journal::AppendResult r = journal_.Append(page);
+  if (ctx != nullptr) {
+    ctx->clock_.Advance(r.cost);
+    ++ctx->metrics_.journal_appends;
+    if (r.flushed) ++ctx->metrics_.journal_flushes;
+    at = ctx->now();
+  }
+  Notify(CoherenceEvent::Kind::kJournalCommit, page, false, at);
+}
+
+void MemorySystem::JournalTruncate(PageId page, Nanos at) {
+  if (!journal_enabled_) return;
+  if (journal_.Truncate(page)) {
+    Notify(CoherenceEvent::Kind::kJournalTruncate, page, false, at);
+  }
 }
 
 uint64_t MemorySystem::CheckSwmrInvariant() const {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "ddc/address_space.h"
+#include "ddc/journal.h"
 #include "ddc/types.h"
 #include "net/fabric.h"
 #include "sim/clock.h"
@@ -255,6 +256,19 @@ enum class ProtocolMutation : uint8_t {
   /// must not survive. The model checker asserts the bump on every
   /// transition, so this mutation is caught at the first one.
   kSkipTlbShootdown,
+  /// Recovery treats journaled pages like unjournaled ones: acknowledged
+  /// writes with live redo records are dropped instead of re-materialized.
+  /// Model-checker invariant #6 sees the restart consume no kPoolRecover
+  /// events for journaled pages and flags the loss.
+  kSkipJournalReplay,
+  /// The pushdown runtime admits RPCs under a stale pool epoch instead of
+  /// fencing them after a recovery. The checker sees a kSessionBegin whose
+  /// epoch lags the pool's and flags the half-done-effects hazard.
+  kSkipFencing,
+  /// The pool-side dedup table re-executes duplicate idempotency tokens
+  /// (injected dup deliveries double-apply). The checker sees a second
+  /// executed kPushdownAdmit for an already-executed token.
+  kReplayDuplicate,
 };
 
 /// A page-granular coherence/page-table transition, reported to an attached
@@ -272,13 +286,20 @@ struct CoherenceEvent {
     kSyncmemPage,    ///< `page` flushed clean by the syncmem syscall
     kFlushPage,      ///< `page` flushed by FlushRange (write := dropped)
     kRefetchPage,    ///< `page` re-cached read-only by BulkRefetch
-    kPoolRestart,    ///< crash-restart wiped the memory pool
+    kPoolRestart,    ///< crash-restart wiped the memory pool (epoch is valid)
+    kPoolRecover,    ///< `page` re-materialized from the journal after restart
+    kJournalCommit,  ///< redo record for `page` made durable (ack point)
+    kJournalTruncate,  ///< redo record for `page` dropped (reached storage)
+    kPushdownAdmit,  ///< dedup decision: `page` is the token, write=executed
   };
   Kind kind;
   PageId page = 0;
   bool write = false;  ///< for kFlushPage: whether the page was dropped
   CoherenceMode mode = CoherenceMode::kMesi;
   Nanos at = 0;
+  /// For kPoolRestart: the pool epoch after recovery. For kSessionBegin:
+  /// the epoch the session was admitted under. 0 elsewhere.
+  uint64_t epoch = 0;
 };
 
 std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k);
@@ -340,12 +361,23 @@ class MemorySystem {
   /// same process share one temporary context and page table (§3.2); nested
   /// Begin calls must use the same mode and only the first initializes the
   /// table.
-  uint64_t BeginPushdownSession(CoherenceMode mode);
+  ///
+  /// `admit_epoch` is the pool epoch the session's RPC was admitted under
+  /// (lease fencing); the default sentinel means "the current epoch". The
+  /// first Begin of a session reports it on the kSessionBegin event so the
+  /// model checker can assert no stale-epoch session ever starts.
+  static constexpr uint64_t kCurrentEpoch = ~uint64_t{0};
+  uint64_t BeginPushdownSession(CoherenceMode mode,
+                                uint64_t admit_epoch = kCurrentEpoch);
 
   /// Merges temporary-context dirty bits back into the full page table and
   /// deactivates coherence once the last concurrent session ends. No fabric
-  /// traffic (per §4.1).
-  void EndPushdownSession();
+  /// traffic (per §4.1). With journaling enabled the final merge is the
+  /// acknowledgment point for session writes: every merged dirty page gets
+  /// a redo record, charged to `ctx` when one is supplied (the pushdown
+  /// runtime passes the memory-side context; tests may pass nullptr, which
+  /// appends records without charging virtual time).
+  void EndPushdownSession(ExecutionContext* ctx = nullptr);
 
   bool pushdown_active() const { return pushdown_active_; }
   CoherenceMode coherence_mode() const { return coherence_mode_; }
@@ -449,15 +481,57 @@ class MemorySystem {
   /// Reseeds the deterministic jitter stream used by fault-path retries.
   void set_retry_seed(uint64_t seed) { retry_rng_ = Rng(seed); }
 
+  /// Outcome of applying completed crash-restart windows (see
+  /// ApplyPoolRestartsAt). `recovery_ns` is the virtual time the pool spent
+  /// replaying the journal; the bookkeeping itself never advances a clock.
+  struct RestartOutcome {
+    uint64_t lost = 0;       ///< acknowledged writes genuinely unrecoverable
+    uint64_t recovered = 0;  ///< pages re-materialized from the journal
+    Nanos recovery_ns = 0;   ///< journal-replay time (0 with journaling off)
+  };
+
   /// Applies any memory-node crash-restart windows that have completed by
-  /// ctx.now(): every pool-resident page is dropped from the restarted
-  /// node; pages whose only fresh copy was the pool (`mem_dirty`, no
-  /// flushed storage copy of those bytes) are counted as lost writes and
-  /// reported via metrics. Compute-cache pages survive — the compute node
-  /// did not crash. Returns the number of lost-write pages found this call.
-  uint64_t ApplyPoolRestarts(ExecutionContext& ctx);
+  /// `now`: every pool-resident page is dropped from the restarted node,
+  /// then — with journaling enabled — pages with live redo records are
+  /// replayed back into pool DRAM (still dirty w.r.t. storage) and counted
+  /// as recovered; only dirty pages *without* a record are counted as lost
+  /// writes and reported via metrics. Compute-cache pages survive — the
+  /// compute node did not crash. Every applied window bumps `pool_epoch()`
+  /// so stale-epoch RPCs can be fenced. Does not advance any clock; the
+  /// caller decides where `recovery_ns` is spent.
+  RestartOutcome ApplyPoolRestartsAt(ExecutionContext& ctx, Nanos now);
+
+  /// Convenience wrapper at ctx.now() that charges the recovery time to
+  /// `ctx` and returns only the lost-write count (the pre-journal API).
+  uint64_t ApplyPoolRestarts(ExecutionContext& ctx) {
+    const RestartOutcome out = ApplyPoolRestartsAt(ctx, ctx.now());
+    if (out.recovery_ns > 0) ctx.AdvanceTime(out.recovery_ns);
+    return out.lost;
+  }
+
+  /// Lease epoch of the memory pool: starts at 1 and advances once per
+  /// applied crash-restart window, journal on or off. Pushdown RPCs record
+  /// the epoch they were admitted under; after a recovery the pool fences
+  /// (rejects) RPCs carrying an older epoch.
+  uint64_t pool_epoch() const { return pool_epoch_; }
+
+  /// Pool-side exactly-once filter: records `token` in the dedup table
+  /// (which, like the journal, lives in the restart-surviving pool region)
+  /// and returns whether this delivery should execute. A duplicate delivery
+  /// of an already-executed token returns false and counts a dedup hit —
+  /// unless the kReplayDuplicate mutation is planted, in which case the
+  /// duplicate "executes" again and the model checker flags it. Charges no
+  /// virtual time (the table probe rides the request's existing handling).
+  bool AdmitPushdown(ExecutionContext& ctx, uint64_t token, Nanos at);
+
+  /// Enables the redo journal (also settable via the TELEPORT_JOURNAL
+  /// environment variable). Off by default: today's lossy §3.2 behavior.
+  void set_journal_enabled(bool on) { journal_enabled_ = on; }
+  bool journal_enabled() const { return journal_enabled_; }
+  const Journal& journal() const { return journal_; }
 
   uint64_t lost_pool_writes() const { return lost_pool_writes_; }
+  uint64_t recovered_pool_writes() const { return recovered_pool_writes_; }
   int pool_restarts_applied() const { return pool_restarts_applied_; }
   const tp::RetryStats& fault_retry_stats() const { return retry_stats_; }
 
@@ -568,11 +642,22 @@ class MemorySystem {
   void EvictOnePoolPage(ExecutionContext& ctx);
 
   /// Reports a completed transition to the attached observer, if any.
-  void Notify(CoherenceEvent::Kind kind, PageId page, bool write, Nanos at) {
+  void Notify(CoherenceEvent::Kind kind, PageId page, bool write, Nanos at,
+              uint64_t epoch = 0) {
     if (observer_ == nullptr) return;
     observer_->OnCoherenceEvent(
-        CoherenceEvent{kind, page, write, coherence_mode_, at});
+        CoherenceEvent{kind, page, write, coherence_mode_, at, epoch});
   }
+
+  /// Acknowledgment point of one pool write: with journaling enabled,
+  /// appends a redo record for `page`, charges the (group-commit-batched)
+  /// append to `ctx` when non-null, and reports kJournalCommit. A no-op
+  /// with journaling off, keeping every legacy path byte-identical.
+  void JournalCommit(ExecutionContext* ctx, PageId page, Nanos at);
+  /// Drops `page`'s redo record once the page reaches the storage pool.
+  /// Free (it piggybacks on the eviction's storage write); reports
+  /// kJournalTruncate when a record was live.
+  void JournalTruncate(PageId page, Nanos at);
 
   /// Tracer instants for §4.1 protocol transitions and compute-cache
   /// fill/evict/writeback; no-ops without an attached tracer.
@@ -669,6 +754,16 @@ class MemorySystem {
   tp::RetryStats retry_stats_;
   int pool_restarts_applied_ = 0;
   uint64_t lost_pool_writes_ = 0;
+  uint64_t recovered_pool_writes_ = 0;
+  /// Lease epoch; bumped once per applied crash-restart window.
+  uint64_t pool_epoch_ = 1;
+  /// Redo journal and its enable knob (TELEPORT_JOURNAL). The journal and
+  /// the dedup table below model the battery-backed pool region that
+  /// survives a crash-restart, so ApplyPoolRestartsAt never wipes them.
+  Journal journal_;
+  bool journal_enabled_ = false;
+  /// Pool-side exactly-once filter: idempotency tokens already executed.
+  std::vector<uint8_t> executed_tokens_;
   /// Pages moved out by the last FlushAllCache(drop=true); consumed by
   /// BulkRefetch to restore the cache in the eager strawman.
   std::vector<PageId> flushed_pages_;

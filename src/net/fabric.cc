@@ -137,7 +137,7 @@ SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
   for (int c = 1; c < d.copies; ++c) {
     ch.Send(t, bytes, params_);
   }
-  return SendOutcome{true, delivery};
+  return SendOutcome{true, delivery, d.copies};
 }
 
 Nanos Fabric::RoundTripFromCompute(Nanos now, uint64_t req_bytes,

@@ -42,6 +42,11 @@ class FaultInjector;
 struct SendOutcome {
   bool delivered = true;
   Nanos deliver_at = 0;  ///< meaningful only when delivered
+  /// Copies that reached the receiver (2 on an injected duplicate). The
+  /// reliable paths always report 1: transport-level dedup hides copies the
+  /// same way it hides drops. Try* callers see every copy so end-to-end
+  /// exactly-once (idempotency tokens + pool-side dedup) can be exercised.
+  int copies = 1;
 };
 
 /// Result of a fault-aware round trip (TryRoundTripFromCompute).

@@ -14,14 +14,26 @@ void FaultInjector::AddOutage(Nanos from, Nanos until, bool crash_restart) {
       << "); use Fabric::InjectFailureWindow for a permanent failure";
   for (const OutageWindow& w : outages_) {
     TELEPORT_CHECK(until <= w.from || from >= w.until)
-        << "outage [" << from << ", " << until << ") overlaps ["
-        << w.from << ", " << w.until << ")";
+        << "outage [" << from << ", " << until << ") overlaps scheduled ["
+        << w.from << ", " << w.until
+        << "); windows must be disjoint (touching endpoints are fine) — "
+           "merge them at the call site if one outage is intended";
   }
   outages_.push_back(OutageWindow{from, until, crash_restart});
   std::sort(outages_.begin(), outages_.end(),
             [](const OutageWindow& a, const OutageWindow& b) {
               return a.from < b.from;
             });
+  // Rebuild the derived timeline indexes (see header). Disjointness makes
+  // the until-order match the from-order, so both stay binary-searchable.
+  untils_.clear();
+  crash_prefix_.assign(1, 0);
+  untils_.reserve(outages_.size());
+  crash_prefix_.reserve(outages_.size() + 1);
+  for (const OutageWindow& w : outages_) {
+    untils_.push_back(w.until);
+    crash_prefix_.push_back(crash_prefix_.back() + (w.crash_restart ? 1 : 0));
+  }
 }
 
 void FaultInjector::AddLinkFlaps(Nanos start, Nanos duration, Nanos period,
@@ -56,36 +68,37 @@ FaultDecision FaultInjector::OnSend(MessageKind kind, Nanos now) {
   return d;
 }
 
+const OutageWindow* FaultInjector::WindowCovering(Nanos now) const {
+  // First window with from > now; the only candidate covering `now` is the
+  // one before it (windows are disjoint and sorted by from).
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), now,
+      [](Nanos t, const OutageWindow& w) { return t < w.from; });
+  if (it == outages_.begin()) return nullptr;
+  --it;
+  return now < it->until ? &*it : nullptr;
+}
+
 bool FaultInjector::LinkUpAt(Nanos now) const {
-  for (const OutageWindow& w : outages_) {
-    if (now >= w.from && now < w.until) return false;
-    if (w.from > now) break;  // sorted; no later window can cover `now`
-  }
-  return true;
+  return WindowCovering(now) == nullptr;
 }
 
 Nanos FaultInjector::HealsAt(Nanos now) const {
-  for (const OutageWindow& w : outages_) {
-    if (now >= w.from && now < w.until) return w.until;
-    if (w.from > now) break;
-  }
-  return -1;
+  const OutageWindow* w = WindowCovering(now);
+  return w != nullptr ? w->until : -1;
 }
 
 bool FaultInjector::InCrashRestartAt(Nanos now) const {
-  for (const OutageWindow& w : outages_) {
-    if (now >= w.from && now < w.until) return w.crash_restart;
-    if (w.from > now) break;
-  }
-  return false;
+  const OutageWindow* w = WindowCovering(now);
+  return w != nullptr && w->crash_restart;
 }
 
 int FaultInjector::CrashRestartsCompletedBy(Nanos now) const {
-  int n = 0;
-  for (const OutageWindow& w : outages_) {
-    if (w.crash_restart && w.until <= now) ++n;
-  }
-  return n;
+  // Windows with until <= now form a prefix of the until-sorted list;
+  // crash_prefix_ turns its length into a crash-restart count.
+  const auto idx = static_cast<size_t>(
+      std::upper_bound(untils_.begin(), untils_.end(), now) - untils_.begin());
+  return crash_prefix_[idx];
 }
 
 std::string FaultInjector::ToString() const {

@@ -75,6 +75,14 @@ class FaultInjector {
   Nanos link_rto_ns() const { return link_rto_ns_; }
 
   /// Schedules one outage window [from, until). `until` must be > `from`.
+  ///
+  /// Windows must be pairwise disjoint: an overlap aborts with a message
+  /// naming both windows, because merging would have to pick one
+  /// `crash_restart` flag and silently change recovery semantics. Touching
+  /// windows (`until == next.from`) are allowed — the timeline treats them
+  /// as healed for the single instant in between. Windows may be added in
+  /// any order; the injector keeps them sorted and answers all timeline
+  /// queries by binary search.
   void AddOutage(Nanos from, Nanos until, bool crash_restart = false);
 
   /// Schedules `count` link flaps of `duration` each, the k-th starting at
@@ -137,10 +145,19 @@ class FaultInjector {
     return static_cast<size_t>(kind);
   }
 
+  /// Window containing `now`, or nullptr. O(log n) over the sorted windows.
+  const OutageWindow* WindowCovering(Nanos now) const;
+
   uint64_t seed_;
   Rng rng_;
   std::array<FaultSpec, kNumMessageKinds> specs_{};
   std::vector<OutageWindow> outages_;  ///< sorted by `from`, non-overlapping
+  /// Derived timeline indexes, rebuilt by AddOutage. Disjoint windows sorted
+  /// by `from` are also sorted by `until`, so `untils_` is an ascending key
+  /// for "how many windows completed by t"; `crash_prefix_[i]` counts
+  /// crash-restart windows among the first i.
+  std::vector<Nanos> untils_;
+  std::vector<int> crash_prefix_{0};
   Nanos link_rto_ns_ = 50 * kMicrosecond;
 
   uint64_t drops_ = 0;

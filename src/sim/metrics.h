@@ -47,6 +47,12 @@ namespace teleport::sim {
   X(retries, resilience, retries)           /* RPC attempts after a drop */   \
   X(fallbacks, resilience, fallbacks)       /* pushdowns re-run locally */    \
   X(lost_pool_writes, resilience, lost_pool_writes) /* lost to a restart */   \
+  /* Recovery (PR6 journal/fencing/dedup; zero with TELEPORT_JOURNAL off). */ \
+  X(recovered_pool_writes, recovery, recovered_pool_writes)                   \
+  X(journal_appends, recovery, journal_appends)   /* redo records written */  \
+  X(journal_flushes, recovery, journal_flushes)   /* group-commit batches */  \
+  X(fenced_rpcs, recovery, fenced_rpcs) /* stale-epoch pushdowns rejected */  \
+  X(dedup_hits, recovery, dedup_hits)   /* duplicate deliveries suppressed */ \
   /* CPU accounting. */                                                       \
   X(cpu_ops, cpu, ops)
 

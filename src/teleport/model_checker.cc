@@ -44,6 +44,7 @@ ModelChecker::ModelChecker(ddc::MemorySystem* ms, OnViolation action)
   }
   session_active_ = ms_->pushdown_active();
   mode_ = ms_->coherence_mode();
+  pool_epoch_model_ = ms_->pool_epoch();
   ms_->set_coherence_observer(this);
   // After the attach (which itself bumps the epoch), so the first checked
   // transition needs a bump of its own.
@@ -206,6 +207,16 @@ void ModelChecker::StepMemoryAccess(const CoherenceEvent& ev) {
 }
 
 void ModelChecker::StepSessionBegin(const CoherenceEvent& ev) {
+  // Invariant 6b: the session's admission epoch must be the epoch of the
+  // latest pool recovery — executing under an older lease means a fenced
+  // session's effects would become visible.
+  if (ev.epoch != pool_epoch_model_) {
+    std::ostringstream os;
+    os << "stale-epoch session admitted: lease epoch " << ev.epoch
+       << " but the pool recovered into epoch " << pool_epoch_model_
+       << " (fencing skipped)";
+    Fail(ev, os.str());
+  }
   session_active_ = true;
   mode_ = ev.mode;
   if (pages_.size() < ms_->tracked_pages()) {
@@ -263,6 +274,13 @@ bool ModelChecker::RequiresShootdown(const CoherenceEvent& ev) {
       return !(m.temp == Perm::kWrite ||
                (!ev.write && m.temp == Perm::kRead));
     }
+    case CoherenceEvent::Kind::kPoolRecover:
+    case CoherenceEvent::Kind::kJournalCommit:
+    case CoherenceEvent::Kind::kJournalTruncate:
+    case CoherenceEvent::Kind::kPushdownAdmit:
+      // Journal bookkeeping and admission decisions touch no mapping; the
+      // recovery wipe's own shootdown is checked on kPoolRestart.
+      return false;
     default:
       // Evictions, fills, writebacks, flushes, refetches, restarts and
       // session boundaries always rewrite page state.
@@ -271,14 +289,40 @@ bool ModelChecker::RequiresShootdown(const CoherenceEvent& ev) {
 }
 
 void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
+  // Journal bookkeeping and admission decisions are observer-only: they
+  // ride between an epoch bump and the page-state event that earned it
+  // (e.g. kJournalCommit precedes the kComputeEvict it acknowledges), so
+  // they must neither consume the bump nor be audited for one.
+  const bool bookkeeping =
+      ev.kind == CoherenceEvent::Kind::kPoolRecover ||
+      ev.kind == CoherenceEvent::Kind::kJournalCommit ||
+      ev.kind == CoherenceEvent::Kind::kJournalTruncate ||
+      ev.kind == CoherenceEvent::Kind::kPushdownAdmit;
   const uint64_t epoch = ms_->translation_epoch();
-  if (epoch == last_epoch_ && RequiresShootdown(ev)) {
-    Fail(ev,
-         "missing TLB shootdown: translation epoch unchanged across a "
-         "coherence transition (pinned fast-path translations would survive "
-         "a state change)");
+  if (!bookkeeping) {
+    if (epoch == last_epoch_ && RequiresShootdown(ev)) {
+      Fail(ev,
+           "missing TLB shootdown: translation epoch unchanged across a "
+           "coherence transition (pinned fast-path translations would "
+           "survive a state change)");
+    }
+    last_epoch_ = epoch;
   }
-  last_epoch_ = epoch;
+  // Invariant 6a: once a recovery announced itself (kPoolRestart), every
+  // acknowledged page must be re-materialized (kPoolRecover) before the
+  // protocol moves on — any other event with obligations outstanding means
+  // replay was skipped or truncated. Reported once, then cleared, so one
+  // planted bug does not cascade into a violation per subsequent event.
+  if (pending_recover_count_ > 0 &&
+      ev.kind != CoherenceEvent::Kind::kPoolRecover) {
+    std::ostringstream os;
+    os << pending_recover_count_
+       << " acknowledged write(s) not re-materialized after pool recovery "
+          "(journal replay skipped?)";
+    Fail(ev, os.str());
+    pending_recover_.assign(pending_recover_.size(), 0);
+    pending_recover_count_ = 0;
+  }
   switch (ev.kind) {
     case CoherenceEvent::Kind::kSessionBegin:
       StepSessionBegin(ev);
@@ -343,8 +387,60 @@ void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
       // charged a storage trip. Lost writes are accounted in metrics, not
       // materialized as stale data, so "home" holds the latest version.
       for (PageModel& m : pages_) m.home_v = m.master;
+      // Invariant 6: the recovery opens a new lease epoch and owes a
+      // re-materialization for every acknowledged (journaled) page.
+      pool_epoch_model_ = ev.epoch;
+      pending_recover_ = journaled_;
+      pending_recover_count_ = 0;
+      for (const uint8_t j : pending_recover_) pending_recover_count_ += j;
       ++steps_;
       return;
+    case CoherenceEvent::Kind::kPoolRecover: {
+      if (ev.page < pending_recover_.size() && pending_recover_[ev.page]) {
+        pending_recover_[ev.page] = 0;
+        --pending_recover_count_;
+      } else {
+        Fail(ev,
+             "recovery re-materialized a page with no acknowledged journal "
+             "record");
+      }
+      ++steps_;
+      return;
+    }
+    case CoherenceEvent::Kind::kJournalCommit: {
+      if (ev.page >= journaled_.size()) journaled_.resize(ev.page + 1, 0);
+      journaled_[ev.page] = 1;
+      ++steps_;
+      return;
+    }
+    case CoherenceEvent::Kind::kJournalTruncate: {
+      if (ev.page < journaled_.size()) journaled_[ev.page] = 0;
+      ++steps_;
+      return;
+    }
+    case CoherenceEvent::Kind::kPushdownAdmit: {
+      // Invariant 6c: ev.page is the idempotency token, ev.write says the
+      // pool chose to execute this delivery.
+      const uint64_t token = ev.page;
+      if (token >= token_executed_.size()) token_executed_.resize(token + 1, 0);
+      if (ev.write) {
+        if (token_executed_[token]) {
+          std::ostringstream os;
+          os << "exactly-once violated: token " << token
+             << " executed twice (duplicate delivery re-applied)";
+          Fail(ev, os.str());
+        }
+        token_executed_[token] = 1;
+      } else if (!token_executed_[token]) {
+        std::ostringstream os;
+        os << "exactly-once violated: dedup absorbed the first delivery of "
+              "token "
+           << token;
+        Fail(ev, os.str());
+      }
+      ++steps_;
+      return;
+    }
   }
   CheckAgainstImpl(ev, ev.page);
   CheckSwmr(ev, ev.page);
@@ -353,6 +449,17 @@ void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
 
 uint64_t ModelChecker::Finish() {
   if (attached_) {
+    if (pending_recover_count_ > 0) {
+      std::ostringstream os;
+      os << pending_recover_count_
+         << " acknowledged write(s) never re-materialized after the last "
+            "pool recovery";
+      Fail(CoherenceEvent{CoherenceEvent::Kind::kPoolRestart, 0, false, mode_,
+                          0},
+           os.str());
+      pending_recover_.assign(pending_recover_.size(), 0);
+      pending_recover_count_ = 0;
+    }
     if (session_active_ || ms_->pushdown_active()) {
       Fail(CoherenceEvent{CoherenceEvent::Kind::kSessionEnd, 0, false, mode_,
                           0},

@@ -35,6 +35,18 @@ namespace teleport::tp {
 ///     shootdown would let a pin serve accesses against stale state.
 ///     Access events that the spec resolves as plain hits carry no such
 ///     obligation.
+///  6. *Recovery* (PR6, journal-on runs) — three sub-clauses. (a) Every
+///     acknowledged write is readable after recovery: a kJournalCommit marks
+///     its page acknowledged; a kPoolRestart turns every acknowledged page
+///     into a re-materialization obligation that only a kPoolRecover for
+///     that page discharges — any other event (or Finish) with obligations
+///     outstanding is a violation (catches kSkipJournalReplay). (b) No
+///     fenced session's effects become visible: every kSessionBegin carries
+///     its admission epoch, which must equal the pool epoch announced by
+///     the latest kPoolRestart (catches kSkipFencing). (c) Exactly-once
+///     pushdown: a kPushdownAdmit that executes an already-executed
+///     idempotency token is a double-apply (catches kReplayDuplicate), and
+///     one that absorbs a never-executed token dropped a first delivery.
 ///
 /// The checker is an observer: it never mutates the system, costs no
 /// virtual time, and can be attached to any kBaseDdc MemorySystem — tests
@@ -112,6 +124,13 @@ class ModelChecker : public ddc::CoherenceObserver {
   ddc::CoherenceMode mode_ = ddc::CoherenceMode::kMesi;
   /// Translation epoch observed by the previous event (shootdown check).
   uint64_t last_epoch_ = 0;
+  // Invariant 6 state (all empty/zero unless journal events arrive).
+  std::vector<uint8_t> journaled_;  ///< page has an acknowledged redo record
+  /// Pages a recovery still owes a kPoolRecover for (set at kPoolRestart).
+  std::vector<uint8_t> pending_recover_;
+  uint64_t pending_recover_count_ = 0;
+  uint64_t pool_epoch_model_ = 0;  ///< epoch of the latest kPoolRestart
+  std::vector<uint8_t> token_executed_;  ///< idempotency tokens applied
   uint64_t steps_ = 0;
   std::vector<Violation> violations_;
   bool attached_ = false;

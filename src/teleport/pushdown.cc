@@ -32,6 +32,35 @@ std::string_view FallbackPolicyToString(FallbackPolicy f) {
   return "Unknown";
 }
 
+namespace {
+
+/// Recovery-class faults the runtime can surface (§3.2 + PR6 crash
+/// recovery). Every such Status comes from this one table so the codes and
+/// messages cannot drift apart across the heartbeat / pushdown / fencing
+/// paths.
+enum class RecoveryFault {
+  kUnreachable,    ///< heartbeat lost; the real system panics (§3.2)
+  kFenced,         ///< admission epoch went stale and re-admission failed
+  kUnrecoverable,  ///< a restart dropped writes the journal never covered
+};
+
+Status RecoveryStatus(RecoveryFault f) {
+  switch (f) {
+    case RecoveryFault::kUnreachable:
+      return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+    case RecoveryFault::kFenced:
+      return Status::Fenced(
+          "pushdown admission epoch went stale across pool recoveries");
+    case RecoveryFault::kUnrecoverable:
+      return Status::Unavailable(
+          "pool restart dropped writes the journal never covered "
+          "(unacknowledged direct pool stores are unrecoverable)");
+  }
+  return Status::Internal("unknown recovery fault");
+}
+
+}  // namespace
+
 void PushdownBreakdown::Add(const PushdownBreakdown& o) {
   pre_sync_ns += o.pre_sync_ns;
   request_transfer_ns += o.request_transfer_ns;
@@ -73,7 +102,7 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
     // The real system triggers a kernel panic: main memory is lost (§3.2).
     panicked_ = true;
     ctx.AdvanceTime(params.net_latency_ns * 2);
-    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+    return RecoveryStatus(RecoveryFault::kUnreachable);
   }
   if (ms_->fabric().fault_injector() == nullptr) {
     const Nanos done = ms_->fabric().RoundTripFromCompute(
@@ -111,7 +140,7 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
   ctx.clock().AdvanceTo(t);
   if (!ok) {
     panicked_ = true;
-    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+    return RecoveryStatus(RecoveryFault::kUnreachable);
   }
   ctx.metrics().net_messages += 2;
   ctx.metrics().net_bytes += 128;
@@ -127,16 +156,27 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   PushdownBreakdown bd;
 
   // Materialize any memory-node crash-restart that completed before this
-  // call: the restarted pool lost its unflushed writes (§3.2).
-  ms_->ApplyPoolRestarts(caller);
+  // call. Journal-off (the seed's lossy mode) the restarted pool simply
+  // lost its unflushed writes (§3.2); journal-on recovery replays every
+  // acknowledged write, so anything still lost was never acknowledged —
+  // surfaced as an unrecoverable fault instead of silence.
+  const uint64_t lost_now = ms_->ApplyPoolRestarts(caller);
+  if (lost_now > 0 && ms_->journal_enabled()) {
+    return RecoveryStatus(RecoveryFault::kUnrecoverable);
+  }
 
   if (panicked_ || ms_->fabric().HardDownAt(caller.now())) {
     panicked_ = true;
     caller.AdvanceTime(params.net_latency_ns * 2);
-    return Status::Unavailable("memory pool unreachable (heartbeat lost)");
+    return RecoveryStatus(RecoveryFault::kUnreachable);
   }
 
   const Nanos t0 = caller.now();
+  // Lease + idempotency identity of this call (PR6): the admission epoch
+  // fences the request against pool recoveries that complete while it is
+  // in flight; the token lets the pool deduplicate redelivered copies.
+  uint64_t admit_epoch = ms_->pool_epoch();
+  const uint64_t token = ++next_token_;
 
   // (1) Pre-pushdown synchronization.
   uint64_t req_bytes = 128 + flags.arg_bytes;
@@ -180,6 +220,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   }
   Nanos arrive = 0;
   Nanos request_retry_wait = 0;
+  int req_copies = 1;  ///< delivered request copies presenting the token
   if (ms_->fabric().fault_injector() == nullptr) {
     arrive = ms_->fabric().SendToMemory(send_time, req_bytes,
                                         net::MessageKind::kPushdownRequest);
@@ -191,6 +232,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
           t, req_bytes, net::MessageKind::kPushdownRequest);
       if (out.delivered) {
         arrive = out.deliver_at;
+        req_copies = out.copies;
         delivered = true;
         break;
       }
@@ -233,7 +275,58 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
 
   // Queue for a free memory-pool instance (FIFO workqueue, §3.2).
   auto slot = std::min_element(instance_free_.begin(), instance_free_.end());
-  const Nanos start = std::max(arrive, *slot);
+  Nanos start = std::max(arrive, *slot);
+
+  // Lease fencing (PR6): if a crash-restart window completed while the
+  // request was in flight or queued, the recovered pool runs under a newer
+  // epoch and deterministically rejects the stale-epoch request; the caller
+  // re-admits under the fresh epoch and resends. Journal-off keeps the
+  // seed's lossy behavior: restarts materialize lazily at the next
+  // quiescent point, with no fencing.
+  Nanos fence_ns = 0;
+  if (ms_->journal_enabled()) {
+    for (int admit = 0; admit < 4; ++admit) {
+      const ddc::MemorySystem::RestartOutcome ro =
+          ms_->ApplyPoolRestartsAt(caller, start);
+      start += ro.recovery_ns;
+      fence_ns += ro.recovery_ns;
+      if (ms_->pool_epoch() == admit_epoch) break;
+      if (ms_->protocol_mutation() == ddc::ProtocolMutation::kSkipFencing) {
+        break;  // planted bug: the pool executes the stale-epoch request
+      }
+      // kFenced rejection: a small reply back to the caller, then a fresh
+      // request under the new epoch. All of it is recovery time.
+      ++fenced_rpcs_;
+      ++caller.metrics().fenced_rpcs;
+      if (sim::Tracer* tracer = ms_->tracer()) {
+        tracer->Instant("pushdown", "Fenced", start, sim::kTrackMemoryPool,
+                        "\"epoch\":" + std::to_string(ms_->pool_epoch()));
+      }
+      const Nanos rej_arrive = ms_->fabric().SendToCompute(
+          start, 64, net::MessageKind::kPushdownResponse);
+      const Nanos rearrive = ms_->fabric().SendToMemory(
+          rej_arrive, req_bytes, net::MessageKind::kPushdownRequest);
+      caller.metrics().net_messages += 2;
+      caller.metrics().net_bytes += 64 + req_bytes;
+      admit_epoch = ms_->pool_epoch();
+      const Nanos prev_start = start;
+      start = std::max(rearrive, *slot);
+      fence_ns += start - prev_start;
+    }
+    if (ms_->pool_epoch() != admit_epoch &&
+        ms_->protocol_mutation() != ddc::ProtocolMutation::kSkipFencing) {
+      // Re-admission budget exhausted (restarts kept completing under us).
+      bd.retry_ns += fence_ns;
+      caller.clock().AdvanceTo(start);
+      if (flags.fallback == FallbackPolicy::kLocal &&
+          ms_->fabric().NextReachableAt(start) != net::Fabric::kNeverHeals) {
+        return RunLocalFallback(caller, fn, arg, bd, t0,
+                                /*cancel_sent=*/false);
+      }
+      return RecoveryStatus(RecoveryFault::kFenced);
+    }
+  }
+  bd.retry_ns += fence_ns;
 
   // Timeout / try_cancel (§3.2): cancellation succeeds only if the request
   // has not started executing when the cancel arrives.
@@ -269,14 +362,25 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     // Already running (or about to): the memory pool declines to cancel and
     // the application waits for completion.
   }
-  bd.queue_wait_ns = start - arrive;
+  bd.queue_wait_ns = start - arrive - fence_ns;
 
   // (3) Temporary user context setup (vfork-like attach, Fig 8). The table
   // clone is lazy/COW; the real per-entry work is checking and invalidating
   // the PTEs named in the resident list (§7.5: setup time grows with the
   // compute cache size), so cost scales with resident pages. Eager modes
   // flushed the cache first and pay only the fixed attach cost.
-  const uint64_t npte = ms_->BeginPushdownSession(session_mode);
+  // Exactly-once admission: every delivered copy of the request presents
+  // the call's idempotency token; the pool's dedup table admits the first
+  // and absorbs the rest (injected duplicates, capped retries).
+  bool execute = false;
+  for (int c = 0; c < req_copies; ++c) {
+    const bool admitted = ms_->AdmitPushdown(caller, token, start);
+    execute = execute || admitted;
+  }
+  TELEPORT_CHECK(execute)
+      << "first delivery of pushdown token " << token << " must execute";
+
+  const uint64_t npte = ms_->BeginPushdownSession(session_mode, admit_epoch);
   (void)npte;
   const Nanos setup_ns =
       params.context_fixed_ns +
@@ -295,9 +399,15 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
         "pushed function exceeded the kill timeout; aborted to unblock the "
         "workqueue (§3.2)");
   }
+  // Session teardown before the metrics roll-up: the final dirty-bit merge
+  // is where journal acknowledgement happens, and its appends are charged
+  // to mem_ctx. The merge is post-pushdown synchronization, accounted below
+  // so the breakdown still sums to the caller's elapsed time.
+  const Nanos merge0 = mem_ctx->now();
+  ms_->EndPushdownSession(mem_ctx.get());
+  const Nanos merge_ns = mem_ctx->now() - merge0;
   caller.metrics().Add(mem_ctx->metrics());
   caller.metrics().pushdown_calls += 1;
-  ms_->EndPushdownSession();
 
   // (5) Response transfer; the instance is recycled. A dropped response is
   // retransmitted by the memory side (the function already executed — it is
@@ -355,8 +465,9 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     ms_->BulkRefetch(caller, eager_flushed);
   }
   // On-demand: dirty bits merged locally in the pool; compute re-faults
-  // lazily (no work here, §4.1).
-  bd.post_sync_ns = caller.now() - post0;
+  // lazily (§4.1). The merge's journal-append time (zero with the journal
+  // off) counts as post-pushdown synchronization.
+  bd.post_sync_ns = (caller.now() - post0) + merge_ns;
 
   TraceCall(bd, t0, /*fallback=*/false);
   last_breakdown_ = bd;

@@ -129,8 +129,11 @@ class PushdownRuntime {
   ///
   /// Returns fn's status on success; TimedOut if a timeout was set and the
   /// request was cancelled before starting; Unavailable if the memory pool
-  /// is unreachable (heartbeat failure — the real system panics, §3.2);
-  /// Fault if the function overran the runtime's kill timeout.
+  /// is unreachable (heartbeat failure — the real system panics, §3.2) or
+  /// if a pool restart dropped writes the journal never covered; Fenced if
+  /// the call's admission epoch went stale across pool recoveries and
+  /// re-admission kept failing (journal-on only); Fault if the function
+  /// overran the runtime's kill timeout.
   Status Pushdown(ddc::ExecutionContext& caller, PushdownFn fn, void* arg,
                   const PushdownFlags& flags = {});
 
@@ -200,6 +203,9 @@ class PushdownRuntime {
   uint64_t retry_events() const { return retry_events_; }
   /// Pushdowns transparently re-run locally under FallbackPolicy::kLocal.
   uint64_t fallback_calls() const { return fallback_calls_; }
+  /// Pushdowns rejected by the pool's lease fence (stale admission epoch)
+  /// and re-admitted under the fresh epoch; zero with the journal off.
+  uint64_t fenced_rpcs() const { return fenced_rpcs_; }
 
   /// True once a heartbeat or pushdown has observed the memory pool
   /// unreachable. The real system panics at that point (§3.2: main memory
@@ -233,6 +239,8 @@ class PushdownRuntime {
   Rng retry_rng_{0x7e1e905u};
   uint64_t retry_events_ = 0;
   uint64_t fallback_calls_ = 0;
+  uint64_t next_token_ = 0;  ///< per-call idempotency token source
+  uint64_t fenced_rpcs_ = 0;
   PushdownBreakdown last_breakdown_;
   PushdownBreakdown total_breakdown_;
   Histogram call_latency_;

@@ -36,12 +36,21 @@ net::FaultSpec LossySpec() {
 /// Arms `ms` with drops/delays/dups on every kind plus two link flaps and
 /// one crash-restart of the memory node early in the run.
 void ArmChaos(ddc::MemorySystem& ms, tp::PushdownRuntime& runtime,
-              net::FaultInjector& inj) {
+              net::FaultInjector& inj, bool early_crashes = false) {
   inj.SetSpecAll(LossySpec());
   inj.AddLinkFlaps(/*start=*/2 * kMillisecond, /*duration=*/200 * kMicrosecond,
                    /*period=*/5 * kMillisecond, /*count=*/2);
   inj.ScheduleCrashRestart(/*at=*/20 * kMillisecond,
                            /*down_for=*/1 * kMillisecond);
+  if (early_crashes) {
+    // The journal-on sweep crashes early enough that even the short DB and
+    // graph runs cross a recovery (their whole run fits before the 20ms
+    // window above). Disjoint from the flaps at 2ms/7ms and the 20ms crash.
+    inj.ScheduleCrashRestart(/*at=*/150 * kMicrosecond,
+                             /*down_for=*/50 * kMicrosecond);
+    inj.ScheduleCrashRestart(/*at=*/5 * kMillisecond,
+                             /*down_for=*/500 * kMicrosecond);
+  }
   ms.fabric().set_fault_injector(&inj);
   ms.set_retry_seed(0xdb0);
   runtime.set_retry_seed(0xdb1);
@@ -53,14 +62,18 @@ struct Observed {
   Nanos retry_ns = 0;
   uint64_t retries = 0;
   uint64_t fallbacks = 0;
+  uint64_t lost = 0;       ///< pool writes dropped by the crash-restart
+  uint64_t recovered = 0;  ///< pool writes replayed from the journal
+  int restarts = 0;        ///< crash-restart windows actually applied
 };
 
-Observed RunDb(uint64_t fault_seed, bool faults) {
+Observed RunDb(uint64_t fault_seed, bool faults, bool journal) {
   bench::DeployOptions deploy;
   deploy.cache_fraction = 0.05;
   auto d = bench::MakeDb(ddc::Platform::kBaseDdc, 0.3, deploy);
+  d.ms->set_journal_enabled(journal);
   net::FaultInjector inj(fault_seed);
-  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj, /*early_crashes=*/journal);
   tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   db::QueryOptions opts;
   opts.runtime = d.runtime.get();
@@ -73,13 +86,17 @@ Observed RunDb(uint64_t fault_seed, bool faults) {
   o.retry_ns = d.runtime->total_breakdown().retry_ns;
   o.retries = d.ctx->metrics().retries;
   o.fallbacks = d.ctx->metrics().fallbacks;
+  o.lost = d.ms->lost_pool_writes();
+  o.recovered = d.ms->recovered_pool_writes();
+  o.restarts = d.ms->pool_restarts_applied();
   return o;
 }
 
-Observed RunGraph(uint64_t fault_seed, bool faults) {
+Observed RunGraph(uint64_t fault_seed, bool faults, bool journal) {
   auto d = bench::MakeGraph(ddc::Platform::kBaseDdc, 2000, 6);
+  d.ms->set_journal_enabled(journal);
   net::FaultInjector inj(fault_seed);
-  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj, /*early_crashes=*/journal);
   tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   graph::GasOptions opts;
   opts.runtime = d.runtime.get();
@@ -93,13 +110,17 @@ Observed RunGraph(uint64_t fault_seed, bool faults) {
   o.retry_ns = d.runtime->total_breakdown().retry_ns;
   o.retries = d.ctx->metrics().retries;
   o.fallbacks = d.ctx->metrics().fallbacks;
+  o.lost = d.ms->lost_pool_writes();
+  o.recovered = d.ms->recovered_pool_writes();
+  o.restarts = d.ms->pool_restarts_applied();
   return o;
 }
 
-Observed RunMr(uint64_t fault_seed, bool faults) {
+Observed RunMr(uint64_t fault_seed, bool faults, bool journal) {
   auto d = bench::MakeMr(ddc::Platform::kBaseDdc, 256 << 10);
+  d.ms->set_journal_enabled(journal);
   net::FaultInjector inj(fault_seed);
-  if (faults) ArmChaos(*d.ms, *d.runtime, inj);
+  if (faults) ArmChaos(*d.ms, *d.runtime, inj, /*early_crashes=*/journal);
   tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
   mr::MrOptions opts;
   opts.runtime = d.runtime.get();
@@ -112,23 +133,26 @@ Observed RunMr(uint64_t fault_seed, bool faults) {
   o.retry_ns = d.runtime->total_breakdown().retry_ns;
   o.retries = d.ctx->metrics().retries;
   o.fallbacks = d.ctx->metrics().fallbacks;
+  o.lost = d.ms->lost_pool_writes();
+  o.recovered = d.ms->recovered_pool_writes();
+  o.restarts = d.ms->pool_restarts_applied();
   return o;
 }
 
-using Runner = Observed (*)(uint64_t, bool);
+using Runner = Observed (*)(uint64_t, bool, bool);
 
 class ChaosSoakTest : public ::testing::TestWithParam<Runner> {};
 
 TEST_P(ChaosSoakTest, AnswersAreBitIdenticalAcrossFaultSeeds) {
   Runner run = GetParam();
-  const Observed clean = run(/*fault_seed=*/0, /*faults=*/false);
+  const Observed clean = run(/*fault_seed=*/0, /*faults=*/false, false);
   EXPECT_EQ(clean.retry_ns, 0);
   EXPECT_EQ(clean.retries, 0u);
   EXPECT_EQ(clean.fallbacks, 0u);
   ASSERT_GT(clean.elapsed, 0);
   uint64_t total_retries = 0;
   for (const uint64_t seed : kSeeds) {
-    const Observed faulty = run(seed, /*faults=*/true);
+    const Observed faulty = run(seed, /*faults=*/true, /*journal=*/false);
     // Faults must never change the application's answer. (Timing may move
     // either way: retries add virtual time, while a crash-restart empties
     // the pool and makes later refaults cheaper.)
@@ -143,13 +167,43 @@ TEST_P(ChaosSoakTest, AnswersAreBitIdenticalAcrossFaultSeeds) {
 
 TEST_P(ChaosSoakTest, SameSeedIsReproducibleToTheNanosecond) {
   Runner run = GetParam();
-  const Observed a = run(/*fault_seed=*/13, /*faults=*/true);
-  const Observed b = run(/*fault_seed=*/13, /*faults=*/true);
+  const Observed a = run(/*fault_seed=*/13, /*faults=*/true, false);
+  const Observed b = run(/*fault_seed=*/13, /*faults=*/true, false);
   EXPECT_EQ(a.checksum, b.checksum);
   EXPECT_EQ(a.elapsed, b.elapsed);
   EXPECT_EQ(a.retry_ns, b.retry_ns);
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.fallbacks, b.fallbacks);
+}
+
+// PR6 hardening re-run: the same chaos sweep with the redo journal on. The
+// crash-restart still empties pool DRAM, but every acknowledged write is
+// replayed — zero lost writes across all seeds and engines, answers still
+// bit-identical to the fault-free run, and the in-run model checker holds
+// recovery invariant #6 the whole way.
+TEST_P(ChaosSoakTest, JournalOnRecoversEveryAcknowledgedWrite) {
+  Runner run = GetParam();
+  const Observed clean = run(/*fault_seed=*/0, /*faults=*/false, false);
+  int total_restarts = 0;
+  uint64_t total_recovered = 0;
+  for (const uint64_t seed : kSeeds) {
+    const Observed j = run(seed, /*faults=*/true, /*journal=*/true);
+    EXPECT_EQ(j.checksum, clean.checksum) << "seed " << seed;
+    EXPECT_EQ(j.lost, 0u) << "seed " << seed;
+    EXPECT_GT(j.elapsed, 0) << "seed " << seed;
+    total_restarts += j.restarts;
+    total_recovered += j.recovered;
+  }
+  // The sweep must actually exercise recovery, not just never crash.
+  EXPECT_GT(total_restarts, 0);
+  EXPECT_GT(total_recovered, 0u);
+
+  // Journal-on runs are as deterministic as everything else.
+  const Observed a = run(/*fault_seed=*/13, /*faults=*/true, /*journal=*/true);
+  const Observed b = run(/*fault_seed=*/13, /*faults=*/true, /*journal=*/true);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.recovered, b.recovered);
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, ChaosSoakTest,
@@ -169,7 +223,7 @@ INSTANTIATE_TEST_SUITE_P(Engines, ChaosSoakTest,
 // the resilience layer's fault-free fast paths are bit-identical, down to
 // the virtual-time nanosecond.
 TEST(ChaosFaultFreeTest, ZeroProbabilityInjectorChangesNothing) {
-  const Observed plain = RunDb(/*fault_seed=*/0, /*faults=*/false);
+  const Observed plain = RunDb(/*fault_seed=*/0, /*faults=*/false, false);
 
   bench::DeployOptions deploy;
   deploy.cache_fraction = 0.05;

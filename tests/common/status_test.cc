@@ -24,6 +24,7 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Fenced("x").code(), StatusCode::kFenced);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
 }
 
@@ -32,7 +33,9 @@ TEST(StatusTest, PredicatesMatchCodes) {
   EXPECT_TRUE(Status::Cancelled("c").IsCancelled());
   EXPECT_TRUE(Status::Unavailable("u").IsUnavailable());
   EXPECT_TRUE(Status::Fault("f").IsFault());
+  EXPECT_TRUE(Status::Fenced("e").IsFenced());
   EXPECT_FALSE(Status::OK().IsTimedOut());
+  EXPECT_FALSE(Status::Unavailable("u").IsFenced());
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
@@ -68,6 +71,7 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kFault), "Fault");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFenced), "Fenced");
 }
 
 }  // namespace

@@ -72,6 +72,11 @@ TEST(FormatGoldenTest, MetricsToStringFullDump) {
   m.retries = 5;
   m.fallbacks = 1;
   m.lost_pool_writes = 13;
+  m.recovered_pool_writes = 12;
+  m.journal_appends = 23;
+  m.journal_flushes = 3;
+  m.fenced_rpcs = 2;
+  m.dedup_hits = 1;
   m.cpu_ops = 90210;
   EXPECT_EQ(m.ToString(),
             "cache: hits=101 misses=7 evictions=5 writebacks=3\n"
@@ -83,6 +88,8 @@ TEST(FormatGoldenTest, MetricsToStringFullDump) {
             "teleport: pushdowns=2 syncmem_pages=8\n"
             "resilience: fault_events=11 retries=5 fallbacks=1 "
             "lost_pool_writes=13\n"
+            "recovery: recovered_pool_writes=12 journal_appends=23 "
+            "journal_flushes=3 fenced_rpcs=2 dedup_hits=1\n"
             "cpu: ops=90210");
 }
 
@@ -93,6 +100,10 @@ TEST(FormatGoldenTest, MetricsResilienceLineFaultFree) {
   const std::string s = m.ToString();
   EXPECT_NE(s.find("resilience: fault_events=0 retries=0 fallbacks=0 "
                    "lost_pool_writes=0\n"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("recovery: recovered_pool_writes=0 journal_appends=0 "
+                   "journal_flushes=0 fenced_rpcs=0 dedup_hits=0\n"),
             std::string::npos)
       << s;
 }
@@ -206,6 +217,13 @@ TEST(FormatGoldenTest, CoherenceEventKindNames) {
   EXPECT_EQ(ddc::CoherenceEventKindToString(K::kFlushPage), "FlushPage");
   EXPECT_EQ(ddc::CoherenceEventKindToString(K::kRefetchPage), "RefetchPage");
   EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPoolRestart), "PoolRestart");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPoolRecover), "PoolRecover");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kJournalCommit),
+            "JournalCommit");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kJournalTruncate),
+            "JournalTruncate");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPushdownAdmit),
+            "PushdownAdmit");
 }
 
 }  // namespace

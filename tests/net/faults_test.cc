@@ -107,6 +107,64 @@ TEST(FaultInjectorTest, LinkFlapsFollowTheSchedule) {
   EXPECT_EQ(inj.HealsAt(99), -1);  // link is up: nothing to heal
 }
 
+TEST(FaultInjectorDeathTest, OverlappingOutagesAbort) {
+  FaultInjector inj(/*seed=*/1);
+  inj.AddOutage(100, 200);
+  // Partial overlap, containment, and identical windows are all rejected —
+  // merging would have to pick one crash_restart flag silently.
+  EXPECT_DEATH(inj.AddOutage(150, 250), "overlaps");
+  EXPECT_DEATH(inj.AddOutage(120, 180), "overlaps");
+  EXPECT_DEATH(inj.AddOutage(100, 200), "overlaps");
+  EXPECT_DEATH(inj.AddOutage(50, 101, /*crash_restart=*/true), "overlaps");
+  EXPECT_DEATH(inj.AddOutage(500, 400), "finite");
+}
+
+TEST(FaultInjectorTest, TouchingOutageWindowsAreAllowed) {
+  FaultInjector inj(/*seed=*/1);
+  inj.AddOutage(100, 200);
+  inj.AddOutage(200, 300, /*crash_restart=*/true);  // until == next.from
+  inj.AddOutage(50, 100);
+  EXPECT_FALSE(inj.LinkUpAt(99));
+  EXPECT_FALSE(inj.LinkUpAt(150));
+  EXPECT_FALSE(inj.LinkUpAt(250));
+  EXPECT_TRUE(inj.LinkUpAt(300));
+  EXPECT_FALSE(inj.InCrashRestartAt(150));
+  EXPECT_TRUE(inj.InCrashRestartAt(200));
+  EXPECT_EQ(inj.HealsAt(120), 200);
+  EXPECT_EQ(inj.CrashRestartsCompletedBy(299), 0);
+  EXPECT_EQ(inj.CrashRestartsCompletedBy(300), 1);
+}
+
+// The binary-searched timeline must agree with a brute-force linear scan at
+// every instant, for windows inserted in arbitrary order.
+TEST(FaultInjectorTest, TimelineQueriesMatchLinearScan) {
+  FaultInjector inj(/*seed=*/1);
+  struct W {
+    Nanos from, until;
+    bool crash;
+  };
+  // Disjoint, deliberately inserted out of from-order, some touching.
+  const std::vector<W> windows = {
+      {700, 900, true},  {100, 150, false}, {150, 220, true},
+      {400, 401, false}, {1000, 1300, true}, {2000, 2001, true},
+  };
+  for (const W& w : windows) inj.AddOutage(w.from, w.until, w.crash);
+  for (Nanos t = 0; t <= 2100; ++t) {
+    const W* covering = nullptr;
+    int completed = 0;
+    for (const W& w : windows) {
+      if (t >= w.from && t < w.until) covering = &w;
+      if (w.crash && w.until <= t) ++completed;
+    }
+    ASSERT_EQ(inj.LinkUpAt(t), covering == nullptr) << "t=" << t;
+    ASSERT_EQ(inj.HealsAt(t), covering != nullptr ? covering->until : -1)
+        << "t=" << t;
+    ASSERT_EQ(inj.InCrashRestartAt(t), covering != nullptr && covering->crash)
+        << "t=" << t;
+    ASSERT_EQ(inj.CrashRestartsCompletedBy(t), completed) << "t=" << t;
+  }
+}
+
 TEST(FaultInjectorTest, CrashRestartWindowsAreCounted) {
   FaultInjector inj(/*seed=*/1);
   inj.ScheduleCrashRestart(/*at=*/1000, /*down_for=*/500);
