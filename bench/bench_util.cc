@@ -38,7 +38,7 @@ DbDeployment MakeDb(ddc::Platform platform, double scale_factor,
   // tables); give the address space ample headroom.
   d.ms = std::make_unique<ddc::MemorySystem>(
       BaseConfig(platform, bytes, opts), sim::CostParams::Default(),
-      bytes * 12);
+      static_cast<uint64_t>(bytes * 12 * opts.space_headroom));
   d.database = db::GenerateTpch(d.ms.get(), cfg);
   d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
   if (platform == ddc::Platform::kBaseDdc) {
@@ -57,7 +57,7 @@ GraphDeployment MakeGraph(ddc::Platform platform, uint64_t vertices,
   const uint64_t bytes = graph::EstimateGraphBytes(gc);
   d.ms = std::make_unique<ddc::MemorySystem>(
       BaseConfig(platform, bytes, opts), sim::CostParams::Default(),
-      bytes * 6);
+      static_cast<uint64_t>(bytes * 6 * opts.space_headroom));
   d.graph = graph::GenerateGraph(d.ms.get(), gc);
   d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
   if (platform == ddc::Platform::kBaseDdc) {
@@ -76,7 +76,7 @@ MrDeployment MakeMr(ddc::Platform platform, uint64_t corpus_bytes,
   // buffers, several times the input volume; size the cache off that.
   d.ms = std::make_unique<ddc::MemorySystem>(
       BaseConfig(platform, corpus_bytes * 8, opts), sim::CostParams::Default(),
-      corpus_bytes * 40);
+      static_cast<uint64_t>(corpus_bytes * 40 * opts.space_headroom));
   d.corpus = mr::GenerateText(d.ms.get(), tc);
   d.ctx = d.ms->CreateContext(ddc::Pool::kCompute);
   if (platform == ddc::Platform::kBaseDdc) {

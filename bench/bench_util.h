@@ -33,6 +33,10 @@ struct DeployOptions {
   int memory_pool_cores = 1;
   /// Sequential prefetch depth of the compute cache (0 = off).
   int prefetch_pages = 0;
+  /// Multiplies the deployment's virtual address space. >1 leaves headroom
+  /// for re-running a workload on the same deployment (each run allocates
+  /// fresh scratch buffers), e.g. the PR7 per-tenant legs.
+  double space_headroom = 1.0;
 };
 
 DbDeployment MakeDb(ddc::Platform platform, double scale_factor,

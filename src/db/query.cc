@@ -17,7 +17,10 @@ namespace {
 class PlanExecutor {
  public:
   PlanExecutor(ddc::ExecutionContext& ctx, const QueryOptions& opts)
-      : ctx_(ctx), opts_(opts), start_ns_(ctx.now()) {}
+      : ctx_(ctx),
+        opts_(opts),
+        start_ns_(ctx.now()),
+        start_metrics_(ctx.metrics()) {}
 
   template <typename Fn>
   void Run(const std::string& name, OpKind kind, Fn&& body) {
@@ -66,6 +69,11 @@ class PlanExecutor {
   QueryResult Finish(int64_t checksum) {
     result_.checksum = checksum;
     result_.total_ns = ctx_.now() - start_ns_;
+    if (opts_.scopes != nullptr) {
+      opts_.scopes->Record(ctx_.tenant(),
+                           ctx_.metrics().Diff(start_metrics_),
+                           result_.total_ns);
+    }
     return std::move(result_);
   }
 
@@ -73,6 +81,7 @@ class PlanExecutor {
   ddc::ExecutionContext& ctx_;
   const QueryOptions& opts_;
   Nanos start_ns_;
+  sim::Metrics start_metrics_;
   QueryResult result_;
 };
 

@@ -9,6 +9,7 @@
 
 #include "db/operators.h"
 #include "db/tpch.h"
+#include "sim/tenant_scopes.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::db {
@@ -70,6 +71,11 @@ struct QueryOptions {
   std::set<std::string> push_ops;
   bool push_all = false;
   tp::PushdownFlags flags;
+
+  /// Multi-tenant attribution (PR7): when set, the whole run's
+  /// context-metrics diff and end-to-end latency are recorded into the
+  /// calling context's tenant scope.
+  sim::TenantScopes* scopes = nullptr;
 
   bool ShouldPush(const std::string& op_name) const {
     return runtime != nullptr &&

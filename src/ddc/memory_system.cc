@@ -77,17 +77,47 @@ void MemorySystem::LruList::Clear() {
 
 // --- MemorySystem ------------------------------------------------------------
 
+namespace {
+
+// Block-partition stride: the address-space capacity is fixed at
+// construction, so every page's shard is known before any allocation.
+uint64_t PagesPerShard(uint64_t capacity_bytes, uint64_t page_size,
+                       int shards) {
+  const uint64_t cap_pages =
+      std::max<uint64_t>(1, (capacity_bytes + page_size - 1) / page_size);
+  const uint64_t m = static_cast<uint64_t>(std::max(1, shards));
+  return std::max<uint64_t>(1, (cap_pages + m - 1) / m);
+}
+
+}  // namespace
+
 MemorySystem::MemorySystem(const DdcConfig& config,
                            const sim::CostParams& params,
                            uint64_t address_space_capacity)
     : config_(config),
       params_(params),
       space_(address_space_capacity, params.page_size),
-      fabric_(params),
+      fabric_(params, std::max(1, config.compute_nodes),
+              std::max(1, config.memory_shards)),
+      cnodes_(static_cast<size_t>(std::max(1, config.compute_nodes))),
+      shards_(static_cast<size_t>(std::max(1, config.memory_shards))),
+      pages_per_shard_(PagesPerShard(address_space_capacity, params.page_size,
+                                     config.memory_shards)),
       cache_capacity_pages_(
           std::max<uint64_t>(1, config.compute_cache_bytes / params.page_size)),
-      pool_capacity_pages_(
-          std::max<uint64_t>(1, config.memory_pool_bytes / params.page_size)) {
+      pool_capacity_pages_(std::max<uint64_t>(
+          1, config.memory_pool_bytes /
+                 static_cast<uint64_t>(std::max(1, config.memory_shards)) /
+                 params.page_size)) {
+  TELEPORT_CHECK(config.compute_nodes >= 1 && config.memory_shards >= 1)
+      << "a rack has at least one compute node and one memory shard; got "
+      << config.compute_nodes << "x" << config.memory_shards;
+  if (config.compute_nodes > 1 || config.memory_shards > 1) {
+    TELEPORT_CHECK(config.platform == Platform::kBaseDdc)
+        << "multi-node racks only exist on the kBaseDdc platform";
+  }
+  TELEPORT_CHECK(config.compute_nodes <= 255)
+      << "page ownership is tracked in a uint8_t";
   // The explore tier exports TELEPORT_SCALAR_DATAPATH=1 to force per-access
   // dispatch (schedule points at every element); any non-empty value other
   // than "0" enables it.
@@ -120,8 +150,8 @@ void MemorySystem::EnsurePageTables() {
   const uint64_t n = space_.num_pages();
   if (pages_.size() < n) {
     pages_.resize(n);
-    cache_lru_.EnsureSize(n);
-    pool_lru_.EnsureSize(n);
+    for (ComputeNodeState& c : cnodes_) c.cache_lru.EnsureSize(n);
+    for (ShardState& sh : shards_) sh.pool_lru.EnsureSize(n);
     // pages_ may have reallocated: every PageState pointer held by a pin is
     // dangling. Unconditional (memory safety, not protocol).
     InvalidateAllPins();
@@ -139,26 +169,30 @@ void MemorySystem::SeedData() {
     switch (config_.platform) {
       case Platform::kLocal:
         break;  // no placement bookkeeping needed
-      case Platform::kLinuxSsd:
+      case Platform::kLinuxSsd: {
         // Local DRAM first; overflow lives on the SSD (swapped out).
-        if (cache_used_ < cache_capacity_pages_) {
+        ComputeNodeState& cn = cnodes_[0];
+        if (cn.cache_used < cache_capacity_pages_) {
           s.compute_perm = Perm::kWrite;
-          cache_lru_.PushFront(p);
-          ++cache_used_;
+          cn.cache_lru.PushFront(p);
+          ++cn.cache_used;
         } else {
           s.on_storage = true;
         }
         break;
-      case Platform::kBaseDdc:
-        // Data is staged in the memory pool; the compute cache starts cold.
-        if (pool_used_ < pool_capacity_pages_) {
+      }
+      case Platform::kBaseDdc: {
+        // Data is staged in its home shard; the compute caches start cold.
+        ShardState& sh = shards_[static_cast<size_t>(ShardOf(p))];
+        if (sh.pool_used < pool_capacity_pages_) {
           s.in_memory_pool = true;
-          pool_lru_.PushFront(p);
-          ++pool_used_;
+          sh.pool_lru.PushFront(p);
+          ++sh.pool_used;
         } else {
           s.on_storage = true;
         }
         break;
+      }
     }
   }
 }
@@ -220,6 +254,8 @@ void MemorySystem::FillPin(ExecutionContext& ctx, PagePin& pin, PageId page) {
           break;
         case Platform::kBaseDdc:
           if (s.compute_perm == Perm::kNone) return;
+          // A page cached by another client takes the migration path.
+          if (s.owner != static_cast<uint8_t>(ctx.node_)) return;
           pin.read_ok = true;
           pin.write_ok = s.compute_perm == Perm::kWrite;
           pin.hit_counter = &ctx.metrics_.cache_hits;
@@ -231,7 +267,7 @@ void MemorySystem::FillPin(ExecutionContext& ctx, PagePin& pin, PageId page) {
         switch (config_.cache_policy) {
           case CachePolicy::kLru:
             pin.lru_kind = 1;
-            pin.lru_list = &cache_lru_;
+            pin.lru_list = &cnodes_[static_cast<size_t>(ctx.node_)].cache_lru;
             break;
           case CachePolicy::kFifo:
             break;  // hits do not promote
@@ -255,7 +291,7 @@ void MemorySystem::FillPin(ExecutionContext& ctx, PagePin& pin, PageId page) {
       pin.dirty_flag = &s.mem_dirty;
       if (pushdown_active_) pin.touched_flag = &s.temp_touched;
       pin.lru_kind = 1;  // MemoryTouch promotes unconditionally
-      pin.lru_list = &pool_lru_;
+      pin.lru_list = &shards_[static_cast<size_t>(ShardOf(page))].pool_lru;
       pin.notify = observer_ != nullptr;
       pin.pool_side = true;
       break;
@@ -312,8 +348,10 @@ void MemorySystem::LinuxSsdTouch(ExecutionContext& ctx, PageId page,
 Nanos MemorySystem::EnsureInMemoryPoolCost(ExecutionContext& ctx,
                                            PageId page) {
   PageState& s = PS(page);
+  const int shard = ShardOf(page);
+  ShardState& sh = shards_[static_cast<size_t>(shard)];
   if (s.in_memory_pool) {
-    pool_lru_.MoveToFront(page);
+    sh.pool_lru.MoveToFront(page);
     return 0;
   }
   Nanos cost = 0;
@@ -325,21 +363,22 @@ Nanos MemorySystem::EnsureInMemoryPoolCost(ExecutionContext& ctx,
   } else {
     cost += params_.minor_fault_ns;  // zero-fill allocation in the pool
   }
-  if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+  if (sh.pool_used >= pool_capacity_pages_) EvictOnePoolPage(ctx, shard);
   BumpTlbEpoch(page);  // the page's pool residency changes
   s.in_memory_pool = true;
-  pool_lru_.PushFront(page);
-  ++pool_used_;
+  sh.pool_lru.PushFront(page);
+  ++sh.pool_used;
   return cost;
 }
 
-void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx) {
-  const PageId victim = pool_lru_.Back();
+void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx, int shard) {
+  ShardState& sh = shards_[static_cast<size_t>(shard)];
+  const PageId victim = sh.pool_lru.Back();
   TELEPORT_DCHECK(victim != kNil) << "memory pool empty but full";
   BumpTlbEpoch(victim);  // shootdown before the victim's state is rewritten
   PageState& v = pages_[victim];
-  pool_lru_.Remove(victim);
-  --pool_used_;
+  sh.pool_lru.Remove(victim);
+  --sh.pool_used;
   v.in_memory_pool = false;
   if (v.mem_dirty || !v.on_storage) {
     ctx.clock_.Advance(params_.ssd_write_page_ns);
@@ -354,7 +393,7 @@ void MemorySystem::EvictOnePoolPage(ExecutionContext& ctx) {
 void MemorySystem::TouchCachePage(PageId page) {
   switch (config_.cache_policy) {
     case CachePolicy::kLru:
-      cache_lru_.MoveToFront(page);
+      cnodes_[pages_[page].owner].cache_lru.MoveToFront(page);
       break;
     case CachePolicy::kFifo:
       break;  // insertion order only
@@ -378,21 +417,28 @@ void MemorySystem::TraceCache(std::string_view name, PageId page, Nanos at) {
 }
 
 void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
-  PageId victim = cache_lru_.Back();
+  ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
+  PageId victim = cn.cache_lru.Back();
   if (config_.cache_policy == CachePolicy::kClock) {
     // Second chance: a referenced page at the hand is spared once.
     while (victim != kNil && pages_[victim].ref_bit) {
       pages_[victim].ref_bit = false;
-      cache_lru_.MoveToFront(victim);
-      victim = cache_lru_.Back();
+      cn.cache_lru.MoveToFront(victim);
+      victim = cn.cache_lru.Back();
     }
   }
   TELEPORT_DCHECK(victim != kNil) << "compute cache empty but full";
+  EvictSpecificCachePage(ctx, victim);
+}
+
+void MemorySystem::EvictSpecificCachePage(ExecutionContext& ctx,
+                                          PageId victim) {
   BumpTlbEpoch(victim);  // shootdown before the victim loses its mapping
   PageState& v = pages_[victim];
-  cache_lru_.Remove(victim);
-  --cache_used_;
-  const Perm old_perm = v.compute_perm;
+  TELEPORT_DCHECK(v.compute_perm != Perm::kNone);
+  ComputeNodeState& cn = cnodes_[v.owner];
+  cn.cache_lru.Remove(victim);
+  --cn.cache_used;
   v.compute_perm = Perm::kNone;
   ++ctx.metrics_.cache_evictions;
   if (!v.compute_dirty) {
@@ -411,22 +457,25 @@ void MemorySystem::EvictOneCachePage(ExecutionContext& ctx) {
     TraceCache("Writeback", victim, ctx.now());
     return;
   }
-  // DDC: write the page back to the memory pool over the fabric.
-  (void)old_perm;
+  // DDC: write the page back to its home shard over the evicting node's
+  // link (for a cross-node migration the traffic leaves the old owner).
+  const int shard = ShardOf(victim);
+  ShardState& sh = shards_[static_cast<size_t>(shard)];
   const Nanos delivered =
-      fabric_.SendToMemory(ctx.now(), params_.page_size + 64);
+      fabric_.SendToMemory(net::Link{static_cast<int>(v.owner), shard},
+                           ctx.now(), params_.page_size + 64);
   ctx.clock_.AdvanceTo(delivered);
   ++ctx.metrics_.net_messages;
   ctx.metrics_.net_bytes += params_.page_size + 64;
   ctx.metrics_.bytes_to_memory_pool += params_.page_size;
   // The pool materializes the page (no storage read: data came from compute).
   if (!v.in_memory_pool) {
-    if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+    if (sh.pool_used >= pool_capacity_pages_) EvictOnePoolPage(ctx, shard);
     v.in_memory_pool = true;
-    pool_lru_.PushFront(victim);
-    ++pool_used_;
+    sh.pool_lru.PushFront(victim);
+    ++sh.pool_used;
   } else {
-    pool_lru_.MoveToFront(victim);
+    sh.pool_lru.MoveToFront(victim);
   }
   v.mem_dirty = true;
   // Ack point of the writeback: the pool acknowledges once the redo record
@@ -440,21 +489,31 @@ void MemorySystem::CacheInsert(ExecutionContext& ctx, PageId page, Perm perm,
                                bool dirty) {
   PageState& s = PS(page);
   TELEPORT_DCHECK(s.compute_perm == Perm::kNone);
-  if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+  ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
+  if (cn.cache_used >= cache_capacity_pages_) EvictOneCachePage(ctx);
   // After the possible eviction (whose own shootdown precedes its event) so
   // the fill's shootdown is still outstanding when the access event fires.
   BumpTlbEpoch(page);
   s.compute_perm = perm;
   s.compute_dirty = dirty;
   s.ref_bit = false;
-  cache_lru_.PushFront(page);
-  ++cache_used_;
+  s.owner = static_cast<uint8_t>(ctx.node_);
+  cn.cache_lru.PushFront(page);
+  ++cn.cache_used;
   TraceCache("Fill", page, ctx.now());
 }
 
 void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
                                 uint64_t len, bool write) {
   PageState& s = PS(page);
+  // Cross-node migration: exactly one client may cache a page, keeping the
+  // §4.1 protocol two-sided on the rack. A touch from a different client
+  // first evicts the current owner's copy (dirty data rides the old owner's
+  // link home), then faults the page in here like any miss.
+  if (s.compute_perm != Perm::kNone &&
+      s.owner != static_cast<uint8_t>(ctx.node_)) {
+    EvictSpecificCachePage(ctx, page);
+  }
   const bool sufficient =
       s.compute_perm == Perm::kWrite ||
       (!write && s.compute_perm == Perm::kRead);
@@ -471,7 +530,8 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     s.compute_perm = Perm::kWrite;
     ctx.clock_.Advance(params_.perm_upgrade_ns);
   } else {
-    // Full miss: fault to the memory pool.
+    // Full miss: fault to the page's home shard.
+    const net::Link link{static_cast<int>(ctx.node_), ShardOf(page)};
     ++ctx.metrics_.cache_misses;
     const bool has_remote_data = s.in_memory_pool || s.on_storage;
     const bool sequential_fault =
@@ -485,13 +545,15 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     // Sequential prefetch (LegoOS-style, off by default): a fault that
     // extends the previous fault's stream pulls the next pages in the
     // same reply. Disabled during pushdown sessions (the temporary
-    // context owns the coherence state then).
+    // context owns the coherence state then). A reply carries pages of
+    // one shard only, so the batch stops at the shard boundary.
     std::vector<PageId> prefetch;
     if (config_.prefetch_pages > 0 && sequential_fault && has_remote_data &&
         !pushdown_active_) {
       for (int i = 1; i <= config_.prefetch_pages; ++i) {
         const PageId next = page + static_cast<PageId>(i);
         if (next >= space_.num_pages()) break;
+        if (ShardOf(next) != link.dst) break;
         PageState& ns = pages_[next];
         if (ns.compute_perm != Perm::kNone) break;
         if (!ns.in_memory_pool && !ns.on_storage) break;
@@ -505,8 +567,9 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
     // pool's controller (§3), but no page payload moves.
     const Nanos done =
         fabric_.fault_injector() == nullptr
-            ? fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler)
-            : RetriedPageFaultRpc(ctx, 64, resp_bytes, handler);
+            ? fabric_.RoundTripFromCompute(link, ctx.now(), 64, resp_bytes,
+                                           handler)
+            : RetriedPageFaultRpc(ctx, link, 64, resp_bytes, handler);
     ctx.clock_.AdvanceTo(done);
     ctx.metrics_.net_messages += 2;
     ctx.metrics_.net_bytes += 64 + resp_bytes;
@@ -544,7 +607,7 @@ void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
     ++ctx.metrics_.memory_pool_faults;
   } else {
     ++ctx.metrics_.memory_pool_hits;
-    pool_lru_.MoveToFront(page);
+    shards_[static_cast<size_t>(ShardOf(page))].pool_lru.MoveToFront(page);
   }
   if (write) {
     s.mem_dirty = true;
@@ -554,7 +617,7 @@ void MemorySystem::MemoryTouch(ExecutionContext& ctx, PageId page,
   Notify(CoherenceEvent::Kind::kMemoryAccess, page, write, ctx.now());
 }
 
-Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
+Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx, net::Link link,
                                         uint64_t req_bytes,
                                         uint64_t resp_bytes,
                                         Nanos handler_ns) {
@@ -568,7 +631,7 @@ Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
     const tp::RetryOutcome out = tp::RetryRoundTripFromCompute(
         fabric_, fault_retry_, retry_rng_, t, req_bytes, resp_bytes,
         handler_ns, net::MessageKind::kPageFaultRequest,
-        net::MessageKind::kPageFaultReply, &stats);
+        net::MessageKind::kPageFaultReply, &stats, link);
     if (out.ok) {
       retry_stats_.Add(stats);
       ctx.metrics_.retries += stats.retries;
@@ -576,7 +639,7 @@ Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
       return out.done;
     }
     t = out.gave_up_at;
-    const Nanos heal = fabric_.NextReachableAt(t);
+    const Nanos heal = fabric_.NextReachableAt(t, link.dst);
     if (heal == net::Fabric::kNeverHeals) break;
     if (heal > t) t = heal;
   }
@@ -585,7 +648,8 @@ Nanos MemorySystem::RetriedPageFaultRpc(ExecutionContext& ctx,
   ctx.metrics_.fault_events += stats.retries;
   // Transport floor: ReliableDeliver retransmits below the RPC layer and
   // cannot lose the message, so the fault always completes.
-  return fabric_.RoundTripFromCompute(t, req_bytes, resp_bytes, handler_ns);
+  return fabric_.RoundTripFromCompute(link, t, req_bytes, resp_bytes,
+                                      handler_ns);
 }
 
 void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
@@ -641,8 +705,9 @@ void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
     }
   }
 
+  const net::Link link{static_cast<int>(ctx.node_), ShardOf(page)};
   const Nanos done =
-      fabric_.RoundTripFromCompute(ctx.now(), 64, resp_bytes, handler);
+      fabric_.RoundTripFromCompute(link, ctx.now(), 64, resp_bytes, handler);
   ctx.clock_.AdvanceTo(done);
   ctx.coherence_ns_ += ctx.now() - start;
   ctx.metrics_.coherence_messages += 2;
@@ -680,13 +745,15 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
     return;
   }
 
-  // The compute pool caches the page: issue a coherence request to it.
+  // Some compute node caches the page: issue a coherence request to it over
+  // its own link to this page's home shard.
   const Nanos start = ctx.now();
   // Fresher data lives in the cache and must come back with the reply.
   const bool page_back = s.compute_dirty &&
                          mutation_ != ProtocolMutation::kSkipPageReturn;
   Nanos handler = params_.coherence_overhead_ns + params_.perm_upgrade_ns;
   uint64_t resp_bytes = 64 + (page_back ? params_.page_size : 0);
+  const net::Link link{static_cast<int>(s.owner), ShardOf(page)};
 
   if (write) {
     // ComputeOnPageRequest (Fig 9 lines 18-25): evict (default) or
@@ -696,8 +763,9 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
       ++ctx.metrics_.coherence_downgrades;
       TraceProtocol("Downgrade", page, ctx.now());
     } else {
-      cache_lru_.Remove(page);
-      --cache_used_;
+      ComputeNodeState& cn = cnodes_[s.owner];
+      cn.cache_lru.Remove(page);
+      --cn.cache_used;
       s.compute_perm = Perm::kNone;
       ++ctx.metrics_.coherence_invalidations;
       ++ctx.metrics_.cache_evictions;
@@ -720,7 +788,7 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
   }
 
   const Nanos done =
-      fabric_.RoundTripFromMemory(ctx.now(), 64, resp_bytes, handler);
+      fabric_.RoundTripFromMemory(link, ctx.now(), 64, resp_bytes, handler);
   if (write) {
     // Record the §4.1 in-flight window so a racing compute-side write
     // fault loses the tiebreak.
@@ -737,7 +805,7 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
 
 std::vector<PageEntry> MemorySystem::ResidentPages() const {
   std::vector<PageEntry> out;
-  out.reserve(cache_used_);
+  out.reserve(cache_pages_used());
   for (PageId p = 0; p < pages_.size(); ++p) {
     const PageState& s = pages_[p];
     if (s.compute_perm != Perm::kNone) {
@@ -748,7 +816,8 @@ std::vector<PageEntry> MemorySystem::ResidentPages() const {
 }
 
 uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode,
-                                            uint64_t admit_epoch) {
+                                            uint64_t admit_epoch,
+                                            int home_shard) {
   EnsurePageTables();
   if (pushdown_active_) {
     // Concurrent request from another thread of the same process: shares
@@ -785,7 +854,8 @@ uint64_t MemorySystem::BeginPushdownSession(CoherenceMode mode,
   }
   BumpTlbEpochAll();  // temp table materialized; pool-side pins must refill
   Notify(CoherenceEvent::Kind::kSessionBegin, 0, false, 0,
-         admit_epoch == kCurrentEpoch ? pool_epoch_ : admit_epoch);
+         admit_epoch == kCurrentEpoch ? pool_epoch(home_shard) : admit_epoch,
+         home_shard);
   return pages_.size();
 }
 
@@ -798,7 +868,8 @@ void MemorySystem::EndPushdownSession(ExecutionContext* ctx) {
     // external communication (§4.1); temp writes already marked mem_dirty.
     // With journaling on, the merge is where session writes become
     // acknowledged pool state: each touched dirty page gets a redo record
-    // (group-commit batching amortizes the flushes).
+    // in its home shard's journal (group-commit batching amortizes the
+    // flushes).
     if (journal_enabled_ && s.temp_touched && s.mem_dirty) {
       JournalCommit(ctx, p, ctx != nullptr ? ctx->now() : 0);
     }
@@ -818,9 +889,11 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
   const PageId first = addr / page_size;
   const PageId last = (addr + len - 1) / page_size;
   uint64_t flushed = 0;
+  std::vector<uint64_t> per_shard(shards_.size(), 0);
   for (PageId p = first; p <= last && p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (s.compute_perm == Perm::kNone || !s.compute_dirty) continue;
+    if (s.owner != static_cast<uint8_t>(ctx.node_)) continue;
     BumpTlbEpoch(p);  // per-page: write permission drops to read
     s.compute_dirty = false;
     s.compute_perm = Perm::kRead;
@@ -829,25 +902,39 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
         s.temp_perm == Perm::kNone) {
       s.temp_perm = Perm::kRead;
     }
+    const int shard = ShardOf(p);
+    ShardState& sh = shards_[static_cast<size_t>(shard)];
     if (!s.in_memory_pool) {
-      if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+      if (sh.pool_used >= pool_capacity_pages_) EvictOnePoolPage(ctx, shard);
       s.in_memory_pool = true;
-      pool_lru_.PushFront(p);
-      ++pool_used_;
+      sh.pool_lru.PushFront(p);
+      ++sh.pool_used;
     }
     s.mem_dirty = true;
     JournalCommit(&ctx, p, ctx.now());
     ++flushed;
+    ++per_shard[static_cast<size_t>(shard)];
     Notify(CoherenceEvent::Kind::kSyncmemPage, p, false, ctx.now());
   }
   if (flushed == 0) return;
-  const uint64_t bytes = flushed * page_size;
-  const Nanos delivered = fabric_.SendToMemory(ctx.now(), bytes + 64,
-                                               net::MessageKind::kSyncmem);
-  ctx.clock_.AdvanceTo(delivered + params_.fault_handler_ns);
-  ctx.metrics_.net_messages += 1;
-  ctx.metrics_.net_bytes += bytes + 64;
-  ctx.metrics_.bytes_to_memory_pool += bytes;
+  // One grouped transfer per destination shard, all issued at the same
+  // instant; the syscall returns when the slowest shard acknowledges. With
+  // one shard this is exactly the legacy single message.
+  Nanos last_delivered = 0;
+  uint64_t groups = 0;
+  for (size_t sidx = 0; sidx < per_shard.size(); ++sidx) {
+    if (per_shard[sidx] == 0) continue;
+    const uint64_t bytes = per_shard[sidx] * page_size + 64;
+    const Nanos delivered = fabric_.SendToMemory(
+        net::Link{static_cast<int>(ctx.node_), static_cast<int>(sidx)},
+        ctx.now(), bytes, net::MessageKind::kSyncmem);
+    last_delivered = std::max(last_delivered, delivered);
+    ++groups;
+    ctx.metrics_.net_bytes += bytes;
+  }
+  ctx.clock_.AdvanceTo(last_delivered + params_.fault_handler_ns);
+  ctx.metrics_.net_messages += groups;
+  ctx.metrics_.bytes_to_memory_pool += flushed * page_size;
   ctx.metrics_.syncmem_pages += flushed;
 }
 
@@ -866,21 +953,26 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
   uint64_t moved = 0;
   uint64_t transferred = 0;
   flushed_pages_.clear();
+  ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
   for (PageId p = first; p <= last && p < pages_.size(); ++p) {
     PageState& s = pages_[p];
     if (s.compute_perm == Perm::kNone) continue;
+    // Another client's pages are not this node's to flush.
+    if (s.owner != static_cast<uint8_t>(ctx.node_)) continue;
     BumpTlbEpoch(p);  // per-page unmap / writeback
     ++moved;
     flushed_pages_.push_back(p);
     if (s.compute_dirty) {
-      // Dirty pages are written back over the fabric.
+      // Dirty pages are written back over the fabric to their home shard.
       ++transferred;
       s.compute_dirty = false;
+      const int shard = ShardOf(p);
+      ShardState& sh = shards_[static_cast<size_t>(shard)];
       if (!s.in_memory_pool) {
-        if (pool_used_ >= pool_capacity_pages_) EvictOnePoolPage(ctx);
+        if (sh.pool_used >= pool_capacity_pages_) EvictOnePoolPage(ctx, shard);
         s.in_memory_pool = true;
-        pool_lru_.PushFront(p);
-        ++pool_used_;
+        sh.pool_lru.PushFront(p);
+        ++sh.pool_used;
       }
       s.mem_dirty = true;
       JournalCommit(&ctx, p, ctx.now());
@@ -890,8 +982,8 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
       ctx.clock_.Advance(params_.eager_sync_per_page_ns / 2);
     }
     if (drop) {
-      cache_lru_.Remove(p);
-      --cache_used_;
+      cn.cache_lru.Remove(p);
+      --cn.cache_used;
       s.compute_perm = Perm::kNone;
     }
     Notify(CoherenceEvent::Kind::kFlushPage, p, drop, ctx.now());
@@ -913,16 +1005,18 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
   if (pages == 0) return;
   // Repopulate the pages flushed by the last FlushAllCache(drop=true).
   uint64_t refetched = 0;
+  ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
   for (PageId p : flushed_pages_) {
     if (refetched >= pages) break;
     PageState& s = PS(p);
     if (s.compute_perm != Perm::kNone) continue;
-    if (cache_used_ >= cache_capacity_pages_) EvictOneCachePage(ctx);
+    if (cn.cache_used >= cache_capacity_pages_) EvictOneCachePage(ctx);
     BumpTlbEpoch(p);  // per-page refill (after the eviction's own shootdown)
     s.compute_perm = Perm::kRead;
     s.compute_dirty = false;
-    cache_lru_.PushFront(p);
-    ++cache_used_;
+    s.owner = static_cast<uint8_t>(ctx.node_);
+    cn.cache_lru.PushFront(p);
+    ++cn.cache_used;
     ++refetched;
     Notify(CoherenceEvent::Kind::kRefetchPage, p, false, ctx.now());
   }
@@ -942,72 +1036,89 @@ MemorySystem::RestartOutcome MemorySystem::ApplyPoolRestartsAt(
   RestartOutcome out;
   const net::FaultInjector* inj = fabric_.fault_injector();
   if (inj == nullptr) return out;
-  const int completed = inj->CrashRestartsCompletedBy(now);
-  if (completed <= pool_restarts_applied_) return out;
-  const int windows = completed - pool_restarts_applied_;
-  pool_restarts_applied_ = completed;
-  // Each completed crash-restart window opens a fresh lease epoch, even when
-  // several windows are absorbed in one batch: sessions admitted under any
-  // earlier epoch must be fenced.
-  pool_epoch_ += static_cast<uint64_t>(windows);
-  EnsurePageTables();
-  BumpTlbEpochAll();  // the pool's page table is wiped wholesale
-  // The restarted node comes back with empty DRAM: every pool-resident page
-  // is dropped. Pages whose bytes were flushed to storage are recoverable
-  // (refaulted on demand). Unflushed writes are gone unless the journal
-  // holds their redo record; writes that bypassed an acknowledgement point
-  // (direct pool stores outside any session) are genuinely unrecoverable
-  // and get reported. Compute-cache pages are untouched.
-  const bool replay =
-      journal_enabled_ && mutation_ != ProtocolMutation::kSkipJournalReplay;
-  for (PageId p = 0; p < pages_.size(); ++p) {
-    PageState& s = pages_[p];
-    if (!s.in_memory_pool) continue;
-    s.in_memory_pool = false;
-    if (s.mem_dirty && !(replay && journal_.Has(p))) {
-      s.mem_dirty = false;
-      ++out.lost;
-    }
-  }
-  pool_lru_.Clear();
-  pool_used_ = 0;
-  lost_pool_writes_ += out.lost;
-  ctx.metrics_.lost_pool_writes += out.lost;
-  if (tracer_ != nullptr) {
-    tracer_->Instant("coherence", "PoolRestart", now, sim::kTrackCoherence,
-                     "\"lost_writes\":" + std::to_string(out.lost));
-  }
-  Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, now, pool_epoch_);
-  if (replay) {
-    // Replay re-materializes every journaled page into pool DRAM, dirty
-    // again (the storage copy, if any, predates the acknowledged write).
-    // Records stay live so a back-to-back crash recovers them again.
-    for (const PageId p : journal_.LiveRecords()) {
+  // Shards restart independently: a crash of shard A wipes (and replays)
+  // only A's page range, journal, and epoch. Ascending order keeps the
+  // event sequence deterministic when several shards restarted by `now`.
+  for (int shard = 0; shard < memory_shards(); ++shard) {
+    ShardState& sh = shards_[static_cast<size_t>(shard)];
+    const int completed = inj->CrashRestartsCompletedBy(now, shard);
+    if (completed <= sh.pool_restarts_applied) continue;
+    const int windows = completed - sh.pool_restarts_applied;
+    sh.pool_restarts_applied = completed;
+    // Each completed crash-restart window opens a fresh lease epoch, even
+    // when several windows are absorbed in one batch: sessions admitted
+    // under any earlier epoch of this shard must be fenced.
+    sh.pool_epoch += static_cast<uint64_t>(windows);
+    EnsurePageTables();
+    BumpTlbEpochAll();  // the shard's page-table slice is wiped wholesale
+    // The restarted shard comes back with empty DRAM: every pool-resident
+    // page of its range is dropped. Pages whose bytes were flushed to
+    // storage are recoverable (refaulted on demand). Unflushed writes are
+    // gone unless this shard's journal holds their redo record; writes that
+    // bypassed an acknowledgement point (direct pool stores outside any
+    // session) are genuinely unrecoverable and get reported. Compute-cache
+    // pages and other shards are untouched.
+    const bool replay =
+        journal_enabled_ && mutation_ != ProtocolMutation::kSkipJournalReplay;
+    uint64_t lost = 0;
+    for (PageId p = static_cast<PageId>(shard) * pages_per_shard_;
+         p < pages_.size() && ShardOf(p) == shard; ++p) {
       PageState& s = pages_[p];
-      s.in_memory_pool = true;
-      s.mem_dirty = true;
-      pool_lru_.PushFront(p);
-      ++pool_used_;
-      ++out.recovered;
-      Notify(CoherenceEvent::Kind::kPoolRecover, p, false, now);
+      if (!s.in_memory_pool) continue;
+      s.in_memory_pool = false;
+      if (s.mem_dirty && !(replay && sh.journal.Has(p))) {
+        s.mem_dirty = false;
+        ++lost;
+      }
     }
-    out.recovery_ns = journal_.ReplayCost(out.recovered);
-    recovered_pool_writes_ += out.recovered;
-    ctx.metrics_.recovered_pool_writes += out.recovered;
+    sh.pool_lru.Clear();
+    sh.pool_used = 0;
+    out.lost += lost;
+    lost_pool_writes_ += lost;
+    ctx.metrics_.lost_pool_writes += lost;
     if (tracer_ != nullptr) {
-      tracer_->Span("recovery", "JournalReplay", now, out.recovery_ns,
-                    sim::kTrackMemoryPool,
-                    "\"recovered\":" + std::to_string(out.recovered));
+      tracer_->Instant("coherence", "PoolRestart", now, sim::kTrackCoherence,
+                       "\"lost_writes\":" + std::to_string(lost));
+    }
+    Notify(CoherenceEvent::Kind::kPoolRestart, 0, false, now, sh.pool_epoch,
+           shard);
+    if (replay) {
+      // Replay re-materializes every journaled page into this shard's DRAM,
+      // dirty again (the storage copy, if any, predates the acknowledged
+      // write). Records stay live so a back-to-back crash recovers them
+      // again.
+      uint64_t recovered = 0;
+      for (const PageId p : sh.journal.LiveRecords()) {
+        PageState& s = pages_[p];
+        s.in_memory_pool = true;
+        s.mem_dirty = true;
+        sh.pool_lru.PushFront(p);
+        ++sh.pool_used;
+        ++recovered;
+        Notify(CoherenceEvent::Kind::kPoolRecover, p, false, now, 0, shard);
+      }
+      out.recovery_ns += sh.journal.ReplayCost(recovered);
+      out.recovered += recovered;
+      recovered_pool_writes_ += recovered;
+      ctx.metrics_.recovered_pool_writes += recovered;
+      if (tracer_ != nullptr) {
+        tracer_->Span("recovery", "JournalReplay", now,
+                      sh.journal.ReplayCost(recovered), sim::kTrackMemoryPool,
+                      "\"recovered\":" + std::to_string(recovered));
+      }
     }
   }
   return out;
 }
 
 bool MemorySystem::AdmitPushdown(ExecutionContext& ctx, uint64_t token,
-                                 Nanos at) {
-  if (token >= executed_tokens_.size()) executed_tokens_.resize(token + 1, 0);
-  const bool duplicate = executed_tokens_[token] != 0;
-  executed_tokens_[token] = 1;
+                                 Nanos at, int shard) {
+  ShardState& sh = shards_[static_cast<size_t>(shard)];
+  if (token >= sh.executed_tokens.size()) {
+    sh.executed_tokens.resize(token + 1, 0);
+  }
+  const bool duplicate = sh.executed_tokens[token] != 0;
+  sh.executed_tokens[token] = 1;
   bool execute = !duplicate;
   if (duplicate) {
     if (mutation_ == ProtocolMutation::kReplayDuplicate) {
@@ -1016,27 +1127,30 @@ bool MemorySystem::AdmitPushdown(ExecutionContext& ctx, uint64_t token,
       ++ctx.metrics_.dedup_hits;
     }
   }
-  Notify(CoherenceEvent::Kind::kPushdownAdmit, token, execute, at);
+  Notify(CoherenceEvent::Kind::kPushdownAdmit, token, execute, at, 0, shard);
   return execute;
 }
 
 void MemorySystem::JournalCommit(ExecutionContext* ctx, PageId page,
                                  Nanos at) {
   if (!journal_enabled_) return;
-  const Journal::AppendResult r = journal_.Append(page);
+  const int shard = ShardOf(page);
+  const Journal::AppendResult r =
+      shards_[static_cast<size_t>(shard)].journal.Append(page);
   if (ctx != nullptr) {
     ctx->clock_.Advance(r.cost);
     ++ctx->metrics_.journal_appends;
     if (r.flushed) ++ctx->metrics_.journal_flushes;
     at = ctx->now();
   }
-  Notify(CoherenceEvent::Kind::kJournalCommit, page, false, at);
+  Notify(CoherenceEvent::Kind::kJournalCommit, page, false, at, 0, shard);
 }
 
 void MemorySystem::JournalTruncate(PageId page, Nanos at) {
   if (!journal_enabled_) return;
-  if (journal_.Truncate(page)) {
-    Notify(CoherenceEvent::Kind::kJournalTruncate, page, false, at);
+  const int shard = ShardOf(page);
+  if (shards_[static_cast<size_t>(shard)].journal.Truncate(page)) {
+    Notify(CoherenceEvent::Kind::kJournalTruncate, page, false, at, 0, shard);
   }
 }
 

@@ -88,12 +88,19 @@ struct PagePin {
 /// computes real results while time is simulated.
 class ExecutionContext {
  public:
-  ExecutionContext(MemorySystem* ms, Pool pool) : ms_(ms), pool_(pool) {}
+  ExecutionContext(MemorySystem* ms, Pool pool, NodeId node = 0,
+                   TenantId tenant = 0)
+      : ms_(ms), pool_(pool), node_(node), tenant_(tenant) {}
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
   Pool pool() const { return pool_; }
+  /// Rack placement: the compute-pool client this thread runs on (kCompute)
+  /// or the memory shard hosting the temporary context (kMemory).
+  NodeId node() const { return node_; }
+  /// Tenant charged for this thread's work (metrics attribution only).
+  TenantId tenant() const { return tenant_; }
   MemorySystem& memory_system() { return *ms_; }
 
   sim::VirtualClock& clock() { return clock_; }
@@ -207,6 +214,8 @@ class ExecutionContext {
 
   MemorySystem* ms_;
   Pool pool_;
+  NodeId node_ = 0;
+  TenantId tenant_ = 0;
   sim::VirtualClock clock_;
   sim::Metrics metrics_;
   /// The context's one-entry translation cache (see PagePin).
@@ -297,9 +306,15 @@ struct CoherenceEvent {
   bool write = false;  ///< for kFlushPage: whether the page was dropped
   CoherenceMode mode = CoherenceMode::kMesi;
   Nanos at = 0;
-  /// For kPoolRestart: the pool epoch after recovery. For kSessionBegin:
-  /// the epoch the session was admitted under. 0 elsewhere.
+  /// For kPoolRestart: that shard's pool epoch after recovery. For
+  /// kSessionBegin: the home shard's epoch the session was admitted under.
+  /// 0 elsewhere.
   uint64_t epoch = 0;
+  /// Memory shard the event belongs to: the restarting/recovering shard for
+  /// kPoolRestart / kPoolRecover / kJournalCommit / kJournalTruncate /
+  /// kPushdownAdmit, the session's home shard for kSessionBegin, 0 for the
+  /// page-granular kinds (their shard is derivable from `page`).
+  int node = 0;
 };
 
 std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k);
@@ -335,10 +350,32 @@ class MemorySystem {
   net::Fabric& fabric() { return fabric_; }
 
   /// Creates a context placed in `pool`. Memory-pool contexts are only
-  /// meaningful on the kBaseDdc platform.
-  std::unique_ptr<ExecutionContext> CreateContext(Pool pool) {
-    return std::make_unique<ExecutionContext>(this, pool);
+  /// meaningful on the kBaseDdc platform. `node` is the compute-pool client
+  /// the thread runs on (kCompute) or the home shard of the temporary
+  /// context (kMemory); `tenant` tags the context for metrics attribution.
+  std::unique_ptr<ExecutionContext> CreateContext(Pool pool, NodeId node = 0,
+                                                  TenantId tenant = 0) {
+    if (pool == Pool::kCompute) {
+      TELEPORT_CHECK(node >= 0 && node < config_.compute_nodes)
+          << "compute node " << node << " outside the rack's "
+          << config_.compute_nodes << " clients";
+    }
+    return std::make_unique<ExecutionContext>(this, pool, node, tenant);
   }
+
+  // --- Rack topology -------------------------------------------------------
+
+  int compute_nodes() const { return config_.compute_nodes; }
+  int memory_shards() const { return static_cast<int>(shards_.size()); }
+  /// Contiguous block partitioning (DRackSim-style): pages are assigned to
+  /// shards in address order, `pages_per_shard()` pages per shard, so
+  /// sequential streams and the prefetcher stay on one shard. With one
+  /// shard every page maps to shard 0.
+  int ShardOf(PageId p) const {
+    return static_cast<int>(
+        std::min<uint64_t>(p / pages_per_shard_, shards_.size() - 1));
+  }
+  uint64_t pages_per_shard() const { return pages_per_shard_; }
 
   /// Marks all currently allocated pages as resident in their platform's
   /// backing store (memory pool for DDC — spilling past its capacity to
@@ -362,13 +399,16 @@ class MemorySystem {
   /// Begin calls must use the same mode and only the first initializes the
   /// table.
   ///
-  /// `admit_epoch` is the pool epoch the session's RPC was admitted under
-  /// (lease fencing); the default sentinel means "the current epoch". The
-  /// first Begin of a session reports it on the kSessionBegin event so the
-  /// model checker can assert no stale-epoch session ever starts.
+  /// `admit_epoch` is the pool epoch of the session's *home shard* (the
+  /// shard its request RPC was admitted by) under lease fencing; the
+  /// default sentinel means "that shard's current epoch". The first Begin
+  /// of a session reports it (with `home_shard`) on the kSessionBegin event
+  /// so the model checker can assert no stale-epoch session ever starts on
+  /// any shard.
   static constexpr uint64_t kCurrentEpoch = ~uint64_t{0};
   uint64_t BeginPushdownSession(CoherenceMode mode,
-                                uint64_t admit_epoch = kCurrentEpoch);
+                                uint64_t admit_epoch = kCurrentEpoch,
+                                int home_shard = 0);
 
   /// Merges temporary-context dirty bits back into the full page table and
   /// deactivates coherence once the last concurrent session ends. No fabric
@@ -405,9 +445,27 @@ class MemorySystem {
 
   // --- Introspection (tests, benches) -------------------------------------
 
-  uint64_t cache_pages_used() const { return cache_used_; }
+  /// Pages cached across every compute node (or one node's with `node`).
+  uint64_t cache_pages_used() const {
+    uint64_t n = 0;
+    for (const ComputeNodeState& c : cnodes_) n += c.cache_used;
+    return n;
+  }
+  uint64_t cache_pages_used_on(NodeId node) const {
+    return cnodes_[static_cast<size_t>(node)].cache_used;
+  }
   uint64_t cache_capacity_pages() const { return cache_capacity_pages_; }
-  uint64_t memory_pool_pages_used() const { return pool_used_; }
+  /// Pages resident across every pool shard (or one shard's with `shard`).
+  uint64_t memory_pool_pages_used() const {
+    uint64_t n = 0;
+    for (const ShardState& sh : shards_) n += sh.pool_used;
+    return n;
+  }
+  uint64_t memory_pool_pages_used_on(int shard) const {
+    return shards_[static_cast<size_t>(shard)].pool_used;
+  }
+  /// Compute node caching `p`; meaningful only while compute_perm != kNone.
+  NodeId cache_owner(PageId p) const { return PS(p).owner; }
   /// Pages with page-table state (grows lazily with the address space).
   uint64_t tracked_pages() const { return pages_.size(); }
   Perm compute_perm(PageId p) const { return PS(p).compute_perm; }
@@ -491,14 +549,17 @@ class MemorySystem {
   };
 
   /// Applies any memory-node crash-restart windows that have completed by
-  /// `now`: every pool-resident page is dropped from the restarted node,
-  /// then — with journaling enabled — pages with live redo records are
-  /// replayed back into pool DRAM (still dirty w.r.t. storage) and counted
-  /// as recovered; only dirty pages *without* a record are counted as lost
-  /// writes and reported via metrics. Compute-cache pages survive — the
-  /// compute node did not crash. Every applied window bumps `pool_epoch()`
-  /// so stale-epoch RPCs can be fenced. Does not advance any clock; the
-  /// caller decides where `recovery_ns` is spent.
+  /// `now`, shard by shard in ascending order: every pool-resident page of
+  /// a restarted shard is dropped, then — with journaling enabled — pages
+  /// with live redo records in *that shard's* journal are replayed back
+  /// into its DRAM (still dirty w.r.t. storage) and counted as recovered;
+  /// only dirty pages *without* a record are counted as lost writes and
+  /// reported via metrics. Replay obligations are strictly per shard: a
+  /// crash of shard A never discharges (or touches) shard B's journal,
+  /// pages, or epoch. Compute-cache pages survive — no compute node
+  /// crashed. Every applied window bumps the restarted shard's
+  /// `pool_epoch(shard)` so stale-epoch RPCs can be fenced. Does not
+  /// advance any clock; the caller decides where `recovery_ns` is spent.
   RestartOutcome ApplyPoolRestartsAt(ExecutionContext& ctx, Nanos now);
 
   /// Convenience wrapper at ctx.now() that charges the recovery time to
@@ -509,30 +570,42 @@ class MemorySystem {
     return out.lost;
   }
 
-  /// Lease epoch of the memory pool: starts at 1 and advances once per
-  /// applied crash-restart window, journal on or off. Pushdown RPCs record
-  /// the epoch they were admitted under; after a recovery the pool fences
-  /// (rejects) RPCs carrying an older epoch.
-  uint64_t pool_epoch() const { return pool_epoch_; }
+  /// Lease epoch of one memory-pool shard: starts at 1 and advances once
+  /// per applied crash-restart window of that shard, journal on or off.
+  /// Pushdown RPCs record, per shard, the epoch they were admitted under;
+  /// after a recovery a shard fences (rejects) RPCs carrying an older epoch
+  /// for it — other shards' admissions are unaffected.
+  uint64_t pool_epoch(int shard = 0) const {
+    return shards_[static_cast<size_t>(shard)].pool_epoch;
+  }
 
-  /// Pool-side exactly-once filter: records `token` in the dedup table
-  /// (which, like the journal, lives in the restart-surviving pool region)
-  /// and returns whether this delivery should execute. A duplicate delivery
-  /// of an already-executed token returns false and counts a dedup hit —
-  /// unless the kReplayDuplicate mutation is planted, in which case the
-  /// duplicate "executes" again and the model checker flags it. Charges no
-  /// virtual time (the table probe rides the request's existing handling).
-  bool AdmitPushdown(ExecutionContext& ctx, uint64_t token, Nanos at);
+  /// Pool-side exactly-once filter of one shard: records `token` in that
+  /// shard's dedup table (which, like the journal, lives in the
+  /// restart-surviving pool region) and returns whether this delivery
+  /// should execute. A duplicate delivery of an already-executed token
+  /// returns false and counts a dedup hit — unless the kReplayDuplicate
+  /// mutation is planted, in which case the duplicate "executes" again and
+  /// the model checker flags it. Charges no virtual time (the table probe
+  /// rides the request's existing handling).
+  bool AdmitPushdown(ExecutionContext& ctx, uint64_t token, Nanos at,
+                     int shard = 0);
 
   /// Enables the redo journal (also settable via the TELEPORT_JOURNAL
   /// environment variable). Off by default: today's lossy §3.2 behavior.
   void set_journal_enabled(bool on) { journal_enabled_ = on; }
   bool journal_enabled() const { return journal_enabled_; }
-  const Journal& journal() const { return journal_; }
+  const Journal& journal(int shard = 0) const {
+    return shards_[static_cast<size_t>(shard)].journal;
+  }
 
   uint64_t lost_pool_writes() const { return lost_pool_writes_; }
   uint64_t recovered_pool_writes() const { return recovered_pool_writes_; }
-  int pool_restarts_applied() const { return pool_restarts_applied_; }
+  /// Crash-restart windows applied, summed across shards.
+  int pool_restarts_applied() const {
+    int n = 0;
+    for (const ShardState& sh : shards_) n += sh.pool_restarts_applied;
+    return n;
+  }
   const tp::RetryStats& fault_retry_stats() const { return retry_stats_; }
 
  private:
@@ -552,6 +625,11 @@ class MemorySystem {
     bool mem_dirty = false;   ///< pool copy dirty w.r.t. storage
     bool on_storage = false;  ///< page has a copy in the storage pool
     bool ref_bit = false;     ///< CLOCK second-chance reference bit
+    /// Compute node whose cache maps the page (meaningful only while
+    /// compute_perm != kNone). Exactly one client may cache a page at a
+    /// time — the two-sided §4.1 protocol stays two-sided; a touch from
+    /// another client migrates the page (see ComputeTouch).
+    uint8_t owner = 0;
     /// End of the §4.1 in-flight window of a memory-side upgrade request;
     /// compute-side write faults inside the window lose the tiebreak.
     Nanos mem_upgrade_inflight_until = 0;
@@ -634,19 +712,24 @@ class MemorySystem {
   /// fault handler's service time; storage metrics are charged to `ctx`.
   Nanos EnsureInMemoryPoolCost(ExecutionContext& ctx, PageId page);
 
-  /// Inserts a page into the compute cache, evicting if full.
+  /// Inserts a page into `ctx`'s node's compute cache, evicting if full.
   void CacheInsert(ExecutionContext& ctx, PageId page, Perm perm, bool dirty);
-  /// Applies the configured replacement policy's hit bookkeeping.
+  /// Applies the configured replacement policy's hit bookkeeping (on the
+  /// owning node's cache).
   void TouchCachePage(PageId page);
   void EvictOneCachePage(ExecutionContext& ctx);
-  void EvictOnePoolPage(ExecutionContext& ctx);
+  /// Evicts a specific page from its owner's cache (cross-node migration:
+  /// another client touched a page this one caches). Same charges and
+  /// events as a capacity eviction of that page.
+  void EvictSpecificCachePage(ExecutionContext& ctx, PageId page);
+  void EvictOnePoolPage(ExecutionContext& ctx, int shard);
 
   /// Reports a completed transition to the attached observer, if any.
   void Notify(CoherenceEvent::Kind kind, PageId page, bool write, Nanos at,
-              uint64_t epoch = 0) {
+              uint64_t epoch = 0, int node = 0) {
     if (observer_ == nullptr) return;
     observer_->OnCoherenceEvent(
-        CoherenceEvent{kind, page, write, coherence_mode_, at, epoch});
+        CoherenceEvent{kind, page, write, coherence_mode_, at, epoch, node});
   }
 
   /// Acknowledgment point of one pool write: with journaling enabled,
@@ -669,12 +752,14 @@ class MemorySystem {
   /// §4.1 coherence: temporary-context faults during a pushdown session.
   void CoherenceMemoryFault(ExecutionContext& ctx, PageId page, bool write);
 
-  /// Page-fault RPC with retry/backoff under an attached fault injector;
-  /// falls through to the reliable transport after enough exhausted rounds
-  /// so forward progress never depends on the injector's schedule. Charges
-  /// retry metrics to `ctx` and returns the completion time.
-  Nanos RetriedPageFaultRpc(ExecutionContext& ctx, uint64_t req_bytes,
-                            uint64_t resp_bytes, Nanos handler_ns);
+  /// Page-fault RPC on `link` with retry/backoff under an attached fault
+  /// injector; falls through to the reliable transport after enough
+  /// exhausted rounds so forward progress never depends on the injector's
+  /// schedule. Charges retry metrics to `ctx` and returns the completion
+  /// time.
+  Nanos RetriedPageFaultRpc(ExecutionContext& ctx, net::Link link,
+                            uint64_t req_bytes, uint64_t resp_bytes,
+                            Nanos handler_ns);
 
   /// TLB shootdown of one page: invalidates every PagePin on `page` (pins
   /// on other pages survive) and advances the observable translation epoch
@@ -713,18 +798,41 @@ class MemorySystem {
   /// advances time, touches metrics, or changes page state.
   void FillPin(ExecutionContext& ctx, PagePin& pin, PageId page);
 
+  /// One compute-pool client's cache state. Every client has its own DRAM
+  /// of `compute_cache_bytes` and its own replacement order.
+  struct ComputeNodeState {
+    LruList cache_lru;
+    uint64_t cache_used = 0;
+  };
+
+  /// One memory-pool shard: a contiguous slice of the page table (see
+  /// ShardOf) with independent capacity, replacement order, redo journal,
+  /// exactly-once dedup table, and lease epoch. The journal and dedup
+  /// table model the battery-backed region that survives a crash-restart,
+  /// so ApplyPoolRestartsAt never wipes them.
+  struct ShardState {
+    LruList pool_lru;
+    uint64_t pool_used = 0;
+    int pool_restarts_applied = 0;
+    /// Lease epoch; bumped once per applied crash-restart window of THIS
+    /// shard only.
+    uint64_t pool_epoch = 1;
+    Journal journal;
+    /// Idempotency tokens already executed by this shard.
+    std::vector<uint8_t> executed_tokens;
+  };
+
   DdcConfig config_;
   sim::CostParams params_;
   AddressSpace space_;
   net::Fabric fabric_;
 
   std::vector<PageState> pages_;
-  LruList cache_lru_;
-  LruList pool_lru_;
-  uint64_t cache_capacity_pages_;
-  uint64_t pool_capacity_pages_;
-  uint64_t cache_used_ = 0;
-  uint64_t pool_used_ = 0;
+  std::vector<ComputeNodeState> cnodes_;  ///< one per compute client
+  std::vector<ShardState> shards_;        ///< one per memory shard
+  uint64_t pages_per_shard_;              ///< block-partition stride
+  uint64_t cache_capacity_pages_;         ///< per compute node
+  uint64_t pool_capacity_pages_;          ///< per shard
 
   bool pushdown_active_ = false;
   int session_refcount_ = 0;
@@ -748,22 +856,15 @@ class MemorySystem {
   uint64_t mapping_epoch_ = 1;
   bool scalar_datapath_ = false;
 
-  // Resilience state (inert without a fabric fault injector).
+  // Resilience state (inert without a fabric fault injector). Per-shard
+  // epochs, journals, and dedup tables live in shards_.
   tp::RetryPolicy fault_retry_;
   Rng retry_rng_{0x7e1e904u};
   tp::RetryStats retry_stats_;
-  int pool_restarts_applied_ = 0;
   uint64_t lost_pool_writes_ = 0;
   uint64_t recovered_pool_writes_ = 0;
-  /// Lease epoch; bumped once per applied crash-restart window.
-  uint64_t pool_epoch_ = 1;
-  /// Redo journal and its enable knob (TELEPORT_JOURNAL). The journal and
-  /// the dedup table below model the battery-backed pool region that
-  /// survives a crash-restart, so ApplyPoolRestartsAt never wipes them.
-  Journal journal_;
+  /// Redo-journal enable knob (TELEPORT_JOURNAL); applies to every shard.
   bool journal_enabled_ = false;
-  /// Pool-side exactly-once filter: idempotency tokens already executed.
-  std::vector<uint8_t> executed_tokens_;
   /// Pages moved out by the last FlushAllCache(drop=true); consumed by
   /// BulkRefetch to restore the cache in the eager strawman.
   std::vector<PageId> flushed_pages_;

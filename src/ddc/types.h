@@ -14,6 +14,16 @@ using VAddr = uint64_t;
 /// Page number (VAddr / page_size).
 using PageId = uint64_t;
 
+/// Index of a node within its class of the rack: compute-pool client
+/// (blade) or memory-pool shard. The degenerate 1x1 rack — the paper's
+/// topology — is node 0 talking to shard 0 everywhere.
+using NodeId = int32_t;
+
+/// Tenant owning a unit of work. Tenants are an accounting dimension
+/// (per-tenant metrics scopes, fairness counters), orthogonal to node
+/// placement: several tenants may share a compute node.
+using TenantId = int32_t;
+
 /// Sentinel for "no page": used by the per-context stream trackers, the
 /// last-fault readahead state, and the translation-cache pins.
 inline constexpr PageId kNoPage = ~PageId{0};
@@ -84,6 +94,17 @@ struct DdcConfig {
   /// (§2.2: OS-level caching and prefetching alone are insufficient —
   /// the ablation bench quantifies that claim.)
   int prefetch_pages = 0;
+
+  /// Compute-pool clients of the rack, each with an independent page cache
+  /// of `compute_cache_bytes`. Values > 1 require kBaseDdc (monolithic
+  /// platforms have no rack).
+  int compute_nodes = 1;
+
+  /// Memory-pool shards the address space is block-partitioned across
+  /// (DRackSim-style rack). Each shard owns a contiguous page range with
+  /// its own page-table slice, LRU, journal, dedup table, and lease epoch;
+  /// `memory_pool_bytes` is divided evenly. Values > 1 require kBaseDdc.
+  int memory_shards = 1;
 };
 
 }  // namespace teleport::ddc

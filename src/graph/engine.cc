@@ -16,7 +16,10 @@ constexpr int64_t kInf = int64_t{1} << 50;
 class PhaseRunner {
  public:
   PhaseRunner(ddc::ExecutionContext& ctx, const GasOptions& opts)
-      : ctx_(ctx), opts_(opts), start_ns_(ctx.now()) {
+      : ctx_(ctx),
+        opts_(opts),
+        start_ns_(ctx.now()),
+        start_metrics_(ctx.metrics()) {
     for (Phase p : {Phase::kFinalize, Phase::kGather, Phase::kApply,
                     Phase::kScatter}) {
       PhaseProfile prof;
@@ -68,6 +71,10 @@ class PhaseRunner {
     r.iterations = iterations;
     r.total_ns = ctx_.now() - start_ns_;
     r.phases = std::move(profiles_);
+    if (opts_.scopes != nullptr) {
+      opts_.scopes->Record(ctx_.tenant(),
+                           ctx_.metrics().Diff(start_metrics_), r.total_ns);
+    }
     return r;
   }
 
@@ -75,6 +82,7 @@ class PhaseRunner {
   ddc::ExecutionContext& ctx_;
   const GasOptions& opts_;
   Nanos start_ns_;
+  sim::Metrics start_metrics_;
   std::vector<PhaseProfile> profiles_;
 };
 

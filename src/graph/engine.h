@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/tenant_scopes.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::graph {
@@ -39,6 +40,11 @@ struct GasOptions {
   int workers = 8;
   int max_iterations = 10'000;
   tp::PushdownFlags flags;
+
+  /// Multi-tenant attribution (PR7): when set, the whole run's
+  /// context-metrics diff and end-to-end latency are recorded into the
+  /// calling context's tenant scope.
+  sim::TenantScopes* scopes = nullptr;
 
   bool ShouldPush(Phase p) const {
     return runtime != nullptr && push_phases.count(p) > 0;

@@ -83,7 +83,10 @@ struct KvBuffer {
 class MrRunner {
  public:
   MrRunner(ddc::ExecutionContext& ctx, const MrOptions& opts)
-      : ctx_(ctx), opts_(opts), start_ns_(ctx.now()) {
+      : ctx_(ctx),
+        opts_(opts),
+        start_ns_(ctx.now()),
+        start_metrics_(ctx.metrics()) {
     for (MrPhase p : {MrPhase::kMapCompute, MrPhase::kMapShuffle,
                       MrPhase::kReduce, MrPhase::kMerge}) {
       MrPhaseProfile prof;
@@ -133,6 +136,10 @@ class MrRunner {
     r.distinct_keys = distinct;
     r.total_ns = ctx_.now() - start_ns_;
     r.phases = std::move(profiles_);
+    if (opts_.scopes != nullptr) {
+      opts_.scopes->Record(ctx_.tenant(),
+                           ctx_.metrics().Diff(start_metrics_), r.total_ns);
+    }
     return r;
   }
 
@@ -140,6 +147,7 @@ class MrRunner {
   ddc::ExecutionContext& ctx_;
   const MrOptions& opts_;
   Nanos start_ns_;
+  sim::Metrics start_metrics_;
   std::vector<MrPhaseProfile> profiles_;
 };
 

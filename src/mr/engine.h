@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mr/text.h"
+#include "sim/tenant_scopes.h"
 #include "teleport/pushdown.h"
 
 namespace teleport::mr {
@@ -40,6 +41,11 @@ struct MrOptions {
   /// buffers (0 = conservative sizing from the input volume).
   uint64_t distinct_hint = 0;
   tp::PushdownFlags flags;
+
+  /// Multi-tenant attribution (PR7): when set, the whole run's
+  /// context-metrics diff and end-to-end latency are recorded into the
+  /// calling context's tenant scope.
+  sim::TenantScopes* scopes = nullptr;
 
   bool ShouldPush(MrPhase p) const {
     return runtime != nullptr && push_phases.count(p) > 0;

@@ -70,29 +70,34 @@ void Channel::Reset() {
   last_delivery_ = 0;
 }
 
-void Fabric::TraceSend(const Channel& ch, MessageKind kind, uint64_t bytes,
-                       Nanos at) {
+void Fabric::TraceSend(bool to_memory, Link link, MessageKind kind,
+                       uint64_t bytes, Nanos at) {
   if (tracer_ == nullptr) return;
   std::string args = "\"bytes\":" + std::to_string(bytes) + ",\"to\":\"";
-  args += &ch == &compute_to_memory_ ? "memory" : "compute";
+  args += to_memory ? "memory" : "compute";
   args += '"';
+  if (link.src != 0 || link.dst != 0) {
+    args += ",\"link\":\"c" + std::to_string(link.src) + "-m" +
+            std::to_string(link.dst) + "\"";
+  }
   tracer_->Instant("fabric", MessageKindToString(kind), at, sim::kTrackFabric,
                    std::move(args));
 }
 
-Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
-                              MessageKind kind) {
+Nanos Fabric::ReliableDeliver(Channel& ch, bool to_memory, Link link,
+                              Nanos now, uint64_t bytes, MessageKind kind) {
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
-    TraceSend(ch, kind, bytes, now);
+    TraceSend(to_memory, link, kind, bytes, now);
     return ch.Send(now, bytes, params_);
   }
   Nanos t = now;
-  // A scheduled outage holds the message at the NIC until the link heals.
-  // (Injector windows are always finite; a permanent failure is the panic
-  // path, which callers check before sending.)
+  // A scheduled outage of this link's memory node holds the message at the
+  // NIC until the link heals. (Injector windows are always finite; a
+  // permanent failure is the panic path, which callers check before
+  // sending.)
   {
-    const Nanos heal = injector_->HealsAt(t);
+    const Nanos heal = injector_->HealsAt(t, link.dst);
     if (heal > t) t = heal;
   }
   // Transport-level reliability: each drop is retransmitted one link-RTO
@@ -102,14 +107,14 @@ Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
   FaultDecision d = injector_->OnSend(kind, t);
   for (int rexmit = 0; d.dropped && rexmit < 64; ++rexmit) {
     t += injector_->link_rto_ns();
-    const Nanos heal = injector_->HealsAt(t);
+    const Nanos heal = injector_->HealsAt(t, link.dst);
     if (heal > t) t = heal;
     d = injector_->OnSend(kind, t);
   }
   if (d.dropped) d = FaultDecision{};
   t += d.extra_delay_ns;
   CountDelivered(kind, bytes, d.copies);
-  TraceSend(ch, kind, bytes, t);
+  TraceSend(to_memory, link, kind, bytes, t);
   Nanos delivery = ch.Send(t, bytes, params_);
   for (int c = 1; c < d.copies; ++c) {
     ch.Send(t, bytes, params_);  // duplicate occupies the wire too
@@ -117,14 +122,14 @@ Nanos Fabric::ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
   return delivery;
 }
 
-SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
-                               MessageKind kind) {
+SendOutcome Fabric::TryDeliver(Channel& ch, bool to_memory, Link link,
+                               Nanos now, uint64_t bytes, MessageKind kind) {
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
-    TraceSend(ch, kind, bytes, now);
+    TraceSend(to_memory, link, kind, bytes, now);
     return SendOutcome{true, ch.Send(now, bytes, params_)};
   }
-  if (!injector_->LinkUpAt(now)) {
+  if (!injector_->LinkUpAt(now, link.dst)) {
     injector_->CountOutageDrop();
     return SendOutcome{false, 0};
   }
@@ -132,7 +137,7 @@ SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
   if (d.dropped) return SendOutcome{false, 0};
   CountDelivered(kind, bytes, d.copies);
   const Nanos t = now + d.extra_delay_ns;
-  TraceSend(ch, kind, bytes, t);
+  TraceSend(to_memory, link, kind, bytes, t);
   Nanos delivery = ch.Send(t, bytes, params_);
   for (int c = 1; c < d.copies; ++c) {
     ch.Send(t, bytes, params_);
@@ -140,67 +145,72 @@ SendOutcome Fabric::TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
   return SendOutcome{true, delivery, d.copies};
 }
 
-Nanos Fabric::RoundTripFromCompute(Nanos now, uint64_t req_bytes,
+Nanos Fabric::RoundTripFromCompute(Link link, Nanos now, uint64_t req_bytes,
                                    uint64_t resp_bytes, Nanos handler_ns,
                                    MessageKind req_kind,
                                    MessageKind resp_kind) {
-  const Nanos arrive =
-      ReliableDeliver(compute_to_memory_, now, req_bytes, req_kind);
+  const Nanos arrive = ReliableDeliver(C2m(link), /*to_memory=*/true, link,
+                                       now, req_bytes, req_kind);
   const Nanos reply_sent = arrive + handler_ns;
-  return ReliableDeliver(memory_to_compute_, reply_sent, resp_bytes,
-                         resp_kind);
+  return ReliableDeliver(M2c(link), /*to_memory=*/false, link, reply_sent,
+                         resp_bytes, resp_kind);
 }
 
-Nanos Fabric::RoundTripFromMemory(Nanos now, uint64_t req_bytes,
+Nanos Fabric::RoundTripFromMemory(Link link, Nanos now, uint64_t req_bytes,
                                   uint64_t resp_bytes, Nanos handler_ns,
                                   MessageKind req_kind,
                                   MessageKind resp_kind) {
-  const Nanos arrive =
-      ReliableDeliver(memory_to_compute_, now, req_bytes, req_kind);
+  const Nanos arrive = ReliableDeliver(M2c(link), /*to_memory=*/false, link,
+                                       now, req_bytes, req_kind);
   const Nanos reply_sent = arrive + handler_ns;
-  return ReliableDeliver(compute_to_memory_, reply_sent, resp_bytes,
-                         resp_kind);
+  return ReliableDeliver(C2m(link), /*to_memory=*/true, link, reply_sent,
+                         resp_bytes, resp_kind);
 }
 
-RpcOutcome Fabric::TryRoundTripFromCompute(Nanos now, uint64_t req_bytes,
+RpcOutcome Fabric::TryRoundTripFromCompute(Link link, Nanos now,
+                                           uint64_t req_bytes,
                                            uint64_t resp_bytes,
                                            Nanos handler_ns,
                                            MessageKind req_kind,
                                            MessageKind resp_kind) {
-  const SendOutcome req =
-      TryDeliver(compute_to_memory_, now, req_bytes, req_kind);
+  const SendOutcome req = TryDeliver(C2m(link), /*to_memory=*/true, link,
+                                     now, req_bytes, req_kind);
   if (!req.delivered) return RpcOutcome{false, 0};
   const Nanos reply_sent = req.deliver_at + handler_ns;
-  const SendOutcome resp =
-      TryDeliver(memory_to_compute_, reply_sent, resp_bytes, resp_kind);
+  const SendOutcome resp = TryDeliver(M2c(link), /*to_memory=*/false, link,
+                                      reply_sent, resp_bytes, resp_kind);
   if (!resp.delivered) return RpcOutcome{false, 0};
   return RpcOutcome{true, resp.deliver_at};
 }
 
-bool Fabric::ReachableAt(Nanos now) const {
-  if (!reachable_) return false;
-  if (fail_from_ >= 0 && now >= fail_from_ &&
-      (fail_until_ == kNeverHeals || now < fail_until_)) {
+bool Fabric::ReachableAt(Nanos now, int memory_node) const {
+  const size_t m = CheckedNode(memory_node);
+  if (reachable_[m] == 0) return false;
+  if (fail_from_[m] >= 0 && now >= fail_from_[m] &&
+      (fail_until_[m] == kNeverHeals || now < fail_until_[m])) {
     return false;
   }
-  if (injector_ != nullptr && !injector_->LinkUpAt(now)) return false;
+  if (injector_ != nullptr && !injector_->LinkUpAt(now, memory_node)) {
+    return false;
+  }
   return true;
 }
 
-Nanos Fabric::NextReachableAt(Nanos now) const {
-  if (!reachable_) return kNeverHeals;
+Nanos Fabric::NextReachableAt(Nanos now, int memory_node) const {
+  const size_t m = CheckedNode(memory_node);
+  if (reachable_[m] == 0) return kNeverHeals;
   Nanos t = now;
   // Iterate because an injector outage may begin exactly where the injected
   // failure window ends (and vice versa).
   for (int iter = 0; iter < 64; ++iter) {
-    if (fail_from_ >= 0 && t >= fail_from_ &&
-        (fail_until_ == kNeverHeals || t < fail_until_)) {
-      if (fail_until_ == kNeverHeals) return kNeverHeals;
-      t = fail_until_;
+    if (fail_from_[m] >= 0 && t >= fail_from_[m] &&
+        (fail_until_[m] == kNeverHeals || t < fail_until_[m])) {
+      if (fail_until_[m] == kNeverHeals) return kNeverHeals;
+      t = fail_until_[m];
       continue;
     }
     if (injector_ != nullptr) {
-      const Nanos heal = injector_->HealsAt(t);
+      const Nanos heal = injector_->HealsAt(t, memory_node);
       if (heal > t) {
         t = heal;
         continue;
@@ -228,11 +238,11 @@ std::string Fabric::KindBreakdownToString() const {
 }
 
 void Fabric::Reset() {
-  compute_to_memory_.Reset();
-  memory_to_compute_.Reset();
-  reachable_ = true;
-  fail_from_ = -1;
-  fail_until_ = kNeverHeals;
+  for (Channel& ch : compute_to_memory_) ch.Reset();
+  for (Channel& ch : memory_to_compute_) ch.Reset();
+  std::fill(reachable_.begin(), reachable_.end(), 1);
+  std::fill(fail_from_.begin(), fail_from_.end(), -1);
+  std::fill(fail_until_.begin(), fail_until_.end(), kNeverHeals);
   messages_by_kind_.fill(0);
   bytes_by_kind_.fill(0);
   if (injector_ != nullptr) injector_->Reset();

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -37,6 +38,14 @@ std::string_view MessageKindToString(MessageKind kind);
 
 class FaultInjector;
 
+/// One (compute node, memory node) pair of the rack. The default-constructed
+/// link is the degenerate 1x1 topology's single pair, so every pre-rack call
+/// site addresses link {0, 0} implicitly.
+struct Link {
+  int src = 0;  ///< compute-pool client (blade) index
+  int dst = 0;  ///< memory-pool shard (controller) index
+};
+
 /// Result of a send that may be lost to fault injection: `delivered` is
 /// always true on a fabric without an injector.
 struct SendOutcome {
@@ -55,9 +64,15 @@ struct RpcOutcome {
   Nanos done = 0;  ///< completion time at the caller when ok
 };
 
-/// One direction of the simulated RDMA link. Reliable and FIFO: delivery
+/// One direction of one simulated RDMA link. Reliable and FIFO: delivery
 /// times are monotone in send order, which §4.1's concurrent-fault argument
 /// depends on ("enforced using reliable RDMA connections").
+///
+/// The committed-transfer timeline (`last_send_` / `last_delivery_`) belongs
+/// to exactly one (src, dst) link: a lagging send to shard B must never be
+/// serialized behind an unrelated in-flight transfer to shard A. The fabric
+/// therefore owns one Channel per direction per link, never one shared
+/// channel routing multiple destinations (fabric_rack_test locks this).
 class Channel {
  public:
   /// Sends `bytes` at virtual time `now`; returns the delivery time at the
@@ -78,111 +93,189 @@ class Channel {
   Nanos last_delivery_ = 0;
 };
 
-/// The point-to-point fabric between the compute pool and the memory-pool
-/// controller: one reliable-FIFO channel per direction plus a reachability
-/// flag driven by the heartbeat thread (§3.2, failure handling).
+/// The rack fabric between N compute-pool clients and M memory-pool shards:
+/// one reliable-FIFO channel per direction per (src, dst) link, plus
+/// per-memory-node reachability driven by the heartbeat thread (§3.2,
+/// failure handling). The default 1x1 construction is the paper's
+/// point-to-point topology, and every legacy (link-less) entry point
+/// addresses link {0, 0}, so single-pool callers are unchanged.
 ///
 /// An optional FaultInjector perturbs traffic deterministically: one-way
 /// `Send*` paths stay reliable (a drop is hidden by a transport-level
 /// retransmit, delaying delivery), while the `Try*` paths surface drops to
 /// the caller so the TELEPORT retry/backoff layer can handle them.
+/// Probabilistic faults draw from one stream shared by every link (global
+/// send order); scheduled outages are keyed by the link's memory node.
 class Fabric {
  public:
   /// Sentinel for a failure window that never heals (permanent pool loss —
   /// the §3.2 kernel-panic case).
   static constexpr Nanos kNeverHeals = -1;
 
-  explicit Fabric(const sim::CostParams& params) : params_(params) {}
+  explicit Fabric(const sim::CostParams& params, int compute_nodes = 1,
+                  int memory_nodes = 1)
+      : params_(params),
+        compute_nodes_(compute_nodes),
+        memory_nodes_(memory_nodes),
+        compute_to_memory_(
+            static_cast<size_t>(compute_nodes) * memory_nodes),
+        memory_to_compute_(
+            static_cast<size_t>(compute_nodes) * memory_nodes),
+        reachable_(static_cast<size_t>(memory_nodes), 1),
+        fail_from_(static_cast<size_t>(memory_nodes), -1),
+        fail_until_(static_cast<size_t>(memory_nodes), kNeverHeals) {
+    TELEPORT_CHECK(compute_nodes >= 1 && memory_nodes >= 1)
+        << "a rack has at least one compute node and one memory shard; got "
+        << compute_nodes << "x" << memory_nodes;
+  }
+
+  int compute_nodes() const { return compute_nodes_; }
+  int memory_nodes() const { return memory_nodes_; }
 
   /// Synchronous round trip from the compute side: request of `req_bytes`,
   /// reply of `resp_bytes`, plus remote handler time. Returns the completion
   /// time as observed by the caller who started at `now`.
   Nanos RoundTripFromCompute(
+      Link link, Nanos now, uint64_t req_bytes, uint64_t resp_bytes,
+      Nanos handler_ns, MessageKind req_kind = MessageKind::kPageFaultRequest,
+      MessageKind resp_kind = MessageKind::kPageFaultReply);
+  Nanos RoundTripFromCompute(
       Nanos now, uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
       MessageKind req_kind = MessageKind::kPageFaultRequest,
-      MessageKind resp_kind = MessageKind::kPageFaultReply);
+      MessageKind resp_kind = MessageKind::kPageFaultReply) {
+    return RoundTripFromCompute(Link{}, now, req_bytes, resp_bytes,
+                                handler_ns, req_kind, resp_kind);
+  }
 
-  /// Same, initiated from the memory side.
+  /// Same, initiated from the memory side of `link`.
+  Nanos RoundTripFromMemory(
+      Link link, Nanos now, uint64_t req_bytes, uint64_t resp_bytes,
+      Nanos handler_ns, MessageKind req_kind = MessageKind::kCoherenceRequest,
+      MessageKind resp_kind = MessageKind::kCoherenceReply);
   Nanos RoundTripFromMemory(
       Nanos now, uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
       MessageKind req_kind = MessageKind::kCoherenceRequest,
-      MessageKind resp_kind = MessageKind::kCoherenceReply);
+      MessageKind resp_kind = MessageKind::kCoherenceReply) {
+    return RoundTripFromMemory(Link{}, now, req_bytes, resp_bytes, handler_ns,
+                               req_kind, resp_kind);
+  }
 
   /// One-way message compute -> memory; returns delivery time. Reliable:
   /// injected drops delay delivery (transport retransmit) instead of losing
   /// the message.
+  Nanos SendToMemory(Link link, Nanos now, uint64_t bytes,
+                     MessageKind kind = MessageKind::kPageReturn) {
+    return ReliableDeliver(C2m(link), /*to_memory=*/true, link, now, bytes,
+                           kind);
+  }
   Nanos SendToMemory(Nanos now, uint64_t bytes,
                      MessageKind kind = MessageKind::kPageReturn) {
-    return ReliableDeliver(compute_to_memory_, now, bytes, kind);
+    return SendToMemory(Link{}, now, bytes, kind);
   }
 
   /// One-way message memory -> compute; returns delivery time.
+  Nanos SendToCompute(Link link, Nanos now, uint64_t bytes,
+                      MessageKind kind = MessageKind::kPageFaultReply) {
+    return ReliableDeliver(M2c(link), /*to_memory=*/false, link, now, bytes,
+                           kind);
+  }
   Nanos SendToCompute(Nanos now, uint64_t bytes,
                       MessageKind kind = MessageKind::kPageFaultReply) {
-    return ReliableDeliver(memory_to_compute_, now, bytes, kind);
+    return SendToCompute(Link{}, now, bytes, kind);
   }
 
-  /// Fault-visible sends: a drop (probabilistic, or a scheduled outage
-  /// covering `now`) is surfaced to the caller, who is expected to apply a
-  /// RetryPolicy. Without an injector these behave exactly like Send*.
+  /// Fault-visible sends: a drop (probabilistic, or a scheduled outage of
+  /// the link's memory node covering `now`) is surfaced to the caller, who
+  /// is expected to apply a RetryPolicy. Without an injector these behave
+  /// exactly like Send*.
+  SendOutcome TrySendToMemory(Link link, Nanos now, uint64_t bytes,
+                              MessageKind kind) {
+    return TryDeliver(C2m(link), /*to_memory=*/true, link, now, bytes, kind);
+  }
   SendOutcome TrySendToMemory(Nanos now, uint64_t bytes, MessageKind kind) {
-    return TryDeliver(compute_to_memory_, now, bytes, kind);
+    return TrySendToMemory(Link{}, now, bytes, kind);
+  }
+  SendOutcome TrySendToCompute(Link link, Nanos now, uint64_t bytes,
+                               MessageKind kind) {
+    return TryDeliver(M2c(link), /*to_memory=*/false, link, now, bytes, kind);
   }
   SendOutcome TrySendToCompute(Nanos now, uint64_t bytes, MessageKind kind) {
-    return TryDeliver(memory_to_compute_, now, bytes, kind);
+    return TrySendToCompute(Link{}, now, bytes, kind);
   }
 
   /// Fault-visible round trip from the compute side: fails when either the
   /// request or the reply is dropped (the caller cannot distinguish the two
   /// — it just never hears back before its retransmission timeout).
-  RpcOutcome TryRoundTripFromCompute(Nanos now, uint64_t req_bytes,
+  RpcOutcome TryRoundTripFromCompute(Link link, Nanos now, uint64_t req_bytes,
                                      uint64_t resp_bytes, Nanos handler_ns,
                                      MessageKind req_kind,
                                      MessageKind resp_kind);
+  RpcOutcome TryRoundTripFromCompute(Nanos now, uint64_t req_bytes,
+                                     uint64_t resp_bytes, Nanos handler_ns,
+                                     MessageKind req_kind,
+                                     MessageKind resp_kind) {
+    return TryRoundTripFromCompute(Link{}, now, req_bytes, resp_bytes,
+                                   handler_ns, req_kind, resp_kind);
+  }
 
   const sim::CostParams& params() const { return params_; }
 
   /// Simulates a network / memory-node hardware failure: subsequent
   /// pushdown attempts observe an unreachable pool. (The real system
   /// triggers a kernel panic, §3.2; we surface Status::Unavailable.)
-  void set_reachable(bool reachable) { reachable_ = reachable; }
-  bool reachable() const { return reachable_; }
+  /// The link-less form flips every memory node — the whole pool side of
+  /// the rack — which on a 1x1 fabric is exactly the old semantics.
+  void set_reachable(bool reachable) {
+    for (auto& r : reachable_) r = reachable ? 1 : 0;
+  }
+  void set_node_reachable(int memory_node, bool reachable) {
+    reachable_[CheckedNode(memory_node)] = reachable ? 1 : 0;
+  }
+  bool reachable(int memory_node = 0) const {
+    return reachable_[CheckedNode(memory_node)] != 0;
+  }
 
-  /// Failure injection: the pool becomes unreachable on the virtual
-  /// timeline at `from`, healing at `until` (exclusive). `until` defaults
-  /// to kNeverHeals — a permanent failure, the paper's panic case. Passing
-  /// `until <= from` (other than the sentinel) is a contract violation and
-  /// aborts; it historically meant "forever" silently.
-  void InjectFailureWindow(Nanos from, Nanos until = kNeverHeals) {
+  /// Failure injection: memory node `memory_node` becomes unreachable on
+  /// the virtual timeline at `from`, healing at `until` (exclusive).
+  /// `until` defaults to kNeverHeals — a permanent failure, the paper's
+  /// panic case. Passing `until <= from` (other than the sentinel) is a
+  /// contract violation and aborts; it historically meant "forever"
+  /// silently.
+  void InjectFailureWindowOn(int memory_node, Nanos from,
+                             Nanos until = kNeverHeals) {
     TELEPORT_CHECK(until == kNeverHeals || until > from)
         << "failure window must be either permanent (until == kNeverHeals) "
            "or a real interval (until > from); got from=" << from
         << " until=" << until;
-    fail_from_ = from;
-    fail_until_ = until;
+    fail_from_[CheckedNode(memory_node)] = from;
+    fail_until_[CheckedNode(memory_node)] = until;
+  }
+  void InjectFailureWindow(Nanos from, Nanos until = kNeverHeals) {
+    InjectFailureWindowOn(0, from, until);
   }
 
   /// Heartbeats and pushdowns evaluate reachability at their own send time.
-  /// Considers the manual flag, the injected failure window, and any
-  /// scheduled injector outage (link flap / crash-restart).
-  bool ReachableAt(Nanos now) const;
+  /// Considers the per-node manual flag, the injected failure window, and
+  /// any scheduled injector outage (link flap / crash-restart) of that node.
+  bool ReachableAt(Nanos now, int memory_node = 0) const;
 
   /// Hard (panic-class) unreachability: the manual flag or an injected
   /// failure window, ignoring injector outages. The §3.2 runtime panics on
   /// these; injector outages are transient (flap / restartable node) and are
   /// handled by the retry layer instead.
-  bool HardDownAt(Nanos now) const {
-    if (!reachable_) return true;
-    return fail_from_ >= 0 && now >= fail_from_ &&
-           (fail_until_ == kNeverHeals || now < fail_until_);
+  bool HardDownAt(Nanos now, int memory_node = 0) const {
+    const size_t m = CheckedNode(memory_node);
+    if (reachable_[m] == 0) return true;
+    return fail_from_[m] >= 0 && now >= fail_from_[m] &&
+           (fail_until_[m] == kNeverHeals || now < fail_until_[m]);
   }
 
-  /// Earliest virtual time >= `now` at which the pool is reachable again:
-  /// `now` itself when currently reachable, the end of the covering
-  /// transient window, or kNeverHeals for a permanent failure. This is what
-  /// the §3.2 local-fallback policy consults to distinguish a restartable
-  /// pool from a lost one.
-  Nanos NextReachableAt(Nanos now) const;
+  /// Earliest virtual time >= `now` at which memory node `memory_node` is
+  /// reachable again: `now` itself when currently reachable, the end of the
+  /// covering transient window, or kNeverHeals for a permanent failure.
+  /// This is what the §3.2 local-fallback policy consults to distinguish a
+  /// restartable pool from a lost one.
+  Nanos NextReachableAt(Nanos now, int memory_node = 0) const;
 
   /// Deterministic fault injection; non-owning, may be nullptr.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
@@ -194,16 +287,22 @@ class Fabric {
   sim::Tracer* tracer() const { return tracer_; }
 
   uint64_t total_messages() const {
-    return compute_to_memory_.messages_sent() +
-           memory_to_compute_.messages_sent();
+    uint64_t n = 0;
+    for (const Channel& ch : compute_to_memory_) n += ch.messages_sent();
+    for (const Channel& ch : memory_to_compute_) n += ch.messages_sent();
+    return n;
   }
   uint64_t total_bytes() const {
-    return compute_to_memory_.bytes_sent() + memory_to_compute_.bytes_sent();
+    uint64_t n = 0;
+    for (const Channel& ch : compute_to_memory_) n += ch.bytes_sent();
+    for (const Channel& ch : memory_to_compute_) n += ch.bytes_sent();
+    return n;
   }
 
-  /// Per-kind breakdown over both directions (delivered copies, including
-  /// duplicates; drops are visible in the injector's counters instead).
-  /// Separates coherence vs control traffic for Fig 22-style benches.
+  /// Per-kind breakdown over both directions of every link (delivered
+  /// copies, including duplicates; drops are visible in the injector's
+  /// counters instead). Separates coherence vs control traffic for
+  /// Fig 22-style benches.
   uint64_t messages_of(MessageKind kind) const {
     return messages_by_kind_[static_cast<size_t>(kind)];
   }
@@ -212,24 +311,42 @@ class Fabric {
   }
   std::string KindBreakdownToString() const;
 
-  const Channel& compute_to_memory() const { return compute_to_memory_; }
-  const Channel& memory_to_compute() const { return memory_to_compute_; }
+  const Channel& compute_to_memory(Link link = Link{}) const {
+    return compute_to_memory_[LinkIndex(link)];
+  }
+  const Channel& memory_to_compute(Link link = Link{}) const {
+    return memory_to_compute_[LinkIndex(link)];
+  }
 
   void Reset();
 
  private:
+  size_t LinkIndex(Link link) const {
+    TELEPORT_DCHECK(link.src >= 0 && link.src < compute_nodes_ &&
+                    link.dst >= 0 && link.dst < memory_nodes_);
+    return static_cast<size_t>(link.src) * memory_nodes_ + link.dst;
+  }
+  size_t CheckedNode(int memory_node) const {
+    TELEPORT_DCHECK(memory_node >= 0 && memory_node < memory_nodes_);
+    return static_cast<size_t>(memory_node);
+  }
+  Channel& C2m(Link link) { return compute_to_memory_[LinkIndex(link)]; }
+  Channel& M2c(Link link) { return memory_to_compute_[LinkIndex(link)]; }
+
   /// Reliable delivery: accounts the message per kind, applies injector
   /// delay/duplicate events, and hides drops behind transport retransmits.
-  Nanos ReliableDeliver(Channel& ch, Nanos now, uint64_t bytes,
-                        MessageKind kind);
-  /// Fault-visible delivery: drops (and outages covering `now`) fail the
-  /// send and are reported to the caller.
-  SendOutcome TryDeliver(Channel& ch, Nanos now, uint64_t bytes,
-                         MessageKind kind);
+  /// Outage windows consulted are those of the link's memory node.
+  Nanos ReliableDeliver(Channel& ch, bool to_memory, Link link, Nanos now,
+                        uint64_t bytes, MessageKind kind);
+  /// Fault-visible delivery: drops (and outages of the link's memory node
+  /// covering `now`) fail the send and are reported to the caller.
+  SendOutcome TryDeliver(Channel& ch, bool to_memory, Link link, Nanos now,
+                         uint64_t bytes, MessageKind kind);
 
   /// Emits a per-kind instant event for a message entering the wire at
-  /// `at`; no-op without an attached tracer.
-  void TraceSend(const Channel& ch, MessageKind kind, uint64_t bytes,
+  /// `at`; no-op without an attached tracer. The {0, 0} link keeps the
+  /// pre-rack event shape byte-for-byte; other links add a "link" field.
+  void TraceSend(bool to_memory, Link link, MessageKind kind, uint64_t bytes,
                  Nanos at);
 
   void CountDelivered(MessageKind kind, uint64_t bytes, int copies) {
@@ -240,11 +357,13 @@ class Fabric {
   }
 
   sim::CostParams params_;
-  Channel compute_to_memory_;
-  Channel memory_to_compute_;
-  bool reachable_ = true;
-  Nanos fail_from_ = -1;
-  Nanos fail_until_ = kNeverHeals;
+  int compute_nodes_ = 1;
+  int memory_nodes_ = 1;
+  std::vector<Channel> compute_to_memory_;  ///< [src * memory_nodes_ + dst]
+  std::vector<Channel> memory_to_compute_;  ///< [src * memory_nodes_ + dst]
+  std::vector<uint8_t> reachable_;          ///< per memory node
+  std::vector<Nanos> fail_from_;            ///< per memory node
+  std::vector<Nanos> fail_until_;           ///< per memory node
   FaultInjector* injector_ = nullptr;
   sim::Tracer* tracer_ = nullptr;
   std::array<uint64_t, kNumMessageKinds> messages_by_kind_{};

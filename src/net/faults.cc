@@ -7,43 +7,52 @@
 
 namespace teleport::net {
 
-void FaultInjector::AddOutage(Nanos from, Nanos until, bool crash_restart) {
+void FaultInjector::AddOutage(Nanos from, Nanos until, bool crash_restart,
+                              int node) {
   TELEPORT_CHECK(until > from)
       << "outage windows are finite: until (" << until
       << ") must be > from (" << from
       << "); use Fabric::InjectFailureWindow for a permanent failure";
-  for (const OutageWindow& w : outages_) {
-    TELEPORT_CHECK(until <= w.from || from >= w.until)
-        << "outage [" << from << ", " << until << ") overlaps scheduled ["
-        << w.from << ", " << w.until
-        << "); windows must be disjoint (touching endpoints are fine) — "
-           "merge them at the call site if one outage is intended";
+  TELEPORT_CHECK(node >= 0) << "outage node must be >= 0, got " << node;
+  if (static_cast<size_t>(node) >= nodes_.size()) {
+    nodes_.resize(static_cast<size_t>(node) + 1);
   }
-  outages_.push_back(OutageWindow{from, until, crash_restart});
-  std::sort(outages_.begin(), outages_.end(),
+  NodeTimeline& tl = nodes_[static_cast<size_t>(node)];
+  // Disjointness is a per-node contract: windows on other nodes describe
+  // other links of the rack and may overlap this one freely.
+  for (const OutageWindow& w : tl.outages) {
+    TELEPORT_CHECK(until <= w.from || from >= w.until)
+        << "outage [" << from << ", " << until << ") on node " << node
+        << " overlaps scheduled [" << w.from << ", " << w.until
+        << "); windows on one node must be disjoint (touching endpoints are "
+           "fine) — merge them at the call site if one outage is intended";
+  }
+  tl.outages.push_back(OutageWindow{from, until, crash_restart, node});
+  std::sort(tl.outages.begin(), tl.outages.end(),
             [](const OutageWindow& a, const OutageWindow& b) {
               return a.from < b.from;
             });
   // Rebuild the derived timeline indexes (see header). Disjointness makes
   // the until-order match the from-order, so both stay binary-searchable.
-  untils_.clear();
-  crash_prefix_.assign(1, 0);
-  untils_.reserve(outages_.size());
-  crash_prefix_.reserve(outages_.size() + 1);
-  for (const OutageWindow& w : outages_) {
-    untils_.push_back(w.until);
-    crash_prefix_.push_back(crash_prefix_.back() + (w.crash_restart ? 1 : 0));
+  tl.untils.clear();
+  tl.crash_prefix.assign(1, 0);
+  tl.untils.reserve(tl.outages.size());
+  tl.crash_prefix.reserve(tl.outages.size() + 1);
+  for (const OutageWindow& w : tl.outages) {
+    tl.untils.push_back(w.until);
+    tl.crash_prefix.push_back(tl.crash_prefix.back() +
+                              (w.crash_restart ? 1 : 0));
   }
 }
 
 void FaultInjector::AddLinkFlaps(Nanos start, Nanos duration, Nanos period,
-                                 int count) {
+                                 int count, int node) {
   TELEPORT_CHECK(duration > 0 && count >= 0);
   TELEPORT_CHECK(count <= 1 || period > duration)
       << "flap period must exceed the flap duration";
   for (int k = 0; k < count; ++k) {
     const Nanos from = start + static_cast<Nanos>(k) * period;
-    AddOutage(from, from + duration, /*crash_restart=*/false);
+    AddOutage(from, from + duration, /*crash_restart=*/false, node);
   }
 }
 
@@ -68,37 +77,54 @@ FaultDecision FaultInjector::OnSend(MessageKind kind, Nanos now) {
   return d;
 }
 
-const OutageWindow* FaultInjector::WindowCovering(Nanos now) const {
+const OutageWindow* FaultInjector::WindowCovering(Nanos now, int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) return nullptr;
+  const NodeTimeline& tl = nodes_[static_cast<size_t>(node)];
   // First window with from > now; the only candidate covering `now` is the
-  // one before it (windows are disjoint and sorted by from).
+  // one before it (windows on one node are disjoint and sorted by from).
   auto it = std::upper_bound(
-      outages_.begin(), outages_.end(), now,
+      tl.outages.begin(), tl.outages.end(), now,
       [](Nanos t, const OutageWindow& w) { return t < w.from; });
-  if (it == outages_.begin()) return nullptr;
+  if (it == tl.outages.begin()) return nullptr;
   --it;
   return now < it->until ? &*it : nullptr;
 }
 
-bool FaultInjector::LinkUpAt(Nanos now) const {
-  return WindowCovering(now) == nullptr;
+bool FaultInjector::LinkUpAt(Nanos now, int node) const {
+  return WindowCovering(now, node) == nullptr;
 }
 
-Nanos FaultInjector::HealsAt(Nanos now) const {
-  const OutageWindow* w = WindowCovering(now);
+Nanos FaultInjector::HealsAt(Nanos now, int node) const {
+  const OutageWindow* w = WindowCovering(now, node);
   return w != nullptr ? w->until : -1;
 }
 
-bool FaultInjector::InCrashRestartAt(Nanos now) const {
-  const OutageWindow* w = WindowCovering(now);
+bool FaultInjector::InCrashRestartAt(Nanos now, int node) const {
+  const OutageWindow* w = WindowCovering(now, node);
   return w != nullptr && w->crash_restart;
 }
 
-int FaultInjector::CrashRestartsCompletedBy(Nanos now) const {
+int FaultInjector::CrashRestartsCompletedBy(Nanos now, int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) return 0;
+  const NodeTimeline& tl = nodes_[static_cast<size_t>(node)];
   // Windows with until <= now form a prefix of the until-sorted list;
-  // crash_prefix_ turns its length into a crash-restart count.
+  // crash_prefix turns its length into a crash-restart count.
   const auto idx = static_cast<size_t>(
-      std::upper_bound(untils_.begin(), untils_.end(), now) - untils_.begin());
-  return crash_prefix_[idx];
+      std::upper_bound(tl.untils.begin(), tl.untils.end(), now) -
+      tl.untils.begin());
+  return tl.crash_prefix[idx];
+}
+
+const std::vector<OutageWindow>& FaultInjector::outages(int node) const {
+  static const std::vector<OutageWindow> kEmpty;
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) return kEmpty;
+  return nodes_[static_cast<size_t>(node)].outages;
+}
+
+size_t FaultInjector::total_windows() const {
+  size_t n = 0;
+  for (const NodeTimeline& tl : nodes_) n += tl.outages.size();
+  return n;
 }
 
 std::string FaultInjector::ToString() const {
@@ -106,7 +132,7 @@ std::string FaultInjector::ToString() const {
   os << "faults{seed=" << seed_ << " drops=" << drops_
      << " dups=" << duplicates_ << " delays=" << delays_
      << " outage_drops=" << outage_drops_
-     << " windows=" << outages_.size() << "}";
+     << " windows=" << total_windows() << "}";
   return os.str();
 }
 

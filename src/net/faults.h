@@ -28,11 +28,11 @@ struct FaultDecision {
   Nanos extra_delay_ns = 0;  ///< sender-side stall before serialization
 };
 
-/// One scheduled outage of the compute<->memory link. While an outage covers
-/// the current virtual time the pool is unreachable; the window heals at
-/// `until` (exclusive). Windows are always finite — permanent loss is
-/// expressed with Fabric::InjectFailureWindow, which keeps the paper's
-/// panic semantics (§3.2).
+/// One scheduled outage of a compute<->memory link. While an outage covers
+/// the current virtual time the targeted memory node is unreachable; the
+/// window heals at `until` (exclusive). Windows are always finite —
+/// permanent loss is expressed with Fabric::InjectFailureWindow, which keeps
+/// the paper's panic semantics (§3.2).
 struct OutageWindow {
   Nanos from = 0;
   Nanos until = 0;
@@ -41,6 +41,10 @@ struct OutageWindow {
   /// but unflushed memory-pool writes since the last Syncmem are lost and
   /// reported (MemorySystem::ApplyPoolRestarts).
   bool crash_restart = false;
+  /// Memory node (pool shard) the window targets. Windows on different
+  /// nodes are independent timelines: they may overlap freely, and each
+  /// node's crash-restart count advances only with its own windows.
+  int node = 0;
 };
 
 /// Seeded, deterministic fault-injection fabric consulted by the Fabric per
@@ -48,9 +52,10 @@ struct OutageWindow {
 ///
 ///  - Probabilistic per-kind events (drop / delay / duplicate), drawn from a
 ///    dedicated xoshiro stream, so the same seed and the same send sequence
-///    reproduce the exact same fault pattern.
-///  - Scheduled outages on the virtual timeline: transient link flaps and
-///    memory-node crash-restart windows.
+///    reproduce the exact same fault pattern. The stream is shared across
+///    all links: faults depend on the global send order, not on topology.
+///  - Scheduled outages on the virtual timeline, keyed by memory node:
+///    transient link flaps and per-node crash-restart windows.
 ///
 /// The injector never touches clocks or channels itself; the Fabric applies
 /// its decisions so all lost time is accounted on virtual clocks.
@@ -74,24 +79,30 @@ class FaultInjector {
   void set_link_rto_ns(Nanos rto) { link_rto_ns_ = rto; }
   Nanos link_rto_ns() const { return link_rto_ns_; }
 
-  /// Schedules one outage window [from, until). `until` must be > `from`.
+  /// Schedules one outage window [from, until) on `node`. `until` must be
+  /// > `from`.
   ///
-  /// Windows must be pairwise disjoint: an overlap aborts with a message
-  /// naming both windows, because merging would have to pick one
-  /// `crash_restart` flag and silently change recovery semantics. Touching
-  /// windows (`until == next.from`) are allowed — the timeline treats them
-  /// as healed for the single instant in between. Windows may be added in
-  /// any order; the injector keeps them sorted and answers all timeline
-  /// queries by binary search.
-  void AddOutage(Nanos from, Nanos until, bool crash_restart = false);
+  /// Windows on the SAME node must be pairwise disjoint: an overlap aborts
+  /// with a message naming both windows, because merging would have to pick
+  /// one `crash_restart` flag and silently change recovery semantics.
+  /// Touching windows (`until == next.from`) are allowed — the timeline
+  /// treats them as healed for the single instant in between. Windows on
+  /// DIFFERENT nodes are unrelated and may overlap arbitrarily (two shards
+  /// of a rack can be down at once). Windows may be added in any order; the
+  /// injector keeps each node's timeline sorted and answers all queries by
+  /// binary search.
+  void AddOutage(Nanos from, Nanos until, bool crash_restart = false,
+                 int node = 0);
 
   /// Schedules `count` link flaps of `duration` each, the k-th starting at
   /// `start + k * period`. Windows must not overlap (period > duration).
-  void AddLinkFlaps(Nanos start, Nanos duration, Nanos period, int count);
+  void AddLinkFlaps(Nanos start, Nanos duration, Nanos period, int count,
+                    int node = 0);
 
-  /// Schedules a memory-node crash at `at` that restarts `down_for` later.
-  void ScheduleCrashRestart(Nanos at, Nanos down_for) {
-    AddOutage(at, at + down_for, /*crash_restart=*/true);
+  /// Schedules a crash of memory node `node` at `at` that restarts
+  /// `down_for` later.
+  void ScheduleCrashRestart(Nanos at, Nanos down_for, int node = 0) {
+    AddOutage(at, at + down_for, /*crash_restart=*/true, node);
   }
 
   // --- Per-send consultation (mutates the RNG stream) ---------------------
@@ -106,20 +117,28 @@ class FaultInjector {
 
   // --- Timeline queries (const, deterministic) ----------------------------
 
-  /// False while any scheduled outage window covers `now`.
-  bool LinkUpAt(Nanos now) const;
+  /// False while any scheduled outage window on `node` covers `now`.
+  bool LinkUpAt(Nanos now, int node = 0) const;
 
-  /// End of the outage window covering `now`, or -1 if the link is up.
-  /// All injector windows are finite, so this never means "forever".
-  Nanos HealsAt(Nanos now) const;
+  /// End of the outage window on `node` covering `now`, or -1 if that link
+  /// is up. All injector windows are finite, so this never means "forever".
+  Nanos HealsAt(Nanos now, int node = 0) const;
 
-  /// True if the outage covering `now` is a memory-node crash-restart.
-  bool InCrashRestartAt(Nanos now) const;
+  /// True if the outage on `node` covering `now` is a crash-restart.
+  bool InCrashRestartAt(Nanos now, int node = 0) const;
 
-  /// Number of crash-restart windows fully completed (until <= now): the
-  /// node has crashed and come back that many times. MemorySystem applies
-  /// the lost-write bookkeeping when this count advances.
-  int CrashRestartsCompletedBy(Nanos now) const;
+  /// Number of crash-restart windows of `node` fully completed
+  /// (until <= now): that node has crashed and come back that many times.
+  /// MemorySystem applies the lost-write bookkeeping per shard when its
+  /// count advances.
+  int CrashRestartsCompletedBy(Nanos now, int node = 0) const;
+
+  /// Scheduled windows of one node, sorted by `from` (empty for a node with
+  /// no schedule). For tests and linear-scan cross-checks.
+  const std::vector<OutageWindow>& outages(int node = 0) const;
+
+  /// Total scheduled windows across every node.
+  size_t total_windows() const;
 
   // --- Event totals -------------------------------------------------------
 
@@ -145,19 +164,26 @@ class FaultInjector {
     return static_cast<size_t>(kind);
   }
 
-  /// Window containing `now`, or nullptr. O(log n) over the sorted windows.
-  const OutageWindow* WindowCovering(Nanos now) const;
+  /// One memory node's outage schedule plus its derived timeline indexes,
+  /// rebuilt by AddOutage. Disjoint windows sorted by `from` are also
+  /// sorted by `until`, so `untils` is an ascending key for "how many
+  /// windows completed by t"; `crash_prefix[i]` counts crash-restart
+  /// windows among the first i.
+  struct NodeTimeline {
+    std::vector<OutageWindow> outages;  ///< sorted by `from`, disjoint
+    std::vector<Nanos> untils;
+    std::vector<int> crash_prefix{0};
+  };
+
+  /// Window on `node` containing `now`, or nullptr. O(log n) over that
+  /// node's sorted windows.
+  const OutageWindow* WindowCovering(Nanos now, int node) const;
 
   uint64_t seed_;
   Rng rng_;
   std::array<FaultSpec, kNumMessageKinds> specs_{};
-  std::vector<OutageWindow> outages_;  ///< sorted by `from`, non-overlapping
-  /// Derived timeline indexes, rebuilt by AddOutage. Disjoint windows sorted
-  /// by `from` are also sorted by `until`, so `untils_` is an ascending key
-  /// for "how many windows completed by t"; `crash_prefix_[i]` counts
-  /// crash-restart windows among the first i.
-  std::vector<Nanos> untils_;
-  std::vector<int> crash_prefix_{0};
+  std::vector<NodeTimeline> nodes_;  ///< index = memory node id; grown lazily
+
   Nanos link_rto_ns_ = 50 * kMicrosecond;
 
   uint64_t drops_ = 0;

@@ -1,0 +1,200 @@
+#include "rack/traffic.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace teleport::rack {
+
+namespace {
+
+/// splitmix64 finalizer: the repo-standard bit mixer for derived seeds and
+/// order-independent digests.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One session's kernel, shaped after its tenant's engine. All offsets are
+/// 8-byte aligned inside the tenant's slice; the returned digest is a pure
+/// function of (seed, session id, slice contents).
+uint64_t RunKernel(ddc::ExecutionContext& c, WorkloadKind kind,
+                   ddc::VAddr slice, uint64_t slice_bytes, int ops,
+                   uint64_t kernel_seed) {
+  const uint64_t words = slice_bytes / 8;
+  TELEPORT_CHECK(words > 0);
+  uint64_t digest = 0;
+  uint64_t x = Mix(kernel_seed);
+  switch (kind) {
+    case WorkloadKind::kDb: {
+      // Selection + aggregation: a sequential 64-byte-stride scan from a
+      // seeded page-aligned start, wrapping inside the slice.
+      const uint64_t start = (x % words) * 8;
+      for (int op = 0; op < ops; ++op) {
+        const uint64_t off = (start + static_cast<uint64_t>(op) * 64) %
+                             (words * 8);
+        const ddc::VAddr a = slice + (off & ~uint64_t{7});
+        digest += static_cast<uint64_t>(c.Load<int64_t>(a)) +
+                  static_cast<uint64_t>(op);
+        c.ChargeCpu(1);
+      }
+      break;
+    }
+    case WorkloadKind::kGraph: {
+      // Gather: dependent pointer chase — each loaded value perturbs the
+      // next offset, like following CSR targets.
+      for (int op = 0; op < ops; ++op) {
+        const uint64_t off = (x % words) * 8;
+        const uint64_t v = static_cast<uint64_t>(c.Load<int64_t>(slice + off));
+        digest += v + off;
+        x = Mix(x ^ v);
+        c.ChargeCpu(2);
+      }
+      break;
+    }
+    case WorkloadKind::kMr: {
+      // Map-shuffle: hashed read-modify-write scatter into the slice, the
+      // random-access pattern of §5.3.
+      for (int op = 0; op < ops; ++op) {
+        x = Mix(x);
+        const uint64_t off = (x % words) * 8;
+        const int64_t v = c.Load<int64_t>(slice + off);
+        c.Store<int64_t>(slice + off,
+                         v + static_cast<int64_t>(op) + 1);
+        digest += off + static_cast<uint64_t>(v);
+        c.ChargeCpu(3);
+      }
+      break;
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+std::string_view WorkloadKindToString(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kDb:
+      return "db";
+    case WorkloadKind::kGraph:
+      return "graph";
+    case WorkloadKind::kMr:
+      return "mr";
+  }
+  return "unknown";
+}
+
+TrafficResult RunOpenLoop(ddc::MemorySystem& ms,
+                          tp::PushdownRuntime& runtime,
+                          const TrafficConfig& cfg) {
+  TELEPORT_CHECK(cfg.tenants >= 1 && cfg.sessions >= 0);
+  TELEPORT_CHECK(cfg.slice_pages >= 1 && cfg.ops_per_session >= 1);
+  const int nodes = ms.compute_nodes();
+  const uint64_t page = ms.space().page_size();
+
+  // One private slice per tenant; its first page's shard is the tenant's
+  // pushdown home (cross-shard touches still fault shard-by-shard).
+  std::vector<ddc::VAddr> slices;
+  std::vector<int> homes;
+  slices.reserve(static_cast<size_t>(cfg.tenants));
+  homes.reserve(static_cast<size_t>(cfg.tenants));
+  for (int t = 0; t < cfg.tenants; ++t) {
+    if (cfg.shared_slice && t > 0) {
+      // Contended mode: everyone fights over tenant 0's slice.
+      slices.push_back(slices[0]);
+      homes.push_back(homes[0]);
+      continue;
+    }
+    const ddc::VAddr slice = ms.space().Alloc(
+        cfg.slice_pages * page, "rack.slice." + std::to_string(t));
+    slices.push_back(slice);
+    homes.push_back(ms.ShardOf(ms.space().PageOf(slice)));
+  }
+
+  // The open-loop schedule: monotone arrivals with seeded jittered gaps,
+  // drawn up front in session order so the stream is independent of how
+  // service unfolds.
+  Rng arrival_rng(Mix(cfg.seed) ^ 0x0a11ULL);
+  std::vector<Nanos> arrivals(static_cast<size_t>(cfg.sessions), 0);
+  Nanos at = 0;
+  for (int i = 0; i < cfg.sessions; ++i) {
+    arrivals[static_cast<size_t>(i)] = at;
+    double gap = static_cast<double>(cfg.mean_interarrival_ns);
+    if (cfg.jitter_frac > 0.0) {
+      gap *= 1.0 + cfg.jitter_frac * (2.0 * arrival_rng.NextDouble() - 1.0);
+    }
+    at += std::max<Nanos>(0, static_cast<Nanos>(gap));
+  }
+
+  TrafficResult r;
+  r.scopes = sim::TenantScopes(cfg.tenants);
+  std::priority_queue<Nanos, std::vector<Nanos>, std::greater<>> inflight;
+  Nanos last_end = 0;
+
+  for (int i = 0; i < cfg.sessions; ++i) {
+    const int tenant = i % cfg.tenants;
+    const int node = tenant % nodes;
+    const WorkloadKind kind = static_cast<WorkloadKind>(tenant % 3);
+    Nanos start = arrivals[static_cast<size_t>(i)];
+    while (!inflight.empty() && inflight.top() <= start) inflight.pop();
+    if (cfg.max_concurrent > 0 &&
+        static_cast<int>(inflight.size()) >= cfg.max_concurrent) {
+      // Admission control: hold the arrival until a slot frees.
+      ++r.deferred;
+      while (static_cast<int>(inflight.size()) >= cfg.max_concurrent) {
+        start = std::max(start, inflight.top());
+        inflight.pop();
+      }
+    }
+
+    auto ctx = ms.CreateContext(ddc::Pool::kCompute, node, tenant);
+    ctx->clock().Reset(start);
+    const sim::Metrics before = ctx->metrics();
+
+    // The client inspects its slice head before shipping the kernel, so
+    // every session faults at least one page into its own node's cache and
+    // the pushdown then migrates it pool-side (the TELEPORT handoff).
+    (void)ctx->Load<int64_t>(slices[static_cast<size_t>(tenant)]);
+
+    tp::PushdownFlags flags;
+    flags.home_shard = homes[static_cast<size_t>(tenant)];
+    uint64_t digest = 0;
+    const ddc::VAddr slice = slices[static_cast<size_t>(tenant)];
+    const uint64_t slice_bytes = cfg.slice_pages * page;
+    const uint64_t kernel_seed =
+        Mix(cfg.seed ^ (static_cast<uint64_t>(i) << 1));
+    const Status st = runtime.Call(
+        *ctx,
+        [&](ddc::ExecutionContext& mem_ctx) {
+          digest = RunKernel(mem_ctx, kind, slice, slice_bytes,
+                             cfg.ops_per_session, kernel_seed);
+          return Status::OK();
+        },
+        flags);
+    if (!st.ok()) {
+      ++r.failed;
+      digest = Mix(static_cast<uint64_t>(st.code()));
+    }
+    const Nanos end = ctx->now();
+    inflight.push(end);
+    last_end = std::max(last_end, end);
+    ++r.completed;
+    // Commutative fold: the digest set, not the completion order, defines
+    // the checksum — bit-identical across schedules by construction.
+    r.checksum += Mix(digest ^ (static_cast<uint64_t>(i) * 0x9e37ULL));
+    r.scopes.Record(tenant, ctx->metrics().Diff(before), end - start);
+  }
+
+  r.makespan_ns = last_end;
+  r.completion_fairness = r.scopes.CompletionFairness();
+  r.remote_bytes_fairness = r.scopes.RemoteBytesFairness();
+  return r;
+}
+
+}  // namespace teleport::rack

@@ -1,0 +1,101 @@
+#include "sim/tenant_scopes.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace teleport::sim {
+
+TenantScopes::TenantScopes(int tenants) {
+  TELEPORT_CHECK(tenants >= 1) << "need at least one tenant scope";
+  metrics_.resize(static_cast<size_t>(tenants));
+  latency_.resize(static_cast<size_t>(tenants));
+}
+
+Metrics& TenantScopes::metrics(int tenant) {
+  TELEPORT_CHECK(tenant >= 0 && tenant < tenants())
+      << "tenant " << tenant << " outside [0, " << tenants() << ")";
+  return metrics_[static_cast<size_t>(tenant)];
+}
+
+const Metrics& TenantScopes::metrics(int tenant) const {
+  TELEPORT_CHECK(tenant >= 0 && tenant < tenants())
+      << "tenant " << tenant << " outside [0, " << tenants() << ")";
+  return metrics_[static_cast<size_t>(tenant)];
+}
+
+Histogram& TenantScopes::latency(int tenant) {
+  TELEPORT_CHECK(tenant >= 0 && tenant < tenants())
+      << "tenant " << tenant << " outside [0, " << tenants() << ")";
+  return latency_[static_cast<size_t>(tenant)];
+}
+
+const Histogram& TenantScopes::latency(int tenant) const {
+  TELEPORT_CHECK(tenant >= 0 && tenant < tenants())
+      << "tenant " << tenant << " outside [0, " << tenants() << ")";
+  return latency_[static_cast<size_t>(tenant)];
+}
+
+void TenantScopes::Record(int tenant, const Metrics& diff,
+                          int64_t latency_ns) {
+  metrics(tenant).Add(diff);
+  latency(tenant).Add(latency_ns);
+}
+
+Metrics TenantScopes::MergedMetrics() const {
+  Metrics merged;
+  for (const Metrics& m : metrics_) merged.Add(m);
+  return merged;
+}
+
+Histogram TenantScopes::MergedLatency() const {
+  Histogram merged;
+  for (const Histogram& h : latency_) merged.Merge(h);
+  return merged;
+}
+
+double TenantScopes::JainIndex(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double TenantScopes::CompletionFairness() const {
+  std::vector<double> xs;
+  xs.reserve(latency_.size());
+  for (const Histogram& h : latency_) {
+    xs.push_back(static_cast<double>(h.count()));
+  }
+  return JainIndex(xs);
+}
+
+double TenantScopes::RemoteBytesFairness() const {
+  std::vector<double> xs;
+  xs.reserve(metrics_.size());
+  for (const Metrics& m : metrics_) {
+    xs.push_back(static_cast<double>(m.RemoteMemoryBytes()));
+  }
+  return JainIndex(xs);
+}
+
+std::string TenantScopes::ToString() const {
+  std::ostringstream os;
+  for (int t = 0; t < tenants(); ++t) {
+    os << "tenant " << t << ": completed=" << completed(t)
+       << " remote_bytes=" << metrics(t).RemoteMemoryBytes()
+       << " latency={" << latency(t).ToString() << "}\n";
+  }
+  os << "merged: completed=" << MergedLatency().count()
+     << " remote_bytes=" << MergedMetrics().RemoteMemoryBytes()
+     << " completion_fairness=" << CompletionFairness()
+     << " remote_bytes_fairness=" << RemoteBytesFairness();
+  return os.str();
+}
+
+}  // namespace teleport::sim

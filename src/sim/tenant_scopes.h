@@ -1,0 +1,73 @@
+#ifndef TELEPORT_SIM_TENANT_SCOPES_H_
+#define TELEPORT_SIM_TENANT_SCOPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/metrics.h"
+
+namespace teleport::sim {
+
+/// Per-tenant accounting for multi-tenant racks (PR7): one Metrics plus one
+/// latency Histogram per tenant, merging into a global view through the
+/// exact same algebra the rest of the simulator uses (Metrics::Add and
+/// Histogram::Merge), so scoped totals are provably a partition of the
+/// global totals — MergedMetrics() over the scopes equals the sum of every
+/// diff ever attributed, field by field.
+///
+/// The scopes are an attribution layer, not a data path: contexts still own
+/// their Metrics; engines snapshot-and-diff around a tenant's work and feed
+/// the diff here. A 1-tenant instance is byte-equivalent to the legacy
+/// single global view.
+class TenantScopes {
+ public:
+  /// `tenants` >= 1 accounting slots, all zeroed.
+  explicit TenantScopes(int tenants = 1);
+
+  int tenants() const { return static_cast<int>(metrics_.size()); }
+
+  /// Direct access to one tenant's counters (CHECK-bounded).
+  Metrics& metrics(int tenant);
+  const Metrics& metrics(int tenant) const;
+  Histogram& latency(int tenant);
+  const Histogram& latency(int tenant) const;
+
+  /// Attributes one completed unit of work: the context-metrics diff for
+  /// the work plus its end-to-end virtual latency.
+  void Record(int tenant, const Metrics& diff, int64_t latency_ns);
+
+  /// Element-wise sum of every tenant's counters (the global view).
+  Metrics MergedMetrics() const;
+
+  /// Merge of every tenant's latency histogram (the global distribution).
+  Histogram MergedLatency() const;
+
+  /// Completed work units (latency samples) attributed to `tenant`.
+  uint64_t completed(int tenant) const { return latency(tenant).count(); }
+
+  /// Jain's fairness index over arbitrary per-tenant allocations:
+  /// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly fair, 1/n = one
+  /// tenant got everything. An all-zero vector reports 1 (nothing was
+  /// allocated, so nothing was allocated unfairly).
+  static double JainIndex(const std::vector<double>& xs);
+
+  /// Jain index over per-tenant completed work units.
+  double CompletionFairness() const;
+
+  /// Jain index over per-tenant remote-memory bytes (the contended
+  /// resource of Fig 21).
+  double RemoteBytesFairness() const;
+
+  /// Per-tenant one-line summaries plus the merged view.
+  std::string ToString() const;
+
+ private:
+  std::vector<Metrics> metrics_;
+  std::vector<Histogram> latency_;
+};
+
+}  // namespace teleport::sim
+
+#endif  // TELEPORT_SIM_TENANT_SCOPES_H_

@@ -44,7 +44,10 @@ ModelChecker::ModelChecker(ddc::MemorySystem* ms, OnViolation action)
   }
   session_active_ = ms_->pushdown_active();
   mode_ = ms_->coherence_mode();
-  pool_epoch_model_ = ms_->pool_epoch();
+  pool_epoch_model_.resize(static_cast<size_t>(ms_->memory_shards()));
+  for (int k = 0; k < ms_->memory_shards(); ++k) {
+    pool_epoch_model_[static_cast<size_t>(k)] = ms_->pool_epoch(k);
+  }
   ms_->set_coherence_observer(this);
   // After the attach (which itself bumps the epoch), so the first checked
   // transition needs a bump of its own.
@@ -207,14 +210,19 @@ void ModelChecker::StepMemoryAccess(const CoherenceEvent& ev) {
 }
 
 void ModelChecker::StepSessionBegin(const CoherenceEvent& ev) {
-  // Invariant 6b: the session's admission epoch must be the epoch of the
-  // latest pool recovery — executing under an older lease means a fenced
-  // session's effects would become visible.
-  if (ev.epoch != pool_epoch_model_) {
+  // Invariant 6b: the session's admission epoch must be the epoch of its
+  // home shard's latest recovery — executing under an older lease means a
+  // fenced session's effects would become visible. ev.node carries the home
+  // shard (always 0 on a 1x1 rack).
+  const size_t home =
+      ev.node >= 0 && static_cast<size_t>(ev.node) < pool_epoch_model_.size()
+          ? static_cast<size_t>(ev.node)
+          : 0;
+  if (ev.epoch != pool_epoch_model_[home]) {
     std::ostringstream os;
     os << "stale-epoch session admitted: lease epoch " << ev.epoch
-       << " but the pool recovered into epoch " << pool_epoch_model_
-       << " (fencing skipped)";
+       << " but home shard " << ev.node << " recovered into epoch "
+       << pool_epoch_model_[home] << " (fencing skipped)";
     Fail(ev, os.str());
   }
   session_active_ = true;
@@ -381,20 +389,36 @@ void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
       m.compute_v = m.home_v;
       break;
     }
-    case CoherenceEvent::Kind::kPoolRestart:
+    case CoherenceEvent::Kind::kPoolRestart: {
       // The data plane is host memory (ground truth): after the wipe, a
       // refault serves the freshest bytes even though the timing model
       // charged a storage trip. Lost writes are accounted in metrics, not
       // materialized as stale data, so "home" holds the latest version.
-      for (PageModel& m : pages_) m.home_v = m.master;
-      // Invariant 6: the recovery opens a new lease epoch and owes a
-      // re-materialization for every acknowledged (journaled) page.
-      pool_epoch_model_ = ev.epoch;
-      pending_recover_ = journaled_;
-      pending_recover_count_ = 0;
-      for (const uint8_t j : pending_recover_) pending_recover_count_ += j;
+      // ev.node is the restarting shard: only its page slice was wiped, only
+      // its lease epoch advances, and only its journaled pages become
+      // obligations — a recovery of shard A can never discharge (or create)
+      // shard B's obligations.
+      const int shard = ev.node;
+      for (ddc::PageId p = 0; p < pages_.size(); ++p) {
+        if (ms_->ShardOf(p) == shard) pages_[p].home_v = pages_[p].master;
+      }
+      if (shard >= 0 &&
+          static_cast<size_t>(shard) < pool_epoch_model_.size()) {
+        pool_epoch_model_[static_cast<size_t>(shard)] = ev.epoch;
+      }
+      if (pending_recover_.size() < journaled_.size()) {
+        pending_recover_.resize(journaled_.size(), 0);
+      }
+      for (ddc::PageId p = 0; p < journaled_.size(); ++p) {
+        if (journaled_[p] && ms_->ShardOf(p) == shard &&
+            !pending_recover_[p]) {
+          pending_recover_[p] = 1;
+          ++pending_recover_count_;
+        }
+      }
       ++steps_;
       return;
+    }
     case CoherenceEvent::Kind::kPoolRecover: {
       if (ev.page < pending_recover_.size() && pending_recover_[ev.page]) {
         pending_recover_[ev.page] = 0;

@@ -129,7 +129,9 @@ class ModelChecker : public ddc::CoherenceObserver {
   /// Pages a recovery still owes a kPoolRecover for (set at kPoolRestart).
   std::vector<uint8_t> pending_recover_;
   uint64_t pending_recover_count_ = 0;
-  uint64_t pool_epoch_model_ = 0;  ///< epoch of the latest kPoolRestart
+  /// Per-shard epoch announced by that shard's latest kPoolRestart (PR7:
+  /// leases fence shard-by-shard; index = shard id).
+  std::vector<uint64_t> pool_epoch_model_;
   std::vector<uint8_t> token_executed_;  ///< idempotency tokens applied
   uint64_t steps_ = 0;
   std::vector<Violation> violations_;

@@ -92,13 +92,17 @@ PushdownRuntime::PushdownRuntime(ddc::MemorySystem* ms, int num_instances)
   TELEPORT_CHECK(num_instances >= 1);
   TELEPORT_CHECK(ms_->config().platform == ddc::Platform::kBaseDdc)
       << "TELEPORT runs on disaggregated platforms only";
-  instance_free_.assign(static_cast<size_t>(num_instances), 0);
+  instance_free_.assign(
+      static_cast<size_t>(ms_->memory_shards()),
+      std::vector<Nanos>(static_cast<size_t>(num_instances), 0));
 }
 
-Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
+Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx,
+                                       int shard) {
   const auto& params = ms_->params();
+  const net::Link link{static_cast<int>(ctx.node()), shard};
   ms_->ApplyPoolRestarts(ctx);
-  if (panicked_ || ms_->fabric().HardDownAt(ctx.now())) {
+  if (panicked_ || ms_->fabric().HardDownAt(ctx.now(), shard)) {
     // The real system triggers a kernel panic: main memory is lost (§3.2).
     panicked_ = true;
     ctx.AdvanceTime(params.net_latency_ns * 2);
@@ -106,7 +110,7 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
   }
   if (ms_->fabric().fault_injector() == nullptr) {
     const Nanos done = ms_->fabric().RoundTripFromCompute(
-        ctx.now(), 64, 64, params.fault_handler_ns,
+        link, ctx.now(), 64, 64, params.fault_handler_ns,
         net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat);
     ctx.clock().AdvanceTo(done);
     ctx.metrics().net_messages += 2;
@@ -123,14 +127,15 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx) {
   for (int round = 0; round < 16 && !ok; ++round) {
     const RetryOutcome out = RetryRoundTripFromCompute(
         ms_->fabric(), retry_, retry_rng_, t, 64, 64, params.fault_handler_ns,
-        net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat, &stats);
+        net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat, &stats,
+        link);
     if (out.ok) {
       t = out.done;
       ok = true;
       break;
     }
     t = out.gave_up_at;
-    const Nanos heal = ms_->fabric().NextReachableAt(t);
+    const Nanos heal = ms_->fabric().NextReachableAt(t, shard);
     if (heal == net::Fabric::kNeverHeals) break;
     if (heal > t) t = heal;
   }
@@ -153,6 +158,11 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   TELEPORT_CHECK(caller.pool() == ddc::Pool::kCompute)
       << "pushdown must be called from the compute pool";
   const auto& params = ms_->params();
+  const int home = flags.home_shard;
+  TELEPORT_CHECK(home >= 0 && home < ms_->memory_shards())
+      << "home shard " << home << " outside the rack's "
+      << ms_->memory_shards() << " shards";
+  const net::Link link{static_cast<int>(caller.node()), home};
   PushdownBreakdown bd;
 
   // Materialize any memory-node crash-restart that completed before this
@@ -165,17 +175,23 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     return RecoveryStatus(RecoveryFault::kUnrecoverable);
   }
 
-  if (panicked_ || ms_->fabric().HardDownAt(caller.now())) {
+  if (panicked_ || ms_->fabric().HardDownAt(caller.now(), home)) {
     panicked_ = true;
     caller.AdvanceTime(params.net_latency_ns * 2);
     return RecoveryStatus(RecoveryFault::kUnreachable);
   }
 
   const Nanos t0 = caller.now();
-  // Lease + idempotency identity of this call (PR6): the admission epoch
-  // fences the request against pool recoveries that complete while it is
-  // in flight; the token lets the pool deduplicate redelivered copies.
-  uint64_t admit_epoch = ms_->pool_epoch();
+  // Lease + idempotency identity of this call (PR6, sharded in PR7): the
+  // call snapshots every shard's admission epoch — its touches may fault
+  // pages of any shard — and each shard fences independently: a recovery of
+  // shard k invalidates only admit_epochs[k]. The token lets the home
+  // shard's controller deduplicate redelivered copies.
+  std::vector<uint64_t> admit_epochs(
+      static_cast<size_t>(ms_->memory_shards()));
+  for (int k = 0; k < ms_->memory_shards(); ++k) {
+    admit_epochs[static_cast<size_t>(k)] = ms_->pool_epoch(k);
+  }
   const uint64_t token = ++next_token_;
 
   // (1) Pre-pushdown synchronization.
@@ -222,14 +238,14 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   Nanos request_retry_wait = 0;
   int req_copies = 1;  ///< delivered request copies presenting the token
   if (ms_->fabric().fault_injector() == nullptr) {
-    arrive = ms_->fabric().SendToMemory(send_time, req_bytes,
+    arrive = ms_->fabric().SendToMemory(link, send_time, req_bytes,
                                         net::MessageKind::kPushdownRequest);
   } else {
     Nanos t = send_time;
     bool delivered = false;
     for (int a = 0; a < std::max(1, retry_.max_attempts); ++a) {
       const net::SendOutcome out = ms_->fabric().TrySendToMemory(
-          t, req_bytes, net::MessageKind::kPushdownRequest);
+          link, t, req_bytes, net::MessageKind::kPushdownRequest);
       if (out.delivered) {
         arrive = out.deliver_at;
         req_copies = out.copies;
@@ -238,7 +254,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       }
       Nanos wait = retry_.rto_ns + retry_.BackoffFor(a, retry_rng_);
       t += wait;
-      const Nanos heal = ms_->fabric().NextReachableAt(t);
+      const Nanos heal = ms_->fabric().NextReachableAt(t, home);
       if (heal > t) {
         wait += heal - t;
         t = heal;
@@ -254,17 +270,17 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     if (!delivered) {
       bd.retry_ns += request_retry_wait;
       if (flags.fallback == FallbackPolicy::kLocal &&
-          ms_->fabric().NextReachableAt(t) != net::Fabric::kNeverHeals) {
+          ms_->fabric().NextReachableAt(t, home) != net::Fabric::kNeverHeals) {
         // Restartable pool but the retry budget is spent: §3.2 escape
         // hatch — run the function locally instead of failing the call.
         caller.clock().AdvanceTo(t);
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/false);
+                                /*cancel_sent=*/false, link);
       }
       // No fallback requested: hand the request to the reliable transport,
       // which retransmits below the RPC layer and cannot lose it.
-      arrive = ms_->fabric().SendToMemory(t, req_bytes,
-                                          net::MessageKind::kPushdownRequest);
+      arrive = ms_->fabric().SendToMemory(
+          link, t, req_bytes, net::MessageKind::kPushdownRequest);
       request_retry_wait = 0;  // already folded into bd.retry_ns
     }
   }
@@ -273,55 +289,72 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   bd.retry_ns += request_retry_wait;
   bd.request_transfer_ns = arrive - send_time - bd.retry_ns;
 
-  // Queue for a free memory-pool instance (FIFO workqueue, §3.2).
-  auto slot = std::min_element(instance_free_.begin(), instance_free_.end());
+  // Queue for a free memory-pool instance of the HOME shard (FIFO
+  // workqueue, §3.2; per-shard in PR7 — each shard owns its pool cores).
+  std::vector<Nanos>& shard_slots = instance_free_[static_cast<size_t>(home)];
+  auto slot = std::min_element(shard_slots.begin(), shard_slots.end());
   Nanos start = std::max(arrive, *slot);
 
-  // Lease fencing (PR6): if a crash-restart window completed while the
-  // request was in flight or queued, the recovered pool runs under a newer
-  // epoch and deterministically rejects the stale-epoch request; the caller
-  // re-admits under the fresh epoch and resends. Journal-off keeps the
-  // seed's lossy behavior: restarts materialize lazily at the next
-  // quiescent point, with no fencing.
+  // Lease fencing (PR6, per-shard in PR7): if a crash-restart window of any
+  // shard completed while the request was in flight or queued, that shard
+  // runs under a newer epoch and deterministically rejects the stale-epoch
+  // request; the caller re-admits under the fresh epochs and resends. Only
+  // the restarted shard's lease goes stale — shard A's recovery never
+  // fences a call whose epochs for A were already current. The rejection
+  // itself rides the home link (one reply + one resend per round, exactly
+  // the 1x1 message sequence). Journal-off keeps the seed's lossy behavior:
+  // restarts materialize lazily at the next quiescent point, with no
+  // fencing.
   Nanos fence_ns = 0;
   if (ms_->journal_enabled()) {
+    const auto any_stale = [&]() {
+      for (int k = 0; k < ms_->memory_shards(); ++k) {
+        if (ms_->pool_epoch(k) != admit_epochs[static_cast<size_t>(k)]) {
+          return true;
+        }
+      }
+      return false;
+    };
     for (int admit = 0; admit < 4; ++admit) {
       const ddc::MemorySystem::RestartOutcome ro =
           ms_->ApplyPoolRestartsAt(caller, start);
       start += ro.recovery_ns;
       fence_ns += ro.recovery_ns;
-      if (ms_->pool_epoch() == admit_epoch) break;
+      if (!any_stale()) break;
       if (ms_->protocol_mutation() == ddc::ProtocolMutation::kSkipFencing) {
         break;  // planted bug: the pool executes the stale-epoch request
       }
       // kFenced rejection: a small reply back to the caller, then a fresh
-      // request under the new epoch. All of it is recovery time.
+      // request under the new epochs. All of it is recovery time.
       ++fenced_rpcs_;
       ++caller.metrics().fenced_rpcs;
       if (sim::Tracer* tracer = ms_->tracer()) {
         tracer->Instant("pushdown", "Fenced", start, sim::kTrackMemoryPool,
-                        "\"epoch\":" + std::to_string(ms_->pool_epoch()));
+                        "\"epoch\":" + std::to_string(ms_->pool_epoch(home)));
       }
       const Nanos rej_arrive = ms_->fabric().SendToCompute(
-          start, 64, net::MessageKind::kPushdownResponse);
+          link, start, 64, net::MessageKind::kPushdownResponse);
       const Nanos rearrive = ms_->fabric().SendToMemory(
-          rej_arrive, req_bytes, net::MessageKind::kPushdownRequest);
+          link, rej_arrive, req_bytes, net::MessageKind::kPushdownRequest);
       caller.metrics().net_messages += 2;
       caller.metrics().net_bytes += 64 + req_bytes;
-      admit_epoch = ms_->pool_epoch();
+      for (int k = 0; k < ms_->memory_shards(); ++k) {
+        admit_epochs[static_cast<size_t>(k)] = ms_->pool_epoch(k);
+      }
       const Nanos prev_start = start;
       start = std::max(rearrive, *slot);
       fence_ns += start - prev_start;
     }
-    if (ms_->pool_epoch() != admit_epoch &&
+    if (any_stale() &&
         ms_->protocol_mutation() != ddc::ProtocolMutation::kSkipFencing) {
       // Re-admission budget exhausted (restarts kept completing under us).
       bd.retry_ns += fence_ns;
       caller.clock().AdvanceTo(start);
       if (flags.fallback == FallbackPolicy::kLocal &&
-          ms_->fabric().NextReachableAt(start) != net::Fabric::kNeverHeals) {
+          ms_->fabric().NextReachableAt(start, home) !=
+              net::Fabric::kNeverHeals) {
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/false);
+                                /*cancel_sent=*/false, link);
       }
       return RecoveryStatus(RecoveryFault::kFenced);
     }
@@ -335,7 +368,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     const Nanos cancel_arrives = cancel_sent + params.NetTransfer(64);
     if (start > cancel_arrives) {
       const Nanos done = ms_->fabric().RoundTripFromCompute(
-          cancel_sent, 64, 64, params.fault_handler_ns,
+          link, cancel_sent, 64, 64, params.fault_handler_ns,
           net::MessageKind::kTryCancel, net::MessageKind::kTryCancel);
       caller.clock().AdvanceTo(done);
       caller.metrics().net_messages += 2;
@@ -355,7 +388,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
         // §3.2: "the application is then free to execute the function
         // locally" — do so transparently instead of surfacing TimedOut.
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/true);
+                                /*cancel_sent=*/true, link);
       }
       return Status::TimedOut("pushdown cancelled before execution");
     }
@@ -374,21 +407,24 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // and absorbs the rest (injected duplicates, capped retries).
   bool execute = false;
   for (int c = 0; c < req_copies; ++c) {
-    const bool admitted = ms_->AdmitPushdown(caller, token, start);
+    const bool admitted = ms_->AdmitPushdown(caller, token, start, home);
     execute = execute || admitted;
   }
   TELEPORT_CHECK(execute)
       << "first delivery of pushdown token " << token << " must execute";
 
-  const uint64_t npte = ms_->BeginPushdownSession(session_mode, admit_epoch);
+  const uint64_t npte = ms_->BeginPushdownSession(
+      session_mode, admit_epochs[static_cast<size_t>(home)], home);
   (void)npte;
   const Nanos setup_ns =
       params.context_fixed_ns +
       static_cast<Nanos>(resident_count) * params.pte_clone_ns;
   bd.context_setup_ns = setup_ns;
 
-  // (4) Function execution in the memory pool.
-  auto mem_ctx = ms_->CreateContext(ddc::Pool::kMemory);
+  // (4) Function execution in the home shard's user context, on behalf of
+  // the caller's tenant.
+  auto mem_ctx =
+      ms_->CreateContext(ddc::Pool::kMemory, home, caller.tenant());
   mem_ctx->clock().Reset(start + setup_ns);
   Status st = fn(*mem_ctx, arg);
   const Nanos fn_total = mem_ctx->now() - (start + setup_ns);
@@ -419,13 +455,13 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   Nanos resp_retry_wait = 0;
   if (ms_->fabric().fault_injector() == nullptr) {
     resp_arrive = ms_->fabric().SendToCompute(
-        resp_sent, resp_bytes, net::MessageKind::kPushdownResponse);
+        link, resp_sent, resp_bytes, net::MessageKind::kPushdownResponse);
   } else {
     Nanos t = resp_sent;
     bool delivered = false;
     for (int a = 0; a < std::max(1, retry_.max_attempts); ++a) {
       const net::SendOutcome out = ms_->fabric().TrySendToCompute(
-          t, resp_bytes, net::MessageKind::kPushdownResponse);
+          link, t, resp_bytes, net::MessageKind::kPushdownResponse);
       if (out.delivered) {
         resp_arrive = out.deliver_at;
         delivered = true;
@@ -433,7 +469,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
       }
       Nanos wait = retry_.rto_ns + retry_.BackoffFor(a, retry_rng_);
       t += wait;
-      const Nanos heal = ms_->fabric().NextReachableAt(t);
+      const Nanos heal = ms_->fabric().NextReachableAt(t, home);
       if (heal > t) {
         wait += heal - t;
         t = heal;
@@ -448,7 +484,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
     }
     if (!delivered) {
       resp_arrive = ms_->fabric().SendToCompute(
-          t, resp_bytes, net::MessageKind::kPushdownResponse);
+          link, t, resp_bytes, net::MessageKind::kPushdownResponse);
     }
   }
   caller.metrics().net_messages += 1;
@@ -481,13 +517,13 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
 Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
                                          PushdownFn fn, void* arg,
                                          PushdownBreakdown& bd, Nanos t0,
-                                         bool cancel_sent) {
+                                         bool cancel_sent, net::Link link) {
   if (!cancel_sent) {
     // Best-effort try_cancel so a late-delivered request is not executed by
     // the pool as well; a drop is acceptable — the pool discards requests
     // whose caller already gave up on them.
     const net::SendOutcome probe = ms_->fabric().TrySendToMemory(
-        caller.now(), 64, net::MessageKind::kTryCancel);
+        link, caller.now(), 64, net::MessageKind::kTryCancel);
     if (probe.delivered) {
       caller.metrics().net_messages += 1;
       caller.metrics().net_bytes += 64;

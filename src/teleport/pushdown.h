@@ -72,6 +72,13 @@ struct PushdownFlags {
 
   /// Recovery behavior on timeout or an unreachable-but-restartable pool.
   FallbackPolicy fallback = FallbackPolicy::kNone;
+
+  /// Memory shard whose controller receives the request RPC and hosts the
+  /// temporary context (the session's *home* shard). Data accesses inside
+  /// the pushed function still fault shard-by-shard; the home shard is the
+  /// admission point for lease fencing and idempotency dedup. 0 — the only
+  /// shard of the paper's 1x1 rack — preserves every legacy call site.
+  int home_shard = 0;
 };
 
 /// Wall-clock breakdown of one pushdown call, matching the six components
@@ -168,15 +175,20 @@ class PushdownRuntime {
     ms_->Syncmem(ctx, addr, len);
   }
 
-  /// Background heartbeat check (§3.2): cheap probe of the memory pool.
-  Status CheckHeartbeat(ddc::ExecutionContext& ctx);
+  /// Background heartbeat check (§3.2): cheap probe of one memory shard's
+  /// controller over the probing node's link (shard 0 — the whole pool on a
+  /// 1x1 rack — by default).
+  Status CheckHeartbeat(ddc::ExecutionContext& ctx, int shard = 0);
 
   /// Kills pushed functions whose simulated execution exceeds this bound
   /// (§3.2 "buggy code ... killed by TELEPORT"). Default: 10 virtual
   /// minutes.
   void set_kill_timeout(Nanos ns) { kill_timeout_ns_ = ns; }
 
-  int num_instances() const { return static_cast<int>(instance_free_.size()); }
+  /// Pool-side instances per memory shard.
+  int num_instances() const {
+    return static_cast<int>(instance_free_.front().size());
+  }
 
   /// Breakdown of the most recent completed call.
   const PushdownBreakdown& last_breakdown() const { return last_breakdown_; }
@@ -220,10 +232,11 @@ class PushdownRuntime {
  private:
   /// Runs `fn` in the caller's own context after a failed/cancelled
   /// pushdown (§3.2 local execution). `cancel_sent` says whether a
-  /// try_cancel already went out on the wire.
+  /// try_cancel already went out on the wire; `link` is the call's
+  /// (caller node, home shard) pair.
   Status RunLocalFallback(ddc::ExecutionContext& caller, PushdownFn fn,
                           void* arg, PushdownBreakdown& bd, Nanos t0,
-                          bool cancel_sent);
+                          bool cancel_sent, net::Link link);
 
   /// Emits the per-call trace spans once a breakdown is final: one
   /// enclosing "call" span plus a child span per non-zero component, laid
@@ -233,7 +246,11 @@ class PushdownRuntime {
   void TraceCall(const PushdownBreakdown& bd, Nanos t0, bool fallback);
 
   ddc::MemorySystem* ms_;
-  std::vector<Nanos> instance_free_;  ///< next-free time per instance
+  /// Next-free time of each pool-side instance, per memory shard: shard k
+  /// admits pushdowns from its own `num_instances`-deep workqueue, so one
+  /// shard's backlog never queues a call homed elsewhere (PR7). One shard
+  /// degenerates to the single global workqueue.
+  std::vector<std::vector<Nanos>> instance_free_;
   Nanos kill_timeout_ns_ = 600 * kSecond;
   RetryPolicy retry_;
   Rng retry_rng_{0x7e1e905u};

@@ -86,17 +86,17 @@ inline RetryOutcome RetryRoundTripFromCompute(
     net::Fabric& fabric, const RetryPolicy& policy, Rng& rng, Nanos now,
     uint64_t req_bytes, uint64_t resp_bytes, Nanos handler_ns,
     net::MessageKind req_kind, net::MessageKind resp_kind,
-    RetryStats* stats = nullptr) {
+    RetryStats* stats = nullptr, net::Link link = net::Link{}) {
   Nanos t = now;
   const int attempts = std::max(1, policy.max_attempts);
   for (int a = 0; a < attempts; ++a) {
     if (stats != nullptr) ++stats->attempts;
     const net::RpcOutcome rpc = fabric.TryRoundTripFromCompute(
-        t, req_bytes, resp_bytes, handler_ns, req_kind, resp_kind);
+        link, t, req_bytes, resp_bytes, handler_ns, req_kind, resp_kind);
     if (rpc.ok) return RetryOutcome{true, rpc.done, t};
     Nanos wait = policy.rto_ns + policy.BackoffFor(a, rng);
     t += wait;
-    const Nanos heal = fabric.NextReachableAt(t);
+    const Nanos heal = fabric.NextReachableAt(t, link.dst);
     if (heal > t) {
       wait += heal - t;
       t = heal;

@@ -1,0 +1,165 @@
+// PR7 tentpole regressions: the rack-scale open-loop traffic generator and
+// the degenerate-rack identity.
+//
+// The 1x1 rack IS the pre-PR7 single-pool system: a default-constructed
+// config and an explicit {compute_nodes=1, memory_shards=1} config must
+// produce bit-identical traffic answers (checksum, virtual makespan, every
+// merged metric). Multi-node runs must bind tenants to their compute nodes,
+// spread slices across shards, stay fair under an even workload, and pass
+// the full coherence/recovery model checker.
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+#include "rack/traffic.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport::rack {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+ddc::DdcConfig RackConfig(int compute_nodes, int memory_shards) {
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 16 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  cfg.compute_nodes = compute_nodes;
+  cfg.memory_shards = memory_shards;
+  return cfg;
+}
+
+TrafficConfig SmallTraffic(uint64_t seed) {
+  TrafficConfig cfg;
+  cfg.tenants = 3;
+  cfg.sessions = 60;
+  cfg.ops_per_session = 64;
+  cfg.slice_pages = 32;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Rack {
+  ddc::MemorySystem ms;
+  tp::PushdownRuntime runtime;
+
+  Rack(const ddc::DdcConfig& cfg, uint64_t space_bytes = 4 << 20)
+      : ms(cfg, sim::CostParams::Default(), space_bytes), runtime(&ms) {}
+};
+
+/// Field-wise equality of two merged metric views via the X-macro, so a new
+/// counter can never silently escape the identity lock.
+void ExpectMetricsEqual(const sim::Metrics& a, const sim::Metrics& b) {
+#define TELEPORT_RACK_TEST_EQ(field, group, label) \
+  EXPECT_EQ(a.field, b.field) << #field;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_RACK_TEST_EQ)
+#undef TELEPORT_RACK_TEST_EQ
+}
+
+// The degenerate-rack identity: a config that never mentions the rack and
+// an explicit 1x1 rack run the same traffic to the same bits.
+TEST(RackDegenerateTest, DefaultConfigIsTheOneByOneRack) {
+  ddc::DdcConfig implicit;
+  implicit.platform = ddc::Platform::kBaseDdc;
+  implicit.compute_cache_bytes = 16 * kPage;
+  implicit.memory_pool_bytes = 1024 * kPage;
+  Rack a(implicit);
+  Rack b(RackConfig(1, 1));
+
+  const TrafficConfig cfg = SmallTraffic(/*seed=*/42);
+  const TrafficResult ra = RunOpenLoop(a.ms, a.runtime, cfg);
+  const TrafficResult rb = RunOpenLoop(b.ms, b.runtime, cfg);
+  EXPECT_EQ(ra.checksum, rb.checksum);
+  EXPECT_EQ(ra.makespan_ns, rb.makespan_ns);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.failed, rb.failed);
+  EXPECT_EQ(ra.deferred, rb.deferred);
+  ExpectMetricsEqual(ra.scopes.MergedMetrics(), rb.scopes.MergedMetrics());
+}
+
+TEST(RackTrafficTest, SameSeedReproducesBitIdentically) {
+  const TrafficConfig cfg = SmallTraffic(/*seed=*/7);
+  Rack a(RackConfig(2, 2));
+  Rack b(RackConfig(2, 2));
+  const TrafficResult ra = RunOpenLoop(a.ms, a.runtime, cfg);
+  const TrafficResult rb = RunOpenLoop(b.ms, b.runtime, cfg);
+  EXPECT_EQ(ra.checksum, rb.checksum);
+  EXPECT_EQ(ra.makespan_ns, rb.makespan_ns);
+  EXPECT_EQ(ra.completed, static_cast<uint64_t>(cfg.sessions));
+  EXPECT_EQ(ra.failed, 0u);
+
+  // A different seed drives different kernels: the answer moves.
+  Rack c(RackConfig(2, 2));
+  TrafficConfig other = cfg;
+  other.seed = 8;
+  EXPECT_NE(RunOpenLoop(c.ms, c.runtime, other).checksum, ra.checksum);
+}
+
+// Admission control shifts virtual start times, never answers: the
+// commutative checksum is schedule-independent by construction.
+TEST(RackTrafficTest, AdmissionControlDefersWithoutChangingAnswers) {
+  TrafficConfig open = SmallTraffic(/*seed=*/3);
+  open.sessions = 90;
+  open.mean_interarrival_ns = 2 * kMicrosecond;  // dense enough to queue
+  TrafficConfig limited = open;
+  limited.max_concurrent = 2;
+
+  Rack a(RackConfig(2, 2));
+  Rack b(RackConfig(2, 2));
+  const TrafficResult ra = RunOpenLoop(a.ms, a.runtime, open);
+  const TrafficResult rb = RunOpenLoop(b.ms, b.runtime, limited);
+  EXPECT_EQ(ra.deferred, 0u);
+  EXPECT_GT(rb.deferred, 0u) << "the admission knob never engaged";
+  EXPECT_EQ(ra.checksum, rb.checksum);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_GE(rb.makespan_ns, ra.makespan_ns);
+}
+
+// Tenants bind to their compute node and their slices spread over both
+// shards; an even workload scores perfect fairness on completions.
+TEST(RackTrafficTest, TenantsSpreadAcrossNodesAndShards) {
+  // 2 MiB of address space over 2 shards = 256 pages/shard; four 128-page
+  // slices fill it exactly, two per shard.
+  Rack rack(RackConfig(2, 2), /*space_bytes=*/2 << 20);
+  TrafficConfig cfg;
+  cfg.tenants = 4;
+  cfg.sessions = 120;
+  cfg.ops_per_session = 64;
+  cfg.slice_pages = 128;
+  cfg.seed = 11;
+  const TrafficResult r = RunOpenLoop(rack.ms, rack.runtime, cfg);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.completed, 120u);
+
+  // Both compute nodes served sessions (tenant t runs on node t % 2).
+  EXPECT_GT(rack.ms.cache_pages_used_on(0), 0u);
+  EXPECT_GT(rack.ms.cache_pages_used_on(1), 0u);
+  EXPECT_EQ(rack.ms.cache_pages_used(),
+            rack.ms.cache_pages_used_on(0) + rack.ms.cache_pages_used_on(1));
+  // Both shards hold resident pages.
+  EXPECT_GT(rack.ms.memory_pool_pages_used_on(0), 0u);
+  EXPECT_GT(rack.ms.memory_pool_pages_used_on(1), 0u);
+
+  // 120 sessions over 4 tenants round-robin: exactly 30 each.
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(r.scopes.completed(t), 30u);
+  EXPECT_DOUBLE_EQ(r.completion_fairness, 1.0);
+  EXPECT_GT(r.remote_bytes_fairness, 0.0);
+  EXPECT_LE(r.remote_bytes_fairness, 1.0);
+}
+
+// The full coherence/recovery model checker stays silent on a healthy 2x2
+// rack under mixed db/graph/mr traffic.
+TEST(RackTrafficTest, TwoByTwoRackPassesTheModelChecker) {
+  Rack rack(RackConfig(2, 2), /*space_bytes=*/2 << 20);
+  tp::ModelChecker checker(&rack.ms, tp::ModelChecker::OnViolation::kRecord);
+  TrafficConfig cfg = SmallTraffic(/*seed=*/5);
+  cfg.tenants = 4;
+  cfg.sessions = 80;
+  const TrafficResult r = RunOpenLoop(rack.ms, rack.runtime, cfg);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(checker.Finish(), 0u);
+}
+
+}  // namespace
+}  // namespace teleport::rack

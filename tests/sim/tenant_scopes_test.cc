@@ -1,0 +1,137 @@
+// PR7 satellite: per-tenant metric scopes must obey the same merge algebra
+// as the global view. The property tests here drive every X-macro-generated
+// field through scoped attribution and assert the merged view equals the
+// element-wise sum of everything recorded, the latency merge preserves
+// counts/extrema, all-equal per-tenant samples report that exact value at
+// every percentile (the clamping guarantee), and the Jain fairness index
+// behaves at its boundary points.
+
+#include "sim/tenant_scopes.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace teleport::sim {
+namespace {
+
+Metrics MakeMetrics(uint64_t base) {
+  Metrics m;
+  uint64_t v = base;
+#define TELEPORT_TENANT_TEST_SET(field, group, label) m.field = v++;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_TENANT_TEST_SET)
+#undef TELEPORT_TENANT_TEST_SET
+  return m;
+}
+
+TEST(TenantScopesTest, SingleTenantDegeneratesToGlobalView) {
+  TenantScopes scopes(1);
+  const Metrics d = MakeMetrics(7);
+  scopes.Record(0, d, 1234);
+  const Metrics merged = scopes.MergedMetrics();
+#define TELEPORT_TENANT_TEST_EQ(field, group, label) \
+  EXPECT_EQ(merged.field, d.field) << #field;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_TENANT_TEST_EQ)
+#undef TELEPORT_TENANT_TEST_EQ
+  EXPECT_EQ(scopes.MergedLatency().count(), 1u);
+  EXPECT_EQ(scopes.completed(0), 1u);
+  EXPECT_DOUBLE_EQ(scopes.CompletionFairness(), 1.0);
+}
+
+TEST(TenantScopesTest, MergedMetricsEqualSumOfScopesEveryField) {
+  // Property: for a random attribution stream, the merged view is exactly
+  // the field-wise sum of every recorded diff — scoped accounting is a
+  // partition of the global totals.
+  Rng rng(0x7e2a);
+  TenantScopes scopes(5);
+  Metrics expected;
+  for (int i = 0; i < 200; ++i) {
+    const int tenant = static_cast<int>(rng.Uniform(5));
+    const Metrics d = MakeMetrics(rng.Uniform(1000));
+    expected.Add(d);
+    scopes.Record(tenant, d, static_cast<int64_t>(rng.Uniform(1'000'000)));
+  }
+  const Metrics merged = scopes.MergedMetrics();
+#define TELEPORT_TENANT_TEST_SUM(field, group, label) \
+  EXPECT_EQ(merged.field, expected.field) << #field;
+  TELEPORT_SIM_METRICS_FIELDS(TELEPORT_TENANT_TEST_SUM)
+#undef TELEPORT_TENANT_TEST_SUM
+}
+
+TEST(TenantScopesTest, MergedLatencyPreservesCountAndExtrema) {
+  Rng rng(0x51ab);
+  TenantScopes scopes(4);
+  uint64_t n = 0;
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (int i = 0; i < 500; ++i) {
+    const int tenant = static_cast<int>(rng.Uniform(4));
+    const int64_t sample = static_cast<int64_t>(rng.Uniform(1 << 20)) + 1;
+    scopes.Record(tenant, Metrics{}, sample);
+    ++n;
+    lo = std::min(lo, sample);
+    hi = std::max(hi, sample);
+  }
+  const Histogram merged = scopes.MergedLatency();
+  EXPECT_EQ(merged.count(), n);
+  EXPECT_EQ(merged.min(), lo);
+  EXPECT_EQ(merged.max(), hi);
+  uint64_t per_tenant = 0;
+  for (int t = 0; t < scopes.tenants(); ++t) per_tenant += scopes.completed(t);
+  EXPECT_EQ(per_tenant, n);
+}
+
+TEST(TenantScopesTest, AllEqualSamplesReportExactPercentiles) {
+  // Percentile clamping: a tenant whose sessions all took exactly the same
+  // virtual time must see that exact value at every percentile, both in its
+  // own scope and after the cross-tenant merge of identical scopes.
+  TenantScopes scopes(3);
+  constexpr int64_t kExact = 48'000;
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 10; ++i) scopes.Record(t, Metrics{}, kExact);
+  }
+  for (int t = 0; t < 3; ++t) {
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(scopes.latency(t).Percentile(p),
+                       static_cast<double>(kExact))
+          << "tenant " << t << " p" << p;
+    }
+  }
+  const Histogram merged = scopes.MergedLatency();
+  EXPECT_EQ(merged.count(), 30u);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), static_cast<double>(kExact));
+  }
+}
+
+TEST(TenantScopesTest, JainIndexBoundaries) {
+  // Perfect fairness.
+  EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({5, 5, 5, 5}), 1.0);
+  // One tenant got everything: 1/n.
+  EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({10, 0, 0, 0}), 0.25);
+  // Nothing allocated at all: defined as fair.
+  EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({}), 1.0);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({1, 2, 3}),
+                   TenantScopes::JainIndex({10, 20, 30}));
+}
+
+TEST(TenantScopesTest, FairnessCountersTrackScopes) {
+  TenantScopes scopes(2);
+  Metrics heavy;
+  heavy.bytes_from_memory_pool = 1000;
+  scopes.Record(0, heavy, 100);
+  scopes.Record(0, heavy, 100);
+  scopes.Record(1, Metrics{}, 100);
+  // Completions 2:1, remote bytes 2000:0.
+  EXPECT_DOUBLE_EQ(scopes.CompletionFairness(), TenantScopes::JainIndex({2, 1}));
+  EXPECT_DOUBLE_EQ(scopes.RemoteBytesFairness(),
+                   TenantScopes::JainIndex({2000, 0}));
+  EXPECT_EQ(scopes.MergedMetrics().bytes_from_memory_pool, 2000u);
+}
+
+}  // namespace
+}  // namespace teleport::sim

@@ -1,0 +1,200 @@
+// PR7 satellite: lease fencing and journal recovery are per memory shard.
+//
+// The single-pool code kept one epoch, one journal, and one set of replay
+// obligations. Against that behavior these tests fail:
+//   - a crash-restart of shard 1 must bump pool_epoch(1) only — shard 0's
+//     lease epoch, journal, and resident pages are untouched;
+//   - the model checker's recovery invariant (#6) scopes replay obligations
+//     to the restarting shard, so a healthy crash of shard A with journaled
+//     writes outstanding on shard B is NOT a violation (the old global
+//     model flagged B's never-replayed pages), and a planted
+//     kSkipJournalReplay on a cross-shard workload is STILL caught;
+//   - a pushdown homed on shard 1 is fenced by shard 1's restart and
+//     re-admitted under the fresh epoch.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+#include "net/faults.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+ddc::DdcConfig TwoShardConfig() {
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 16 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  cfg.memory_shards = 2;
+  return cfg;
+}
+
+class RackFencingTest : public ::testing::Test {
+ protected:
+  RackFencingTest()
+      : ms_(TwoShardConfig(), sim::CostParams::Default(), 32 << 20),
+        runtime_(&ms_) {
+    // 32 MiB of address space = 8192 pages, block-partitioned 2 ways: the
+    // first allocation lands in shard 0; a filler pushes the second past
+    // the partition boundary into shard 1.
+    data0_ = ms_.space().Alloc(64 * kPage, "shard0");
+    (void)ms_.space().Alloc((ms_.pages_per_shard() - 64) * kPage, "filler");
+    data1_ = ms_.space().Alloc(64 * kPage, "shard1");
+    TELEPORT_CHECK(ms_.ShardOf(ms_.space().PageOf(data0_)) == 0);
+    TELEPORT_CHECK(ms_.ShardOf(ms_.space().PageOf(data1_)) == 1);
+    ms_.SeedData();
+    ms_.set_journal_enabled(true);
+    ms_.fabric().set_fault_injector(&inj_);
+  }
+
+  /// Dirties 64 pages of each shard's slice through the 16-page cache; the
+  /// forced writebacks are acknowledged pool writes, so each shard's redo
+  /// journal ends up with live records for its own pages only.
+  void DirtyBothShards(ddc::ExecutionContext& ctx) {
+    for (uint64_t p = 0; p < 64; ++p) {
+      ctx.Store<int64_t>(data0_ + p * kPage, static_cast<int64_t>(p) + 1);
+      ctx.Store<int64_t>(data1_ + p * kPage, static_cast<int64_t>(p) + 101);
+    }
+  }
+
+  Status Touch(ddc::ExecutionContext& caller, ddc::VAddr addr, int home) {
+    tp::PushdownFlags flags;
+    flags.home_shard = home;
+    return runtime_.Call(
+        caller,
+        [&](ddc::ExecutionContext& mc) {
+          (void)mc.Load<int64_t>(addr);
+          return Status::OK();
+        },
+        flags);
+  }
+
+  ddc::MemorySystem ms_;
+  tp::PushdownRuntime runtime_;
+  net::FaultInjector inj_{/*seed=*/7};
+  ddc::VAddr data0_ = 0;
+  ddc::VAddr data1_ = 0;
+};
+
+// A crash-restart of shard 1 opens a fresh lease epoch on shard 1 only and
+// replays shard 1's journal only. Shard 0 keeps its epoch, its journal's
+// live records, and its resident pages.
+TEST_F(RackFencingTest, CrashOfOneShardBumpsOnlyItsEpoch) {
+  tp::ModelChecker checker(&ms_, tp::ModelChecker::OnViolation::kRecord);
+  auto ctx = ms_.CreateContext(ddc::Pool::kCompute);
+  DirtyBothShards(*ctx);
+  const uint64_t live0 = ms_.journal(0).live_records();
+  const uint64_t live1 = ms_.journal(1).live_records();
+  ASSERT_GT(live0, 0u);
+  ASSERT_GT(live1, 0u);
+
+  inj_.ScheduleCrashRestart(ctx->now() + 1 * kMillisecond,
+                            /*down_for=*/500 * kMicrosecond, /*node=*/1);
+  ctx->AdvanceTime(10 * kMillisecond);
+  const ddc::MemorySystem::RestartOutcome out =
+      ms_.ApplyPoolRestartsAt(*ctx, ctx->now());
+  EXPECT_EQ(out.lost, 0u);
+  EXPECT_EQ(out.recovered, live1);
+  EXPECT_EQ(ms_.pool_epoch(1), 2u);
+  EXPECT_EQ(ms_.pool_epoch(0), 1u) << "shard 0's lease epoch moved on a "
+                                      "crash it did not take";
+  EXPECT_EQ(ms_.journal(0).live_records(), live0);
+  EXPECT_EQ(ms_.journal(1).live_records(), live1);
+
+  // Data on both slices is intact after the one-sided recovery.
+  for (uint64_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(ctx->Load<int64_t>(data0_ + p * kPage),
+              static_cast<int64_t>(p) + 1);
+    EXPECT_EQ(ctx->Load<int64_t>(data1_ + p * kPage),
+              static_cast<int64_t>(p) + 101);
+  }
+  EXPECT_EQ(checker.Finish(), 0u);
+}
+
+// Invariant #6, scoped per shard: a healthy crash-restart of shard 0 while
+// shard 1 has journaled writes outstanding creates (and discharges) replay
+// obligations for shard 0's pages ONLY. The old single-pool model created
+// obligations for every journaled page and flagged shard 1's as
+// never-replayed — this test fails against that behavior.
+TEST_F(RackFencingTest, CrashOfShardZeroCreatesNoObligationsForShardOne) {
+  tp::ModelChecker checker(&ms_, tp::ModelChecker::OnViolation::kRecord);
+  auto ctx = ms_.CreateContext(ddc::Pool::kCompute);
+  DirtyBothShards(*ctx);
+  const uint64_t live1 = ms_.journal(1).live_records();
+  ASSERT_GT(live1, 0u);
+
+  inj_.ScheduleCrashRestart(ctx->now() + 1 * kMillisecond,
+                            /*down_for=*/500 * kMicrosecond, /*node=*/0);
+  ctx->AdvanceTime(10 * kMillisecond);
+  const ddc::MemorySystem::RestartOutcome out =
+      ms_.ApplyPoolRestartsAt(*ctx, ctx->now());
+  EXPECT_EQ(out.lost, 0u);
+  EXPECT_EQ(ms_.pool_epoch(0), 2u);
+  EXPECT_EQ(ms_.pool_epoch(1), 1u);
+  // Shard 1's records are still live and its obligations were never
+  // created, so post-recovery traffic raises no violation.
+  EXPECT_EQ(ms_.journal(1).live_records(), live1);
+  EXPECT_TRUE(Touch(*ctx, data1_, /*home=*/1).ok());
+  EXPECT_EQ(checker.Finish(), 0u);
+}
+
+// The planted kSkipJournalReplay must still be caught when the dropped
+// replay is on one shard of a cross-shard workload: shard 0's healthy state
+// cannot mask shard 1's discarded obligations.
+TEST_F(RackFencingTest, CrossShardSkipJournalReplayIsStillCaught) {
+  ms_.set_protocol_mutation(ddc::ProtocolMutation::kSkipJournalReplay);
+  tp::ModelChecker checker(&ms_, tp::ModelChecker::OnViolation::kRecord);
+  auto ctx = ms_.CreateContext(ddc::Pool::kCompute);
+  DirtyBothShards(*ctx);
+  ASSERT_GT(ms_.journal(1).live_records(), 0u);
+
+  inj_.ScheduleCrashRestart(ctx->now() + 1 * kMillisecond,
+                            /*down_for=*/500 * kMicrosecond, /*node=*/1);
+  ctx->AdvanceTime(10 * kMillisecond);
+  // The mutation drops shard 1's replay: its acknowledged writes vanish.
+  EXPECT_GT(ms_.ApplyPoolRestartsAt(*ctx, ctx->now()).lost, 0u);
+  EXPECT_GT(checker.Finish(), 0u);
+}
+
+// A crash-restart window on shard 1 between admission and the pool-side
+// queue point makes the lease stale: the pool fences the RPC and the
+// runtime re-admits under shard 1's fresh epoch. Shard 0 never restarts.
+TEST_F(RackFencingTest, HomeShardRestartFencesThenReadmits) {
+  tp::ModelChecker checker(&ms_, tp::ModelChecker::OnViolation::kRecord);
+  auto caller = ms_.CreateContext(ddc::Pool::kCompute);
+  inj_.ScheduleCrashRestart(caller->now() + 100, /*down_for=*/200,
+                            /*node=*/1);
+
+  const Status st = Touch(*caller, data1_, /*home=*/1);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(runtime_.fenced_rpcs(), 1u);
+  EXPECT_EQ(caller->metrics().fenced_rpcs, 1u);
+  EXPECT_EQ(ms_.pool_epoch(1), 2u);
+  EXPECT_EQ(ms_.pool_epoch(0), 1u);
+  EXPECT_EQ(runtime_.last_breakdown().Total(), caller->now());
+  EXPECT_EQ(checker.Finish(), 0u);
+}
+
+// Skipped fencing on a sharded rack is caught by the checker at the session
+// the stale lease admits, keyed to the home shard's epoch.
+TEST_F(RackFencingTest, SkipFencingOnShardOneIsCaught) {
+  ms_.set_protocol_mutation(ddc::ProtocolMutation::kSkipFencing);
+  tp::ModelChecker checker(&ms_, tp::ModelChecker::OnViolation::kRecord);
+  auto caller = ms_.CreateContext(ddc::Pool::kCompute);
+  inj_.ScheduleCrashRestart(caller->now() + 100, /*down_for=*/200,
+                            /*node=*/1);
+
+  const Status st = Touch(*caller, data1_, /*home=*/1);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(runtime_.fenced_rpcs(), 0u);
+  EXPECT_GT(checker.Finish(), 0u);
+}
+
+}  // namespace
+}  // namespace teleport
