@@ -45,13 +45,16 @@ void Histogram::Merge(const Histogram& other) {
 int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
 
 double Histogram::Mean() const {
-  return count_ == 0 ? 0.0
+  return count_ == 0 ? kEmptyPercentile
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 double Histogram::Percentile(double p) const {
   TELEPORT_DCHECK(p >= 0 && p <= 100);
-  if (count_ == 0) return 0.0;
+  // Empty scope: answer with the defined sentinel *before* touching the
+  // observed-range clamp below — min_ is INT64_MAX until the first Add(),
+  // and interpolating against it would return uninitialized garbage.
+  if (count_ == 0) return kEmptyPercentile;
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t cum = 0;
   for (int i = 0; i < kNumBuckets; ++i) {

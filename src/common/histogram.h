@@ -16,6 +16,16 @@ namespace teleport {
 /// Mirrors the RocksDB statistics histogram in spirit.
 class Histogram {
  public:
+  /// Defined result of every statistic on an *empty* histogram: Mean() and
+  /// Percentile() return exactly this, min()/max() return 0. An empty scope
+  /// is now a reachable steady state (PR8: a tenant can abort every
+  /// transaction, leaving e.g. its commit-latency scope empty), so queries
+  /// must not touch the uninitialized min_/max_ sentinels — min_ sits at
+  /// INT64_MAX until the first Add(), and clamping an interpolated
+  /// percentile against it would fabricate garbage. Merge() treats an empty
+  /// operand as the identity for exactly the same reason.
+  static constexpr double kEmptyPercentile = 0.0;
+
   Histogram();
 
   /// Records one sample (negative samples are clamped to 0).
@@ -31,7 +41,8 @@ class Histogram {
   int64_t max() const { return max_; }
   double Mean() const;
 
-  /// Returns the value at percentile p in [0, 100].
+  /// Returns the value at percentile p in [0, 100], or kEmptyPercentile
+  /// when no sample has been recorded.
   double Percentile(double p) const;
 
   /// One-line summary: count/mean/p50/p99/max.

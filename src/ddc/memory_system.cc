@@ -53,6 +53,16 @@ std::string_view CoherenceEventKindToString(CoherenceEvent::Kind k) {
       return "JournalTruncate";
     case CoherenceEvent::Kind::kPushdownAdmit:
       return "PushdownAdmit";
+    case CoherenceEvent::Kind::kTxnRead:
+      return "TxnRead";
+    case CoherenceEvent::Kind::kTxnWrite:
+      return "TxnWrite";
+    case CoherenceEvent::Kind::kTxnCommit:
+      return "TxnCommit";
+    case CoherenceEvent::Kind::kTxnAbort:
+      return "TxnAbort";
+    case CoherenceEvent::Kind::kTxnUndo:
+      return "TxnUndo";
   }
   return "Unknown";
 }

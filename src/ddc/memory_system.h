@@ -185,6 +185,14 @@ class ExecutionContext {
     yield_fn_ = fn;
     yield_arg_ = arg;
   }
+  /// The installed hook, so a borrowed execution context (a pushdown
+  /// kernel running on the caller's behalf) can inherit the caller's
+  /// preemption points. Without the handoff a memory-side spin loop —
+  /// e.g. a pushed B+-tree probe retrying a node seqlock — can never
+  /// yield back to the suspended compute-side writer it is waiting on,
+  /// livelocking the cooperative schedule.
+  YieldFn yield_fn() const { return yield_fn_; }
+  void* yield_arg() const { return yield_arg_; }
 
  private:
   friend class MemorySystem;
@@ -278,6 +286,18 @@ enum class ProtocolMutation : uint8_t {
   /// (injected dup deliveries double-apply). The checker sees a second
   /// executed kPushdownAdmit for an already-executed token.
   kReplayDuplicate,
+  /// The OLTP commit path (src/oltp) installs its write set without
+  /// validating the read set: a transaction that raced a concurrent commit
+  /// commits anyway (classic lost update). Model-checker invariant #7 sees
+  /// a kTxnCommit whose read set no longer matches the shadow committed
+  /// versions and flags it.
+  kSkipOccValidation,
+  /// The OLTP abort path releases record locks but "loses" its undo log:
+  /// provisional values stay visible with no kTxnUndo events. Invariant #7
+  /// turns every provisional install of an aborted transaction into an
+  /// undo obligation, so the next transactional event (or Finish) flags
+  /// the dirty data.
+  kSkipAbortUndo,
 };
 
 /// A page-granular coherence/page-table transition, reported to an attached
@@ -300,6 +320,14 @@ struct CoherenceEvent {
     kJournalCommit,  ///< redo record for `page` made durable (ack point)
     kJournalTruncate,  ///< redo record for `page` dropped (reached storage)
     kPushdownAdmit,  ///< dedup decision: `page` is the token, write=executed
+    // Engine-level transactional events (src/oltp, checker invariant #7).
+    // `page` carries a record KEY (not a page id), `epoch` a record version
+    // or commit sequence number, `node` the reporting session id.
+    kTxnRead,    ///< execution-phase read observed (key, committed version)
+    kTxnWrite,   ///< provisional install of (key, pending new version)
+    kTxnCommit,  ///< read set validated; provisional installs now committed
+    kTxnAbort,   ///< validation failed; installs become undo obligations
+    kTxnUndo,    ///< one install rolled back: (key, restored version)
   };
   Kind kind;
   PageId page = 0;
@@ -490,6 +518,17 @@ class MemorySystem {
     InvalidateAllPins();
   }
   CoherenceObserver* coherence_observer() const { return observer_; }
+
+  /// Reports an engine-level transactional event (the kTxn* kinds) to the
+  /// attached observer. Engines above the memory system (src/oltp) call
+  /// this so model-checker invariant #7 can shadow their concurrency
+  /// control; `key` is a record key, `version` a record version or commit
+  /// sequence number, `session` the reporting session id. Observer-only:
+  /// costs no virtual time and never touches page state.
+  void NotifyTxnEvent(CoherenceEvent::Kind kind, uint64_t key,
+                      uint64_t version, int session, Nanos at) {
+    Notify(kind, key, /*write=*/false, at, version, session);
+  }
 
   /// Plants a deliberate protocol bug (tests only). Always shoots down
   /// outstanding translations itself: the mutation governs *future*

@@ -1,0 +1,148 @@
+#ifndef TELEPORT_OLTP_TXN_H_
+#define TELEPORT_OLTP_TXN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ddc/memory_system.h"
+#include "oltp/btree.h"
+#include "sim/tracer.h"
+
+namespace teleport::oltp {
+
+/// Trace vocabulary of the OLTP engine (locked by the format golden test).
+inline constexpr const char* kTraceCategory = "oltp";
+inline constexpr const char* kTraceCommit = "TxnCommit";
+inline constexpr const char* kTraceAbort = "TxnAbort";
+
+/// Shared commit path of one table: the global commit latch, the commit
+/// sequence counter, and the tree. The latch lives in *host* memory on
+/// purpose — checking it costs nothing and cannot yield, so test-and-set
+/// is atomic under cooperative scheduling; waiters burn charged CPU (which
+/// yields) between probes, so latch hold time is fully visible to the
+/// schedule explorer.
+class TxnManager {
+ public:
+  TxnManager(ddc::MemorySystem* ms, BTree* tree, sim::Tracer* tracer = nullptr)
+      : ms_(ms), tree_(tree), tracer_(tracer) {}
+
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  BTree& tree() { return *tree_; }
+  ddc::MemorySystem& memory_system() { return *ms_; }
+  /// Commit sequence of the latest committed transaction (0 = none yet).
+  uint64_t commit_seq() const { return commit_seq_; }
+
+ private:
+  friend class Txn;
+  ddc::MemorySystem* ms_;
+  BTree* tree_;
+  sim::Tracer* tracer_;
+  bool latch_ = false;
+  uint64_t commit_seq_ = 0;
+};
+
+/// One optimistic transaction (OCC, install-then-validate).
+///
+/// Execution phase: reads go through the tree latch-free (optionally as
+/// pushdown probes) and record (key, version) in the read set; writes are
+/// buffered, invisible to every other session.
+///
+/// Commit phase, entirely under the manager's global latch:
+///   1. *Install* each buffered write in key order: find-or-create the
+///      record, acquire its seq lock (odd), store the provisional value and
+///      meta (version = old + 1), emit kTxnWrite. Installed records stay
+///      seq-locked, so concurrent readers spin rather than observe them.
+///   2. *Validate* the read set: every read (key, version) must still match
+///      the record's current committed version (own writes validate against
+///      the pre-install meta from the undo log). kSkipOccValidation skips
+///      this step — the planted lost-update bug.
+///   3a. On success: bump the commit sequence, emit kTxnCommit, release
+///       each record's seq lock (the installed words are now the committed
+///       state).
+///   3b. On failure: emit kTxnAbort, then roll back in reverse key order —
+///       for each installed record emit kTxnUndo, restore value and meta to
+///       the exact pre-install words, and release the seq lock with a fresh
+///       (never-restored) seq value. kSkipAbortUndo releases the lock and
+///       restores meta but leaves the provisional *value* in place — the
+///       planted dirty-abort bug, invisible to version validation and
+///       caught only by the checker's undo obligations (invariant #7c).
+///
+/// A Txn object is single-shot: aborted transactions are retried by
+/// constructing a fresh Txn (the workload layer does this).
+class Txn {
+ public:
+  Txn(TxnManager* mgr, int session) : mgr_(mgr), session_(session) {}
+
+  struct ReadResult {
+    bool found = false;     ///< a present (committed or own-write) record
+    uint64_t value = 0;
+    uint64_t version = 0;   ///< committed version observed (0 for own write)
+  };
+
+  /// Point read. Sees this transaction's own buffered writes; otherwise
+  /// snapshots the record via its seq lock, appends (key, version) to the
+  /// read set, and emits kTxnRead. Absent keys read as version 0.
+  ReadResult Read(ddc::ExecutionContext& ctx, uint64_t key);
+
+  /// Read-modify-write: buffered value becomes (current value + delta).
+  /// Reads through Read(), so the RMW is guarded by OCC validation.
+  void Update(ddc::ExecutionContext& ctx, uint64_t key, uint64_t delta);
+
+  /// Blind write: buffer `value` for `key` (insert if absent). No read-set
+  /// entry — last committed writer wins, which is serializable for blind
+  /// writes.
+  void Put(uint64_t key, uint64_t value);
+
+  /// Range scan: up to `max_records` present records with key >= `start`,
+  /// walking the leaf chain from FindLeaf (pushdown-able). Every returned
+  /// record is snapshotted through its seq lock, appended to the read set,
+  /// and emitted as kTxnRead. No phantom protection: the *set* of keys seen
+  /// is not validated, only the versions of the records actually read, so
+  /// scan results are schedule-dependent (the differential harness excludes
+  /// them from cross-schedule digests).
+  struct ScanResult {
+    uint64_t records = 0;
+    uint64_t digest = 0;  ///< fold of (key, value) over the records seen
+  };
+  ScanResult Scan(ddc::ExecutionContext& ctx, uint64_t start, int max_records);
+
+  /// Runs the commit protocol above. Returns true on commit (bumps
+  /// txn_commits), false on validation failure (bumps txn_aborts; all
+  /// installed writes rolled back). Read-only transactions still validate.
+  bool Commit(ddc::ExecutionContext& ctx);
+
+  size_t read_set_size() const { return reads_.size(); }
+  size_t write_set_size() const { return writes_.size(); }
+
+ private:
+  struct WriteOp {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+  struct UndoEntry {
+    uint64_t key = 0;
+    uint64_t old_value = 0;
+    uint64_t old_meta = 0;
+  };
+
+  WriteOp* FindWrite(uint64_t key);
+  void AcquireLatch(ddc::ExecutionContext& ctx);
+  void ReleaseLatch();
+  /// Record address for `key` under the latch (exact: no concurrent
+  /// structural writer can exist while we hold it).
+  ddc::VAddr ResolveLocked(ddc::ExecutionContext& ctx, uint64_t key);
+
+  TxnManager* mgr_;
+  int session_;
+  std::vector<std::pair<uint64_t, uint64_t>> reads_;  ///< (key, version)
+  std::vector<WriteOp> writes_;
+  std::vector<UndoEntry> undo_;
+  bool done_ = false;
+};
+
+}  // namespace teleport::oltp
+
+#endif  // TELEPORT_OLTP_TXN_H_

@@ -72,6 +72,31 @@ uint64_t RunKernel(ddc::ExecutionContext& c, WorkloadKind kind,
       }
       break;
     }
+    case WorkloadKind::kOltp: {
+      // Index probe: a root-to-leaf descent over a synthetic radix laid
+      // across the slice (one dependent read per level, like src/oltp's
+      // inner-node walk), then an OCC-style version-bump RMW on the probed
+      // record — a pointer chase that ends on one hot 8-byte write.
+      const uint64_t fanout = std::max<uint64_t>(2, words / 64);
+      for (int op = 0; op < ops; ++op) {
+        x = Mix(x);
+        const uint64_t key = x % words;
+        uint64_t cursor = 0;
+        for (uint64_t span = words; span > 1; span /= fanout) {
+          const uint64_t off = ((cursor + key % span) % words) * 8;
+          const uint64_t v = static_cast<uint64_t>(c.Load<int64_t>(slice + off));
+          digest += v + off;
+          cursor = Mix(cursor ^ (key % span)) % words;
+          c.ChargeCpu(2);
+        }
+        const uint64_t roff = (Mix(key) % words) * 8;
+        const int64_t rv = c.Load<int64_t>(slice + roff);
+        c.Store<int64_t>(slice + roff, rv + 1);
+        digest += static_cast<uint64_t>(rv) + roff;
+        c.ChargeCpu(2);
+      }
+      break;
+    }
   }
   return digest;
 }
@@ -86,6 +111,8 @@ std::string_view WorkloadKindToString(WorkloadKind k) {
       return "graph";
     case WorkloadKind::kMr:
       return "mr";
+    case WorkloadKind::kOltp:
+      return "oltp";
   }
   return "unknown";
 }
@@ -95,6 +122,7 @@ TrafficResult RunOpenLoop(ddc::MemorySystem& ms,
                           const TrafficConfig& cfg) {
   TELEPORT_CHECK(cfg.tenants >= 1 && cfg.sessions >= 0);
   TELEPORT_CHECK(cfg.slice_pages >= 1 && cfg.ops_per_session >= 1);
+  TELEPORT_CHECK(cfg.workload_families >= 1 && cfg.workload_families <= 4);
   const int nodes = ms.compute_nodes();
   const uint64_t page = ms.space().page_size();
 
@@ -140,7 +168,8 @@ TrafficResult RunOpenLoop(ddc::MemorySystem& ms,
   for (int i = 0; i < cfg.sessions; ++i) {
     const int tenant = i % cfg.tenants;
     const int node = tenant % nodes;
-    const WorkloadKind kind = static_cast<WorkloadKind>(tenant % 3);
+    const WorkloadKind kind =
+        static_cast<WorkloadKind>(tenant % cfg.workload_families);
     Nanos start = arrivals[static_cast<size_t>(i)];
     while (!inflight.empty() && inflight.top() <= start) inflight.pop();
     if (cfg.max_concurrent > 0 &&

@@ -13,13 +13,14 @@
 namespace teleport::rack {
 
 /// Which engine's access pattern a tenant's sessions reproduce. The rack
-/// generator drives the memory system with the same kernels the three
-/// engines are built from — a db session scans and aggregates, a graph
-/// session chases dependent pointers, an mr session shuffles
-/// read-modify-writes — so hundreds of sessions stay cheap enough to sweep
+/// generator drives the memory system with the same kernels the engines
+/// are built from — a db session scans and aggregates, a graph session
+/// chases dependent pointers, an mr session shuffles read-modify-writes,
+/// an oltp session runs index-probe descents ending in one hot 8-byte
+/// version-bump RMW — so hundreds of sessions stay cheap enough to sweep
 /// while still exercising every multi-tenant path (per-node caches,
 /// per-shard pools, per-link fabric, fencing, admission control).
-enum class WorkloadKind { kDb, kGraph, kMr };
+enum class WorkloadKind { kDb, kGraph, kMr, kOltp };
 
 std::string_view WorkloadKindToString(WorkloadKind k);
 
@@ -30,10 +31,15 @@ std::string_view WorkloadKindToString(WorkloadKind k);
 /// with equal configs produce bit-identical schedules, digests, and
 /// virtual-time accounting.
 struct TrafficConfig {
-  /// Accounting tenants; tenant t runs the WorkloadKind t % 3 and is bound
-  /// to compute node t % compute_nodes (its sessions share that node's
-  /// cache and never migrate pages across nodes).
+  /// Accounting tenants; tenant t runs the WorkloadKind
+  /// t % workload_families and is bound to compute node t % compute_nodes
+  /// (its sessions share that node's cache and never migrate pages across
+  /// nodes).
   int tenants = 3;
+  /// How many WorkloadKind families the tenant→kind mapping cycles over.
+  /// The default 3 reproduces the pre-OLTP mix (db/graph/mr) bit-for-bit;
+  /// 4 adds kOltp as the fourth family.
+  int workload_families = 3;
   /// Total session arrivals across all tenants (session i belongs to
   /// tenant i % tenants).
   int sessions = 100;

@@ -53,6 +53,14 @@ namespace teleport::sim {
   X(journal_flushes, recovery, journal_flushes)   /* group-commit batches */  \
   X(fenced_rpcs, recovery, fenced_rpcs) /* stale-epoch pushdowns rejected */  \
   X(dedup_hits, recovery, dedup_hits)   /* duplicate deliveries suppressed */ \
+  /* OLTP transactions (PR8 src/oltp; zero unless the oltp engine runs). */   \
+  X(txn_commits, txn, commits)                                                \
+  X(txn_aborts, txn, aborts)   /* validation failures (before any retry) */   \
+  X(txn_retries, txn, retries) /* re-executions after an abort */             \
+  X(txn_reads_validated, txn, reads_validated) /* read-set entries checked */ \
+  X(txn_undo_writes, txn, undo_writes) /* provisional installs rolled back */ \
+  X(btree_splits, txn, node_splits)                                           \
+  X(btree_merges, txn, node_merges)                                           \
   /* CPU accounting. */                                                       \
   X(cpu_ops, cpu, ops)
 

@@ -286,8 +286,14 @@ bool ModelChecker::RequiresShootdown(const CoherenceEvent& ev) {
     case CoherenceEvent::Kind::kJournalCommit:
     case CoherenceEvent::Kind::kJournalTruncate:
     case CoherenceEvent::Kind::kPushdownAdmit:
-      // Journal bookkeeping and admission decisions touch no mapping; the
-      // recovery wipe's own shootdown is checked on kPoolRestart.
+    case CoherenceEvent::Kind::kTxnRead:
+    case CoherenceEvent::Kind::kTxnWrite:
+    case CoherenceEvent::Kind::kTxnCommit:
+    case CoherenceEvent::Kind::kTxnAbort:
+    case CoherenceEvent::Kind::kTxnUndo:
+      // Journal bookkeeping, admission decisions and engine-level
+      // transactional events touch no mapping; the recovery wipe's own
+      // shootdown is checked on kPoolRestart.
       return false;
     default:
       // Evictions, fills, writebacks, flushes, refetches, restarts and
@@ -296,16 +302,145 @@ bool ModelChecker::RequiresShootdown(const CoherenceEvent& ev) {
   }
 }
 
+ModelChecker::TxnSession& ModelChecker::Session(int id) {
+  const size_t i = id < 0 ? 0 : static_cast<size_t>(id);
+  if (i >= txn_sessions_.size()) txn_sessions_.resize(i + 1);
+  return txn_sessions_[i];
+}
+
+void ModelChecker::StepTxnEvent(const CoherenceEvent& ev) {
+  const uint64_t key = ev.page;
+  auto shadow = [this](uint64_t k) -> uint64_t& {
+    if (k >= committed_version_.size()) committed_version_.resize(k + 1, 0);
+    return committed_version_[k];
+  };
+  // Invariant 7c: an abort's undo obligations are discharged while the
+  // aborting session still holds the commit latch and the obligated
+  // records' locks, so in a correct run no install/commit/abort — and no
+  // read of an obligated record — can interleave before the last kTxnUndo.
+  if (!pending_undo_.empty() && ev.kind != CoherenceEvent::Kind::kTxnUndo) {
+    bool conflict = ev.kind != CoherenceEvent::Kind::kTxnRead;
+    if (!conflict) {
+      for (const auto& [k, v] : pending_undo_) {
+        if (k == key) conflict = true;
+      }
+    }
+    if (conflict) {
+      std::ostringstream os;
+      os << pending_undo_.size()
+         << " aborted provisional write(s) still visible at the next "
+            "transactional event (abort undo skipped?)";
+      Fail(ev, os.str());
+      pending_undo_.clear();
+    }
+  }
+  switch (ev.kind) {
+    case CoherenceEvent::Kind::kTxnRead: {
+      // 7a: reads observe committed versions only — a provisional (or
+      // otherwise unannounced) version is a dirty read.
+      if (ev.epoch != shadow(key)) {
+        std::ostringstream os;
+        os << "txn read of key " << key << " observed version " << ev.epoch
+           << " but the latest committed version is " << shadow(key)
+           << " (dirty or torn read)";
+        Fail(ev, os.str());
+      }
+      Session(ev.node).reads.emplace_back(key, ev.epoch);
+      break;
+    }
+    case CoherenceEvent::Kind::kTxnWrite: {
+      // Provisional install under the commit latch: must propose exactly
+      // the successor of the committed version.
+      if (ev.epoch != shadow(key) + 1) {
+        std::ostringstream os;
+        os << "provisional install of key " << key << " proposes version "
+           << ev.epoch << ", expected " << shadow(key) + 1
+           << " (must bump the committed version by exactly one)";
+        Fail(ev, os.str());
+      }
+      Session(ev.node).writes.emplace_back(key, ev.epoch);
+      break;
+    }
+    case CoherenceEvent::Kind::kTxnCommit: {
+      TxnSession& s = Session(ev.node);
+      // 7b: the whole read set must still match the shadow committed
+      // versions — a racing commit in between means validation had to
+      // abort this transaction (catches kSkipOccValidation).
+      for (const auto& [k, v] : s.reads) {
+        if (shadow(k) != v) {
+          std::ostringstream os;
+          os << "session " << ev.node << " committed against a stale read: "
+             << "key " << k << " was observed at version " << v
+             << " but committed version is now " << shadow(k)
+             << " (OCC validation skipped?)";
+          Fail(ev, os.str());
+        }
+      }
+      // Commits are latch-serialized: sequence numbers strictly increase.
+      if (ev.epoch <= last_commit_seq_) {
+        std::ostringstream os;
+        os << "commit sequence " << ev.epoch
+           << " not past the previous commit " << last_commit_seq_;
+        Fail(ev, os.str());
+      }
+      last_commit_seq_ = ev.epoch;
+      for (const auto& [k, nv] : s.writes) shadow(k) = nv;
+      s.reads.clear();
+      s.writes.clear();
+      break;
+    }
+    case CoherenceEvent::Kind::kTxnAbort: {
+      TxnSession& s = Session(ev.node);
+      for (const auto& [k, nv] : s.writes) {
+        pending_undo_.emplace_back(k, shadow(k));
+      }
+      s.reads.clear();
+      s.writes.clear();
+      break;
+    }
+    case CoherenceEvent::Kind::kTxnUndo: {
+      bool found = false;
+      for (auto it = pending_undo_.begin(); it != pending_undo_.end(); ++it) {
+        if (it->first == key) {
+          if (it->second != ev.epoch) {
+            std::ostringstream os;
+            os << "undo of key " << key << " restored version " << ev.epoch
+               << ", expected committed version " << it->second;
+            Fail(ev, os.str());
+          }
+          pending_undo_.erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::ostringstream os;
+        os << "undo of key " << key
+           << " with no matching provisional install to roll back";
+        Fail(ev, os.str());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
   // Journal bookkeeping and admission decisions are observer-only: they
   // ride between an epoch bump and the page-state event that earned it
   // (e.g. kJournalCommit precedes the kComputeEvict it acknowledges), so
   // they must neither consume the bump nor be audited for one.
+  const bool txn_event = ev.kind == CoherenceEvent::Kind::kTxnRead ||
+                         ev.kind == CoherenceEvent::Kind::kTxnWrite ||
+                         ev.kind == CoherenceEvent::Kind::kTxnCommit ||
+                         ev.kind == CoherenceEvent::Kind::kTxnAbort ||
+                         ev.kind == CoherenceEvent::Kind::kTxnUndo;
   const bool bookkeeping =
       ev.kind == CoherenceEvent::Kind::kPoolRecover ||
       ev.kind == CoherenceEvent::Kind::kJournalCommit ||
       ev.kind == CoherenceEvent::Kind::kJournalTruncate ||
-      ev.kind == CoherenceEvent::Kind::kPushdownAdmit;
+      ev.kind == CoherenceEvent::Kind::kPushdownAdmit || txn_event;
   const uint64_t epoch = ms_->translation_epoch();
   if (!bookkeeping) {
     if (epoch == last_epoch_ && RequiresShootdown(ev)) {
@@ -330,6 +465,11 @@ void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
     Fail(ev, os.str());
     pending_recover_.assign(pending_recover_.size(), 0);
     pending_recover_count_ = 0;
+  }
+  if (txn_event) {
+    StepTxnEvent(ev);
+    ++steps_;
+    return;
   }
   switch (ev.kind) {
     case CoherenceEvent::Kind::kSessionBegin:
@@ -442,6 +582,12 @@ void ModelChecker::OnCoherenceEvent(const CoherenceEvent& ev) {
       ++steps_;
       return;
     }
+    case CoherenceEvent::Kind::kTxnRead:
+    case CoherenceEvent::Kind::kTxnWrite:
+    case CoherenceEvent::Kind::kTxnCommit:
+    case CoherenceEvent::Kind::kTxnAbort:
+    case CoherenceEvent::Kind::kTxnUndo:
+      return;  // handled by StepTxnEvent before the switch
     case CoherenceEvent::Kind::kPushdownAdmit: {
       // Invariant 6c: ev.page is the idempotency token, ev.write says the
       // pool chose to execute this delivery.
@@ -483,6 +629,14 @@ uint64_t ModelChecker::Finish() {
            os.str());
       pending_recover_.assign(pending_recover_.size(), 0);
       pending_recover_count_ = 0;
+    }
+    if (!pending_undo_.empty()) {
+      std::ostringstream os;
+      os << pending_undo_.size()
+         << " aborted provisional write(s) never rolled back";
+      Fail(CoherenceEvent{CoherenceEvent::Kind::kTxnAbort, 0, false, mode_, 0},
+           os.str());
+      pending_undo_.clear();
     }
     if (session_active_ || ms_->pushdown_active()) {
       Fail(CoherenceEvent{CoherenceEvent::Kind::kSessionEnd, 0, false, mode_,

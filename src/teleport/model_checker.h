@@ -47,6 +47,22 @@ namespace teleport::tp {
 ///     pushdown: a kPushdownAdmit that executes an already-executed
 ///     idempotency token is a double-apply (catches kReplayDuplicate), and
 ///     one that absorbs a never-executed token dropped a first delivery.
+///  7. *Transactions* (PR8, runs with an oltp engine) — committed
+///     transactions form an order consistent with version validation, and
+///     aborted ones leave no visible writes. The checker keeps a shadow
+///     committed version per record key, fed by the kTxn* events (`page`
+///     carries the key, `epoch` a version, `node` the session): (a) every
+///     kTxnRead must observe the shadow committed version — observing a
+///     provisional one is a dirty read; (b) at kTxnCommit the session's
+///     whole read set must still match the shadow (catches
+///     kSkipOccValidation — a racing commit bumped a version the reader
+///     validated against), then its provisional kTxnWrite installs merge
+///     into the shadow, each bumping its key by exactly one; (c) a kTxnAbort
+///     turns the session's provisional installs into undo obligations that
+///     only matching kTxnUndo events (restoring the shadow version)
+///     discharge — any later transactional event or Finish() with
+///     obligations outstanding means an aborted write stayed visible
+///     (catches kSkipAbortUndo).
 ///
 /// The checker is an observer: it never mutates the system, costs no
 /// virtual time, and can be attached to any kBaseDdc MemorySystem — tests
@@ -133,6 +149,20 @@ class ModelChecker : public ddc::CoherenceObserver {
   /// leases fence shard-by-shard; index = shard id).
   std::vector<uint64_t> pool_epoch_model_;
   std::vector<uint8_t> token_executed_;  ///< idempotency tokens applied
+  // Invariant 7 state (all empty/zero unless kTxn* events arrive). Keys are
+  // dense record keys (the oltp engine numbers them from 0).
+  struct TxnSession {
+    std::vector<std::pair<uint64_t, uint64_t>> reads;   ///< (key, version)
+    std::vector<std::pair<uint64_t, uint64_t>> writes;  ///< (key, new vers.)
+  };
+  TxnSession& Session(int id);
+  void StepTxnEvent(const ddc::CoherenceEvent& ev);
+  std::vector<TxnSession> txn_sessions_;
+  std::vector<uint64_t> committed_version_;  ///< shadow, by record key
+  /// Undo obligations of the in-progress abort: (key, version the undo must
+  /// restore). Discharged strictly before the next transactional event.
+  std::vector<std::pair<uint64_t, uint64_t>> pending_undo_;
+  uint64_t last_commit_seq_ = 0;
   uint64_t steps_ = 0;
   std::vector<Violation> violations_;
   bool attached_ = false;

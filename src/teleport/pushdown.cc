@@ -275,7 +275,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
         // hatch — run the function locally instead of failing the call.
         caller.clock().AdvanceTo(t);
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/false, link);
+                                /*cancel_sent=*/false, link, flags.kernel);
       }
       // No fallback requested: hand the request to the reliable transport,
       // which retransmits below the RPC layer and cannot lose it.
@@ -354,7 +354,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
           ms_->fabric().NextReachableAt(start, home) !=
               net::Fabric::kNeverHeals) {
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/false, link);
+                                /*cancel_sent=*/false, link, flags.kernel);
       }
       return RecoveryStatus(RecoveryFault::kFenced);
     }
@@ -388,7 +388,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
         // §3.2: "the application is then free to execute the function
         // locally" — do so transparently instead of surfacing TimedOut.
         return RunLocalFallback(caller, fn, arg, bd, t0,
-                                /*cancel_sent=*/true, link);
+                                /*cancel_sent=*/true, link, flags.kernel);
       }
       return Status::TimedOut("pushdown cancelled before execution");
     }
@@ -426,6 +426,11 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   auto mem_ctx =
       ms_->CreateContext(ddc::Pool::kMemory, home, caller.tenant());
   mem_ctx->clock().Reset(start + setup_ns);
+  // The caller's task is blocked on this call: hand its cooperative yield
+  // hook to the kernel so memory-side retry loops (seqlock probes racing a
+  // structural writer) preempt like the caller would, instead of spinning
+  // the schedule into a livelock against a suspended writer.
+  mem_ctx->set_yield_hook(caller.yield_fn(), caller.yield_arg());
   Status st = fn(*mem_ctx, arg);
   const Nanos fn_total = mem_ctx->now() - (start + setup_ns);
   bd.online_sync_ns = mem_ctx->coherence_ns();
@@ -505,19 +510,24 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // off) counts as post-pushdown synchronization.
   bd.post_sync_ns = (caller.now() - post0) + merge_ns;
 
-  TraceCall(bd, t0, /*fallback=*/false);
+  TraceCall(bd, t0, /*fallback=*/false, flags.kernel);
   last_breakdown_ = bd;
   total_breakdown_.Add(bd);
   call_latency_.Add(bd.Total());
   online_sync_latency_.Add(bd.online_sync_ns);
   ++completed_calls_;
+  if (flags.kernel >= 0 &&
+      static_cast<size_t>(flags.kernel) < kernel_calls_.size()) {
+    ++kernel_calls_[static_cast<size_t>(flags.kernel)];
+  }
   return st;
 }
 
 Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
                                          PushdownFn fn, void* arg,
                                          PushdownBreakdown& bd, Nanos t0,
-                                         bool cancel_sent, net::Link link) {
+                                         bool cancel_sent, net::Link link,
+                                         int kernel) {
   if (!cancel_sent) {
     // Best-effort try_cancel so a late-delivered request is not executed by
     // the pool as well; a drop is acceptable — the pool discards requests
@@ -546,23 +556,38 @@ Status PushdownRuntime::RunLocalFallback(ddc::ExecutionContext& caller,
   ++fallback_calls_;
   caller.metrics().fallbacks += 1;
   caller.metrics().pushdown_calls += 1;
-  TraceCall(bd, t0, /*fallback=*/true);
+  TraceCall(bd, t0, /*fallback=*/true, kernel);
   last_breakdown_ = bd;
   total_breakdown_.Add(bd);
   call_latency_.Add(bd.Total());
   online_sync_latency_.Add(bd.online_sync_ns);
   ++completed_calls_;
+  if (kernel >= 0 && static_cast<size_t>(kernel) < kernel_calls_.size()) {
+    ++kernel_calls_[static_cast<size_t>(kernel)];
+  }
   return st;
 }
 
+int PushdownRuntime::RegisterKernel(const std::string& name) {
+  for (size_t i = 0; i < kernel_names_.size(); ++i) {
+    if (kernel_names_[i] == name) return static_cast<int>(i);
+  }
+  kernel_names_.push_back(name);
+  kernel_calls_.push_back(0);
+  return static_cast<int>(kernel_names_.size()) - 1;
+}
+
 void PushdownRuntime::TraceCall(const PushdownBreakdown& bd, Nanos t0,
-                                bool fallback) {
+                                bool fallback, int kernel) {
   sim::Tracer* tracer = ms_->tracer();
   if (tracer == nullptr) return;
   // completed_calls_ has not been bumped yet, so it is this call's 0-based
   // id; the same tag on every child span lets tests and trace queries
   // reassemble one request's components.
-  const std::string id = "\"call\":" + std::to_string(completed_calls_);
+  std::string id = "\"call\":" + std::to_string(completed_calls_);
+  if (kernel >= 0 && static_cast<size_t>(kernel) < kernel_names_.size()) {
+    id += ",\"kernel\":\"" + kernel_names_[static_cast<size_t>(kernel)] + "\"";
+  }
   tracer->Span("pushdown", "call", t0, bd.Total(), sim::kTrackCompute,
                fallback ? id + ",\"fallback\":true" : id);
   // Components are laid out consecutively from t0 in breakdown order. The

@@ -79,6 +79,12 @@ struct PushdownFlags {
   /// admission point for lease fencing and idempotency dedup. 0 — the only
   /// shard of the paper's 1x1 rack — preserves every legacy call site.
   int home_shard = 0;
+
+  /// Registered kernel this call executes (PushdownRuntime::RegisterKernel),
+  /// or -1 for an anonymous pushdown. Purely attributive: traces tag the
+  /// call with the kernel name and the runtime keeps per-kernel call
+  /// counts; timing and semantics are unchanged.
+  int kernel = -1;
 };
 
 /// Wall-clock breakdown of one pushdown call, matching the six components
@@ -203,6 +209,23 @@ class PushdownRuntime {
   uint64_t completed_calls() const { return completed_calls_; }
   uint64_t cancelled_calls() const { return cancelled_calls_; }
 
+  /// Registers a named pushdown kernel and returns its id for
+  /// PushdownFlags::kernel. Idempotent per name (re-registering returns the
+  /// existing id), so engines can register in their constructors.
+  int RegisterKernel(const std::string& name);
+  /// Name of a registered kernel id ("" if out of range).
+  std::string_view kernel_name(int id) const {
+    return id >= 0 && static_cast<size_t>(id) < kernel_names_.size()
+               ? std::string_view(kernel_names_[static_cast<size_t>(id)])
+               : std::string_view();
+  }
+  /// Completed (or locally fallen-back) calls attributed to kernel `id`.
+  uint64_t kernel_calls(int id) const {
+    return id >= 0 && static_cast<size_t>(id) < kernel_calls_.size()
+               ? kernel_calls_[static_cast<size_t>(id)]
+               : 0;
+  }
+
   /// Retry/backoff policy applied to pushdown requests, responses, and
   /// heartbeats when a fault injector is attached to the fabric; inert
   /// otherwise.
@@ -236,14 +259,16 @@ class PushdownRuntime {
   /// (caller node, home shard) pair.
   Status RunLocalFallback(ddc::ExecutionContext& caller, PushdownFn fn,
                           void* arg, PushdownBreakdown& bd, Nanos t0,
-                          bool cancel_sent, net::Link link);
+                          bool cancel_sent, net::Link link, int kernel);
 
   /// Emits the per-call trace spans once a breakdown is final: one
   /// enclosing "call" span plus a child span per non-zero component, laid
-  /// out consecutively from t0 and tagged with the call id, so the child
-  /// durations of every request sum exactly to bd.Total() — the caller's
-  /// observed elapsed time. No-op without a tracer on the MemorySystem.
-  void TraceCall(const PushdownBreakdown& bd, Nanos t0, bool fallback);
+  /// out consecutively from t0 and tagged with the call id (and the kernel
+  /// name when the call named one), so the child durations of every request
+  /// sum exactly to bd.Total() — the caller's observed elapsed time. No-op
+  /// without a tracer on the MemorySystem.
+  void TraceCall(const PushdownBreakdown& bd, Nanos t0, bool fallback,
+                 int kernel);
 
   ddc::MemorySystem* ms_;
   /// Next-free time of each pool-side instance, per memory shard: shard k
@@ -264,6 +289,8 @@ class PushdownRuntime {
   Histogram online_sync_latency_;
   uint64_t completed_calls_ = 0;
   uint64_t cancelled_calls_ = 0;
+  std::vector<std::string> kernel_names_;
+  std::vector<uint64_t> kernel_calls_;
   bool panicked_ = false;
   double last_page_list_compression_ = 1.0;
 };

@@ -39,11 +39,14 @@ struct RunOutcome {
   uint64_t violations = 0;
   uint64_t epoch0 = 0;
   uint64_t epoch1 = 0;
+  uint64_t lost = 0;
 };
 
 /// One full chaos run on a fresh rack: journal on, one crash-restart window
 /// per shard placed inside the arrival span, model checker attached.
-RunOutcome RunOnce(uint64_t seed, int max_concurrent) {
+/// `families` is the WorkloadKind cycle length: 3 = the PR7 db/graph/mr
+/// mix, 4 adds the OLTP index-probe tenant as the fourth family.
+RunOutcome RunOnce(uint64_t seed, int max_concurrent, int families = 3) {
   ddc::MemorySystem ms(RackConfig(), sim::CostParams::Default(),
                        /*space_bytes=*/2 << 20);
   net::FaultInjector inj(/*seed=*/seed);
@@ -67,6 +70,7 @@ RunOutcome RunOnce(uint64_t seed, int max_concurrent) {
   cfg.slice_pages = 64;
   cfg.mean_interarrival_ns = 50 * kMicrosecond;
   cfg.max_concurrent = max_concurrent;
+  cfg.workload_families = families;
   cfg.seed = seed;
   const TrafficResult r = RunOpenLoop(ms, runtime, cfg);
 
@@ -79,6 +83,7 @@ RunOutcome RunOnce(uint64_t seed, int max_concurrent) {
   out.violations = checker.Finish();
   out.epoch0 = ms.pool_epoch(0);
   out.epoch1 = ms.pool_epoch(1);
+  out.lost = ms.lost_pool_writes();
   return out;
 }
 
@@ -106,6 +111,48 @@ TEST(RackChaosSoakTest, NineSeedsBitIdenticalAcrossSchedules) {
     EXPECT_EQ(limited.checksum, open.checksum);
     EXPECT_EQ(limited.completed, open.completed);
     EXPECT_EQ(limited.failed, open.failed);
+  }
+}
+
+// PR8: the same soak with the OLTP tenant family in the mix (tenant 3 runs
+// the index-probe + version-bump-RMW kernel). The 2x2 sweep {open, limited
+// admission} x {fresh run, replay} must stay bit-identical, with zero lost
+// committed writes under the journal and the checker silent throughout.
+TEST(RackChaosSoakTest, OltpTenantFamilyBitIdenticalWithZeroLostWrites) {
+  for (uint64_t seed = 1; seed <= 9; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const RunOutcome open = RunOnce(seed, /*max_concurrent=*/0, /*families=*/4);
+    const RunOutcome limited =
+        RunOnce(seed, /*max_concurrent=*/8, /*families=*/4);
+    const RunOutcome open_replay =
+        RunOnce(seed, /*max_concurrent=*/0, /*families=*/4);
+    const RunOutcome limited_replay =
+        RunOnce(seed, /*max_concurrent=*/8, /*families=*/4);
+
+    EXPECT_EQ(open.completed, 180u);
+    EXPECT_EQ(open.failed, 0u);
+    EXPECT_EQ(open.violations, 0u);
+    EXPECT_EQ(limited.violations, 0u);
+    EXPECT_GE(open.epoch0, 2u);
+    EXPECT_GE(open.epoch1, 2u);
+
+    // The journal replays every acknowledged write through both shard
+    // crashes: the OLTP tenant's committed version-bump RMWs survive.
+    EXPECT_EQ(open.lost, 0u);
+    EXPECT_EQ(limited.lost, 0u);
+
+    // 2x2: bit-identical across admission schedules and across replays.
+    EXPECT_EQ(open_replay.checksum, open.checksum);
+    EXPECT_EQ(limited_replay.checksum, limited.checksum);
+    EXPECT_EQ(limited.checksum, open.checksum);
+    EXPECT_EQ(limited.completed, open.completed);
+    EXPECT_EQ(limited.failed, open.failed);
+
+    // Adding the fourth family genuinely changes the mix: the checksum must
+    // differ from the 3-family run of the same seed (tenant 3 swapped its
+    // kernel), or the leg is not exercising anything new.
+    const RunOutcome legacy = RunOnce(seed, /*max_concurrent=*/0);
+    EXPECT_NE(open.checksum, legacy.checksum);
   }
 }
 

@@ -18,6 +18,42 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
 }
 
+// PR8 regression: an empty scope is a reachable steady state (a tenant can
+// abort every transaction, so e.g. its commit-latency histogram records
+// nothing). Every percentile must return the documented sentinel, not a
+// value fabricated from the uninitialized INT64_MAX min_ clamp.
+TEST(HistogramTest, EmptyPercentileSentinelAtEveryPercentile) {
+  const Histogram h;
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), Histogram::kEmptyPercentile) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), Histogram::kEmptyPercentile);
+  // Reset() returns a used histogram to exactly the empty-sentinel state.
+  Histogram used;
+  used.Add(1 << 20);
+  used.Reset();
+  EXPECT_DOUBLE_EQ(used.Percentile(99), Histogram::kEmptyPercentile);
+  EXPECT_EQ(used.min(), 0);
+  EXPECT_EQ(used.max(), 0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  Histogram a;
+  a.Add(7);
+  a.Add(4096);
+  Histogram merged = a;
+  merged.Merge(Histogram());  // empty right operand
+  EXPECT_EQ(merged.count(), a.count());
+  EXPECT_EQ(merged.min(), a.min());
+  EXPECT_EQ(merged.max(), a.max());
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), a.Percentile(50));
+  Histogram from_empty;  // empty left operand
+  from_empty.Merge(a);
+  EXPECT_EQ(from_empty.count(), a.count());
+  EXPECT_EQ(from_empty.min(), a.min());
+  EXPECT_DOUBLE_EQ(from_empty.Percentile(99), a.Percentile(99));
+}
+
 TEST(HistogramTest, SingleValue) {
   Histogram h;
   h.Add(1000);

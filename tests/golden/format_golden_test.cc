@@ -12,6 +12,7 @@
 #include "ddc/memory_system.h"
 #include "net/fabric.h"
 #include "sim/cost_model.h"
+#include "oltp/txn.h"
 #include "sim/metrics.h"
 #include "sim/tracer.h"
 #include "teleport/pushdown.h"
@@ -91,6 +92,49 @@ TEST(FormatGoldenTest, MetricsToStringFullDump) {
             "recovery: recovered_pool_writes=12 journal_appends=23 "
             "journal_flushes=3 fenced_rpcs=2 dedup_hits=1\n"
             "cpu: ops=90210");
+}
+
+// The txn group only exists when the OLTP engine ran: a dump with any
+// nonzero txn counter gains exactly one line between recovery and cpu,
+// and an all-zero txn group is elided so every pre-OLTP golden (this
+// file's MetricsToStringFullDump included) stays byte-identical.
+TEST(FormatGoldenTest, MetricsTxnGroupLineAndElision) {
+  sim::Metrics m;
+  const std::string before = m.ToString();
+  EXPECT_EQ(before.find("txn:"), std::string::npos)
+      << "all-zero txn group must be elided";
+
+  m.txn_commits = 40;
+  m.txn_aborts = 6;
+  m.txn_retries = 6;
+  m.txn_reads_validated = 120;
+  m.txn_undo_writes = 9;
+  m.btree_splits = 3;
+  m.btree_merges = 1;
+  // The group slots in between the recovery and cpu lines.
+  EXPECT_NE(m.ToString().find(
+                "dedup_hits=0\n"
+                "txn: commits=40 aborts=6 retries=6 reads_validated=120 "
+                "undo_writes=9 node_splits=3 node_merges=1\n"
+                "cpu: ops=0"),
+            std::string::npos)
+      << m.ToString();
+  // And it is the only difference from the elided dump.
+  sim::Metrics zeroed = m;
+  zeroed.txn_commits = zeroed.txn_aborts = zeroed.txn_retries = 0;
+  zeroed.txn_reads_validated = zeroed.txn_undo_writes = 0;
+  zeroed.btree_splits = zeroed.btree_merges = 0;
+  EXPECT_EQ(zeroed.ToString(), before);
+
+  // Any single nonzero counter resurrects the whole group (labels at zero
+  // still print, so dashboard regexes never see a partial line).
+  sim::Metrics one;
+  one.btree_merges = 2;
+  EXPECT_NE(one.ToString().find(
+                "txn: commits=0 aborts=0 retries=0 reads_validated=0 "
+                "undo_writes=0 node_splits=0 node_merges=2"),
+            std::string::npos)
+      << one.ToString();
 }
 
 // The resilience line is what the chaos dashboards grep for; lock it in
@@ -224,6 +268,20 @@ TEST(FormatGoldenTest, CoherenceEventKindNames) {
             "JournalTruncate");
   EXPECT_EQ(ddc::CoherenceEventKindToString(K::kPushdownAdmit),
             "PushdownAdmit");
+  // PR8 transactional events (model-checker invariant #7 vocabulary).
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kTxnRead), "TxnRead");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kTxnWrite), "TxnWrite");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kTxnCommit), "TxnCommit");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kTxnAbort), "TxnAbort");
+  EXPECT_EQ(ddc::CoherenceEventKindToString(K::kTxnUndo), "TxnUndo");
+}
+
+// --- OLTP trace vocabulary (grepped out of Chrome traces by tooling) --------
+
+TEST(FormatGoldenTest, OltpTraceEventNames) {
+  EXPECT_STREQ(oltp::kTraceCategory, "oltp");
+  EXPECT_STREQ(oltp::kTraceCommit, "TxnCommit");
+  EXPECT_STREQ(oltp::kTraceAbort, "TxnAbort");
 }
 
 }  // namespace

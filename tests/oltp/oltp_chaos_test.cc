@@ -1,0 +1,228 @@
+// OLTP chaos soak: the multi-session YCSB table must end bit-identical
+// across random schedules, lossy-fabric fault seeds, and journal on/off —
+// and with the journal on, pool crash-restarts in the middle of the run
+// must lose zero acknowledged writes while the engine keeps committing.
+// Every run executes under the model checker (invariants #1-#7).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+#include "net/faults.h"
+#include "oltp/btree.h"
+#include "oltp/txn.h"
+#include "oltp/workload.h"
+#include "sim/coop_task.h"
+#include "sim/interleaver.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+using ddc::Pool;
+using oltp::BTree;
+using oltp::Txn;
+using oltp::TxnManager;
+
+constexpr uint64_t kPage = 4096;
+constexpr int kSessions = 4;
+constexpr uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55};
+
+oltp::YcsbConfig Workload() {
+  oltp::YcsbConfig cfg;
+  cfg.sessions = kSessions;
+  cfg.txns_per_session = 8;
+  cfg.ops_per_txn = 3;
+  cfg.keyspace = 96;
+  cfg.zipfian = true;  // hotspot contention: aborts and retries guaranteed
+  cfg.scan_length = 4;
+  cfg.seed = 17;
+  return cfg;
+}
+
+net::FaultSpec LossySpec() {
+  net::FaultSpec spec;
+  spec.drop_p = 0.10;
+  spec.delay_p = 0.10;
+  spec.delay_ns = 3 * kMicrosecond;
+  spec.dup_p = 0.05;
+  return spec;
+}
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<BTree> tree;
+  std::unique_ptr<TxnManager> mgr;
+};
+
+/// Builds one deployment. When `checker` is non-null, the model checker is
+/// attached BEFORE the tree preload, so it witnesses every journal commit a
+/// later crash-restart will replay (attaching after preload would make the
+/// replays look like unacknowledged re-materializations).
+Deployment Deploy(bool journal,
+                  std::unique_ptr<tp::ModelChecker>* checker = nullptr) {
+  Deployment d;
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 16 * kPage;  // tiny cache: constant writebacks,
+  cfg.memory_pool_bytes = 4096 * kPage;  // so crashes have journal work
+  d.ms = std::make_unique<ddc::MemorySystem>(cfg, sim::CostParams::Default(),
+                                             32 << 20);
+  d.ms->set_journal_enabled(journal);
+  if (checker != nullptr) {
+    *checker = std::make_unique<tp::ModelChecker>(
+        d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  }
+  d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  d.ctx = d.ms->CreateContext(Pool::kCompute);
+  oltp::BTreeOptions opts;
+  opts.arena_pages = 256;
+  opts.max_leaf_entries = 8;
+  opts.max_inner_entries = 8;
+  opts.push_probes = true;  // faulted probes must degrade to local cleanly
+  opts.runtime = d.runtime.get();
+  d.tree = std::make_unique<BTree>(d.ms.get(), *d.ctx, opts);
+  oltp::PreloadTable(*d.ctx, *d.tree, Workload().keyspace);
+  d.ms->SeedData();
+  d.mgr = std::make_unique<TxnManager>(d.ms.get(), d.tree.get());
+  return d;
+}
+
+struct Observed {
+  uint64_t content = 0;
+  uint64_t commits = 0;
+  uint64_t aborted = 0;
+  uint64_t lost = 0;
+  uint64_t recovered = 0;
+  int restarts = 0;
+  uint64_t violations = 0;
+};
+
+Observed RunInterleaved(Deployment& d, tp::ModelChecker& checker,
+                        uint64_t schedule_seed) {
+  const oltp::YcsbConfig cfg = Workload();
+  std::vector<std::unique_ptr<ddc::ExecutionContext>> ctxs;
+  std::vector<oltp::YcsbResult> results(kSessions);
+  {
+    std::vector<std::unique_ptr<sim::CoopTask>> tasks;
+    sim::Interleaver il;
+    for (int s = 0; s < kSessions; ++s) {
+      ctxs.push_back(d.ms->CreateContext(Pool::kCompute, 0, s));
+      ddc::ExecutionContext* ctx = ctxs.back().get();
+      TxnManager* mgr = d.mgr.get();
+      tasks.push_back(std::make_unique<sim::CoopTask>(
+          std::vector<ddc::ExecutionContext*>{ctx},
+          [ctx, mgr, cfg, &results, s] {
+            results[static_cast<size_t>(s)] = RunYcsbSession(*ctx, *mgr, cfg, s);
+          },
+          /*quantum=*/2));
+      il.Add(tasks.back().get());
+    }
+    sim::RandomSchedule schedule(schedule_seed);
+    il.set_schedule(&schedule);
+    il.Run();
+  }
+  Observed o;
+  for (const oltp::YcsbResult& res : results) {
+    EXPECT_EQ(res.gave_up, 0u);
+    o.commits ^= res.commit_digest;
+    o.aborted += res.aborted;
+  }
+  o.content = d.tree->ContentDigest(*d.ctx);
+  o.lost = d.ms->lost_pool_writes();
+  o.recovered = d.ms->recovered_pool_writes();
+  o.restarts = d.ms->pool_restarts_applied();
+  o.violations = checker.Finish();
+  return o;
+}
+
+TEST(OltpChaosTest, ContentBitIdenticalAcrossSchedulesFaultsAndJournal) {
+  // The golden: sequential sessions, quiet fabric, journal off.
+  uint64_t golden_content = 0;
+  uint64_t golden_commits = 0;
+  {
+    Deployment d = Deploy(/*journal=*/false);
+    const oltp::YcsbConfig cfg = Workload();
+    for (int s = 0; s < kSessions; ++s) {
+      const oltp::YcsbResult res = RunYcsbSession(*d.ctx, *d.mgr, cfg, s);
+      ASSERT_EQ(res.aborted, 0u);
+      golden_commits ^= res.commit_digest;
+    }
+    golden_content = d.tree->ContentDigest(*d.ctx);
+  }
+
+  uint64_t total_aborts = 0;
+  for (const bool journal : {false, true}) {
+    for (const bool faults : {false, true}) {
+      for (const uint64_t seed : kSeeds) {
+        std::unique_ptr<tp::ModelChecker> checker;
+        Deployment d = Deploy(journal, &checker);
+        net::FaultInjector inj(/*seed=*/seed);
+        if (faults) {
+          inj.SetSpecAll(LossySpec());
+          d.ms->fabric().set_fault_injector(&inj);
+          d.ms->set_retry_seed(0x01 + seed);
+          d.runtime->set_retry_seed(0x02 + seed);
+        }
+        const Observed o = RunInterleaved(d, *checker, seed);
+        EXPECT_EQ(o.content, golden_content)
+            << "journal=" << journal << " faults=" << faults << " seed "
+            << seed << ": final table diverged";
+        EXPECT_EQ(o.commits, golden_commits)
+            << "journal=" << journal << " faults=" << faults << " seed "
+            << seed;
+        EXPECT_EQ(o.violations, 0u)
+            << "journal=" << journal << " faults=" << faults << " seed "
+            << seed;
+        total_aborts += o.aborted;
+      }
+    }
+  }
+  EXPECT_GT(total_aborts, 0u)
+      << "the zipfian hotspot should force at least some OCC conflicts — "
+         "an abort-free soak is not exercising the undo path";
+}
+
+TEST(OltpChaosTest, JournalOnCrashRecoveryLosesNoCommittedWrites) {
+  for (const uint64_t seed : kSeeds) {
+    std::unique_ptr<tp::ModelChecker> checker;
+    Deployment d = Deploy(/*journal=*/true, &checker);
+    net::FaultInjector inj(/*seed=*/seed);
+    // Crash-restart windows spread across the run's whole virtual span so
+    // at least one lands mid-workload regardless of schedule; the fabric
+    // itself stays quiet (the crash, not message loss, is under test).
+    inj.ScheduleCrashRestart(/*at=*/50 * kMicrosecond,
+                             /*down_for=*/20 * kMicrosecond);
+    inj.ScheduleCrashRestart(/*at=*/500 * kMicrosecond,
+                             /*down_for=*/50 * kMicrosecond);
+    inj.ScheduleCrashRestart(/*at=*/5 * kMillisecond,
+                             /*down_for=*/200 * kMicrosecond);
+    d.ms->fabric().set_fault_injector(&inj);
+    d.ms->set_retry_seed(0xabc + seed);
+    d.runtime->set_retry_seed(0xdef + seed);
+
+    const Observed o = RunInterleaved(d, *checker, seed);
+    EXPECT_GT(o.restarts, 0) << "seed " << seed
+                             << ": no crash window landed mid-run";
+    EXPECT_EQ(o.lost, 0u) << "seed " << seed
+                          << ": journal-on recovery lost acknowledged writes";
+    EXPECT_EQ(o.violations, 0u) << "seed " << seed;
+
+    // The engine is still live after recovery: a fresh transaction commits
+    // and the tree still audits clean.
+    Txn t(d.mgr.get(), /*session=*/0);
+    t.Update(*d.ctx, 1, 7);
+    EXPECT_TRUE(t.Commit(*d.ctx)) << "seed " << seed;
+    const BTree::Audit audit = d.tree->AuditStructure(*d.ctx);
+    EXPECT_TRUE(audit.ok) << "seed " << seed << ": " << audit.error;
+  }
+}
+
+}  // namespace
+}  // namespace teleport

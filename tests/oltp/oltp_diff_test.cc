@@ -1,0 +1,211 @@
+// OLTP leg of the differential harness (explore tier). Multi-session YCSB
+// runs under 500+ distinct random schedules are compared against the
+// sequential single-session-at-a-time golden: the determinism contract
+// (pure per-txn op streams, commutative updates, unique insert keys, retry
+// until commit) makes the final table content and the committed-(session,
+// txn) digest schedule-independent, so ANY divergence is an engine bug.
+// Every interleaved run also executes under the model checker — invariant
+// #7 included — with zero tolerated violations. CI re-runs this suite with
+// TELEPORT_SCALAR_DATAPATH=1, which MemorySystem picks up at construction.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ddc/memory_system.h"
+#include "oltp/btree.h"
+#include "oltp/txn.h"
+#include "oltp/workload.h"
+#include "sim/coop_task.h"
+#include "sim/interleaver.h"
+#include "teleport/model_checker.h"
+#include "teleport/pushdown.h"
+
+namespace teleport {
+namespace {
+
+using ddc::Pool;
+using oltp::BTree;
+using oltp::TxnManager;
+
+constexpr uint64_t kPage = 4096;
+constexpr int kSessions = 3;
+
+/// {probe offload, key popularity, journal} sweep: 6 combos x 87 seeds =
+/// 522 interleaved runs, of which at least 500 must be distinct schedules.
+struct Combo {
+  bool push_probes;
+  bool zipfian;
+  bool journal;
+  const char* name;
+};
+
+constexpr Combo kCombos[] = {
+    {false, false, false, "local/uniform"},
+    {true, false, false, "push/uniform"},
+    {false, true, false, "local/zipf"},
+    {true, true, false, "push/zipf"},
+    {false, false, true, "local/uniform/journal"},
+    {true, true, true, "push/zipf/journal"},
+};
+constexpr uint64_t kSeedsPerCombo = 87;
+constexpr size_t kDistinctFloor = 500;
+
+oltp::YcsbConfig WorkloadFor(const Combo& c) {
+  oltp::YcsbConfig cfg;
+  cfg.sessions = kSessions;
+  cfg.txns_per_session = 6;
+  cfg.ops_per_txn = 3;
+  cfg.keyspace = 64;
+  cfg.zipfian = c.zipfian;
+  cfg.scan_length = 4;
+  cfg.seed = 29;  // workload seed is fixed; only the schedule seed sweeps
+  return cfg;
+}
+
+struct Deployment {
+  std::unique_ptr<ddc::MemorySystem> ms;
+  std::unique_ptr<tp::PushdownRuntime> runtime;
+  std::unique_ptr<ddc::ExecutionContext> ctx;
+  std::unique_ptr<BTree> tree;
+  std::unique_ptr<TxnManager> mgr;
+};
+
+Deployment Deploy(const Combo& c) {
+  Deployment d;
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 32 * kPage;  // small: descents evict and fault
+  cfg.memory_pool_bytes = 4096 * kPage;
+  d.ms = std::make_unique<ddc::MemorySystem>(cfg, sim::CostParams::Default(),
+                                             32 << 20);
+  d.ms->set_journal_enabled(c.journal);
+  d.runtime = std::make_unique<tp::PushdownRuntime>(d.ms.get());
+  d.ctx = d.ms->CreateContext(Pool::kCompute);
+  oltp::BTreeOptions opts;
+  opts.arena_pages = 256;
+  opts.max_leaf_entries = 8;  // small nodes: commits race with splits
+  opts.max_inner_entries = 8;
+  opts.push_probes = c.push_probes;
+  opts.runtime = d.runtime.get();
+  d.tree = std::make_unique<BTree>(d.ms.get(), *d.ctx, opts);
+  oltp::PreloadTable(*d.ctx, *d.tree, WorkloadFor(c).keyspace);
+  d.ms->SeedData();
+  d.mgr = std::make_unique<TxnManager>(d.ms.get(), d.tree.get());
+  return d;
+}
+
+struct RunDigest {
+  uint64_t content = 0;
+  uint64_t commits = 0;
+  uint64_t gave_up = 0;
+};
+
+/// The golden: sessions run to completion one after another — no
+/// interleaving, so no aborts and no schedule dependence at all.
+RunDigest RunSequentialGolden(const Combo& c) {
+  Deployment d = Deploy(c);
+  const oltp::YcsbConfig cfg = WorkloadFor(c);
+  RunDigest out;
+  for (int s = 0; s < kSessions; ++s) {
+    const oltp::YcsbResult res = RunYcsbSession(*d.ctx, *d.mgr, cfg, s);
+    EXPECT_EQ(res.aborted, 0u) << "sequential sessions cannot conflict";
+    out.commits ^= res.commit_digest;
+  }
+  out.content = d.tree->ContentDigest(*d.ctx);
+  return out;
+}
+
+/// One interleaved run under RandomSchedule(seed); fills `trace` with the
+/// recorded schedule and returns the digests plus the checker's verdict.
+RunDigest RunInterleaved(const Combo& c, uint64_t seed,
+                         std::vector<uint32_t>* trace,
+                         uint64_t* violations) {
+  Deployment d = Deploy(c);
+  tp::ModelChecker checker(d.ms.get(), tp::ModelChecker::OnViolation::kRecord);
+  const oltp::YcsbConfig cfg = WorkloadFor(c);
+  std::vector<std::unique_ptr<ddc::ExecutionContext>> ctxs;
+  std::vector<oltp::YcsbResult> results(kSessions);
+  {
+    std::vector<std::unique_ptr<sim::CoopTask>> tasks;
+    sim::Interleaver il;
+    for (int s = 0; s < kSessions; ++s) {
+      ctxs.push_back(d.ms->CreateContext(Pool::kCompute, 0, s));
+      ddc::ExecutionContext* ctx = ctxs.back().get();
+      TxnManager* mgr = d.mgr.get();
+      tasks.push_back(std::make_unique<sim::CoopTask>(
+          std::vector<ddc::ExecutionContext*>{ctx},
+          [ctx, mgr, cfg, &results, s] {
+            results[static_cast<size_t>(s)] = RunYcsbSession(*ctx, *mgr, cfg, s);
+          },
+          /*quantum=*/1));
+      il.Add(tasks.back().get());
+    }
+    sim::RandomSchedule schedule(seed);
+    il.set_schedule(&schedule);
+    il.set_record_trace(true);
+    il.Run();
+    *trace = il.trace();
+  }
+  RunDigest out;
+  for (const oltp::YcsbResult& res : results) {
+    out.commits ^= res.commit_digest;
+    out.gave_up += res.gave_up;
+  }
+  out.content = d.tree->ContentDigest(*d.ctx);
+  *violations = checker.Finish();
+  return out;
+}
+
+/// FNV-1a over the schedule trace: cheap fingerprint for distinctness.
+uint64_t TraceSignature(const std::vector<uint32_t>& trace) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const uint32_t step : trace) {
+    h = (h ^ step) * 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(OltpDifferentialTest, InterleavedRunsMatchSequentialGolden) {
+  std::unordered_set<uint64_t> signatures;
+  uint64_t divergences = 0;
+  uint64_t total_violations = 0;
+  uint64_t combo_idx = 0;
+  for (const Combo& combo : kCombos) {
+    const RunDigest golden = RunSequentialGolden(combo);
+    // Disjoint seed ranges per combo: combos that do not perturb timing
+    // (e.g. journal on/off) would otherwise replay byte-identical schedules
+    // and collapse the distinct-interleaving count.
+    const uint64_t base = 1000 * combo_idx++;
+    for (uint64_t s = 1; s <= kSeedsPerCombo; ++s) {
+      const uint64_t seed = base + s;
+      std::vector<uint32_t> trace;
+      uint64_t violations = 0;
+      const RunDigest run = RunInterleaved(combo, seed, &trace, &violations);
+      signatures.insert(TraceSignature(trace));
+      total_violations += violations;
+      EXPECT_EQ(run.gave_up, 0u) << combo.name << " seed " << seed;
+      if (run.content != golden.content || run.commits != golden.commits) {
+        ++divergences;
+        ADD_FAILURE() << "divergence under " << combo.name << " seed " << seed
+                      << ": content " << run.content << " vs golden "
+                      << golden.content << ", commits " << run.commits
+                      << " vs " << golden.commits << "\nreplay trace: "
+                      << sim::TraceToString(trace);
+      }
+      EXPECT_EQ(violations, 0u)
+          << combo.name << " seed " << seed << ": invariant violation under "
+          << "schedule " << sim::TraceToString(trace);
+    }
+  }
+  EXPECT_EQ(divergences, 0u);
+  EXPECT_EQ(total_violations, 0u);
+  EXPECT_GE(signatures.size(), kDistinctFloor)
+      << "schedule sweep collapsed: not enough distinct interleavings";
+}
+
+}  // namespace
+}  // namespace teleport

@@ -106,6 +106,27 @@ TEST(TenantScopesTest, AllEqualSamplesReportExactPercentiles) {
   }
 }
 
+TEST(TenantScopesTest, IdleTenantPercentileIsDefined) {
+  // PR8 regression: an OLTP tenant can abort every transaction, so its
+  // latency scope records nothing. Querying it — and merging it — must
+  // yield the documented empty sentinel, not uninitialized-min garbage.
+  TenantScopes scopes(3);
+  scopes.Record(/*tenant=*/0, Metrics{}, /*latency_ns=*/5'000);
+  EXPECT_EQ(scopes.completed(1), 0u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(scopes.latency(1).Percentile(p),
+                     Histogram::kEmptyPercentile)
+        << "p" << p;
+    EXPECT_DOUBLE_EQ(scopes.latency(2).Percentile(p),
+                     Histogram::kEmptyPercentile)
+        << "p" << p;
+  }
+  // Idle scopes are merge identities: the global view sees only tenant 0.
+  const Histogram merged = scopes.MergedLatency();
+  EXPECT_EQ(merged.count(), 1u);
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), 5'000.0);
+}
+
 TEST(TenantScopesTest, JainIndexBoundaries) {
   // Perfect fairness.
   EXPECT_DOUBLE_EQ(TenantScopes::JainIndex({5, 5, 5, 5}), 1.0);
