@@ -1,0 +1,200 @@
+// PR9: the contended fabric data plane. Two legs:
+//
+//  1. Microflow load-latency sweep — two compute nodes firing small
+//     coherence probes into one shard at a swept offered load. The shared
+//     shard controller (10 B/ns) saturates before either 7 B/ns link, so
+//     the queued backend shows the classic knee (p99 diverging from p50 as
+//     utilization approaches 1) while kIdeal stays perfectly flat. The
+//     SmartNIC backend executes the probes NIC-side, skipping the
+//     controller, which moves its knee out to per-link saturation — the
+//     paper's case for near-data handling of small messages.
+//
+//  2. Rack-scale open-loop sweep — the PR7 multi-tenant traffic mix on a
+//     2x2 rack across interarrival rates and all three backends, with a
+//     bit-identical-repeat determinism gate per backend.
+//
+// Rows land in BENCH_PR9.json via TELEPORT_BENCH_JSON; percentile rows use
+// the virtual_ns column for the percentile itself (workload suffix _p50 /
+// _p99 says which).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "net/fabric.h"
+#include "rack/traffic.h"
+
+using namespace teleport;  // NOLINT
+
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+struct LoadPoint {
+  double p50 = 0;
+  double p99 = 0;
+};
+
+/// Two senders (links {0,0} and {1,0}) each posting one `bytes`-byte
+/// coherence probe every `interarrival_ns`, offset half a period so the
+/// controller sees an interleaved stream. Returns the sojourn (delivery -
+/// send) percentiles over every probe.
+LoadPoint MicroSweepPoint(net::Backend backend, Nanos interarrival_ns,
+                          uint64_t bytes, int sends_per_node) {
+  net::Fabric fabric(sim::CostParams::Default(), /*compute_nodes=*/2,
+                     /*memory_nodes=*/1);
+  fabric.set_backend(backend);
+  Histogram sojourn;
+  for (int i = 0; i < sends_per_node; ++i) {
+    for (int src = 0; src < 2; ++src) {
+      const Nanos now = static_cast<Nanos>(i) * interarrival_ns +
+                        (src == 0 ? 0 : interarrival_ns / 2);
+      const Nanos delivery = fabric.SendToMemory(
+          net::Link{src, 0}, now, bytes, net::MessageKind::kCoherenceRequest);
+      sojourn.Add(delivery - now);
+    }
+  }
+  return {sojourn.Percentile(50), sojourn.Percentile(99)};
+}
+
+ddc::DdcConfig RackConfig() {
+  ddc::DdcConfig cfg;
+  cfg.platform = ddc::Platform::kBaseDdc;
+  cfg.compute_cache_bytes = 64 * kPage;
+  cfg.memory_pool_bytes = 1024 * kPage;
+  cfg.compute_nodes = 2;
+  cfg.memory_shards = 2;
+  return cfg;
+}
+
+struct RackRun {
+  rack::TrafficResult r;
+  Nanos wall_ns = 0;
+  uint64_t remote_bytes = 0;
+};
+
+RackRun RunRack(net::Backend backend, Nanos interarrival_ns) {
+  rack::TrafficConfig cfg;
+  cfg.tenants = 4;
+  cfg.sessions = 300;
+  cfg.ops_per_session = 128;
+  cfg.slice_pages = 64;
+  cfg.mean_interarrival_ns = interarrival_ns;
+  cfg.seed = 29;
+  ddc::MemorySystem ms(RackConfig(), sim::CostParams::Default(),
+                       /*space_bytes=*/cfg.tenants * cfg.slice_pages * kPage);
+  ms.fabric().set_backend(backend);
+  tp::PushdownRuntime runtime(&ms);
+  bench::WallTimer wall;
+  RackRun out;
+  out.r = rack::RunOpenLoop(ms, runtime, cfg);
+  out.wall_ns = wall.ElapsedNs();
+  out.remote_bytes = out.r.scopes.MergedMetrics().RemoteMemoryBytes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("PR9: contended fabric load-latency sweeps",
+                     "queued RDMA + SmartNIC backends vs the ideal model");
+
+  bool ok = true;
+  const net::Backend backends[] = {net::Backend::kIdeal,
+                                   net::Backend::kQueuedRdma,
+                                   net::Backend::kSmartNic};
+
+  // --- Leg 1: microflow knee. 192 B probes, controller-bound topology. ---
+  // Aggregate controller load is 2*192/(10*T); per-link load 192/(7*T):
+  // the controller saturates near T=38 ns, each link near T=27 ns.
+  const Nanos interarrivals[] = {160, 80, 48, 40, 36, 32, 24};
+  constexpr uint64_t kProbeBytes = 192;
+  constexpr int kSends = 4000;
+
+  std::printf("%-8s", "iat(ns)");
+  for (const net::Backend b : backends) {
+    std::printf(" %10s-p50 %10s-p99", net::BackendToString(b).data(),
+                net::BackendToString(b).data());
+  }
+  std::printf("\n");
+  LoadPoint ideal_last, queued_at32, smart_at32, smart_at24, queued_low,
+      smart_low;
+  for (const Nanos iat : interarrivals) {
+    std::printf("%-8lld", static_cast<long long>(iat));
+    for (const net::Backend b : backends) {
+      const LoadPoint pt = MicroSweepPoint(b, iat, kProbeBytes, kSends);
+      std::printf(" %14.0f %14.0f", pt.p50, pt.p99);
+      const std::string name = net::BackendToString(b).data();
+      const std::string load = "micro_iat" + std::to_string(iat);
+      bench::EmitBenchRecord({"pr9_fabric", load + "_p50", name,
+                              static_cast<Nanos>(pt.p50), 0, 0, ""});
+      bench::EmitBenchRecord({"pr9_fabric", load + "_p99", name,
+                              static_cast<Nanos>(pt.p99), 0, 0, ""});
+      if (b == net::Backend::kIdeal) ideal_last = pt;
+      if (iat == 32 && b == net::Backend::kQueuedRdma) queued_at32 = pt;
+      if (iat == 32 && b == net::Backend::kSmartNic) smart_at32 = pt;
+      if (iat == 24 && b == net::Backend::kSmartNic) smart_at24 = pt;
+      if (iat == 160 && b == net::Backend::kQueuedRdma) queued_low = pt;
+      if (iat == 160 && b == net::Backend::kSmartNic) smart_low = pt;
+    }
+    std::printf("\n");
+  }
+  // No knee without contention: the ideal model is load-independent and
+  // tail-free at every point of the sweep.
+  bool micro_ok = ideal_last.p50 == ideal_last.p99;
+  // The queued backend knees once the shared controller is oversubscribed
+  // (iat 32 ns ~ 1.2x controller capacity, links still at 0.86): p99 blows
+  // up relative to the uncontended floor AND pulls away from its own p50.
+  micro_ok &= queued_at32.p99 > 10 * queued_low.p99;
+  micro_ok &= queued_at32.p99 > 1.5 * queued_at32.p50;
+  // SmartNIC offload skips the controller for these probes, so the same
+  // offered load stays flat — and the knee reappears only past per-link
+  // saturation (iat 24 ns ~ 1.14x link capacity): shifted, not removed.
+  micro_ok &= smart_at32.p99 < 1.5 * smart_low.p99;
+  micro_ok &= smart_at24.p99 > 4 * smart_low.p99;
+  ok &= micro_ok;
+  std::printf("\nknee: queued p99 %.0fns at iat=32 (%.1fx its p50); "
+              "smartnic %.0fns there, kneeing at iat=24 (%.0fns) — %s.\n",
+              queued_at32.p99, queued_at32.p99 / queued_at32.p50,
+              smart_at32.p99, smart_at24.p99,
+              micro_ok ? "as modeled" : "GATE FAILED");
+
+  // --- Leg 2: rack-scale open loop across backends and rates. ------------
+  std::printf("\n%-10s %-12s %14s %12s %12s\n", "backend", "iat", "makespan",
+              "p50", "p99");
+  bool rack_ok = true;
+  for (const net::Backend b : backends) {
+    for (const Nanos iat : {40 * kMicrosecond, 10 * kMicrosecond,
+                            2 * kMicrosecond}) {
+      const RackRun run = RunRack(b, iat);
+      rack_ok &= run.r.completed == 300 && run.r.failed == 0;
+      std::printf("%-10s %-12lld %12lldns %10.0fns %10.0fns\n",
+                  net::BackendToString(b).data(),
+                  static_cast<long long>(iat),
+                  static_cast<long long>(run.r.makespan_ns),
+                  run.r.p50_latency_ns, run.r.p99_latency_ns);
+      const std::string load =
+          "openloop_iat" + std::to_string(iat / kMicrosecond) + "us";
+      bench::EmitBenchRecord({"pr9_fabric", load,
+                              net::BackendToString(b).data(),
+                              run.r.makespan_ns, run.wall_ns,
+                              run.remote_bytes, ""});
+      // Determinism gate: the full rack run replays bit-identically under
+      // every backend (chaos soak covers the injector paths).
+      if (iat == 2 * kMicrosecond) {
+        const RackRun rep = RunRack(b, iat);
+        rack_ok &= rep.r.checksum == run.r.checksum &&
+                   rep.r.makespan_ns == run.r.makespan_ns;
+      }
+    }
+  }
+  ok &= rack_ok;
+
+  std::printf("\nmicro knee gates %s; rack runs complete and replay %s per "
+              "backend.\n", micro_ok ? "pass" : "FAIL",
+              rack_ok ? "bit-identically" : "NON-DETERMINISTICALLY");
+  bench::PrintFooter();
+  return ok ? 0 : 1;
+}

@@ -475,6 +475,7 @@ void MemorySystem::EvictSpecificCachePage(ExecutionContext& ctx,
       fabric_.SendToMemory(net::Link{static_cast<int>(v.owner), shard},
                            ctx.now(), params_.page_size + 64);
   ctx.clock_.AdvanceTo(delivered);
+  fabric_.DrainQueueStats(ctx.metrics_);
   ++ctx.metrics_.net_messages;
   ctx.metrics_.net_bytes += params_.page_size + 64;
   ctx.metrics_.bytes_to_memory_pool += params_.page_size;
@@ -581,6 +582,7 @@ void MemorySystem::ComputeTouch(ExecutionContext& ctx, PageId page,
                                            handler)
             : RetriedPageFaultRpc(ctx, link, 64, resp_bytes, handler);
     ctx.clock_.AdvanceTo(done);
+    fabric_.DrainQueueStats(ctx.metrics_);
     ctx.metrics_.net_messages += 2;
     ctx.metrics_.net_bytes += 64 + resp_bytes;
     if (has_remote_data) {
@@ -719,6 +721,7 @@ void MemorySystem::CoherenceComputeFault(ExecutionContext& ctx, PageId page,
   const Nanos done =
       fabric_.RoundTripFromCompute(link, ctx.now(), 64, resp_bytes, handler);
   ctx.clock_.AdvanceTo(done);
+  fabric_.DrainQueueStats(ctx.metrics_);
   ctx.coherence_ns_ += ctx.now() - start;
   ctx.metrics_.coherence_messages += 2;
   ctx.metrics_.net_messages += 2;
@@ -805,6 +808,7 @@ void MemorySystem::CoherenceMemoryFault(ExecutionContext& ctx, PageId page,
     s.mem_upgrade_inflight_until = done;
   }
   ctx.clock_.AdvanceTo(done);
+  fabric_.DrainQueueStats(ctx.metrics_);
   ctx.coherence_ns_ += ctx.now() - start;
   ctx.metrics_.coherence_messages += 2;
   ctx.metrics_.net_messages += 2;
@@ -929,20 +933,26 @@ void MemorySystem::Syncmem(ExecutionContext& ctx, VAddr addr, uint64_t len) {
   if (flushed == 0) return;
   // One grouped transfer per destination shard, all issued at the same
   // instant; the syscall returns when the slowest shard acknowledges. With
-  // one shard this is exactly the legacy single message.
+  // one shard this is exactly the legacy single message. Each group is a
+  // scatter-gather verb: one 64-byte header plus one gather segment per
+  // page, so contended backends ring a single doorbell per shard.
   Nanos last_delivered = 0;
   uint64_t groups = 0;
+  std::vector<uint64_t> segments;
   for (size_t sidx = 0; sidx < per_shard.size(); ++sidx) {
     if (per_shard[sidx] == 0) continue;
+    segments.assign(1, 64);
+    segments.insert(segments.end(), per_shard[sidx], page_size);
     const uint64_t bytes = per_shard[sidx] * page_size + 64;
-    const Nanos delivered = fabric_.SendToMemory(
+    const Nanos delivered = fabric_.SendGatherToMemory(
         net::Link{static_cast<int>(ctx.node_), static_cast<int>(sidx)},
-        ctx.now(), bytes, net::MessageKind::kSyncmem);
+        ctx.now(), segments, net::MessageKind::kSyncmem);
     last_delivered = std::max(last_delivered, delivered);
     ++groups;
     ctx.metrics_.net_bytes += bytes;
   }
   ctx.clock_.AdvanceTo(last_delivered + params_.fault_handler_ns);
+  fabric_.DrainQueueStats(ctx.metrics_);
   ctx.metrics_.net_messages += groups;
   ctx.metrics_.bytes_to_memory_pool += flushed * page_size;
   ctx.metrics_.syncmem_pages += flushed;
@@ -962,6 +972,7 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
                        pages_.empty() ? 0 : pages_.size() - 1);
   uint64_t moved = 0;
   uint64_t transferred = 0;
+  std::vector<uint64_t> per_shard(shards_.size(), 0);
   flushed_pages_.clear();
   ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
   for (PageId p = first; p <= last && p < pages_.size(); ++p) {
@@ -975,6 +986,7 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
     if (s.compute_dirty) {
       // Dirty pages are written back over the fabric to their home shard.
       ++transferred;
+      ++per_shard[static_cast<size_t>(ShardOf(p))];
       s.compute_dirty = false;
       const int shard = ShardOf(p);
       ShardState& sh = shards_[static_cast<size_t>(shard)];
@@ -1000,11 +1012,35 @@ uint64_t MemorySystem::FlushRange(ExecutionContext& ctx, VAddr addr,
   }
   if (moved == 0) return 0;
   const uint64_t bytes = transferred * params_.page_size;
-  const Nanos cost =
-      params_.net_latency_ns +
-      static_cast<Nanos>(static_cast<double>(bytes) / params_.net_bytes_per_ns) +
-      static_cast<Nanos>(transferred) * params_.eager_sync_per_page_ns;
-  ctx.clock_.Advance(cost);
+  if (fabric_.backend() != net::Backend::kIdeal && transferred > 0) {
+    // Contended backends ride the eager writeback over the fabric: one
+    // scatter-gather verb per destination shard, so queue residency and NIC
+    // sharing stretch the flush. kIdeal keeps the closed-form estimate below
+    // (it never touched the fabric, and committed channel residency from a
+    // flush would perturb unrelated lagging sends' FIFO clamps).
+    Nanos last_delivered = ctx.now();
+    std::vector<uint64_t> segments;
+    for (size_t sidx = 0; sidx < per_shard.size(); ++sidx) {
+      if (per_shard[sidx] == 0) continue;
+      segments.assign(per_shard[sidx], params_.page_size);
+      last_delivered = std::max(
+          last_delivered,
+          fabric_.SendGatherToMemory(
+              net::Link{static_cast<int>(ctx.node_), static_cast<int>(sidx)},
+              ctx.now(), segments, net::MessageKind::kPageReturn));
+    }
+    ctx.clock_.AdvanceTo(last_delivered);
+    ctx.clock_.Advance(static_cast<Nanos>(transferred) *
+                       params_.eager_sync_per_page_ns);
+    fabric_.DrainQueueStats(ctx.metrics_);
+  } else {
+    const Nanos cost =
+        params_.net_latency_ns +
+        static_cast<Nanos>(static_cast<double>(bytes) /
+                           params_.net_bytes_per_ns) +
+        static_cast<Nanos>(transferred) * params_.eager_sync_per_page_ns;
+    ctx.clock_.Advance(cost);
+  }
   ctx.metrics_.net_messages += transferred + 1;
   ctx.metrics_.net_bytes += bytes + 64;
   ctx.metrics_.bytes_to_memory_pool += bytes;
@@ -1015,6 +1051,7 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
   if (pages == 0) return;
   // Repopulate the pages flushed by the last FlushAllCache(drop=true).
   uint64_t refetched = 0;
+  std::vector<uint64_t> per_shard(shards_.size(), 0);
   ComputeNodeState& cn = cnodes_[static_cast<size_t>(ctx.node_)];
   for (PageId p : flushed_pages_) {
     if (refetched >= pages) break;
@@ -1028,14 +1065,36 @@ void MemorySystem::BulkRefetch(ExecutionContext& ctx, uint64_t pages) {
     cn.cache_lru.PushFront(p);
     ++cn.cache_used;
     ++refetched;
+    ++per_shard[static_cast<size_t>(ShardOf(p))];
     Notify(CoherenceEvent::Kind::kRefetchPage, p, false, ctx.now());
   }
   const uint64_t bytes = refetched * params_.page_size;
-  const Nanos cost =
-      params_.net_latency_ns +
-      static_cast<Nanos>(static_cast<double>(bytes) / params_.net_bytes_per_ns) +
-      static_cast<Nanos>(refetched) * params_.eager_sync_per_page_ns;
-  ctx.clock_.Advance(cost);
+  if (fabric_.backend() != net::Backend::kIdeal && refetched > 0) {
+    // Mirror image of the FlushRange contended path: the refill streams back
+    // from each home shard as one gather list over the shared controller.
+    Nanos last_delivered = ctx.now();
+    std::vector<uint64_t> segments;
+    for (size_t sidx = 0; sidx < per_shard.size(); ++sidx) {
+      if (per_shard[sidx] == 0) continue;
+      segments.assign(per_shard[sidx], params_.page_size);
+      last_delivered = std::max(
+          last_delivered,
+          fabric_.SendGatherToCompute(
+              net::Link{static_cast<int>(ctx.node_), static_cast<int>(sidx)},
+              ctx.now(), segments, net::MessageKind::kPageFaultReply));
+    }
+    ctx.clock_.AdvanceTo(last_delivered);
+    ctx.clock_.Advance(static_cast<Nanos>(refetched) *
+                       params_.eager_sync_per_page_ns);
+    fabric_.DrainQueueStats(ctx.metrics_);
+  } else {
+    const Nanos cost =
+        params_.net_latency_ns +
+        static_cast<Nanos>(static_cast<double>(bytes) /
+                           params_.net_bytes_per_ns) +
+        static_cast<Nanos>(refetched) * params_.eager_sync_per_page_ns;
+    ctx.clock_.Advance(cost);
+  }
   ctx.metrics_.net_messages += refetched;
   ctx.metrics_.net_bytes += bytes;
   ctx.metrics_.bytes_from_memory_pool += bytes;

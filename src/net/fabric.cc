@@ -1,13 +1,36 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 
 #include "net/faults.h"
+#include "sim/metrics.h"
 #include "sim/tracer.h"
 
 namespace teleport::net {
+
+std::string_view BackendToString(Backend backend) {
+  switch (backend) {
+    case Backend::kIdeal:
+      return "ideal";
+    case Backend::kQueuedRdma:
+      return "queued_rdma";
+    case Backend::kSmartNic:
+      return "smartnic";
+  }
+  return "unknown";
+}
+
+Backend BackendFromEnv() {
+  const char* v = std::getenv("TELEPORT_FABRIC_BACKEND");
+  if (v == nullptr || v[0] == '\0') return Backend::kIdeal;
+  if (std::strcmp(v, "queued_rdma") == 0) return Backend::kQueuedRdma;
+  if (std::strcmp(v, "smartnic") == 0) return Backend::kSmartNic;
+  return Backend::kIdeal;
+}
 
 std::string_view MessageKindToString(MessageKind kind) {
   switch (kind) {
@@ -63,11 +86,110 @@ Nanos Channel::Send(Nanos now, uint64_t bytes, const sim::CostParams& params) {
   return delivery;
 }
 
+Nanos Channel::CommitAt(Nanos now, uint64_t bytes, Nanos delivery) {
+  // The queued backend serializes a lagging send behind committed queue
+  // residency (shared servers included) before this point; the clamp here
+  // is the last line of the reliable-FIFO contract, binding when a
+  // SmartNIC-offloaded message would overtake a host-path one whose
+  // controller service dominated its delivery.
+  if (delivery < last_delivery_) delivery = last_delivery_;
+  if (now > last_send_) last_send_ = now;
+  last_delivery_ = delivery;
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  return delivery;
+}
+
 void Channel::Reset() {
   messages_sent_ = 0;
   bytes_sent_ = 0;
   last_send_ = 0;
   last_delivery_ = 0;
+}
+
+namespace {
+
+/// Serialization time of `bytes` at `bytes_per_ns`, matching NetTransfer's
+/// truncation so kIdeal and queued single-flow numbers agree byte-for-byte.
+Nanos SerializationNs(uint64_t bytes, double bytes_per_ns) {
+  return static_cast<Nanos>(static_cast<double>(bytes) / bytes_per_ns);
+}
+
+}  // namespace
+
+Nanos Fabric::WireSend(Channel& ch, bool to_memory, Link link, Nanos now,
+                       uint64_t bytes, MessageKind kind) {
+  if (backend_ == Backend::kIdeal) return ch.Send(now, bytes, params_);
+
+  QueueState& qs = QState(to_memory, link);
+  const bool offload = SmartNicOffloaded(kind, bytes);
+
+  // Doorbell-batched verb submission: a send within the batch window of
+  // this queue pair's previous doorbell rides the posted verb; otherwise it
+  // pays the WQE-build + doorbell cost before touching any queue. A lagging
+  // virtual-time send always coalesces (its doorbell was provably already
+  // rung), keeping submission monotone and replay-deterministic.
+  Nanos submit = now;
+  if (qs.last_doorbell >= 0 &&
+      now <= qs.last_doorbell + params_.doorbell_batch_window_ns) {
+    ++coalesced_doorbells_;
+    ++pending_.doorbells_coalesced;
+  } else {
+    submit += params_.verb_overhead_ns;
+    ++doorbells_;
+    ++pending_.doorbells;
+  }
+  if (now > qs.last_doorbell) qs.last_doorbell = now;
+
+  // Service start: behind this queue's committed residency AND the shared
+  // per-node NIC AND (host path only) the shared per-shard controller.
+  // This is the satellite-3 clamp generalized: a lagging send serializes
+  // behind committed queue occupancy, not just the last delivery.
+  Nanos& nic = nic_busy_[static_cast<size_t>(link.src)];
+  Nanos& ctrl = ctrl_busy_[static_cast<size_t>(link.dst)];
+  Nanos start = std::max(submit, qs.busy_until);
+  start = std::max(start, nic);
+  if (!offload) start = std::max(start, ctrl);
+
+  // Occupancy this message observed: committed transfers still in flight
+  // when it starts service (its own slot included).
+  while (!qs.inflight.empty() && qs.inflight.front() <= start) {
+    qs.inflight.pop_front();
+  }
+  const uint64_t depth = qs.inflight.size() + 1;
+
+  // Each resource serves the bytes at its own rate and is pipelined: it can
+  // accept the next message as soon as these bytes are pushed through it.
+  // Delivery waits for the slowest resource on the message's path.
+  const Nanos link_ser = SerializationNs(bytes, params_.net_bytes_per_ns);
+  const Nanos nic_ser = SerializationNs(bytes, params_.nic_bytes_per_ns);
+  const Nanos ctrl_ser =
+      offload ? 0 : SerializationNs(bytes, params_.ctrl_bytes_per_ns);
+  qs.busy_until = start + link_ser;
+  nic = start + nic_ser;
+  if (!offload) ctrl = start + ctrl_ser;
+  const Nanos delivery = start + std::max({link_ser, nic_ser, ctrl_ser}) +
+                         params_.net_latency_ns;
+  qs.inflight.push_back(delivery);
+
+  const size_t k = static_cast<size_t>(kind);
+  if (depth > peak_depth_by_kind_[k]) peak_depth_by_kind_[k] = depth;
+  const Nanos wait = start - submit;
+  if (wait > 0) {
+    ++queued_by_kind_[k];
+    queue_wait_by_kind_[k] += static_cast<uint64_t>(wait);
+    ++pending_.queued_sends;
+    pending_.queue_wait_ns += static_cast<uint64_t>(wait);
+    if (tracer_ != nullptr) {
+      tracer_->Span("fabricq", MessageKindToString(kind), submit, wait,
+                    sim::kTrackFabric);
+    }
+  }
+  if (offload) {
+    ++smartnic_offloads_;
+    ++pending_.smartnic_offloads;
+  }
+  return ch.CommitAt(now, bytes, delivery);
 }
 
 void Fabric::TraceSend(bool to_memory, Link link, MessageKind kind,
@@ -89,7 +211,7 @@ Nanos Fabric::ReliableDeliver(Channel& ch, bool to_memory, Link link,
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
     TraceSend(to_memory, link, kind, bytes, now);
-    return ch.Send(now, bytes, params_);
+    return WireSend(ch, to_memory, link, now, bytes, kind);
   }
   Nanos t = now;
   // A scheduled outage of this link's memory node holds the message at the
@@ -104,20 +226,20 @@ Nanos Fabric::ReliableDeliver(Channel& ch, bool to_memory, Link link,
   // later, so delivery is delayed but never lost (§4.1 "reliable RDMA").
   // The retransmit count is capped so a drop_p=1.0 schedule cannot spin
   // forever; past the cap the transport escalates and delivery succeeds.
-  FaultDecision d = injector_->OnSend(kind, t);
+  FaultDecision d = injector_->OnSend(kind, t, link, to_memory);
   for (int rexmit = 0; d.dropped && rexmit < 64; ++rexmit) {
     t += injector_->link_rto_ns();
     const Nanos heal = injector_->HealsAt(t, link.dst);
     if (heal > t) t = heal;
-    d = injector_->OnSend(kind, t);
+    d = injector_->OnSend(kind, t, link, to_memory);
   }
   if (d.dropped) d = FaultDecision{};
   t += d.extra_delay_ns;
   CountDelivered(kind, bytes, d.copies);
   TraceSend(to_memory, link, kind, bytes, t);
-  Nanos delivery = ch.Send(t, bytes, params_);
+  Nanos delivery = WireSend(ch, to_memory, link, t, bytes, kind);
   for (int c = 1; c < d.copies; ++c) {
-    ch.Send(t, bytes, params_);  // duplicate occupies the wire too
+    WireSend(ch, to_memory, link, t, bytes, kind);  // dup occupies the wire
   }
   return delivery;
 }
@@ -127,20 +249,20 @@ SendOutcome Fabric::TryDeliver(Channel& ch, bool to_memory, Link link,
   if (injector_ == nullptr) {
     CountDelivered(kind, bytes, 1);
     TraceSend(to_memory, link, kind, bytes, now);
-    return SendOutcome{true, ch.Send(now, bytes, params_)};
+    return SendOutcome{true, WireSend(ch, to_memory, link, now, bytes, kind)};
   }
   if (!injector_->LinkUpAt(now, link.dst)) {
     injector_->CountOutageDrop();
     return SendOutcome{false, 0};
   }
-  const FaultDecision d = injector_->OnSend(kind, now);
+  const FaultDecision d = injector_->OnSend(kind, now, link, to_memory);
   if (d.dropped) return SendOutcome{false, 0};
   CountDelivered(kind, bytes, d.copies);
   const Nanos t = now + d.extra_delay_ns;
   TraceSend(to_memory, link, kind, bytes, t);
-  Nanos delivery = ch.Send(t, bytes, params_);
+  Nanos delivery = WireSend(ch, to_memory, link, t, bytes, kind);
   for (int c = 1; c < d.copies; ++c) {
-    ch.Send(t, bytes, params_);
+    WireSend(ch, to_memory, link, t, bytes, kind);
   }
   return SendOutcome{true, delivery, d.copies};
 }
@@ -151,7 +273,12 @@ Nanos Fabric::RoundTripFromCompute(Link link, Nanos now, uint64_t req_bytes,
                                    MessageKind resp_kind) {
   const Nanos arrive = ReliableDeliver(C2m(link), /*to_memory=*/true, link,
                                        now, req_bytes, req_kind);
-  const Nanos reply_sent = arrive + handler_ns;
+  // A SmartNIC-offloaded request is answered by the NIC-side executor
+  // instead of the host round trip through the controller's workqueue.
+  const Nanos handler = SmartNicOffloaded(req_kind, req_bytes)
+                            ? params_.smartnic_handler_ns
+                            : handler_ns;
+  const Nanos reply_sent = arrive + handler;
   return ReliableDeliver(M2c(link), /*to_memory=*/false, link, reply_sent,
                          resp_bytes, resp_kind);
 }
@@ -162,7 +289,10 @@ Nanos Fabric::RoundTripFromMemory(Link link, Nanos now, uint64_t req_bytes,
                                   MessageKind resp_kind) {
   const Nanos arrive = ReliableDeliver(M2c(link), /*to_memory=*/false, link,
                                        now, req_bytes, req_kind);
-  const Nanos reply_sent = arrive + handler_ns;
+  const Nanos handler = SmartNicOffloaded(req_kind, req_bytes)
+                            ? params_.smartnic_handler_ns
+                            : handler_ns;
+  const Nanos reply_sent = arrive + handler;
   return ReliableDeliver(C2m(link), /*to_memory=*/true, link, reply_sent,
                          resp_bytes, resp_kind);
 }
@@ -176,11 +306,63 @@ RpcOutcome Fabric::TryRoundTripFromCompute(Link link, Nanos now,
   const SendOutcome req = TryDeliver(C2m(link), /*to_memory=*/true, link,
                                      now, req_bytes, req_kind);
   if (!req.delivered) return RpcOutcome{false, 0};
-  const Nanos reply_sent = req.deliver_at + handler_ns;
+  const Nanos handler = SmartNicOffloaded(req_kind, req_bytes)
+                            ? params_.smartnic_handler_ns
+                            : handler_ns;
+  const Nanos reply_sent = req.deliver_at + handler;
   const SendOutcome resp = TryDeliver(M2c(link), /*to_memory=*/false, link,
                                       reply_sent, resp_bytes, resp_kind);
   if (!resp.delivered) return RpcOutcome{false, 0};
   return RpcOutcome{true, resp.deliver_at};
+}
+
+Nanos Fabric::SendGatherToMemory(Link link, Nanos now,
+                                 const std::vector<uint64_t>& segments,
+                                 MessageKind kind) {
+  uint64_t total = 0;
+  for (const uint64_t b : segments) total += b;
+  if (backend_ != Backend::kIdeal) {
+    ++sg_sends_;
+    sg_segments_ += segments.size();
+    pending_.sg_segments += segments.size();
+  }
+  return SendToMemory(link, now, total, kind);
+}
+
+Nanos Fabric::SendGatherToCompute(Link link, Nanos now,
+                                  const std::vector<uint64_t>& segments,
+                                  MessageKind kind) {
+  uint64_t total = 0;
+  for (const uint64_t b : segments) total += b;
+  if (backend_ != Backend::kIdeal) {
+    ++sg_sends_;
+    sg_segments_ += segments.size();
+    pending_.sg_segments += segments.size();
+  }
+  return SendToCompute(link, now, total, kind);
+}
+
+Nanos Fabric::QueueBacklogNs(Link link, Nanos now) const {
+  if (backend_ == Backend::kIdeal) return 0;
+  const Nanos nic = nic_busy_[static_cast<size_t>(link.src)];
+  const Nanos ctrl = ctrl_busy_[static_cast<size_t>(link.dst)];
+  Nanos backlog = 0;
+  for (const bool to_memory : {true, false}) {
+    const QueueState& qs = QState(to_memory, link);
+    const Nanos start = std::max({qs.busy_until, nic, ctrl});
+    if (start > now) backlog += start - now;
+  }
+  return backlog;
+}
+
+void Fabric::DrainQueueStats(sim::Metrics& m) {
+  m.netq_queued_sends += pending_.queued_sends;
+  m.netq_queue_wait_ns += pending_.queue_wait_ns;
+  m.netq_doorbells += pending_.doorbells;
+  m.netq_doorbells_coalesced += pending_.doorbells_coalesced;
+  m.netq_sg_segments += pending_.sg_segments;
+  m.netq_smartnic_offloads += pending_.smartnic_offloads;
+  pending_ = PendingQueueStats{};
 }
 
 bool Fabric::ReachableAt(Nanos now, int memory_node) const {
@@ -237,6 +419,38 @@ std::string Fabric::KindBreakdownToString() const {
   return os.str();
 }
 
+std::string Fabric::QueueBreakdownToString() const {
+  std::ostringstream os;
+  os << "fabricq{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << " ";
+    first = false;
+  };
+  for (int k = 0; k < kNumMessageKinds; ++k) {
+    const size_t i = static_cast<size_t>(k);
+    if (queued_by_kind_[i] == 0 && peak_depth_by_kind_[i] == 0) continue;
+    sep();
+    os << MessageKindToString(static_cast<MessageKind>(k)) << "="
+       << queued_by_kind_[i] << "/" << queue_wait_by_kind_[i] << "ns/peak"
+       << peak_depth_by_kind_[i];
+  }
+  if (doorbells_ != 0 || coalesced_doorbells_ != 0) {
+    sep();
+    os << "doorbells=" << doorbells_ << "+" << coalesced_doorbells_ << "c";
+  }
+  if (sg_sends_ != 0) {
+    sep();
+    os << "sg=" << sg_sends_ << "/" << sg_segments_ << "seg";
+  }
+  if (smartnic_offloads_ != 0) {
+    sep();
+    os << "offloads=" << smartnic_offloads_;
+  }
+  os << "}";
+  return os.str();
+}
+
 void Fabric::Reset() {
   for (Channel& ch : compute_to_memory_) ch.Reset();
   for (Channel& ch : memory_to_compute_) ch.Reset();
@@ -245,6 +459,19 @@ void Fabric::Reset() {
   std::fill(fail_until_.begin(), fail_until_.end(), kNeverHeals);
   messages_by_kind_.fill(0);
   bytes_by_kind_.fill(0);
+  for (QueueState& qs : q_c2m_) qs = QueueState{};
+  for (QueueState& qs : q_m2c_) qs = QueueState{};
+  std::fill(nic_busy_.begin(), nic_busy_.end(), 0);
+  std::fill(ctrl_busy_.begin(), ctrl_busy_.end(), 0);
+  queued_by_kind_.fill(0);
+  queue_wait_by_kind_.fill(0);
+  peak_depth_by_kind_.fill(0);
+  doorbells_ = 0;
+  coalesced_doorbells_ = 0;
+  sg_sends_ = 0;
+  sg_segments_ = 0;
+  smartnic_offloads_ = 0;
+  pending_ = PendingQueueStats{};
   if (injector_ != nullptr) injector_->Reset();
 }
 

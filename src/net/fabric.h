@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -12,7 +13,8 @@
 
 namespace teleport::sim {
 class Tracer;
-}
+struct Metrics;
+}  // namespace teleport::sim
 
 namespace teleport::net {
 
@@ -35,6 +37,37 @@ enum class MessageKind {
 inline constexpr int kNumMessageKinds = 10;
 
 std::string_view MessageKindToString(MessageKind kind);
+
+/// Pluggable transport cost model of the fabric (PR9).
+///
+///  - kIdeal: the PR1-8 model — constant latency plus per-link
+///    serialization, infinite NIC/controller capacity. Every pre-PR9 golden
+///    is locked against this backend, and it stays the default.
+///  - kQueuedRdma: contended data plane. Each direction of each link is a
+///    FIFO service queue of finite bandwidth, multiplexed over a shared
+///    per-compute-node NIC and a shared per-shard controller, with
+///    doorbell-batched verb submission. One tenant's burst inflates a
+///    neighbor's p99 (they share the NIC/controller servers).
+///  - kSmartNic: kQueuedRdma, except coherence directory lookups and small
+///    pushdown probes execute on the NIC — they skip the shard controller
+///    queue and replace the host handler with the NIC-side handler time.
+///
+/// All three backends are deterministic: queue state is a pure function of
+/// the send sequence (order, times, sizes), so RandomSchedule replays of the
+/// same schedule evolve the queues bit-identically.
+enum class Backend {
+  kIdeal,
+  kQueuedRdma,
+  kSmartNic,
+};
+
+std::string_view BackendToString(Backend backend);
+
+/// Backend selected by the TELEPORT_FABRIC_BACKEND environment variable
+/// ("ideal" / "queued_rdma" / "smartnic"); kIdeal when unset, empty, or
+/// unrecognized. Read once per Fabric construction, mirroring the
+/// TELEPORT_SCALAR_DATAPATH / TELEPORT_JOURNAL knob pattern.
+Backend BackendFromEnv();
 
 class FaultInjector;
 
@@ -73,12 +106,23 @@ struct RpcOutcome {
 /// serialized behind an unrelated in-flight transfer to shard A. The fabric
 /// therefore owns one Channel per direction per link, never one shared
 /// channel routing multiple destinations (fabric_rack_test locks this).
+/// Under the contended backends the per-link FIFO timeline is NOT the whole
+/// story: all links of one compute node additionally share that node's NIC
+/// and all links into one shard share its controller, so a send can queue
+/// behind traffic of an unrelated link. That shared-server state lives in
+/// the Fabric (it spans channels); the Channel still owns the per-link
+/// committed timeline and enforces the final FIFO clamp via CommitAt.
 class Channel {
  public:
   /// Sends `bytes` at virtual time `now`; returns the delivery time at the
   /// receiver (latency + serialization, no earlier than any previous
-  /// delivery on this channel).
+  /// delivery on this channel). This is the kIdeal wire model.
   Nanos Send(Nanos now, uint64_t bytes, const sim::CostParams& params);
+
+  /// Commits a transfer whose delivery time a contended backend computed
+  /// from queue occupancy: applies the per-channel reliable-FIFO clamp
+  /// (delivery never precedes a committed delivery) and updates counters.
+  Nanos CommitAt(Nanos now, uint64_t bytes, Nanos delivery);
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -104,8 +148,11 @@ class Channel {
 /// `Send*` paths stay reliable (a drop is hidden by a transport-level
 /// retransmit, delaying delivery), while the `Try*` paths surface drops to
 /// the caller so the TELEPORT retry/backoff layer can handle them.
-/// Probabilistic faults draw from one stream shared by every link (global
-/// send order); scheduled outages are keyed by the link's memory node.
+/// Probabilistic faults draw from a per-link, per-direction stream seeded
+/// from (seed, src, dst, direction), so perturbing traffic on one link
+/// never reshuffles which sends on another link get faulted (PR9 fixed the
+/// earlier single global stream); scheduled outages are keyed by the link's
+/// memory node.
 class Fabric {
  public:
   /// Sentinel for a failure window that never heals (permanent pool loss —
@@ -123,11 +170,22 @@ class Fabric {
             static_cast<size_t>(compute_nodes) * memory_nodes),
         reachable_(static_cast<size_t>(memory_nodes), 1),
         fail_from_(static_cast<size_t>(memory_nodes), -1),
-        fail_until_(static_cast<size_t>(memory_nodes), kNeverHeals) {
+        fail_until_(static_cast<size_t>(memory_nodes), kNeverHeals),
+        backend_(BackendFromEnv()),
+        q_c2m_(static_cast<size_t>(compute_nodes) * memory_nodes),
+        q_m2c_(static_cast<size_t>(compute_nodes) * memory_nodes),
+        nic_busy_(static_cast<size_t>(compute_nodes), 0),
+        ctrl_busy_(static_cast<size_t>(memory_nodes), 0) {
     TELEPORT_CHECK(compute_nodes >= 1 && memory_nodes >= 1)
         << "a rack has at least one compute node and one memory shard; got "
         << compute_nodes << "x" << memory_nodes;
   }
+
+  /// Transport cost model; kIdeal unless TELEPORT_FABRIC_BACKEND selected a
+  /// contended backend at construction. Switching backends mid-run is legal
+  /// only on an idle fabric (committed queue state is per-backend).
+  Backend backend() const { return backend_; }
+  void set_backend(Backend backend) { backend_ = backend; }
 
   int compute_nodes() const { return compute_nodes_; }
   int memory_nodes() const { return memory_nodes_; }
@@ -202,6 +260,19 @@ class Fabric {
   SendOutcome TrySendToCompute(Nanos now, uint64_t bytes, MessageKind kind) {
     return TrySendToCompute(Link{}, now, bytes, kind);
   }
+
+  /// Scatter-gather send: one verb whose gather list covers `segments` byte
+  /// counts (the extent/span streaming paths post one WQE per shard instead
+  /// of one per page). Counts as ONE message of sum(segments) bytes; under
+  /// kIdeal this is exactly SendToMemory of the total, so span-path goldens
+  /// are unchanged, while the contended backends ring one doorbell for the
+  /// whole list and account the per-segment fan-in.
+  Nanos SendGatherToMemory(Link link, Nanos now,
+                           const std::vector<uint64_t>& segments,
+                           MessageKind kind = MessageKind::kPageReturn);
+  Nanos SendGatherToCompute(Link link, Nanos now,
+                            const std::vector<uint64_t>& segments,
+                            MessageKind kind = MessageKind::kPageFaultReply);
 
   /// Fault-visible round trip from the compute side: fails when either the
   /// request or the reply is dropped (the caller cannot distinguish the two
@@ -311,6 +382,63 @@ class Fabric {
   }
   std::string KindBreakdownToString() const;
 
+  // --- Contended-backend observability (all zero under kIdeal) ------------
+
+  /// Committed queue residency ahead of a message entering `link` at `now`,
+  /// both directions, including the shared NIC/controller servers. This is
+  /// what a congestion-aware heartbeat deadline adds to its budget: the
+  /// local NIC can see its own committed backlog, so a saturated-but-
+  /// healthy shard is not mistaken for a dead one.
+  Nanos QueueBacklogNs(Link link, Nanos now) const;
+  Nanos QueueBacklogNs(Nanos now) const {
+    return QueueBacklogNs(Link{}, now);
+  }
+
+  /// True when the active backend executes this message NIC-side (skipping
+  /// the shard controller queue and the host handler): coherence directory
+  /// traffic always, pushdown probes when small enough.
+  bool SmartNicOffloaded(MessageKind kind, uint64_t bytes) const {
+    if (backend_ != Backend::kSmartNic) return false;
+    switch (kind) {
+      case MessageKind::kCoherenceRequest:
+      case MessageKind::kCoherenceReply:
+        return true;
+      case MessageKind::kPushdownRequest:
+        return bytes <= params_.smartnic_max_bytes;
+      default:
+        return false;
+    }
+  }
+
+  /// Per-kind queueing: sends that waited behind committed residency, their
+  /// total wait, and the peak occupancy (in-flight transfers) observed.
+  uint64_t queued_sends_of(MessageKind kind) const {
+    return queued_by_kind_[static_cast<size_t>(kind)];
+  }
+  Nanos queue_wait_of(MessageKind kind) const {
+    return static_cast<Nanos>(queue_wait_by_kind_[static_cast<size_t>(kind)]);
+  }
+  uint64_t peak_queue_depth_of(MessageKind kind) const {
+    return peak_depth_by_kind_[static_cast<size_t>(kind)];
+  }
+  uint64_t doorbells() const { return doorbells_; }
+  uint64_t coalesced_doorbells() const { return coalesced_doorbells_; }
+  uint64_t sg_sends() const { return sg_sends_; }
+  uint64_t sg_segments() const { return sg_segments_; }
+  uint64_t smartnic_offloads() const { return smartnic_offloads_; }
+
+  /// Per-kind queueing breakdown, "fabricq{Kind=n/waitns/peakD ...}" plus
+  /// the doorbell / scatter-gather / offload totals. Kinds that never
+  /// queued are elided, and an untouched (or kIdeal) fabric prints exactly
+  /// "fabricq{}", so pre-PR9 dumps that append this stay byte-identical.
+  std::string QueueBreakdownToString() const;
+
+  /// Folds the queue counters accumulated since the last drain into `m`'s
+  /// netq_* fields and clears the pending deltas. The fabric has no
+  /// ExecutionContext of its own, so the ddc/teleport charge points drain
+  /// after each send to attribute queueing to the context that caused it.
+  void DrainQueueStats(sim::Metrics& m);
+
   const Channel& compute_to_memory(Link link = Link{}) const {
     return compute_to_memory_[LinkIndex(link)];
   }
@@ -332,6 +460,29 @@ class Fabric {
   }
   Channel& C2m(Link link) { return compute_to_memory_[LinkIndex(link)]; }
   Channel& M2c(Link link) { return memory_to_compute_[LinkIndex(link)]; }
+
+  /// One direction of one link's contended-backend queue state. The shared
+  /// NIC/controller busy horizons live beside these in the Fabric; together
+  /// they are a pure function of the send sequence, which is what keeps
+  /// RandomSchedule replays bit-identical.
+  struct QueueState {
+    Nanos busy_until = 0;      ///< committed wire residency of this queue
+    Nanos last_doorbell = -1;  ///< newest verb submission time (-1 = none)
+    std::deque<Nanos> inflight;  ///< committed completion times, FIFO
+  };
+  QueueState& QState(bool to_memory, Link link) {
+    return (to_memory ? q_c2m_ : q_m2c_)[LinkIndex(link)];
+  }
+  const QueueState& QState(bool to_memory, Link link) const {
+    return (to_memory ? q_c2m_ : q_m2c_)[LinkIndex(link)];
+  }
+
+  /// Dispatches one wire transfer under the active backend: Channel::Send
+  /// for kIdeal, the queued service model otherwise (doorbell batching,
+  /// shared-server occupancy, per-kind queue accounting, trace span on a
+  /// non-zero wait), finishing with the channel's FIFO commit.
+  Nanos WireSend(Channel& ch, bool to_memory, Link link, Nanos now,
+                 uint64_t bytes, MessageKind kind);
 
   /// Reliable delivery: accounts the message per kind, applies injector
   /// delay/duplicate events, and hides drops behind transport retransmits.
@@ -368,6 +519,31 @@ class Fabric {
   sim::Tracer* tracer_ = nullptr;
   std::array<uint64_t, kNumMessageKinds> messages_by_kind_{};
   std::array<uint64_t, kNumMessageKinds> bytes_by_kind_{};
+
+  // Contended-backend state (untouched while backend_ == kIdeal).
+  Backend backend_ = Backend::kIdeal;
+  std::vector<QueueState> q_c2m_;  ///< [src * memory_nodes_ + dst]
+  std::vector<QueueState> q_m2c_;  ///< [src * memory_nodes_ + dst]
+  std::vector<Nanos> nic_busy_;    ///< per compute node, both directions
+  std::vector<Nanos> ctrl_busy_;   ///< per memory shard, both directions
+  std::array<uint64_t, kNumMessageKinds> queued_by_kind_{};
+  std::array<uint64_t, kNumMessageKinds> queue_wait_by_kind_{};
+  std::array<uint64_t, kNumMessageKinds> peak_depth_by_kind_{};
+  uint64_t doorbells_ = 0;
+  uint64_t coalesced_doorbells_ = 0;
+  uint64_t sg_sends_ = 0;
+  uint64_t sg_segments_ = 0;
+  uint64_t smartnic_offloads_ = 0;
+  /// Deltas since the last DrainQueueStats, folded into a context's netq_*
+  /// metrics by the charge point that triggered the traffic.
+  struct PendingQueueStats {
+    uint64_t queued_sends = 0;
+    uint64_t queue_wait_ns = 0;
+    uint64_t doorbells = 0;
+    uint64_t doorbells_coalesced = 0;
+    uint64_t sg_segments = 0;
+    uint64_t smartnic_offloads = 0;
+  } pending_;
 };
 
 }  // namespace teleport::net

@@ -56,21 +56,40 @@ void FaultInjector::AddLinkFlaps(Nanos start, Nanos duration, Nanos period,
   }
 }
 
-FaultDecision FaultInjector::OnSend(MessageKind kind, Nanos now) {
+Rng& FaultInjector::StreamFor(Link link, bool to_memory) {
+  const uint64_t key = (static_cast<uint64_t>(link.src) << 32) |
+                       (static_cast<uint64_t>(link.dst) << 1) |
+                       (to_memory ? 1u : 0u);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    // splitmix64 finalizer over (seed, key): stream seeds are decorrelated
+    // across links/directions yet a pure function of identity, so the map
+    // may grow in any order without perturbing any existing stream.
+    uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (key + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    it = streams_.emplace(key, Rng(z ^ (z >> 31))).first;
+  }
+  return it->second;
+}
+
+FaultDecision FaultInjector::OnSend(MessageKind kind, Nanos now, Link link,
+                                    bool to_memory) {
   (void)now;
   FaultDecision d;
   const FaultSpec& s = specs_[Index(kind)];
-  if (s.drop_p > 0.0 && rng_.Bernoulli(s.drop_p)) {
+  Rng& rng = StreamFor(link, to_memory);
+  if (s.drop_p > 0.0 && rng.Bernoulli(s.drop_p)) {
     d.dropped = true;
     ++drops_;
     ++drops_by_kind_[Index(kind)];
     return d;
   }
-  if (s.dup_p > 0.0 && rng_.Bernoulli(s.dup_p)) {
+  if (s.dup_p > 0.0 && rng.Bernoulli(s.dup_p)) {
     d.copies = 2;
     ++duplicates_;
   }
-  if (s.delay_p > 0.0 && rng_.Bernoulli(s.delay_p)) {
+  if (s.delay_p > 0.0 && rng.Bernoulli(s.delay_p)) {
     d.extra_delay_ns = s.delay_ns;
     ++delays_;
   }
@@ -137,7 +156,9 @@ std::string FaultInjector::ToString() const {
 }
 
 void FaultInjector::Reset() {
-  rng_ = Rng(seed_);
+  // Dropping the map reseeds lazily: each stream's seed is a pure function
+  // of (seed_, link, direction), so recreation replays identical sequences.
+  streams_.clear();
   drops_ = 0;
   duplicates_ = 0;
   delays_ = 0;

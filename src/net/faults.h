@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -51,9 +52,13 @@ struct OutageWindow {
 /// message. Two fault families:
 ///
 ///  - Probabilistic per-kind events (drop / delay / duplicate), drawn from a
-///    dedicated xoshiro stream, so the same seed and the same send sequence
-///    reproduce the exact same fault pattern. The stream is shared across
-///    all links: faults depend on the global send order, not on topology.
+///    dedicated xoshiro stream PER LINK PER DIRECTION, deterministically
+///    seeded from (seed, src, dst, direction). A link's fault sequence is a
+///    pure function of its own send sequence: adding or removing traffic on
+///    link A never reshuffles which sends on link B get faulted. (The seed
+///    shared one stream across all links in global send order, which made
+///    every link's fault pattern depend on unrelated topology-wide traffic;
+///    faults_test locks the isolation.)
 ///  - Scheduled outages on the virtual timeline, keyed by memory node:
 ///    transient link flaps and per-node crash-restart windows.
 ///
@@ -61,7 +66,7 @@ struct OutageWindow {
 /// its decisions so all lost time is accounted on virtual clocks.
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
 
   uint64_t seed() const { return seed_; }
 
@@ -107,10 +112,17 @@ class FaultInjector {
 
   // --- Per-send consultation (mutates the RNG stream) ---------------------
 
-  /// Decides the fate of one message of `kind` sent at `now`. Counted in the
-  /// injector's event totals; scheduled outages are NOT applied here (the
-  /// Fabric checks LinkUpAt separately so reachability stays a const query).
-  FaultDecision OnSend(MessageKind kind, Nanos now);
+  /// Decides the fate of one message of `kind` sent at `now` over `link` in
+  /// the given direction, drawing from that link+direction's own stream.
+  /// Counted in the injector's event totals; scheduled outages are NOT
+  /// applied here (the Fabric checks LinkUpAt separately so reachability
+  /// stays a const query).
+  FaultDecision OnSend(MessageKind kind, Nanos now, Link link,
+                       bool to_memory);
+  /// Legacy single-link form: the {0, 0} compute->memory stream.
+  FaultDecision OnSend(MessageKind kind, Nanos now) {
+    return OnSend(kind, now, Link{}, /*to_memory=*/true);
+  }
 
   /// Records a message lost to an outage window (bookkeeping only).
   void CountOutageDrop() { ++outage_drops_; }
@@ -154,9 +166,9 @@ class FaultInjector {
 
   std::string ToString() const;
 
-  /// Reseeds the RNG stream and clears event counters. The configured specs
-  /// and outage schedule are kept, so a Reset + identical send sequence
-  /// replays the identical fault pattern.
+  /// Reseeds every per-link RNG stream and clears event counters. The
+  /// configured specs and outage schedule are kept, so a Reset + identical
+  /// send sequence replays the identical fault pattern.
   void Reset();
 
  private:
@@ -179,8 +191,16 @@ class FaultInjector {
   /// node's sorted windows.
   const OutageWindow* WindowCovering(Nanos now, int node) const;
 
+  /// The (link, direction) stream, created on first use. Seeding depends
+  /// only on (seed_, src, dst, direction) — never on creation order — so
+  /// lazily growing the map cannot perturb determinism.
+  Rng& StreamFor(Link link, bool to_memory);
+
   uint64_t seed_;
-  Rng rng_;
+  /// Per-(link, direction) fault streams, keyed by
+  /// src << 32 | dst << 1 | to_memory (node ids are ints, so dst << 1 stays
+  /// below the src field).
+  std::unordered_map<uint64_t, Rng> streams_;
   std::array<FaultSpec, kNumMessageKinds> specs_{};
   std::vector<NodeTimeline> nodes_;  ///< index = memory node id; grown lazily
 

@@ -223,6 +223,9 @@ TrafficResult RunOpenLoop(ddc::MemorySystem& ms,
   r.makespan_ns = last_end;
   r.completion_fairness = r.scopes.CompletionFairness();
   r.remote_bytes_fairness = r.scopes.RemoteBytesFairness();
+  const Histogram merged = r.scopes.MergedLatency();
+  r.p50_latency_ns = merged.Percentile(50.0);
+  r.p99_latency_ns = merged.Percentile(99.0);
   return r;
 }
 

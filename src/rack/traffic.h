@@ -81,6 +81,13 @@ struct TrafficResult {
   sim::TenantScopes scopes{1};
   double completion_fairness = 1.0;
   double remote_bytes_fairness = 1.0;
+  /// Merged session-latency percentiles (all tenants), precomputed from
+  /// `scopes` so load-latency sweeps read the knee without re-merging
+  /// histograms. Under a contended fabric backend p99 diverges from p50 as
+  /// offered load approaches a resource's capacity; under net::kIdeal the
+  /// two stay within a constant factor at any load.
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
 };
 
 /// Runs `cfg.sessions` open-loop sessions against `ms`/`runtime`. Allocates

@@ -33,6 +33,31 @@ struct CostParams {
   /// reports 1.6 us average coherence message latency vs the raw 1.2 us.
   Nanos coherence_overhead_ns = 400;
 
+  // --- Contended fabric (kQueuedRdma / kSmartNic backends only) -----------
+  /// Aggregate capacity of one compute node's NIC, shared by every link of
+  /// that node in both directions (12.5 GB/s = 100 Gb/s host NIC).
+  double nic_bytes_per_ns = 12.5;
+  /// Aggregate capacity of one memory shard's controller, shared by every
+  /// compute node talking to that shard (slightly above the link rate, so a
+  /// single flow is link-bound but two concurrent tenants contend here).
+  double ctrl_bytes_per_ns = 10.0;
+  /// Verb submission cost (WQE build + doorbell write) charged when a send
+  /// cannot ride a previously rung doorbell.
+  Nanos verb_overhead_ns = 250;
+  /// Submissions within this window of the queue pair's previous doorbell
+  /// coalesce into one verb (doorbell batching).
+  Nanos doorbell_batch_window_ns = 400;
+  /// NIC-side handler time of a SmartNIC-offloaded message (coherence
+  /// directory lookup / small pushdown probe), replacing fault_handler_ns.
+  Nanos smartnic_handler_ns = 150;
+  /// Largest request the SmartNIC executes on-NIC; bigger ones take the
+  /// host path through the shard controller queue.
+  uint64_t smartnic_max_bytes = 256;
+  /// Heartbeat liveness budget: a probe whose round trip exceeds this (plus
+  /// the fabric's committed queue backlog, which the prober can observe
+  /// locally) declares the shard dead. See PushdownRuntime::CheckHeartbeat.
+  Nanos heartbeat_deadline_ns = 5 * kMillisecond;
+
   // --- DRAM (both compute-local cache and memory pool) -------------------
   /// Cost of an access that stays within the previously touched page
   /// (stream-like; hardware prefetch effective).

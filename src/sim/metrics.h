@@ -28,6 +28,13 @@ namespace teleport::sim {
   X(net_bytes, net, bytes)                                                    \
   X(bytes_from_memory_pool, net, from_mem) /* page data pulled to compute */  \
   X(bytes_to_memory_pool, net, to_mem)     /* page data pushed back */        \
+  /* Fabric queueing (PR9 contended backends; zero under net::kIdeal). */     \
+  X(netq_queued_sends, netq, queued_sends) /* sends that waited in a queue */ \
+  X(netq_queue_wait_ns, netq, queue_wait_ns)                                  \
+  X(netq_doorbells, netq, doorbells)       /* verbs actually posted */        \
+  X(netq_doorbells_coalesced, netq, doorbells_coalesced)                      \
+  X(netq_sg_segments, netq, sg_segments)   /* scatter-gather list entries */  \
+  X(netq_smartnic_offloads, netq, smartnic_offloads)                          \
   /* Memory pool. */                                                          \
   X(memory_pool_hits, memory_pool, hits)                                      \
   X(memory_pool_faults, memory_pool, faults) /* recursive storage faults */   \

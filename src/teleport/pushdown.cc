@@ -109,12 +109,26 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx,
     return RecoveryStatus(RecoveryFault::kUnreachable);
   }
   if (ms_->fabric().fault_injector() == nullptr) {
+    const Nanos probe_start = ctx.now();
+    // Congestion-aware liveness deadline: queue residency on the probe's
+    // own link at send time is excused — a saturated-but-healthy shard
+    // answers slowly because the fabric is busy, not because the pool is
+    // dead. Only delay beyond deadline + observable backlog panics (§3.2).
+    // (The deadline used to be implicit-infinite here and a fixed constant
+    // in the design notes; a fixed constant fences saturated shards.)
+    const Nanos allowed = params.heartbeat_deadline_ns +
+                          ms_->fabric().QueueBacklogNs(link, probe_start);
     const Nanos done = ms_->fabric().RoundTripFromCompute(
-        link, ctx.now(), 64, 64, params.fault_handler_ns,
+        link, probe_start, 64, 64, params.fault_handler_ns,
         net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat);
     ctx.clock().AdvanceTo(done);
+    ms_->fabric().DrainQueueStats(ctx.metrics());
     ctx.metrics().net_messages += 2;
     ctx.metrics().net_bytes += 128;
+    if (done - probe_start > allowed) {
+      panicked_ = true;
+      return RecoveryStatus(RecoveryFault::kUnreachable);
+    }
     return Status::OK();
   }
   // Resilient probe: dropped heartbeats are retried with backoff, and a
@@ -124,12 +138,21 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx,
   Nanos t = ctx.now();
   RetryStats stats;
   bool ok = false;
+  Nanos probe_rtt = 0;
+  Nanos probe_allowed = 0;
   for (int round = 0; round < 16 && !ok; ++round) {
     const RetryOutcome out = RetryRoundTripFromCompute(
         ms_->fabric(), retry_, retry_rng_, t, 64, 64, params.fault_handler_ns,
         net::MessageKind::kHeartbeat, net::MessageKind::kHeartbeat, &stats,
         link);
     if (out.ok) {
+      // On success gave_up_at is the winning attempt's send time, so the
+      // deadline judges one probe's round trip — retransmission backoff and
+      // outage waits never count against it. Queue backlog at that instant
+      // is excused (congestion is not death; see the no-injector path).
+      probe_rtt = out.done - out.gave_up_at;
+      probe_allowed = params.heartbeat_deadline_ns +
+                      ms_->fabric().QueueBacklogNs(link, out.gave_up_at);
       t = out.done;
       ok = true;
       break;
@@ -143,7 +166,8 @@ Status PushdownRuntime::CheckHeartbeat(ddc::ExecutionContext& ctx,
   ctx.metrics().retries += stats.retries;
   ctx.metrics().fault_events += stats.retries;
   ctx.clock().AdvanceTo(t);
-  if (!ok) {
+  ms_->fabric().DrainQueueStats(ctx.metrics());
+  if (!ok || probe_rtt > probe_allowed) {
     panicked_ = true;
     return RecoveryStatus(RecoveryFault::kUnreachable);
   }
@@ -291,9 +315,14 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
 
   // Queue for a free memory-pool instance of the HOME shard (FIFO
   // workqueue, §3.2; per-shard in PR7 — each shard owns its pool cores).
+  // A small probe the SmartNIC backend offloads executes NIC-side instead:
+  // it never waits for (or occupies) a host instance, which is what shifts
+  // the small-message latency knee under load.
+  const bool nic_side = ms_->fabric().SmartNicOffloaded(
+      net::MessageKind::kPushdownRequest, req_bytes);
   std::vector<Nanos>& shard_slots = instance_free_[static_cast<size_t>(home)];
   auto slot = std::min_element(shard_slots.begin(), shard_slots.end());
-  Nanos start = std::max(arrive, *slot);
+  Nanos start = nic_side ? arrive : std::max(arrive, *slot);
 
   // Lease fencing (PR6, per-shard in PR7): if a crash-restart window of any
   // shard completed while the request was in flight or queued, that shard
@@ -342,7 +371,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
         admit_epochs[static_cast<size_t>(k)] = ms_->pool_epoch(k);
       }
       const Nanos prev_start = start;
-      start = std::max(rearrive, *slot);
+      start = nic_side ? rearrive : std::max(rearrive, *slot);
       fence_ns += start - prev_start;
     }
     if (any_stale() &&
@@ -454,7 +483,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   // retransmitted by the memory side (the function already executed — it is
   // never re-run); after the retry budget the reliable transport carries it.
   const Nanos resp_sent = mem_ctx->now() + params.context_fixed_ns / 4;
-  *slot = resp_sent;
+  if (!nic_side) *slot = resp_sent;  // NIC-side probes held no host instance
   const uint64_t resp_bytes = 128 + flags.result_bytes;
   Nanos resp_arrive = 0;
   Nanos resp_retry_wait = 0;
@@ -495,6 +524,7 @@ Status PushdownRuntime::Pushdown(ddc::ExecutionContext& caller, PushdownFn fn,
   caller.metrics().net_messages += 1;
   caller.metrics().net_bytes += resp_bytes;
   caller.clock().AdvanceTo(resp_arrive);
+  ms_->fabric().DrainQueueStats(caller.metrics());
   // Includes the instance-recycle interval so the per-call breakdown sums
   // exactly to the caller's observed elapsed time.
   bd.retry_ns += resp_retry_wait;

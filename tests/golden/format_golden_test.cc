@@ -47,6 +47,63 @@ TEST(FormatGoldenTest, FabricKindBreakdownResetsClean) {
   EXPECT_EQ(fabric.KindBreakdownToString(), "fabric{}");
 }
 
+// --- Fabric queue breakdown (PR9 contended backends) -------------------------
+
+TEST(FormatGoldenTest, FabricQueueBreakdownEmptyAndIdeal) {
+  sim::CostParams p;
+  p.net_latency_ns = 1000;
+  p.net_bytes_per_ns = 1.0;
+  net::Fabric fabric(p);
+  EXPECT_EQ(fabric.QueueBreakdownToString(), "fabricq{}");
+  // kIdeal never touches the queue machinery, no matter the traffic.
+  fabric.SendToMemory(0, 4096, net::MessageKind::kPageFaultRequest);
+  EXPECT_EQ(fabric.QueueBreakdownToString(), "fabricq{}");
+}
+
+TEST(FormatGoldenTest, FabricQueueBreakdownQueuedShape) {
+  sim::CostParams p;
+  p.net_latency_ns = 1000;
+  p.net_bytes_per_ns = 1.0;
+  net::Fabric fabric(p);
+  fabric.set_backend(net::Backend::kQueuedRdma);
+  // First send posts a doorbell and sails through (wait 0, depth 1); the
+  // second coalesces onto it and waits out the first's 500 ns of link
+  // service starting from t=100 (wait 650, depth 2). Kinds print in enum
+  // order; zero-wait kinds still show their peak depth.
+  fabric.SendToMemory(net::Link{}, 0, 500, net::MessageKind::kPageFaultRequest);
+  fabric.SendToMemory(net::Link{}, 100, 500, net::MessageKind::kPageReturn);
+  EXPECT_EQ(fabric.QueueBreakdownToString(),
+            "fabricq{PageFaultRequest=0/0ns/peak1 PageReturn=1/650ns/peak2 "
+            "doorbells=1+1c}");
+  fabric.Reset();
+  EXPECT_EQ(fabric.QueueBreakdownToString(), "fabricq{}");
+}
+
+TEST(FormatGoldenTest, FabricQueueBreakdownSmartNicShape) {
+  sim::CostParams p;
+  p.net_latency_ns = 1000;
+  p.net_bytes_per_ns = 1.0;
+  net::Fabric fabric(p);
+  fabric.set_backend(net::Backend::kSmartNic);
+  // A two-segment gather rides one doorbell; the coherence probe behind it
+  // coalesces, queues behind the gather's 500 ns of link service, and is
+  // NIC-offloaded.
+  fabric.SendGatherToMemory(net::Link{}, 0, {64, 436},
+                            net::MessageKind::kSyncmem);
+  fabric.SendToMemory(net::Link{}, 0, 64, net::MessageKind::kCoherenceRequest);
+  EXPECT_EQ(fabric.QueueBreakdownToString(),
+            "fabricq{CoherenceRequest=1/750ns/peak2 Syncmem=0/0ns/peak1 "
+            "doorbells=1+1c sg=1/2seg offloads=1}");
+}
+
+// --- Fabric backend names (TELEPORT_FABRIC_BACKEND vocabulary) ---------------
+
+TEST(FormatGoldenTest, FabricBackendNames) {
+  EXPECT_EQ(net::BackendToString(net::Backend::kIdeal), "ideal");
+  EXPECT_EQ(net::BackendToString(net::Backend::kQueuedRdma), "queued_rdma");
+  EXPECT_EQ(net::BackendToString(net::Backend::kSmartNic), "smartnic");
+}
+
 // --- sim::Metrics dump -------------------------------------------------------
 
 TEST(FormatGoldenTest, MetricsToStringFullDump) {
@@ -133,6 +190,43 @@ TEST(FormatGoldenTest, MetricsTxnGroupLineAndElision) {
   EXPECT_NE(one.ToString().find(
                 "txn: commits=0 aborts=0 retries=0 reads_validated=0 "
                 "undo_writes=0 node_splits=0 node_merges=2"),
+            std::string::npos)
+      << one.ToString();
+}
+
+// Like txn, the netq group only exists when a contended fabric backend
+// (non-kIdeal) ran: the line slots in between net and memory pool, and the
+// all-zero group is elided so every kIdeal golden — MetricsToStringFullDump
+// included — stays byte-identical.
+TEST(FormatGoldenTest, MetricsNetqGroupLineAndElision) {
+  sim::Metrics m;
+  const std::string before = m.ToString();
+  EXPECT_EQ(before.find("netq:"), std::string::npos)
+      << "all-zero netq group must be elided";
+
+  m.netq_queued_sends = 12;
+  m.netq_queue_wait_ns = 34567;
+  m.netq_doorbells = 9;
+  m.netq_doorbells_coalesced = 21;
+  m.netq_sg_segments = 6;
+  m.netq_smartnic_offloads = 4;
+  EXPECT_NE(m.ToString().find(
+                "net: messages=0 bytes=0 from_mem=0 to_mem=0\n"
+                "netq: queued_sends=12 queue_wait_ns=34567 doorbells=9 "
+                "doorbells_coalesced=21 sg_segments=6 smartnic_offloads=4\n"
+                "memory pool: hits=0 faults=0"),
+            std::string::npos)
+      << m.ToString();
+  // Eliding the group is the only difference from the zero dump.
+  sim::Metrics zeroed;
+  EXPECT_EQ(zeroed.ToString(), before);
+
+  // Any single nonzero counter resurrects the whole line.
+  sim::Metrics one;
+  one.netq_doorbells = 1;
+  EXPECT_NE(one.ToString().find(
+                "netq: queued_sends=0 queue_wait_ns=0 doorbells=1 "
+                "doorbells_coalesced=0 sg_segments=0 smartnic_offloads=0"),
             std::string::npos)
       << one.ToString();
 }

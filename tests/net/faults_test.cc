@@ -248,6 +248,84 @@ TEST(FabricFaultTest, ZeroProbabilityInjectorMatchesNoInjector) {
   EXPECT_EQ(plain.total_bytes(), injected.total_bytes());
 }
 
+// PR9 satellite regression: fault streams are per link per direction. The
+// seed drew every link's faults from ONE global stream in send order, so
+// adding traffic on link A reshuffled which sends on link B got faulted —
+// a chaos scenario's fault pattern changed when an unrelated tenant's
+// traffic moved. Now link B's fault sequence is a pure function of link B's
+// own send sequence.
+TEST(FaultInjectorTest, LinkFaultStreamsAreIsolated) {
+  FaultSpec spec;
+  spec.drop_p = 0.35;
+  spec.dup_p = 0.15;
+  spec.delay_p = 0.25;
+  spec.delay_ns = 700;
+  const Link kA{0, 0};
+  const Link kB{1, 0};
+
+  // Run 1: link B alone.
+  FaultInjector solo(/*seed=*/77);
+  solo.SetSpecAll(spec);
+  std::vector<FaultDecision> b_solo;
+  for (int i = 0; i < 300; ++i) {
+    b_solo.push_back(
+        solo.OnSend(MessageKind::kPageReturn, i, kB, /*to_memory=*/true));
+  }
+
+  // Run 2: link B's sends interleaved with heavy unrelated traffic on link
+  // A (both directions) and on B's own reverse direction.
+  FaultInjector busy(/*seed=*/77);
+  busy.SetSpecAll(spec);
+  for (int i = 0; i < 300; ++i) {
+    busy.OnSend(MessageKind::kPageFaultRequest, i, kA, true);
+    const FaultDecision d =
+        busy.OnSend(MessageKind::kPageReturn, i, kB, /*to_memory=*/true);
+    busy.OnSend(MessageKind::kPageFaultReply, i, kA, false);
+    busy.OnSend(MessageKind::kCoherenceReply, i, kB, /*to_memory=*/false);
+    const FaultDecision& want = b_solo[static_cast<size_t>(i)];
+    ASSERT_EQ(d.dropped, want.dropped) << "send " << i;
+    ASSERT_EQ(d.copies, want.copies) << "send " << i;
+    ASSERT_EQ(d.extra_delay_ns, want.extra_delay_ns) << "send " << i;
+  }
+}
+
+TEST(FaultInjectorTest, LegacyOverloadIsTheDefaultLinkStream) {
+  // Pre-rack call sites (and older tests) use the 2-arg OnSend; it must be
+  // exactly the {0, 0} compute->memory stream so 1x1 runs have one
+  // well-defined fault timeline.
+  FaultSpec spec;
+  spec.drop_p = 0.5;
+  FaultInjector a(/*seed=*/11), b(/*seed=*/11);
+  a.SetSpecAll(spec);
+  b.SetSpecAll(spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.OnSend(MessageKind::kSyncmem, i).dropped,
+              b.OnSend(MessageKind::kSyncmem, i, Link{0, 0}, true).dropped);
+  }
+}
+
+TEST(FaultInjectorTest, ResetReplaysEveryLinkStream) {
+  FaultSpec spec;
+  spec.drop_p = 0.4;
+  spec.dup_p = 0.2;
+  FaultInjector inj(/*seed=*/13);
+  inj.SetSpecAll(spec);
+  const auto run = [&] {
+    std::vector<int> pattern;
+    for (int i = 0; i < 100; ++i) {
+      for (const Link link : {Link{0, 0}, Link{1, 1}, Link{2, 0}}) {
+        const FaultDecision d =
+            inj.OnSend(MessageKind::kPageReturn, i, link, true);
+        pattern.push_back(d.dropped ? -1 : d.copies);
+      }
+    }
+    return pattern;
+  };
+  const std::vector<int> first = run();
+  inj.Reset();
+  EXPECT_EQ(run(), first);
+}
+
 TEST(FabricFaultTest, ResetClearsKindAccountingAndReseedsInjector) {
   Fabric fabric(Params());
   FaultInjector inj(/*seed=*/5);

@@ -88,9 +88,11 @@ TEST(MetricsTest, AddAndDiffRoundTripEveryGeneratedField) {
 
 TEST(MetricsTest, EveryDumpedLabelAppearsInToString) {
   Metrics m;
-  // The txn group is elided while all-zero (pre-OLTP dumps stay
-  // byte-identical); make it nonzero so its labels are dumped too.
+  // The txn and netq groups are elided while all-zero (pre-OLTP and
+  // pre-contended-fabric dumps stay byte-identical); make each nonzero so
+  // their labels are dumped too.
   m.txn_commits = 1;
+  m.netq_queued_sends = 1;
   const std::string s = m.ToString();
 #define TELEPORT_METRICS_TEST_LABEL(field, group, label)                   \
   if (std::string(#group) != "none") {                                     \
