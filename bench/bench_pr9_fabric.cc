@@ -124,14 +124,16 @@ int main() {
   for (const Nanos iat : interarrivals) {
     std::printf("%-8lld", static_cast<long long>(iat));
     for (const net::Backend b : backends) {
+      bench::WallTimer wall;
       const LoadPoint pt = MicroSweepPoint(b, iat, kProbeBytes, kSends);
+      const Nanos wall_ns = wall.ElapsedNs();
       std::printf(" %14.0f %14.0f", pt.p50, pt.p99);
       const std::string name = net::BackendToString(b).data();
       const std::string load = "micro_iat" + std::to_string(iat);
       bench::EmitBenchRecord({"pr9_fabric", load + "_p50", name,
-                              static_cast<Nanos>(pt.p50), 0, 0, ""});
+                              static_cast<Nanos>(pt.p50), wall_ns, 0, ""});
       bench::EmitBenchRecord({"pr9_fabric", load + "_p99", name,
-                              static_cast<Nanos>(pt.p99), 0, 0, ""});
+                              static_cast<Nanos>(pt.p99), wall_ns, 0, ""});
       if (b == net::Backend::kIdeal) ideal_last = pt;
       if (iat == 32 && b == net::Backend::kQueuedRdma) queued_at32 = pt;
       if (iat == 32 && b == net::Backend::kSmartNic) smart_at32 = pt;

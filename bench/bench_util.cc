@@ -87,9 +87,12 @@ MrDeployment MakeMr(ddc::Platform platform, uint64_t corpus_bytes,
 }
 
 std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
-  std::vector<WorkloadTimes> out;
-
-  // --- MonetDB-like DBMS: Q9, Q3, Q6 -------------------------------------
+  // Every (workload, platform) pair is an independent leg on its own
+  // deployment — the suite is embarrassingly parallel, which is exactly
+  // what Tier A of the host-parallel engine exploits. Legs record into
+  // index-addressed slots; the merge below runs after RunLegs returns, so
+  // the output (and the cross-platform checksum comparison) is identical
+  // at any thread count.
   struct DbCase {
     const char* label;
     const char* query;
@@ -101,40 +104,6 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       {"Q3", "q3", &db::RunQ3},
       {"Q6", "q6", &db::RunQ6},
   };
-  for (const DbCase& c : db_cases) {
-    WorkloadTimes w;
-    w.name = c.label;
-    auto local = MakeDb(ddc::Platform::kLocal, config.db_scale_factor,
-                        config.deploy);
-    WallTimer wall;
-    const db::QueryResult rl = c.fn(*local.ctx, *local.database, {});
-    w.local_ns = rl.total_ns;
-    w.local_wall_ns = wall.ElapsedNs();
-    auto base = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
-                       config.deploy);
-    wall.Reset();
-    const db::QueryResult rd = c.fn(*base.ctx, *base.database, {});
-    w.ddc_ns = rd.total_ns;
-    w.ddc_wall_ns = wall.ElapsedNs();
-    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
-    w.checksums_match = rl.checksum == rd.checksum;
-    if (config.run_teleport) {
-      auto tele = MakeDb(ddc::Platform::kBaseDdc, config.db_scale_factor,
-                         config.deploy);
-      db::QueryOptions opts;
-      opts.runtime = tele.runtime.get();
-      opts.push_ops = db::DefaultTeleportOps(c.query);
-      wall.Reset();
-      const db::QueryResult rt = c.fn(*tele.ctx, *tele.database, opts);
-      w.teleport_ns = rt.total_ns;
-      w.teleport_wall_ns = wall.ElapsedNs();
-      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
-      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
-    }
-    out.push_back(w);
-  }
-
-  // --- PowerGraph-like engine: SSSP, RE, CC --------------------------------
   struct GraphCase {
     const char* label;
     graph::GasResult (*fn)(ddc::ExecutionContext&, const graph::Graph&,
@@ -145,81 +114,107 @@ std::vector<WorkloadTimes> RunSuite(const SuiteConfig& config) {
       {"RE", &graph::RunReachability},
       {"CC", &graph::RunConnectedComponents},
   };
-  for (const GraphCase& c : graph_cases) {
-    WorkloadTimes w;
-    w.name = c.label;
-    auto local = MakeGraph(ddc::Platform::kLocal, config.graph_vertices,
-                           config.graph_degree, config.deploy);
-    WallTimer wall;
-    const graph::GasResult rl = c.fn(*local.ctx, local.graph, {});
-    w.local_ns = rl.total_ns;
-    w.local_wall_ns = wall.ElapsedNs();
-    auto base = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
-                          config.graph_degree, config.deploy);
-    wall.Reset();
-    const graph::GasResult rd = c.fn(*base.ctx, base.graph, {});
-    w.ddc_ns = rd.total_ns;
-    w.ddc_wall_ns = wall.ElapsedNs();
-    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
-    w.checksums_match = rl.checksum == rd.checksum;
-    if (config.run_teleport) {
-      auto tele = MakeGraph(ddc::Platform::kBaseDdc, config.graph_vertices,
-                            config.graph_degree, config.deploy);
-      graph::GasOptions opts;
-      opts.runtime = tele.runtime.get();
-      opts.push_phases = graph::DefaultTeleportPhases();
-      wall.Reset();
-      const graph::GasResult rt = c.fn(*tele.ctx, tele.graph, opts);
-      w.teleport_ns = rt.total_ns;
-      w.teleport_wall_ns = wall.ElapsedNs();
-      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
-      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
-    }
-    out.push_back(w);
-  }
-
-  // --- Phoenix-like MapReduce: WC, Grep ------------------------------------
   struct MrCase {
     const char* label;
     bool grep;
   };
   const MrCase mr_cases[] = {{"WC", false}, {"Grep", true}};
-  for (const MrCase& c : mr_cases) {
-    WorkloadTimes w;
-    w.name = c.label;
-    auto run = [&](MrDeployment& d, const mr::MrOptions& opts) {
-      return c.grep ? RunGrep(*d.ctx, d.corpus, "wab", opts)
-                    : RunWordCount(*d.ctx, d.corpus, opts);
-    };
-    auto local = MakeMr(ddc::Platform::kLocal, config.mr_bytes, config.deploy);
-    WallTimer wall;
-    const mr::MrResult rl = run(local, {});
-    w.local_ns = rl.total_ns;
-    w.local_wall_ns = wall.ElapsedNs();
-    auto base = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
-                       config.deploy);
-    wall.Reset();
-    const mr::MrResult rd = run(base, {});
-    w.ddc_ns = rd.total_ns;
-    w.ddc_wall_ns = wall.ElapsedNs();
-    w.ddc_remote_bytes = base.ctx->metrics().RemoteMemoryBytes();
-    w.checksums_match = rl.checksum == rd.checksum;
-    if (config.run_teleport) {
-      auto tele = MakeMr(ddc::Platform::kBaseDdc, config.mr_bytes,
-                         config.deploy);
-      mr::MrOptions opts;
-      opts.runtime = tele.runtime.get();
-      opts.push_phases = mr::DefaultTeleportPhases(c.grep);
-      wall.Reset();
-      const mr::MrResult rt = run(tele, opts);
-      w.teleport_ns = rt.total_ns;
-      w.teleport_wall_ns = wall.ElapsedNs();
-      w.teleport_remote_bytes = tele.ctx->metrics().RemoteMemoryBytes();
-      w.checksums_match = w.checksums_match && rl.checksum == rt.checksum;
-    }
-    out.push_back(w);
-  }
 
+  struct LegResult {
+    Nanos virtual_ns = 0;
+    Nanos wall_ns = 0;
+    uint64_t remote_bytes = 0;
+    int64_t checksum = 0;
+  };
+  enum { kLocal = 0, kDdc = 1, kTeleport = 2 };
+  constexpr int kWorkloads = 8;  // Q9 Q3 Q6 | SSSP RE CC | WC Grep
+  std::vector<std::array<LegResult, 3>> res(kWorkloads);
+  std::vector<std::function<void()>> legs;
+
+  auto platform_of = [](int p) {
+    return p == kLocal ? ddc::Platform::kLocal : ddc::Platform::kBaseDdc;
+  };
+  const int num_platforms = config.run_teleport ? 3 : 2;
+  for (int w = 0; w < kWorkloads; ++w) {
+    for (int p = 0; p < num_platforms; ++p) {
+      legs.push_back([&config, &db_cases, &graph_cases, &mr_cases, &res,
+                      platform_of, w, p] {
+        LegResult& r = res[static_cast<size_t>(w)][static_cast<size_t>(p)];
+        if (w < 3) {
+          const DbCase& c = db_cases[w];
+          auto d = MakeDb(platform_of(p), config.db_scale_factor,
+                          config.deploy);
+          db::QueryOptions opts;
+          if (p == kTeleport) {
+            opts.runtime = d.runtime.get();
+            opts.push_ops = db::DefaultTeleportOps(c.query);
+          }
+          WallTimer wall;
+          const db::QueryResult q = c.fn(*d.ctx, *d.database, opts);
+          r.virtual_ns = q.total_ns;
+          r.wall_ns = wall.ElapsedNs();
+          r.checksum = q.checksum;
+          if (p != kLocal) r.remote_bytes = d.ctx->metrics().RemoteMemoryBytes();
+        } else if (w < 6) {
+          const GraphCase& c = graph_cases[w - 3];
+          auto d = MakeGraph(platform_of(p), config.graph_vertices,
+                             config.graph_degree, config.deploy);
+          graph::GasOptions opts;
+          if (p == kTeleport) {
+            opts.runtime = d.runtime.get();
+            opts.push_phases = graph::DefaultTeleportPhases();
+          }
+          WallTimer wall;
+          const graph::GasResult q = c.fn(*d.ctx, d.graph, opts);
+          r.virtual_ns = q.total_ns;
+          r.wall_ns = wall.ElapsedNs();
+          r.checksum = q.checksum;
+          if (p != kLocal) r.remote_bytes = d.ctx->metrics().RemoteMemoryBytes();
+        } else {
+          const MrCase& c = mr_cases[w - 6];
+          auto d = MakeMr(platform_of(p), config.mr_bytes, config.deploy);
+          mr::MrOptions opts;
+          if (p == kTeleport) {
+            opts.runtime = d.runtime.get();
+            opts.push_phases = mr::DefaultTeleportPhases(c.grep);
+          }
+          WallTimer wall;
+          const mr::MrResult q = c.grep
+                                     ? RunGrep(*d.ctx, d.corpus, "wab", opts)
+                                     : RunWordCount(*d.ctx, d.corpus, opts);
+          r.virtual_ns = q.total_ns;
+          r.wall_ns = wall.ElapsedNs();
+          r.checksum = q.checksum;
+          if (p != kLocal) r.remote_bytes = d.ctx->metrics().RemoteMemoryBytes();
+        }
+      });
+    }
+  }
+  RunLegs(legs, config.host_threads);
+
+  const char* names[kWorkloads] = {"Q9", "Q3",   "Q6", "SSSP",
+                                   "RE", "CC",   "WC", "Grep"};
+  std::vector<WorkloadTimes> out;
+  out.reserve(kWorkloads);
+  for (int w = 0; w < kWorkloads; ++w) {
+    const auto& r = res[static_cast<size_t>(w)];
+    WorkloadTimes t;
+    t.name = names[w];
+    t.local_ns = r[kLocal].virtual_ns;
+    t.local_wall_ns = r[kLocal].wall_ns;
+    t.ddc_ns = r[kDdc].virtual_ns;
+    t.ddc_wall_ns = r[kDdc].wall_ns;
+    t.ddc_remote_bytes = r[kDdc].remote_bytes;
+    t.checksums_match = r[kLocal].checksum == r[kDdc].checksum;
+    if (config.run_teleport) {
+      t.teleport_ns = r[kTeleport].virtual_ns;
+      t.teleport_wall_ns = r[kTeleport].wall_ns;
+      t.teleport_remote_bytes = r[kTeleport].remote_bytes;
+      t.checksums_match =
+          t.checksums_match && r[kLocal].checksum == r[kTeleport].checksum;
+    }
+    out.push_back(t);
+  }
   return out;
 }
 
@@ -273,14 +268,52 @@ Nanos WallTimer::ElapsedNs() const {
 
 void WallTimer::Reset() { t0_ = WallNowNs(); }
 
-void EmitBenchRecord(const BenchRecord& record) {
+namespace {
+
+/// Per-thread redirect for EmitBenchRecord: while a RunLegs leg runs, its
+/// JSONL lines accumulate here instead of hitting the output file, so legs
+/// finishing out of order cannot interleave their records. nullptr (the
+/// default, and always the state outside RunLegs) means "write through".
+thread_local std::string* t_bench_sink = nullptr;
+
+/// Appends raw, already-framed JSONL text: to the enclosing leg's buffer
+/// when one is active (nested RunLegs), else to $TELEPORT_BENCH_JSON.
+void AppendBenchOutput(const std::string& text) {
+  if (text.empty()) return;
+  if (t_bench_sink != nullptr) {
+    *t_bench_sink += text;
+    return;
+  }
   const char* path = std::getenv("TELEPORT_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) return;
-  const std::string line = BenchRecordToJson(record) + "\n";
-  std::fwrite(line.data(), 1, line.size(), f);
+  std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
+}
+
+}  // namespace
+
+void EmitBenchRecord(const BenchRecord& record) {
+  AppendBenchOutput(BenchRecordToJson(record) + "\n");
+}
+
+void RunLegs(const std::vector<std::function<void()>>& legs,
+             int host_threads) {
+  if (host_threads <= 0) host_threads = sim::HostThreadsFromEnv();
+  std::vector<std::string> buffers(legs.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(legs.size());
+  for (size_t i = 0; i < legs.size(); ++i) {
+    jobs.push_back([&legs, &buffers, i] {
+      std::string* prev = t_bench_sink;  // the calling thread may be a leg
+      t_bench_sink = &buffers[i];        // of an enclosing RunLegs
+      legs[i]();
+      t_bench_sink = prev;
+    });
+  }
+  sim::LegRunner(host_threads).Run(jobs);
+  for (const std::string& buf : buffers) AppendBenchOutput(buf);
 }
 
 std::string MaybeWriteTrace(const sim::Tracer& tracer,

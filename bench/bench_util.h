@@ -1,6 +1,7 @@
 #ifndef TELEPORT_BENCH_BENCH_UTIL_H_
 #define TELEPORT_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "db/query.h"
 #include "graph/engine.h"
 #include "mr/engine.h"
+#include "sim/parallel.h"
 #include "sim/tracer.h"
 #include "teleport/pushdown.h"
 
@@ -70,6 +72,12 @@ struct SuiteConfig {
   uint64_t mr_bytes = 4 << 20;
   DeployOptions deploy;
   bool run_teleport = true;
+  /// Host threads for the leg runner: each (workload, platform) leg is an
+  /// independent deployment, so RunSuite farms them out via RunLegs.
+  /// 0 reads TELEPORT_HOST_THREADS; 1 runs serially. Results are identical
+  /// at any value — legs share no simulator state and are merged in leg
+  /// order — only wall-clock fields (machine-dependent by design) vary.
+  int host_threads = 0;
 };
 
 /// One workload measured on up to three platforms. teleport_ns is 0 when
@@ -130,8 +138,22 @@ std::string BenchRecordToJson(const BenchRecord& record);
 
 /// Appends `BenchRecordToJson(record)` + '\n' to the file named by the
 /// TELEPORT_BENCH_JSON environment variable. No-op when it is unset, so
-/// interactive bench runs stay side-effect free.
+/// interactive bench runs stay side-effect free. Inside a RunLegs leg the
+/// line goes to that leg's private buffer instead and reaches the file when
+/// the runner flushes buffers in leg order — so the JSONL a parallel run
+/// produces is byte-identical to a serial run of the same legs.
 void EmitBenchRecord(const BenchRecord& record);
+
+/// Runs independent figure legs on a sim::LegRunner host-thread pool.
+/// Isolation contract: each leg builds (or exclusively owns) its own
+/// deployments — MemorySystem, Fabric, contexts, Metrics, Tracer, RNG
+/// streams — and communicates results only through its own slot of a
+/// caller-provided output vector. EmitBenchRecord output is buffered per
+/// leg and flushed in leg index order (nested RunLegs compose: an inner
+/// flush lands in the enclosing leg's buffer). `host_threads` 0 reads
+/// TELEPORT_HOST_THREADS.
+void RunLegs(const std::vector<std::function<void()>>& legs,
+             int host_threads = 0);
 
 /// Writes `tracer`'s Chrome trace to $TELEPORT_TRACE_DIR/<stem>.trace.json
 /// and returns that path; returns "" (writing nothing) when the variable

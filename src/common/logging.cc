@@ -1,9 +1,13 @@
 #include "common/logging.h"
 
+#include <atomic>
+
 namespace teleport {
 
 namespace {
-LogLevel g_log_level = LogLevel::kWarning;
+// Atomic: log statements run from parallel-engine worker threads; the level
+// is process-wide config written before any parallel region starts.
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,15 +24,19 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_log_level; }
-void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level),
       fatal_(fatal),
-      enabled_(fatal || level >= g_log_level) {
+      enabled_(fatal || level >= g_log_level.load(std::memory_order_relaxed)) {
   if (enabled_) {
     stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
   }

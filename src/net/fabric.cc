@@ -356,6 +356,11 @@ Nanos Fabric::QueueBacklogNs(Link link, Nanos now) const {
 }
 
 void Fabric::DrainQueueStats(sim::Metrics& m) {
+  // kIdeal never touches the queue machinery, so pending_ stays all-zero and
+  // draining would be a no-op — except that the reset below is a plain write
+  // to shared fabric state, which tasks co-stepped by the parallel engine
+  // (only ever eligible under kIdeal) would race on. Skip it entirely.
+  if (backend_ == Backend::kIdeal) return;
   m.netq_queued_sends += pending_.queued_sends;
   m.netq_queue_wait_ns += pending_.queue_wait_ns;
   m.netq_doorbells += pending_.doorbells;
@@ -408,12 +413,12 @@ std::string Fabric::KindBreakdownToString() const {
   os << "fabric{";
   bool first = true;
   for (int k = 0; k < kNumMessageKinds; ++k) {
-    if (messages_by_kind_[static_cast<size_t>(k)] == 0) continue;
+    const MessageKind kind = static_cast<MessageKind>(k);
+    if (messages_of(kind) == 0) continue;
     if (!first) os << " ";
     first = false;
-    os << MessageKindToString(static_cast<MessageKind>(k)) << "="
-       << messages_by_kind_[static_cast<size_t>(k)] << "/"
-       << bytes_by_kind_[static_cast<size_t>(k)] << "B";
+    os << MessageKindToString(kind) << "=" << messages_of(kind) << "/"
+       << bytes_of(kind) << "B";
   }
   os << "}";
   return os.str();
@@ -457,8 +462,8 @@ void Fabric::Reset() {
   std::fill(reachable_.begin(), reachable_.end(), 1);
   std::fill(fail_from_.begin(), fail_from_.end(), -1);
   std::fill(fail_until_.begin(), fail_until_.end(), kNeverHeals);
-  messages_by_kind_.fill(0);
-  bytes_by_kind_.fill(0);
+  for (auto& n : messages_by_kind_) n.store(0, std::memory_order_relaxed);
+  for (auto& n : bytes_by_kind_) n.store(0, std::memory_order_relaxed);
   for (QueueState& qs : q_c2m_) qs = QueueState{};
   for (QueueState& qs : q_m2c_) qs = QueueState{};
   std::fill(nic_busy_.begin(), nic_busy_.end(), 0);

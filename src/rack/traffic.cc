@@ -21,9 +21,8 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// One session's kernel, shaped after its tenant's engine. All offsets are
-/// 8-byte aligned inside the tenant's slice; the returned digest is a pure
-/// function of (seed, session id, slice contents).
+}  // namespace
+
 uint64_t RunKernel(ddc::ExecutionContext& c, WorkloadKind kind,
                    ddc::VAddr slice, uint64_t slice_bytes, int ops,
                    uint64_t kernel_seed) {
@@ -100,8 +99,6 @@ uint64_t RunKernel(ddc::ExecutionContext& c, WorkloadKind kind,
   }
   return digest;
 }
-
-}  // namespace
 
 std::string_view WorkloadKindToString(WorkloadKind k) {
   switch (k) {

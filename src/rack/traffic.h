@@ -24,6 +24,18 @@ enum class WorkloadKind { kDb, kGraph, kMr, kOltp };
 
 std::string_view WorkloadKindToString(WorkloadKind k);
 
+/// One session's kernel, shaped after its tenant's engine: db = strided
+/// scan + aggregate, graph = dependent pointer chase, mr = hashed
+/// read-modify-write scatter, oltp = radix index probe ending in a
+/// version-bump RMW. All offsets are 8-byte aligned inside
+/// [slice, slice + slice_bytes); the returned digest is a pure function of
+/// (kernel_seed, kind, slice contents). Exported so the host-parallel
+/// benches can pin exactly this workload to a (node, shard) partition and
+/// compare serial vs parallel digests.
+uint64_t RunKernel(ddc::ExecutionContext& c, WorkloadKind kind,
+                   ddc::VAddr slice, uint64_t slice_bytes, int ops,
+                   uint64_t kernel_seed);
+
 /// Open-loop arrival schedule: session i of the run arrives at
 /// `i * mean_interarrival_ns` plus seeded jitter, independent of service
 /// times (arrivals never wait for completions — the defining property of an

@@ -31,9 +31,16 @@ class CoopTask : public Task {
   /// `ctxs`: the contexts whose accesses drive preemption; ctxs[0] is the
   /// primary (its virtual clock dominates ours between handoffs). `body`
   /// runs once on the worker thread. `quantum` = charged operations per
-  /// Step() (1 gives the finest interleaving).
+  /// Step() (1 gives the finest interleaving). `partition` opts the task
+  /// into conservative parallel stepping (Interleaver::set_host_threads);
+  /// a non-exclusive partition is a promise that the body touches pages of
+  /// exactly that memory shard from exactly that compute node, runs no
+  /// pushdown sessions, and takes no cross-task host locks (e.g. the OLTP
+  /// commit latch) — violations are data races, which the TSAN CI job and
+  /// the two-scale bit-identity tests exist to catch.
   CoopTask(std::vector<ddc::ExecutionContext*> ctxs,
-           std::function<void()> body, int quantum = 1);
+           std::function<void()> body, int quantum = 1,
+           TaskPartition partition = {});
 
   /// Joins the worker. If the task was abandoned mid-run (explorer bounds,
   /// failed test), the body is unwound with a private exception from its
@@ -47,6 +54,22 @@ class CoopTask : public Task {
   bool done() const override;
   void Step() override;
 
+  TaskPartition partition() const override { return partition_; }
+
+  /// Split-phase Step: BeginStep wakes the worker and returns immediately;
+  /// FinishStep blocks until the quantum committed. Between the two, the
+  /// worker runs concurrently with other batch members' workers on real
+  /// host threads — the only place true parallelism enters the simulator.
+  void BeginStep() override;
+  void FinishStep() override;
+
+  /// Runs consecutive quanta without parking while the task clock stays
+  /// below `bound` (or equal when `inclusive`), paying one condvar round
+  /// trip for the whole run instead of one per quantum. Quantum boundaries
+  /// and charges are identical to repeated Step() — only host-side parking
+  /// is elided.
+  uint64_t StepBatch(Nanos bound, bool inclusive) override;
+
  private:
   enum class Turn { kScheduler, kWorker };
   struct Abort {};  // thrown into an abandoned body to unwind it
@@ -55,10 +78,14 @@ class CoopTask : public Task {
   void WorkerMain();
   /// Parks the worker until the scheduler hands the turn back.
   void ParkWorker(std::unique_lock<std::mutex>& lk);
+  /// Max virtual clock across the hooked contexts. Called from the worker
+  /// while it holds the turn (contexts quiescent to everyone else).
+  Nanos WorkerClock() const;
 
   std::vector<ddc::ExecutionContext*> ctxs_;
   std::function<void()> body_;
   const int quantum_;
+  const TaskPartition partition_;
   int used_ = 0;  // charged ops in the current quantum (worker-only)
 
   mutable std::mutex mu_;
@@ -66,8 +93,24 @@ class CoopTask : public Task {
   Turn turn_ = Turn::kScheduler;
   bool done_ = false;
   bool aborting_ = false;
+  // Batch-handoff window (see StepBatch). Written by the scheduler under
+  // mu_ before the turn handoff, read by the worker after it — the condvar
+  // handoff orders them. batch_continues_ flows back the same way.
+  bool batch_active_ = false;
+  Nanos batch_bound_ = 0;
+  bool batch_inclusive_ = false;
+  uint64_t batch_continues_ = 0;
   std::thread worker_;
 };
+
+/// True when `ms` is configured so disjoint-(node, shard) CoopTasks may
+/// legally step in parallel: the ideal fabric backend (contended backends
+/// serialize through shared queue state), no fault injector (its RNG
+/// sequence depends on global delivery order), no coherence observer and no
+/// tracer (both append to shared logs whose order is the output). Callers
+/// fall back to host_threads = 1 when this is false — results are identical
+/// either way, only wall clock differs.
+bool ParallelEligible(ddc::MemorySystem& ms);
 
 }  // namespace teleport::sim
 

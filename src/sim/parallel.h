@@ -1,0 +1,48 @@
+#ifndef TELEPORT_SIM_PARALLEL_H_
+#define TELEPORT_SIM_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace teleport::sim {
+
+/// Reads TELEPORT_HOST_THREADS. Unset, empty, non-numeric, or < 1 all mean
+/// 1 (the serial path); values are clamped to kMaxHostThreads so a typo
+/// cannot fork thousands of threads.
+int HostThreadsFromEnv();
+
+inline constexpr int kMaxHostThreads = 256;
+
+/// Tier A of the host-parallel engine: runs independent jobs — whole figure
+/// legs, each owning a private MemorySystem/Fabric/Metrics/Tracer arena — on
+/// a pool of host threads. The runner provides scheduling only; isolation is
+/// the caller's contract (a job must not touch another job's arena; shared
+/// simulator totals such as log level or fabric byte counters are relaxed
+/// atomics, so cross-leg interleaving cannot change any per-leg result).
+/// Output determinism is restored by the caller collecting per-job results
+/// into index-addressed slots and merging them in job order after Run
+/// returns — see bench::RunLegs, which buffers each leg's BenchRecord JSONL
+/// through a thread-local sink and flushes in leg order, byte-identical to
+/// a serial run.
+class LegRunner {
+ public:
+  /// n <= 1 (or a single job) runs everything inline on the calling thread.
+  explicit LegRunner(int host_threads) : host_threads_(host_threads) {}
+
+  /// Executes every job to completion. Jobs are claimed in index order from
+  /// a shared atomic cursor (deterministic claim order, nondeterministic
+  /// placement — which is fine, results are merged by index). A job that
+  /// throws aborts the process: legs are simulations whose failures are
+  /// bugs, not recoverable conditions.
+  void Run(const std::vector<std::function<void()>>& jobs);
+
+  int host_threads() const { return host_threads_; }
+
+ private:
+  int host_threads_;
+};
+
+}  // namespace teleport::sim
+
+#endif  // TELEPORT_SIM_PARALLEL_H_
